@@ -1,0 +1,93 @@
+"""Ablation — scaling behaviour of the optimized diagram algorithm.
+
+Appendix D claims worst-case runtime ``O(|D| + |Matches|·(s +
+log|Matches|))`` — i.e. near-linear growth in dataset size for a fixed
+match/record ratio, while the naïve approach grows like ``s·(|D| +
+|Matches|)``.  We measure both on doubling dataset sizes and check
+that (a) the optimized algorithm scales sub-quadratically and (b) the
+naïve/optimized runtime ratio does not shrink with size.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.diagrams import (
+    compute_diagram_naive_clustering,
+    compute_diagram_optimized,
+)
+from repro.datagen import (
+    DirtyDatasetGenerator,
+    cluster_sizes_zipf,
+    scored_benchmark_experiment,
+)
+from repro.datagen.domains import song_entity
+
+SIZES = [2_000, 4_000, 8_000, 16_000]
+SAMPLES = 50
+
+
+def _case(size: int):
+    generator = DirtyDatasetGenerator(
+        entity_factory=song_entity,
+        cluster_sizes=cluster_sizes_zipf(maximum=3),
+        name=f"scale-{size}",
+        seed=size,
+    )
+    data = generator.generate(size)
+    experiment = scored_benchmark_experiment(
+        data, target_matches=size // 2, seed=size
+    )
+    return data, experiment
+
+
+def test_scaling_report(benchmark):
+    rows = []
+    optimized_times = []
+    ratios = []
+    for size in SIZES:
+        data, experiment = _case(size)
+        started = time.perf_counter()
+        compute_diagram_optimized(
+            data.dataset, experiment, data.gold, samples=SAMPLES
+        )
+        optimized = time.perf_counter() - started
+        started = time.perf_counter()
+        compute_diagram_naive_clustering(
+            data.dataset, experiment, data.gold, samples=SAMPLES
+        )
+        naive = time.perf_counter() - started
+        optimized_times.append(optimized)
+        ratios.append(naive / max(optimized, 1e-9))
+        rows.append(
+            [size, f"{optimized * 1000:.0f}ms", f"{naive * 1000:.0f}ms",
+             f"{ratios[-1]:.1f}x"]
+        )
+    print_table(
+        "Ablation: scaling of optimized vs naive diagram computation",
+        ["records", "optimized", "naive", "speedup"],
+        rows,
+    )
+    # (a) near-linear optimized scaling: 8x records < ~24x time
+    growth = optimized_times[-1] / max(optimized_times[0], 1e-9)
+    assert growth < (SIZES[-1] / SIZES[0]) * 3.0
+    # (b) the advantage does not vanish with size
+    assert ratios[-1] > 2.0
+    assert max(ratios[1:]) >= ratios[0] * 0.5
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+
+def test_union_find_throughput(benchmark):
+    """Microbenchmark: tracked-union throughput on a long merge chain."""
+    from repro.core.unionfind import PairCountingUnionFind
+
+    n = 200_000
+
+    def chain():
+        unionfind = PairCountingUnionFind(n)
+        unionfind.tracked_union(((i, i + 1) for i in range(n - 1)))
+        return unionfind.pair_count
+
+    pairs = benchmark(chain)
+    assert pairs == n * (n - 1) // 2

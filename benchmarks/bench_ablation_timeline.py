@@ -1,0 +1,104 @@
+"""Ablation — timeline checkpointing (Appendix D outlook).
+
+The Appendix D conclusion notes that interactively exploring a
+threshold timeline is slow when "the user selects a similarity
+threshold range starting before the end of the previous range", because
+reverting merges needs an ``O(|D|)`` reset.  Our
+:class:`~repro.core.timeline.DiagramTimeline` answers this with sparse
+checkpoints.  This ablation measures a *zig-zag* query workload
+(alternating low and high thresholds — the worst case for a
+forward-only structure) under different checkpoint intervals, against
+the rebuild-from-scratch baseline.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.diagrams import compute_diagram_optimized
+from repro.core.timeline import DiagramTimeline
+from repro.datagen import scored_benchmark_experiment
+
+ZIGZAG = [0.9, 0.3, 0.85, 0.35, 0.8, 0.4, 0.75, 0.45, 0.7, 0.5] * 3
+
+
+@pytest.fixture(scope="module")
+def workload(person_benchmark):
+    experiment = scored_benchmark_experiment(
+        person_benchmark, target_matches=2_000, seed=23, name="timeline-run"
+    )
+    return person_benchmark, experiment
+
+
+def _rebuild_baseline(data, experiment) -> float:
+    """Zig-zag answered by rebuilding the sweep for every query."""
+    started = time.perf_counter()
+    for threshold in ZIGZAG:
+        points = compute_diagram_optimized(
+            data.dataset, experiment, data.gold, samples=2
+        )
+        del points
+    return time.perf_counter() - started
+
+
+def _timeline_run(data, experiment, checkpoint_every) -> float:
+    timeline = DiagramTimeline(
+        data.dataset, experiment, data.gold, checkpoint_every=checkpoint_every
+    )
+    started = time.perf_counter()
+    for threshold in ZIGZAG:
+        timeline.matrix_at(threshold)
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("checkpoint_every", [25, 100, 400])
+def test_timeline_zigzag(benchmark, workload, checkpoint_every):
+    data, experiment = workload
+    timeline = DiagramTimeline(
+        data.dataset, experiment, data.gold, checkpoint_every=checkpoint_every
+    )
+
+    def zigzag():
+        for threshold in ZIGZAG:
+            timeline.matrix_at(threshold)
+
+    benchmark.pedantic(zigzag, rounds=3, iterations=1)
+
+
+def test_timeline_report(benchmark, workload):
+    """Query-time comparison: checkpointed timeline vs full rebuilds.
+
+    Claim: once built, the timeline answers zig-zag queries much faster
+    than re-running the sweep, and tighter checkpoints help.
+    """
+    data, experiment = workload
+    rows = []
+    timings = {}
+    for checkpoint_every in (25, 100, 400):
+        seconds = _timeline_run(data, experiment, checkpoint_every)
+        timings[checkpoint_every] = seconds
+        rows.append(
+            [
+                f"timeline (k={checkpoint_every})",
+                f"{seconds * 1000:.0f}ms",
+                f"{seconds * 1000 / len(ZIGZAG):.2f}ms",
+            ]
+        )
+    baseline_seconds = _rebuild_baseline(data, experiment)
+    rows.append(
+        [
+            "rebuild per query",
+            f"{baseline_seconds * 1000:.0f}ms",
+            f"{baseline_seconds * 1000 / len(ZIGZAG):.2f}ms",
+        ]
+    )
+    print_table(
+        "Ablation: timeline zig-zag queries (30 alternating thresholds)",
+        ["strategy", "total", "per query"],
+        rows,
+    )
+    assert min(timings.values()) < baseline_seconds
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -1,0 +1,65 @@
+"""Figure 7 — f1 score over time at the SIGMOD contest.
+
+"The matching quality of the different teams generally increased over
+time, but sometimes faced significant declines in matching
+performance.  Thus, the matching task had an overall trial-and-error
+character."
+
+Team trajectories are simulated (DESIGN.md §3) and each submission is
+measured with the real metric machinery.  Shape claims: every team
+trends upward, and significant declines (trial-and-error dips) occur.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_table
+from repro.kpis.effort_study import ContestTimelineSimulator
+
+
+def test_figure7_timeline(benchmark, person_benchmark):
+    simulator = ContestTimelineSimulator(
+        dataset=person_benchmark.dataset,
+        gold=person_benchmark.gold,
+        team_count=3,
+        submissions=25,
+        regression_probability=0.18,
+        seed=11,
+    )
+    timelines = benchmark.pedantic(simulator.run, rounds=1, iterations=1)
+
+    rows = []
+    for team, points in timelines.items():
+        values = [f1 for _, f1 in points]
+        declines = sum(1 for a, b in zip(values, values[1:]) if b < a - 0.03)
+        rows.append(
+            [
+                team,
+                f"{values[0]:.3f}",
+                f"{max(values):.3f}",
+                f"{values[-1]:.3f}",
+                declines,
+            ]
+        )
+    print_table(
+        "Figure 7: f1 over contest submissions (simulated teams, measured f1)",
+        ["team", "first", "best", "last", "significant declines"],
+        rows,
+    )
+    sparkline = {
+        team: " ".join(f"{f1:.2f}" for _, f1 in points[::3])
+        for team, points in timelines.items()
+    }
+    for team, line in sparkline.items():
+        print(f"  {team}: {line}")
+
+    total_declines = 0
+    for team, points in timelines.items():
+        values = [f1 for _, f1 in points]
+        early = sum(values[:5]) / 5
+        late = sum(values[-5:]) / 5
+        assert late > early, f"{team} did not trend upward"
+        total_declines += sum(
+            1 for a, b in zip(values, values[1:]) if b < a - 0.03
+        )
+    # trial-and-error character: dips exist across the field
+    assert total_declines >= 3

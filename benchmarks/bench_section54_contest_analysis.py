@@ -1,0 +1,176 @@
+"""§5.4 — SIGMOD programming contest analysis with the platform.
+
+The paper's three headline findings on the evaluation dataset Z4:
+
+1. "the top-5 contest teams achieved an f1 score of 90.34% with 87.4%
+   as the minimum and 92.7% as the maximum" (N-Metrics viewer);
+2. "two matching solutions had not selected the optimal similarity
+   threshold [...] selecting a higher similarity threshold would have
+   increased their f1 score by 8% and 6%" (metric/metric diagrams);
+3. "we identified three true duplicate pairs that were not detected by
+   at least four solutions [...] all three pairs include the record
+   with ID altosight.com//1420" (N-Intersection viewer).
+
+We synthesize five solutions with the paper's quality spread against
+the X4-like product benchmark, give two of them deliberately
+suboptimal thresholds, run the same three analyses, and check the
+shapes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core import compute_diagram_optimized
+from repro.core.platform import FrostPlatform
+from repro.datagen.synthesize import synthesize_experiment
+from repro.exploration.setops import pairs_missed_by_most
+from repro.matching import best_threshold
+from repro.metrics.pairwise import f1_score
+
+# the five top teams' approximate quality levels (min 87.4, max 92.7)
+TEAM_QUALITY = [0.927, 0.915, 0.905, 0.896, 0.874]
+
+
+def _hard_records(x4_benchmark) -> set[str]:
+    """Records of one 'especially difficult' gold cluster.
+
+    Real solutions share systematic difficulty (the paper's
+    ``altosight.com//1420`` record); independent random misses do not
+    reproduce that, so the fixture designates one cluster that almost
+    every team fails on.
+    """
+    hard_cluster = min(
+        (c for c in x4_benchmark.gold.clustering.clusters if len(c) >= 3),
+        key=lambda c: (len(c), c),
+    )
+    return set(hard_cluster)
+
+
+@pytest.fixture(scope="module")
+def contest_platform(x4_benchmark):
+    from repro.core import Experiment
+
+    platform = FrostPlatform()
+    platform.add_dataset(x4_benchmark.dataset)
+    platform.add_gold(x4_benchmark.dataset.name, x4_benchmark.gold)
+    hard = _hard_records(x4_benchmark)
+    for index, quality in enumerate(TEAM_QUALITY):
+        experiment = synthesize_experiment(
+            x4_benchmark.dataset,
+            x4_benchmark.gold,
+            precision=min(0.99, quality + 0.02),
+            recall=quality - 0.01,
+            seed=100 + index,
+            name=f"team-{index + 1}",
+        )
+        if index > 0:  # all but the best team miss the hard cluster
+            experiment = Experiment(
+                [
+                    match
+                    for match in experiment.matches
+                    if not (match.pair[0] in hard and match.pair[1] in hard)
+                ],
+                name=experiment.name,
+                solution=experiment.solution,
+            )
+        platform.add_experiment(x4_benchmark.dataset.name, experiment)
+    return platform
+
+
+def test_n_metrics_viewer(benchmark, contest_platform, x4_benchmark):
+    """Finding 1: the f1 spread of the top five teams."""
+    table = benchmark.pedantic(
+        contest_platform.metrics_table,
+        args=(x4_benchmark.dataset.name, x4_benchmark.gold.name),
+        kwargs={"metric_names": ["precision", "recall", "f1"]},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [name, f"{row['precision']:.3f}", f"{row['recall']:.3f}", f"{row['f1']:.3f}"]
+        for name, row in sorted(table.items())
+    ]
+    print_table(
+        "§5.4 finding 1: N-Metrics view of the top-5 teams "
+        "(paper: avg 90.34%, min 87.4%, max 92.7%)",
+        ["team", "precision", "recall", "f1"],
+        rows,
+    )
+    f1_values = [row["f1"] for row in table.values()]
+    average = sum(f1_values) / len(f1_values)
+    assert 0.85 < min(f1_values) < 0.91
+    assert 0.89 < max(f1_values) < 0.96
+    assert average == pytest.approx(0.9034, abs=0.03)
+
+
+def test_threshold_suboptimality(benchmark, x4_benchmark):
+    """Finding 2: some teams left f1 on the table via their threshold."""
+
+    def analyze():
+        findings = []
+        # two teams whose decision model scores are informative but whose
+        # chosen threshold (0.5) sits below the optimum
+        for index, quality in enumerate(TEAM_QUALITY[:2]):
+            scored = synthesize_experiment(
+                x4_benchmark.dataset,
+                x4_benchmark.gold,
+                precision=0.75,       # chosen threshold admits many FPs...
+                recall=quality,
+                seed=200 + index,
+                name=f"suboptimal-{index}",
+            )
+            points = compute_diagram_optimized(
+                x4_benchmark.dataset, scored, x4_benchmark.gold, samples=60
+            )
+            chosen_f1 = f1_score(points[-1].matrix)  # threshold = min score
+            optimal_threshold, optimal_f1 = best_threshold(points, f1_score)
+            findings.append((chosen_f1, optimal_threshold, optimal_f1))
+        return findings
+
+    findings = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    rows = [
+        [f"team-{i + 1}", f"{chosen:.3f}", f"{threshold:.3f}", f"{optimal:.3f}",
+         f"+{100 * (optimal - chosen):.1f}%"]
+        for i, (chosen, threshold, optimal) in enumerate(findings)
+    ]
+    print_table(
+        "§5.4 finding 2: threshold suboptimality (paper: +8% and +6% f1)",
+        ["team", "f1 at chosen threshold", "optimal threshold", "optimal f1", "gain"],
+        rows,
+    )
+    for chosen, threshold, optimal in findings:
+        assert optimal > chosen + 0.03  # a higher threshold helps materially
+        assert threshold > 0.0
+
+
+def test_hard_pairs_missed_by_most(benchmark, contest_platform, x4_benchmark):
+    """Finding 3: true pairs missed by at least four of five solutions,
+    concentrating on few records."""
+    experiments = [
+        contest_platform.experiment(x4_benchmark.dataset.name, f"team-{i + 1}")
+        for i in range(len(TEAM_QUALITY))
+    ]
+    missed = benchmark.pedantic(
+        pairs_missed_by_most,
+        args=(x4_benchmark.gold, experiments),
+        kwargs={"minimum_missing": 4},
+        rounds=1,
+        iterations=1,
+    )
+    record_counts: dict[str, int] = {}
+    for first, second in missed:
+        record_counts[first] = record_counts.get(first, 0) + 1
+        record_counts[second] = record_counts.get(second, 0) + 1
+    top = sorted(record_counts.items(), key=lambda kv: -kv[1])[:5]
+    print_table(
+        "§5.4 finding 3: hard pairs missed by >=4 of 5 solutions "
+        "(paper: 3 pairs, all sharing one record)",
+        ["record", "missed pairs involving it"],
+        [[record, count] for record, count in top],
+    )
+    # hard pairs exist but are rare relative to the gold standard
+    assert 0 < len(missed) < x4_benchmark.gold.pair_count() * 0.2
+    # difficulty concentrates: some record appears in multiple missed pairs
+    assert top and top[0][1] >= 2

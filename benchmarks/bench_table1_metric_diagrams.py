@@ -1,0 +1,130 @@
+"""Table 1 — Runtime of metric/metric diagrams.
+
+"The table shows a comparison of the runtime of Snowman's optimized
+algorithm for pair-based metric/metric diagrams against a naïve
+approach.  For each diagram, 100 different similarity thresholds were
+calculated."
+
+Paper rows (dataset, records, matched pairs, custom, naïve, speedup):
+
+    Altosight X4       835       4 005    184ms    1.7s      ~9
+    HPI Cora         1 879       5 067    245ms    7.4s     ~30
+    FreeDB CDs       9 763         147    293ms   16.4s     ~56
+    Songs 100k     100 000      45 801     1.6s   43.9s     ~28
+    Magellan Songs 1 000 000   144 349     6.1s    6m43s    ~66
+
+We regenerate every row with synthetic datasets of the same record and
+match counts (see DESIGN.md §3) and measure both algorithms.  Absolute
+times differ (Python vs NodeJS); the claim under test is the *shape*:
+the optimized algorithm wins on every dataset and the gap grows with
+dataset size.  The Songs rows run at reduced scale unless
+``REPRO_BENCH_FULL=1``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import full_scale, print_table
+from repro.core.diagrams import (
+    compute_diagram_naive_clustering,
+    compute_diagram_optimized,
+)
+from repro.datagen import scored_benchmark_experiment
+
+SAMPLES = 100  # "100 different similarity thresholds"
+
+# dataset fixture name -> target matched pairs (paper's Table 1 values)
+ROWS = [
+    ("Altosight X4", "x4_benchmark", 4_005),
+    ("HPI Cora", "cora_benchmark", 5_067),
+    ("FreeDB CDs", "freedb_benchmark", 147),
+    ("Songs 100k", "songs_benchmark", 45_801),
+]
+
+
+def _experiment_for(request, fixture_name: str, matches: int):
+    benchmark_data = request.getfixturevalue(fixture_name)
+    if fixture_name == "songs_benchmark" and not full_scale():
+        matches = matches // 5  # 20k-record scale keeps the ratio
+    experiment = scored_benchmark_experiment(
+        benchmark_data, target_matches=matches, seed=17,
+        name=f"{fixture_name}-run",
+    )
+    return benchmark_data, experiment
+
+
+@pytest.mark.parametrize("label,fixture_name,matches", ROWS)
+def test_optimized_algorithm(benchmark, request, label, fixture_name, matches):
+    """Time Snowman's optimized algorithm (the 'Custom' column)."""
+    data, experiment = _experiment_for(request, fixture_name, matches)
+    points = benchmark.pedantic(
+        compute_diagram_optimized,
+        args=(data.dataset, experiment, data.gold),
+        kwargs={"samples": SAMPLES},
+        rounds=3,
+        iterations=1,
+    )
+    assert len(points) == SAMPLES
+
+
+@pytest.mark.parametrize("label,fixture_name,matches", ROWS)
+def test_naive_algorithm(benchmark, request, label, fixture_name, matches):
+    """Time the naïve per-threshold reclustering (the 'Naïve' column)."""
+    data, experiment = _experiment_for(request, fixture_name, matches)
+    points = benchmark.pedantic(
+        compute_diagram_naive_clustering,
+        args=(data.dataset, experiment, data.gold),
+        kwargs={"samples": SAMPLES},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(points) == SAMPLES
+
+
+def test_table1_report(benchmark, request):
+    """Regenerate the full Table 1 and check the headline claims:
+
+    1. the optimized algorithm beats the naïve one on every dataset;
+    2. both produce identical confusion matrices;
+    3. the speedup grows between the smallest and the larger datasets.
+    """
+    rows = []
+    speedups = {}
+    for label, fixture_name, matches in ROWS:
+        data, experiment = _experiment_for(request, fixture_name, matches)
+        started = time.perf_counter()
+        optimized = compute_diagram_optimized(
+            data.dataset, experiment, data.gold, samples=SAMPLES
+        )
+        optimized_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        naive = compute_diagram_naive_clustering(
+            data.dataset, experiment, data.gold, samples=SAMPLES
+        )
+        naive_seconds = time.perf_counter() - started
+        assert [p.matrix for p in optimized] == [p.matrix for p in naive]
+        speedup = naive_seconds / max(optimized_seconds, 1e-9)
+        speedups[label] = speedup
+        rows.append(
+            [
+                label,
+                len(data.dataset),
+                len(experiment),
+                f"{optimized_seconds * 1000:.0f}ms",
+                f"{naive_seconds:.2f}s",
+                f"{speedup:.1f}x",
+            ]
+        )
+    print_table(
+        "Table 1: Runtime of Metric/Metric Diagrams (100 thresholds)",
+        ["Dataset", "Records", "Matched pairs", "Custom", "Naive", "Speedup"],
+        rows,
+    )
+    # claim 1: optimized always wins
+    assert all(value > 1.0 for value in speedups.values()), speedups
+    # claim 3: larger datasets see larger gains than the smallest one
+    assert speedups["Songs 100k"] > speedups["Altosight X4"]
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)

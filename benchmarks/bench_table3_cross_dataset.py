@@ -1,0 +1,166 @@
+"""Table 3 — Cross-dataset quality of contest matching solutions.
+
+"Matching solutions generally perform better on the datasets on which
+they have been developed than on new data [...] Additionally, one can
+observe a gap between the average quality metrics of the test- and
+training dataset of D3 [Δf1 = 11.3%, versus Δf1 = 1.7% for D2]."
+
+We train *three* learned matchers per home dataset (logistic
+regression with and without missing-value indicators, Gaussian naive
+Bayes — the paper also averages three solutions) on the synthetic X2
+and X3 labeled pair sets, tune each matcher's similarity threshold on
+its home training data, and evaluate everywhere with that fixed
+configuration — the deployment scenario of Appendix C.  Shape claims
+checked:
+
+1. home-field advantage on the *test* splits: the D2-developed
+   solutions beat the D3-developed ones on Z2, and vice versa on Z3;
+2. both solution families lose quality on the foreign dataset;
+3. the D3 train/test gap exceeds the D2 train/test gap (the Δf1
+   observation the paper attributes to vocabulary similarity).
+
+Known substitution gap (recorded in EXPERIMENTS.md): the paper's
+*direction* of transfer — sparse-trained solutions transferring to D2
+better (80.5%) than dense-trained ones to D3 (41.4%) — does not emerge
+with generic learned matchers on the synthetic substitute; we measure
+the opposite direction, because our dense D2 negatives score uniformly
+higher under models calibrated on sparse data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import full_scale, print_table
+from repro.datagen.sigmod import SigmodSplit, make_sigmod_contest
+from repro.matching import (
+    AttributeComparator,
+    LogisticRegressionModel,
+    NaiveBayesModel,
+)
+from repro.matching.similarity import TfIdfCosine
+
+ATTRIBUTES = ["title", "brand", "cpu", "ram", "hdd", "screen", "description"]
+
+
+@pytest.fixture(scope="module")
+def contest():
+    scale = 0.25 if full_scale() else 0.03
+    return make_sigmod_contest(scale=scale, seed=3)
+
+
+def make_comparator(corpus: SigmodSplit) -> AttributeComparator:
+    """Home-corpus comparator: TF-IDF on the textual attributes."""
+    tfidf_title = TfIdfCosine(r.value("title") or "" for r in corpus.dataset)
+    tfidf_description = TfIdfCosine(
+        r.value("description") or "" for r in corpus.dataset
+    )
+    return AttributeComparator(
+        {
+            "title": tfidf_title,
+            "brand": "ngram_jaccard",
+            "cpu": "token_jaccard",
+            "ram": "exact",
+            "hdd": "exact",
+            "screen": "exact",
+            "description": tfidf_description,
+        }
+    )
+
+
+def vectors_and_labels(comparator: AttributeComparator, split: SigmodSplit):
+    dataset = split.dataset
+    vectors = [
+        comparator.compare(dataset[a], dataset[b])
+        for (a, b), _ in split.labeled.pairs
+    ]
+    labels = np.array([label for _, label in split.labeled.pairs])
+    return vectors, labels
+
+
+def f1_at(scores: np.ndarray, labels: np.ndarray, threshold: float) -> float:
+    predicted = scores >= threshold
+    tp = int((predicted & labels).sum())
+    fp = int((predicted & ~labels).sum())
+    fn = int((~predicted & labels).sum())
+    precision = tp / (tp + fp) if tp + fp else 1.0
+    recall = tp / (tp + fn) if tp + fn else 1.0
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+def train_solutions(comparator, split: SigmodSplit):
+    """Three matchers with home-tuned thresholds (paper: 3 solutions)."""
+    vectors, labels = vectors_and_labels(comparator, split)
+    models = [
+        LogisticRegressionModel(ATTRIBUTES, iterations=400, seed=1),
+        LogisticRegressionModel(
+            ATTRIBUTES, iterations=400, missing_indicators=False, seed=2
+        ),
+        NaiveBayesModel(ATTRIBUTES),
+    ]
+    tuned = []
+    for model in models:
+        model.fit(vectors, labels)
+        scores = np.asarray(model.score_many(vectors))
+        threshold = max(
+            np.unique(np.round(scores, 3)),
+            key=lambda t: f1_at(scores, labels, t),
+        )
+        tuned.append((model, float(threshold)))
+    return tuned
+
+
+def test_table3_cross_dataset(benchmark, contest):
+    def run_study():
+        results = {}
+        for home in ("x2", "x3"):
+            comparator = make_comparator(contest.split(home))
+            solutions = train_solutions(comparator, contest.split(home))
+            results[home] = {}
+            for name in ("x2", "z2", "x3", "z3"):
+                vectors, labels = vectors_and_labels(
+                    comparator, contest.split(name)
+                )
+                f1s = [
+                    f1_at(np.asarray(model.score_many(vectors)), labels, thr)
+                    for model, thr in solutions
+                ]
+                results[home][name] = sum(f1s) / len(f1s)
+        return results
+
+    results = benchmark.pedantic(run_study, rounds=1, iterations=1)
+
+    rows = [
+        [
+            label,
+            *(f"{results[home][split]:.3f}" for split in ("x2", "z2", "x3", "z3")),
+        ]
+        for home, label in (
+            ("x2", "developed on X2 (avg f1 of 3 solutions)"),
+            ("x3", "developed on X3 (avg f1 of 3 solutions)"),
+        )
+    ]
+    print_table(
+        "Table 3: cross-dataset average f1 (home-tuned thresholds)",
+        ["solution family", "X2 train", "Z2 test", "X3 train", "Z3 test"],
+        rows,
+    )
+
+    f1 = results
+    # claim 1: home-field advantage on the test splits
+    assert f1["x2"]["z2"] > f1["x3"]["z2"]
+    assert f1["x3"]["z3"] > f1["x2"]["z3"]
+    # claim 2: both families degrade on the foreign dataset
+    home_d2 = (f1["x2"]["x2"] + f1["x2"]["z2"]) / 2
+    away_d3 = (f1["x2"]["x3"] + f1["x2"]["z3"]) / 2
+    assert away_d3 < home_d2 - 0.1
+    home_d3 = (f1["x3"]["x3"] + f1["x3"]["z3"]) / 2
+    away_d2 = (f1["x3"]["x2"] + f1["x3"]["z2"]) / 2
+    assert away_d2 < home_d3 - 0.1
+    # claim 3: the D3 train/test gap exceeds the D2 train/test gap
+    gap_d2 = abs(f1["x2"]["x2"] - f1["x2"]["z2"])
+    gap_d3 = abs(f1["x3"]["x3"] - f1["x3"]["z3"])
+    assert gap_d3 > gap_d2

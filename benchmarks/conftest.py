@@ -1,0 +1,76 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper
+(see DESIGN.md §4).  Dataset sizes default to laptop-friendly scales;
+set ``REPRO_BENCH_FULL=1`` to run the paper-size configurations
+(including the 100k-record Songs dataset of Table 1).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+(``-s`` shows the regenerated tables on stdout.)
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datagen import (
+    make_cora_like_benchmark,
+    make_freedb_like_benchmark,
+    make_person_benchmark,
+    make_songs_like_benchmark,
+    make_x4_like_benchmark,
+)
+
+
+def full_scale() -> bool:
+    """Whether to run paper-size datasets (REPRO_BENCH_FULL=1)."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def x4_benchmark():
+    """Altosight-X4-like: 835 records, ~4k matched pairs (Table 1 row 1)."""
+    return make_x4_like_benchmark()
+
+
+@pytest.fixture(scope="session")
+def cora_benchmark():
+    """HPI-Cora-like: 1 879 records (Table 1 row 2)."""
+    return make_cora_like_benchmark()
+
+
+@pytest.fixture(scope="session")
+def freedb_benchmark():
+    """FreeDB-CDs-like: 9 763 records, 147 matches (Table 1 row 3)."""
+    return make_freedb_like_benchmark()
+
+
+@pytest.fixture(scope="session")
+def songs_benchmark():
+    """Songs-100k-like (Table 1 row 4); 20k records unless full scale."""
+    count = 100_000 if full_scale() else 20_000
+    return make_songs_like_benchmark(count)
+
+
+@pytest.fixture(scope="session")
+def person_benchmark():
+    """Small customer benchmark used by the figure studies."""
+    return make_person_benchmark(600, seed=100)
+
+
+def print_table(title: str, headers: list[str], rows: list[list[object]]) -> None:
+    """Render one regenerated paper table on stdout."""
+    widths = [
+        max(len(str(header)), *(len(str(row[i])) for row in rows)) if rows else len(str(header))
+        for i, header in enumerate(headers)
+    ]
+    print(f"\n=== {title} ===")
+    print("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in rows:
+        print("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))

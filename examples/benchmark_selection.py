@@ -1,0 +1,197 @@
+#!/usr/bin/env python3
+"""Pick a benchmark, predict a solution, explain its errors (§7 outlook).
+
+This example exercises the features Frost's outlook section sketches,
+all implemented in this reproduction:
+
+1. *Selecting benchmark datasets*: rank candidate benchmarks by a
+   suitability score for a use-case dataset that has no ground truth.
+2. *Recommending matching solutions*: predict which known solution is
+   promising for the use case, from a central evaluation repository.
+3. *Categorizing errors*: explain what error class defeats the chosen
+   solution ("especially weak in the handling of typos").
+4. The Appendix D *timeline*: show the new true/false positives gained
+   between two similarity thresholds, with cheap backwards jumps.
+
+Run with::
+
+    python examples/benchmark_selection.py
+"""
+
+from __future__ import annotations
+
+from repro.core.confusion import ConfusionMatrix
+from repro.core.timeline import DiagramTimeline
+from repro.datagen import (
+    make_cora_like_benchmark,
+    make_freedb_like_benchmark,
+    make_person_benchmark,
+)
+from repro.exploration import categorize_errors
+from repro.matching import (
+    AttributeComparator,
+    MatchingPipeline,
+    WeightedAverageModel,
+    first_token_key,
+    standard_blocking,
+)
+from repro.metrics.pairwise import f1_score, precision, recall
+from repro.profiling import (
+    BenchmarkCandidate,
+    EvaluationRepository,
+    recommend_benchmarks,
+    recommend_solutions,
+)
+
+
+def person_pipeline(threshold: float, name: str) -> MatchingPipeline:
+    return MatchingPipeline(
+        candidate_generator=lambda ds: standard_blocking(
+            ds, first_token_key("last_name")
+        ),
+        comparator=AttributeComparator(
+            {
+                "first_name": "jaro_winkler",
+                "last_name": "jaro_winkler",
+                "city": "levenshtein",
+                "zip": "exact",
+            }
+        ),
+        decision_model=WeightedAverageModel(
+            {"first_name": 2, "last_name": 2, "city": 1, "zip": 2}
+        ),
+        threshold=threshold,
+        name=name,
+        solution=name,
+    )
+
+
+def main() -> None:
+    # The "use case": a customer dataset without ground truth.  (We
+    # generate it with a gold standard, but only the final evaluation
+    # peeks at it — selection and recommendation never do.)
+    use_case_benchmark = make_person_benchmark(400, seed=99)
+    use_case = use_case_benchmark.dataset
+
+    # --- 1. Benchmark selection by suitability ---------------------------------
+    person_bench = make_person_benchmark(500, seed=5)
+    cora_bench = make_cora_like_benchmark(400)
+    freedb_bench = make_freedb_like_benchmark(400)
+    candidates = [
+        BenchmarkCandidate(person_bench.dataset, person_bench.gold, domain="person"),
+        BenchmarkCandidate(cora_bench.dataset, cora_bench.gold, domain="citation"),
+        BenchmarkCandidate(freedb_bench.dataset, freedb_bench.gold, domain="music"),
+    ]
+    # Estimate the use case's duplicate-cluster structure from a 50%
+    # sample (Heise et al. [33]) — the feature §3.1.3 says "has to be
+    # estimated" because use-case datasets lack a ground truth.
+    from repro.core import Clustering
+    from repro.profiling import estimate_from_sample, sample_dataset
+
+    sample = sample_dataset(use_case, 0.5, seed=8)
+    sample_run = person_pipeline(0.72, "estimator").run(sample)
+    estimate = estimate_from_sample(
+        sample_run.experiment.clustering(), fraction=0.5
+    )
+    print(
+        f"estimated duplicate structure of the use case (from a 50% sample): "
+        f"{estimate.duplicate_cluster_count:.0f} clusters, "
+        f"{estimate.duplicate_pair_count:.0f} pairs, "
+        f"mean size {estimate.mean_cluster_size:.2f}"
+    )
+
+    print("\n=== Benchmark suitability for the use-case dataset ===")
+    reports = recommend_benchmarks(use_case, candidates, use_case_domain="person")
+    for report in reports:
+        print(f"  {report.candidate_name}: {report.score:.3f}")
+    chosen = next(
+        candidate
+        for candidate in candidates
+        if candidate.dataset.name == reports[0].candidate_name
+    )
+    print(f"  -> evaluating solutions on {chosen.dataset.name!r}")
+
+    # --- 2. Solution recommendation from a central repository -------------------
+    repository = EvaluationRepository()
+    for candidate in candidates:
+        repository.add_benchmark(candidate)
+    solutions = {
+        "strict-rules": person_pipeline(0.85, "strict-rules"),
+        "balanced-rules": person_pipeline(0.70, "balanced-rules"),
+        "lax-rules": person_pipeline(0.55, "lax-rules"),
+    }
+    for candidate in candidates:
+        for name, pipeline in solutions.items():
+            experiment = pipeline.run(candidate.dataset).experiment
+            matrix = ConfusionMatrix.from_clusterings(
+                experiment.clustering(),
+                candidate.gold.clustering,
+                candidate.dataset.total_pairs(),
+            )
+            repository.add_result(
+                name,
+                candidate.dataset.name,
+                {
+                    "precision": precision(matrix),
+                    "recall": recall(matrix),
+                    "f1": f1_score(matrix),
+                },
+            )
+
+    print("\n=== Predicted f1 on the use case (suitability-weighted) ===")
+    # benchmarks far from the use case would only add noise; require a
+    # minimum suitability before a result counts as evidence
+    recommendations = recommend_solutions(
+        use_case, repository, use_case_domain="person", minimum_suitability=0.6
+    )
+    for recommendation in recommendations:
+        print(
+            f"  {recommendation.solution}: predicted f1 = "
+            f"{recommendation.predicted_metric:.3f} "
+            f"(from {recommendation.support} benchmarks)"
+        )
+    best = recommendations[0].solution
+
+    # --- verify against the (held-back) use-case gold ----------------------------
+    gold = use_case_benchmark.gold
+    actual = {}
+    for name, pipeline in solutions.items():
+        experiment = pipeline.run(use_case).experiment
+        matrix = ConfusionMatrix.from_clusterings(
+            experiment.clustering(), gold.clustering, use_case.total_pairs()
+        )
+        actual[name] = f1_score(matrix)
+    print("\nactual f1 on the use case (gold revealed):")
+    for name, value in sorted(actual.items(), key=lambda kv: -kv[1]):
+        marker = "  <- recommended" if name == best else ""
+        print(f"  {name}: {value:.3f}{marker}")
+
+    # --- 3. Error categorization of the recommended solution ---------------------
+    print(f"\n=== Error categorization of {best!r} on the use case ===")
+    experiment = solutions[best].run(use_case).experiment
+    categorization = categorize_errors(use_case, experiment, gold, limit=500)
+    print(categorization.render_report())
+    weakness = categorization.dominant_weakness()
+    if weakness is not None:
+        print(f"  dominant weakness: {weakness.value}")
+
+    # --- 4. Timeline between two thresholds ---------------------------------------
+    print("\n=== Timeline: what changes between thresholds 0.9 and 0.7? ===")
+    scored = solutions[best].scored_experiment(use_case)
+    timeline = DiagramTimeline(use_case, scored, gold)
+    segment = timeline.segment(0.9, 0.7)
+    print(
+        f"  lowering the threshold from 0.90 to 0.70 adds "
+        f"{len(segment.new_true_positives)} true and "
+        f"{len(segment.new_false_positives)} false positives"
+    )
+    for first, second in sorted(segment.new_false_positives)[:3]:
+        left, right = use_case[first], use_case[second]
+        print(
+            f"    FP: {left.value('first_name')} {left.value('last_name')}"
+            f" ~ {right.value('first_name')} {right.value('last_name')}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Quickstart: benchmark two matching runs against a gold standard.
+
+This walks the core Frost workflow end-to-end on a ten-record customer
+dataset:
+
+1. build a :class:`~repro.core.records.Dataset` and its gold standard,
+2. register two experiments (matching-solution outputs) on the
+   :class:`~repro.FrostPlatform`,
+3. read the N-Metrics viewer table (precision / recall / f1 / ...),
+4. compare the runs set-wise (the interactive Venn diagram of Figure 1),
+5. plot a precision/recall curve over similarity thresholds (Figure 3).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Dataset, Experiment, FrostPlatform, GoldStandard, Record
+from repro.core.diagrams import compute_diagram_optimized, metric_metric_series
+from repro.metrics.pairwise import precision, recall
+
+
+def build_dataset() -> Dataset:
+    """Ten customer records; c1/c2/c3, c4/c5, and c8/c9 are duplicates."""
+    rows = [
+        ("c1", "john", "smith", "12 oak st", "springfield"),
+        ("c2", "jon", "smith", "12 oak street", "springfield"),
+        ("c3", "john", "smyth", "12 oak st.", "springfield"),
+        ("c4", "mary", "jones", "5 elm ave", "riverside"),
+        ("c5", "mary", "jones", "5 elm avenue", "riverside"),
+        ("c6", "alice", "brown", "77 pine rd", "salem"),
+        ("c7", "robert", "taylor", "3 main st", "georgetown"),
+        ("c8", "bob", "taylor jr", "41 lake dr", "fairview"),
+        ("c9", "bob", "taylor", "41 lake drive", "fairview"),
+        ("c10", "carol", "white", "9 hill ct", "madison"),
+    ]
+    return Dataset(
+        [
+            Record(rid, {"first": f, "last": l, "street": s, "city": c})
+            for rid, f, l, s, c in rows
+        ],
+        name="customers",
+    )
+
+
+def main() -> None:
+    dataset = build_dataset()
+    gold = GoldStandard.from_pairs(
+        [("c1", "c2"), ("c2", "c3"), ("c4", "c5"), ("c8", "c9")],
+        name="gold",
+    )
+
+    # Two runs of (hypothetical) matching solutions.  Frost does not
+    # execute solutions itself; it takes their results as input (§1.1).
+    run_1 = Experiment(
+        [
+            ("c1", "c2", 0.95),
+            ("c2", "c3", 0.81),
+            ("c1", "c3", 0.78),
+            ("c4", "c5", 0.92),
+            ("c8", "c9", 0.67),
+            ("c6", "c10", 0.55),  # false positive
+        ],
+        name="run-1",
+        solution="rule-based",
+    )
+    run_2 = Experiment(
+        [
+            ("c1", "c2", 0.97),
+            ("c4", "c5", 0.88),
+            ("c7", "c9", 0.61),  # false positive
+        ],
+        name="run-2",
+        solution="ml-model",
+    )
+
+    platform = FrostPlatform()
+    platform.add_dataset(dataset)
+    platform.add_gold(dataset.name, gold)
+    platform.add_experiment(dataset.name, run_1)
+    platform.add_experiment(dataset.name, run_2)
+
+    # --- 1. N-Metrics viewer -------------------------------------------------
+    print("=== Quality metrics (N-Metrics viewer) ===")
+    table = platform.metrics_table(
+        dataset.name, "gold", metric_names=["precision", "recall", "f1", "matthews_correlation"]
+    )
+    header = ["experiment", "precision", "recall", "f1", "matthews_correlation"]
+    print("  ".join(h.ljust(10) for h in header))
+    for experiment_name, metrics in sorted(table.items()):
+        cells = [experiment_name] + [
+            f"{metrics[m]:.3f}" for m in ("precision", "recall", "f1", "matthews_correlation")
+        ]
+        print("  ".join(c.ljust(10) for c in cells))
+
+    # --- 2. Set-based comparison (Figure 1) ----------------------------------
+    print("\n=== Venn regions: run-1 vs run-2 vs gold ===")
+    comparison = platform.compare_sets(dataset.name, ["run-1", "run-2", "gold"])
+    for label, size in sorted(comparison.region_sizes().items()):
+        print(f"  {label}: {size} pair(s)")
+
+    missed_by_run_2 = comparison.select(include=["gold", "run-1"], exclude=["run-2"])
+    print("\nGround-truth matches run-1 found and run-2 did not (Figure 1):")
+    for first, second in comparison.enriched(missed_by_run_2):
+        print(f"  {first.record_id}: {first.values}")
+        print(f"  {second.record_id}: {second.values}")
+        print()
+
+    # --- 3. Precision/recall curve (Figure 3) --------------------------------
+    print("=== Precision/recall over similarity thresholds (run-1) ===")
+    points = compute_diagram_optimized(dataset, run_1, gold, samples=7)
+    series = metric_metric_series(points, recall, precision)
+    print("  threshold  recall  precision")
+    for point, (recall_value, precision_value) in zip(points, series):
+        threshold = "inf" if point.threshold is None else f"{point.threshold:.2f}"
+        print(f"  {threshold:>9}  {recall_value:6.3f}  {precision_value:9.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Systematically explore one matching result (§4).
+
+Real result sets are too large for manual inspection, so Frost reduces
+the pairs shown, sorts them by interestingness, and enriches them with
+error context.  This example runs one pipeline on a person benchmark
+and walks every §4 technique:
+
+1. pair selection: pairs around the threshold (§4.2.1), misclassified
+   outliers (§4.2.2), percentile partitions with representatives
+   (§4.2.3), plain result pairs (§4.2.4),
+2. sorting by column entropy (§4.3.2),
+3. nearest-correct-pair error analysis (§4.4),
+4. attribute sparsity (nullRatio, §4.5.2) and attribute equality
+   (equalRatio, §4.5.3) bar charts,
+5. error categorization (§7) as the summary.
+
+Run with::
+
+    python examples/result_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro.datagen import make_person_benchmark
+from repro.exploration import (
+    ColumnEntropyModel,
+    ErrorAnalysis,
+    categorize_errors,
+    equal_ratios,
+    misclassified_outliers,
+    null_ratios,
+    pairs_around_threshold,
+    percentile_partitions,
+    plain_result_pairs,
+    render_bar_chart,
+)
+from repro.matching import (
+    AttributeComparator,
+    MatchingPipeline,
+    WeightedAverageModel,
+    first_token_key,
+    standard_blocking,
+)
+
+THRESHOLD = 0.74
+
+
+def describe(dataset, pair) -> str:
+    left, right = dataset[pair[0]], dataset[pair[1]]
+    return (
+        f"{left.value('first_name')} {left.value('last_name')} "
+        f"({left.value('city')}) ~ "
+        f"{right.value('first_name')} {right.value('last_name')} "
+        f"({right.value('city')})"
+    )
+
+
+def main() -> None:
+    benchmark = make_person_benchmark(500, seed=31)
+    dataset, gold = benchmark.dataset, benchmark.gold
+    pipeline = MatchingPipeline(
+        candidate_generator=lambda ds: standard_blocking(
+            ds, first_token_key("last_name")
+        ),
+        comparator=AttributeComparator(
+            {
+                "first_name": "jaro_winkler",
+                "last_name": "jaro_winkler",
+                "street": "token_jaccard",
+                "city": "levenshtein",
+                "zip": "exact",
+            }
+        ),
+        decision_model=WeightedAverageModel(
+            {"first_name": 2, "last_name": 2, "street": 1, "city": 1, "zip": 2}
+        ),
+        threshold=THRESHOLD,
+        name="explored-run",
+    )
+    run = pipeline.run(dataset)
+    experiment = run.experiment
+    scored = run.scored_pairs
+    print(
+        f"{len(dataset)} records, {len(scored)} scored candidates, "
+        f"{len(experiment)} matches at threshold {THRESHOLD}"
+    )
+
+    # --- 1a. pairs around the threshold (§4.2.1) -------------------------------
+    print("\n=== Uncertain pairs around the threshold ===")
+    for sp in pairs_around_threshold(scored, THRESHOLD, k=6):
+        marker = "MATCH   " if sp.score >= THRESHOLD else "NO MATCH"
+        truth = "dup" if gold.is_duplicate(*sp.pair) else "non-dup"
+        print(f"  {sp.score:.3f} {marker} ({truth})  {describe(dataset, sp.pair)}")
+
+    # --- 1b. misclassified outliers (§4.2.2) ------------------------------------
+    print("\n=== Confident mistakes (misclassified outliers) ===")
+    for sp in misclassified_outliers(scored, THRESHOLD, gold, k=4):
+        kind = "false positive" if sp.score >= THRESHOLD else "false negative"
+        print(f"  {sp.score:.3f} {kind}:  {describe(dataset, sp.pair)}")
+
+    # --- 1c. percentile partitions (§4.2.3) --------------------------------------
+    print("\n=== Percentile partitions with class-based representatives ===")
+    partitions = percentile_partitions(
+        scored, partitions=4, budget_per_partition=2,
+        gold=gold, threshold=THRESHOLD, sampler="class",
+    )
+    for partition in partitions:
+        matrix = partition.matrix
+        confidence = (
+            "confident" if matrix and matrix.false_positives + matrix.false_negatives == 0
+            else "needs attention"
+        )
+        low, high = partition.low_score, partition.high_score
+        print(f"  scores [{low:.2f}, {high:.2f}] — {confidence}")
+        for sp in partition.representatives:
+            print(f"    {sp.score:.3f}  {describe(dataset, sp.pair)}")
+
+    # --- 1d. plain result pairs (§4.2.4) ------------------------------------------
+    original = plain_result_pairs(experiment)
+    added = len(experiment) - len(original)
+    print(
+        f"\n{len(original)} pairs labeled by the decision model; "
+        f"{added} added by transitive closure (hidden by §4.2.4)"
+    )
+
+    # --- 2. column-entropy sorting (§4.3.2) ----------------------------------------
+    print("\n=== False negatives sorted by column entropy (rare-token pairs first) ===")
+    entropy = ColumnEntropyModel(dataset)
+    false_negatives = sorted(gold.pairs() - experiment.pairs())
+    ranked = sorted(
+        false_negatives, key=lambda p: -entropy.pair_entropy(p)
+    )
+    for pair in ranked[:3]:
+        print(f"  entropy {entropy.pair_entropy(pair):7.2f}  {describe(dataset, pair)}")
+
+    # --- 3. nearest-correct-pair error analysis (§4.4) ------------------------------
+    print("\n=== Why was this pair missed? (nearest correct pair) ===")
+    analysis = ErrorAnalysis(dataset)
+    true_positives = sorted(experiment.pairs() & gold.pairs())
+    if false_negatives and true_positives:
+        failed = false_negatives[0]
+        explanation = analysis.explain(failed, true_positives[:200])
+        print(f"  failed:  {describe(dataset, failed)}")
+        if explanation.nearest_correct_pair:
+            print(f"  nearest correctly classified pair "
+                  f"(score {explanation.score:.3f}):")
+            print(f"           {describe(dataset, explanation.nearest_correct_pair)}")
+
+    # --- 4. attribute sparsity & equality (§4.5.2, §4.5.3) ---------------------------
+    population = {sp.pair for sp in scored}
+    print("\n=== nullRatio per attribute (missing values vs errors) ===")
+    print(render_bar_chart(
+        null_ratios(dataset, experiment, gold, pair_population=population),
+        title="nullRatio",
+    ))
+    print("\n=== equalRatio per attribute (equal values vs errors) ===")
+    print(render_bar_chart(
+        equal_ratios(dataset, experiment, gold, pair_population=population),
+        title="equalRatio",
+    ))
+
+    # --- 5. error categorization (§7) --------------------------------------------------
+    print("\n=== Error categorization summary ===")
+    categorization = categorize_errors(dataset, experiment, gold, limit=300)
+    print(categorization.render_report())
+    weakness = categorization.dominant_weakness()
+    if weakness:
+        print(f"  -> the solution is especially weak on: {weakness.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Choose a matching solution with soft KPIs (§3.3, §5.5).
+
+Quality metrics alone do not decide a purchase: costs, configuration
+effort, deployment types, and interfaces matter too.  This example
+
+1. measures the *hard* quality of three candidate solutions on a
+   reference benchmark,
+2. attaches their *soft* KPI sheets (lifecycle expenditures,
+   categorical KPIs),
+3. renders Frost's decision matrix,
+4. aggregates hard and soft KPIs into a use-case-specific score,
+5. runs the effort-study simulator and answers the FEVER question
+   "how much effort is needed to reach 80% f1?" (Figure 6).
+
+Run with::
+
+    python examples/soft_kpi_decision.py
+"""
+
+from __future__ import annotations
+
+from repro.core.confusion import ConfusionMatrix
+from repro.datagen import make_person_benchmark
+from repro.kpis import (
+    DeploymentType,
+    Effort,
+    EffortStudySimulator,
+    InterfaceType,
+    KpiDecisionMatrix,
+    LifecycleExpenditures,
+    MatchingTechnique,
+    SolutionEntry,
+    SolutionProfile,
+    SolutionProperties,
+    effort_to_reach,
+    render_effort_diagram,
+)
+from repro.matching import (
+    AttributeComparator,
+    MatchingPipeline,
+    WeightedAverageModel,
+    first_token_key,
+    standard_blocking,
+)
+from repro.metrics.pairwise import f1_score, precision, recall
+
+
+def measure_quality(pipeline: MatchingPipeline, dataset, gold) -> dict[str, float]:
+    """Hard quality metrics of one pipeline on the reference benchmark."""
+    experiment = pipeline.run(dataset).experiment
+    matrix = ConfusionMatrix.from_clusterings(
+        experiment.clustering(), gold.clustering, dataset.total_pairs()
+    )
+    return {
+        "precision": precision(matrix),
+        "recall": recall(matrix),
+        "f1": f1_score(matrix),
+    }
+
+
+def make_pipeline(threshold: float, name: str) -> MatchingPipeline:
+    return MatchingPipeline(
+        candidate_generator=lambda ds: standard_blocking(
+            ds, first_token_key("last_name")
+        ),
+        comparator=AttributeComparator(
+            {
+                "first_name": "jaro_winkler",
+                "last_name": "jaro_winkler",
+                "street": "token_jaccard",
+                "city": "levenshtein",
+                "zip": "exact",
+                "phone": "exact",
+            }
+        ),
+        decision_model=WeightedAverageModel(
+            {
+                "first_name": 2,
+                "last_name": 2,
+                "street": 1,
+                "city": 1,
+                "zip": 2,
+                "phone": 2,
+            }
+        ),
+        threshold=threshold,
+        name=name,
+        solution=name,
+    )
+
+
+def main() -> None:
+    benchmark = make_person_benchmark(500, seed=13)
+    dataset, gold = benchmark.dataset, benchmark.gold
+
+    # --- Solution KPI sheets (values supplied by the user, §3.3) -----------------
+    solutions = [
+        (
+            make_pipeline(0.72, "rules-pro"),
+            SolutionProperties(
+                name="rules-pro",
+                lifecycle=LifecycleExpenditures(
+                    general_costs=25_000.0,
+                    production_readiness=Effort(hr_amount=40, expertise=60),
+                    domain_configuration=Effort(hr_amount=60, expertise=80),
+                    technical_configuration=Effort(hr_amount=20, expertise=70),
+                ),
+                deployment_types=frozenset({DeploymentType.ON_PREMISE}),
+                interfaces=frozenset({InterfaceType.GUI, InterfaceType.API}),
+                techniques=frozenset({MatchingTechnique.RULE_BASED}),
+            ),
+        ),
+        (
+            make_pipeline(0.66, "ml-cloud"),
+            SolutionProperties(
+                name="ml-cloud",
+                lifecycle=LifecycleExpenditures(
+                    general_costs=60_000.0,
+                    production_readiness=Effort(hr_amount=15, expertise=50),
+                    domain_configuration=Effort(hr_amount=100, expertise=40),
+                    technical_configuration=Effort(hr_amount=10, expertise=90),
+                ),
+                deployment_types=frozenset({DeploymentType.CLOUD}),
+                interfaces=frozenset({InterfaceType.API}),
+                techniques=frozenset({MatchingTechnique.MACHINE_LEARNING}),
+            ),
+        ),
+        (
+            make_pipeline(0.80, "oss-toolkit"),
+            SolutionProperties(
+                name="oss-toolkit",
+                lifecycle=LifecycleExpenditures(
+                    general_costs=0.0,
+                    production_readiness=Effort(hr_amount=120, expertise=85),
+                    domain_configuration=Effort(hr_amount=80, expertise=85),
+                    technical_configuration=Effort(hr_amount=60, expertise=90),
+                ),
+                deployment_types=frozenset(
+                    {DeploymentType.ON_PREMISE, DeploymentType.HYBRID}
+                ),
+                interfaces=frozenset({InterfaceType.CLI, InterfaceType.API}),
+                techniques=frozenset(
+                    {MatchingTechnique.RULE_BASED, MatchingTechnique.CLUSTERING}
+                ),
+            ),
+        ),
+    ]
+
+    # --- Decision matrix ----------------------------------------------------------
+    entries = [
+        SolutionEntry(
+            properties=properties,
+            quality_metrics=measure_quality(pipeline, dataset, gold),
+        )
+        for pipeline, properties in solutions
+    ]
+    matrix = KpiDecisionMatrix(entries)
+    print("=== KPI decision matrix ===")
+    print(matrix.render(metrics=("precision", "recall", "f1")))
+
+    # --- Use-case-specific aggregation ---------------------------------------------
+    # This buyer weighs f1 heavily, penalizes cost, and requires an API.
+    def buyer_score(entry: SolutionEntry) -> float:
+        if InterfaceType.API not in entry.properties.interfaces:
+            return float("-inf")
+        cost = entry.properties.lifecycle.total_cost()
+        return entry.quality_metrics["f1"] * 100 - cost / 10_000
+
+    print("\n=== Aggregated buyer scores (higher is better) ===")
+    for name, score in sorted(
+        matrix.aggregate(buyer_score).items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name}: {score:.2f}")
+    print(f"  -> recommended: {matrix.best(buyer_score).name}")
+
+    # --- Effort diagrams (Figure 6) --------------------------------------------------
+    print("\n=== Effort study: f1 against configuration effort ===")
+    simulator = EffortStudySimulator(
+        dataset=dataset,
+        gold=gold,
+        profiles=[
+            SolutionProfile("rules-pro", out_of_box=0.35, plateau=0.82,
+                            breakthrough_hours=6.0),
+            SolutionProfile("ml-cloud", out_of_box=0.20, plateau=0.93,
+                            breakthrough_hours=9.0),
+            SolutionProfile("oss-toolkit", out_of_box=0.45, plateau=0.78,
+                            breakthrough_hours=4.0),
+        ],
+        total_hours=24.0,
+        seed=2,
+    )
+    curves = simulator.run()
+    print(render_effort_diagram(curves))
+    print("\nEffort needed to reach 80% f1 (the FEVER question [38]):")
+    for curve in curves:
+        hours = effort_to_reach(curve, 0.80)
+        answer = f"{hours:.0f} h" if hours is not None else "never reached"
+        print(f"  {curve.solution}: {answer}")
+
+
+if __name__ == "__main__":
+    main()

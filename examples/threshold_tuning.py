@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Find the best similarity threshold with metric/metric diagrams.
+
+The similarity threshold has a large impact on matching quality
+(Appendix D).  This example builds a synthetic person benchmark, runs a
+real matching pipeline that scores every candidate pair, and then uses
+Frost's optimized diagram algorithm to sweep thresholds:
+
+* an ASCII precision/recall curve (Figure 3),
+* the threshold maximizing f1,
+* how much f1 the pipeline's configured threshold left on the table —
+  the §5.4 insight ("two matching solutions had not selected the
+  optimal similarity threshold; selecting a higher similarity threshold
+  would have increased their f1 score by 8% and 6%").
+
+Run with::
+
+    python examples/threshold_tuning.py
+"""
+
+from __future__ import annotations
+
+from repro.core.confusion import ConfusionMatrix
+from repro.core.diagrams import compute_diagram_optimized
+from repro.datagen import make_person_benchmark
+from repro.matching import (
+    AttributeComparator,
+    MatchingPipeline,
+    WeightedAverageModel,
+    first_token_key,
+    standard_blocking,
+)
+from repro.metrics.pairwise import f1_score, precision, recall
+
+
+def main() -> None:
+    benchmark = make_person_benchmark(400, seed=7)
+    dataset, gold = benchmark.dataset, benchmark.gold
+    print(f"dataset: {len(dataset)} records, {gold.pair_count()} true pairs")
+
+    # A deliberately mis-configured pipeline: its threshold (0.5) is far
+    # from optimal for this dataset.
+    pipeline = MatchingPipeline(
+        candidate_generator=lambda ds: standard_blocking(
+            ds, first_token_key("last_name")
+        ),
+        comparator=AttributeComparator(
+            {
+                "first_name": "jaro_winkler",
+                "last_name": "jaro_winkler",
+                "street": "token_jaccard",
+                "city": "levenshtein",
+                "zip": "exact",
+            }
+        ),
+        decision_model=WeightedAverageModel(
+            {"first_name": 2, "last_name": 2, "street": 1, "city": 1, "zip": 1}
+        ),
+        threshold=0.5,
+        name="person-run",
+        solution="weighted-average",
+    )
+
+    # An experiment carrying *all* scored candidates lets the diagram
+    # sweep thresholds meaningfully (§4.5.1).
+    experiment = pipeline.scored_experiment(dataset)
+    points = compute_diagram_optimized(dataset, experiment, gold, samples=40)
+
+    # --- ASCII precision/recall curve -----------------------------------------
+    print("\n=== Precision/recall curve (40 thresholds) ===")
+    width = 50
+    print(f"  {'thr':>5}  {'recall':>6}  {'prec':>5}  precision bar")
+    for point in points:
+        if point.threshold is None:
+            continue
+        p, r = precision(point.matrix), recall(point.matrix)
+        bar = "#" * round(p * width)
+        print(f"  {point.threshold:5.2f}  {r:6.3f}  {p:5.3f}  {bar}")
+
+    # --- Optimal threshold -----------------------------------------------------
+    def f1_at(matrix: ConfusionMatrix) -> float:
+        return f1_score(matrix)
+
+    scored = [
+        (f1_at(point.matrix), point.threshold)
+        for point in points
+        if point.threshold is not None
+    ]
+    best_f1, best_thr = max(scored)
+    configured = pipeline.threshold
+    configured_f1 = max(
+        (f1 for f1, thr in scored if thr is not None and thr <= configured),
+        default=0.0,
+    )
+
+    print("\n=== Threshold tuning verdict ===")
+    print(f"  configured threshold: {configured:.2f}  ->  f1 = {configured_f1:.3f}")
+    print(f"  optimal threshold:    {best_thr:.2f}  ->  f1 = {best_f1:.3f}")
+    gain = best_f1 - configured_f1
+    if gain > 0.005:
+        print(f"  selecting the optimal threshold gains {gain * 100:.1f} f1 points")
+    else:
+        print("  the configured threshold is already (near-)optimal")
+
+
+if __name__ == "__main__":
+    main()

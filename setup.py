@@ -1,0 +1,8 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e .` requires wheel under PEP 517; in offline environments
+without it, use `python setup.py develop` or add `src/` via a .pth file.
+"""
+from setuptools import setup
+
+setup()

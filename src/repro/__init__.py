@@ -1,0 +1,53 @@
+"""repro — a reproduction of Frost (VLDB 2022).
+
+Frost is a platform for benchmarking and exploring data matching
+(entity resolution) results: quality metrics, soft KPIs, systematic
+result exploration, and the optimized metric/metric-diagram algorithm
+of the Snowman reference implementation.
+
+Quickstart::
+
+    from repro import (
+        Dataset, Record, Experiment, GoldStandard, FrostPlatform,
+    )
+
+    platform = FrostPlatform()
+    platform.add_dataset(dataset)
+    platform.add_gold(dataset.name, gold)
+    platform.add_experiment(dataset.name, experiment)
+    platform.metrics_table(dataset.name, gold.name)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module mapping.
+"""
+
+from repro.core import (
+    Clustering,
+    ConfusionMatrix,
+    Dataset,
+    Experiment,
+    GoldStandard,
+    Match,
+    Record,
+    compute_diagram_naive_clustering,
+    compute_diagram_optimized,
+    metric_metric_series,
+)
+from repro.core.platform import FrostPlatform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Clustering",
+    "ConfusionMatrix",
+    "Dataset",
+    "Experiment",
+    "FrostPlatform",
+    "GoldStandard",
+    "Match",
+    "Record",
+    "__version__",
+    "compute_diagram_naive_clustering",
+    "compute_diagram_optimized",
+    "metric_metric_series",
+]

@@ -1,0 +1,237 @@
+"""Command-line interface to the Frost platform.
+
+Snowman exposes its functionality through a CLI next to GUI and API
+(§3.3 lists CLI among the interface KPIs; Appendix A.5 describes
+Snowman's CLI).  This module provides the same entry points over the
+file-based import formats::
+
+    python -m repro metrics  --dataset d.csv --gold g.csv --experiment e.csv
+    python -m repro diagram  --dataset d.csv --gold g.csv --experiment e.csv
+    python -m repro venn     --dataset d.csv --gold g.csv --experiment a.csv --experiment b.csv
+    python -m repro profile  --dataset d.csv [--dataset other.csv]
+    python -m repro categorize --dataset d.csv --gold g.csv --experiment e.csv
+
+Every command reads CSV files (``--separator`` configures the dialect)
+and prints plain text to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.confusion import ConfusionMatrix
+from repro.core.diagrams import compute_diagram_optimized
+from repro.core.experiment import Experiment, GoldStandard
+from repro.core.records import Dataset
+from repro.io.csvio import CsvFormat
+from repro.io.importers import (
+    PairFormatImporter,
+    import_dataset,
+    import_gold_standard,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser behind ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Frost: benchmark and explore data matching results.",
+    )
+    parser.add_argument(
+        "--separator", default=",", help="CSV separator (default ',')"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_io_arguments(sub: argparse.ArgumentParser, experiments: str) -> None:
+        sub.add_argument("--dataset", required=True, help="dataset CSV path")
+        sub.add_argument("--id-column", default="id")
+        sub.add_argument("--gold", required=True, help="gold standard CSV path")
+        sub.add_argument(
+            "--gold-format", choices=("pairs", "clusters"), default="pairs"
+        )
+        if experiments == "one":
+            sub.add_argument("--experiment", required=True, help="result CSV path")
+        elif experiments == "many":
+            sub.add_argument(
+                "--experiment",
+                action="append",
+                required=True,
+                help="result CSV path (repeatable)",
+            )
+
+    metrics = commands.add_parser(
+        "metrics", help="quality metrics of experiments against a gold standard"
+    )
+    add_io_arguments(metrics, experiments="many")
+    metrics.add_argument(
+        "--metric",
+        action="append",
+        help="metric name (repeatable; default: precision, recall, f1)",
+    )
+
+    diagram = commands.add_parser(
+        "diagram", help="precision/recall/f1 over similarity thresholds"
+    )
+    add_io_arguments(diagram, experiments="one")
+    diagram.add_argument("--samples", type=int, default=20)
+
+    venn = commands.add_parser(
+        "venn", help="set-based comparison of experiments and the gold standard"
+    )
+    add_io_arguments(venn, experiments="many")
+
+    profile = commands.add_parser(
+        "profile", help="profile one dataset, or compare two"
+    )
+    profile.add_argument(
+        "--dataset",
+        action="append",
+        required=True,
+        help="dataset CSV path (repeat to compare two datasets)",
+    )
+    profile.add_argument("--id-column", default="id")
+
+    categorize = commands.add_parser(
+        "categorize", help="categorize the errors of an experiment"
+    )
+    add_io_arguments(categorize, experiments="one")
+    categorize.add_argument(
+        "--limit", type=int, default=None, help="categorize at most N FNs and FPs"
+    )
+    return parser
+
+
+def _load_dataset(path: str, id_column: str, fmt: CsvFormat) -> Dataset:
+    return import_dataset(
+        Path(path), id_column=id_column, fmt=fmt, name=Path(path).stem
+    )
+
+
+def _load_gold(path: str, format_: str, fmt: CsvFormat) -> GoldStandard:
+    return import_gold_standard(Path(path), format_=format_, fmt=fmt)
+
+
+def _load_experiment(path: str, fmt: CsvFormat) -> Experiment:
+    importer = PairFormatImporter(fmt=fmt)
+    return importer.import_experiment(Path(path), name=Path(path).stem)
+
+
+def _matrix(
+    dataset: Dataset, experiment: Experiment, gold: GoldStandard
+) -> ConfusionMatrix:
+    return ConfusionMatrix.from_clusterings(
+        experiment.clustering(), gold.clustering, dataset.total_pairs()
+    )
+
+
+def _command_metrics(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.metrics.registry import default_registry
+
+    dataset = _load_dataset(args.dataset, args.id_column, fmt)
+    gold = _load_gold(args.gold, args.gold_format, fmt)
+    names = args.metric or ["precision", "recall", "f1"]
+    registry = default_registry()
+    print("experiment  " + "  ".join(names))
+    for path in args.experiment:
+        experiment = _load_experiment(path, fmt)
+        values = registry.evaluate(_matrix(dataset, experiment, gold), names)
+        cells = "  ".join(f"{values[name]:.4f}" for name in names)
+        print(f"{experiment.name}  {cells}")
+    return 0
+
+
+def _command_diagram(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.metrics.pairwise import f1_score, precision, recall
+
+    dataset = _load_dataset(args.dataset, args.id_column, fmt)
+    gold = _load_gold(args.gold, args.gold_format, fmt)
+    experiment = _load_experiment(args.experiment, fmt)
+    points = compute_diagram_optimized(dataset, experiment, gold, args.samples)
+    print("threshold  precision  recall  f1")
+    for point in points:
+        threshold = (
+            "inf" if point.threshold == float("inf") else f"{point.threshold:.4f}"
+        )
+        print(
+            f"{threshold}  {precision(point.matrix):.4f}  "
+            f"{recall(point.matrix):.4f}  {f1_score(point.matrix):.4f}"
+        )
+    return 0
+
+
+def _command_venn(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.exploration.setops import SetComparison
+
+    dataset = _load_dataset(args.dataset, args.id_column, fmt)
+    gold = _load_gold(args.gold, args.gold_format, fmt)
+    inputs: dict[str, Experiment | GoldStandard] = {"gold": gold}
+    for path in args.experiment:
+        experiment = _load_experiment(path, fmt)
+        inputs[experiment.name] = experiment
+    comparison = SetComparison(dataset, inputs)
+    for label, size in sorted(comparison.region_sizes().items()):
+        print(f"{label}: {size}")
+    return 0
+
+
+def _command_profile(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.profiling import profile_dataset, vocabulary_similarity
+
+    datasets = [_load_dataset(p, args.id_column, fmt) for p in args.dataset]
+    for dataset in datasets:
+        profile = profile_dataset(dataset)
+        print(
+            f"{dataset.name}: records={profile.tuple_count} "
+            f"sparsity={profile.sparsity:.3f} textuality={profile.textuality:.2f} "
+            f"schema_complexity={profile.schema_complexity}"
+        )
+    if len(datasets) == 2:
+        similarity = vocabulary_similarity(datasets[0], datasets[1])
+        print(f"vocabulary similarity: {similarity:.3f}")
+    return 0
+
+
+def _command_categorize(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.exploration.error_categories import categorize_errors
+
+    dataset = _load_dataset(args.dataset, args.id_column, fmt)
+    gold = _load_gold(args.gold, args.gold_format, fmt)
+    experiment = _load_experiment(args.experiment, fmt)
+    categorization = categorize_errors(
+        dataset, experiment, gold, limit=args.limit
+    )
+    print(categorization.render_report())
+    weakness = categorization.dominant_weakness()
+    if weakness is not None:
+        print(f"dominant weakness among missed duplicates: {weakness.value}")
+    return 0
+
+
+_COMMANDS = {
+    "metrics": _command_metrics,
+    "diagram": _command_diagram,
+    "venn": _command_venn,
+    "profile": _command_profile,
+    "categorize": _command_categorize,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    fmt = CsvFormat(separator=args.separator)
+    try:
+        return _COMMANDS[args.command](args, fmt)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,50 @@
+"""Core data model of the Frost benchmarking platform.
+
+Datasets, record pairs, clusterings, experiments, gold standards,
+confusion matrices, and the optimized metric/metric-diagram machinery
+(tracked-union union-find + dynamic intersection, Appendix D).
+"""
+
+from repro.core.clustering import Clustering, closure_distance, transitive_closure
+from repro.core.confusion import ConfusionMatrix
+from repro.core.diagrams import (
+    DiagramPoint,
+    compute_diagram_naive_clustering,
+    compute_diagram_naive_pairwise,
+    compute_diagram_optimized,
+    metric_metric_series,
+)
+from repro.core.experiment import Experiment, GoldStandard, Match
+from repro.core.intersection import DynamicIntersection
+from repro.core.pairs import Pair, ScoredPair, canonical_pairs, make_pair, pair_key
+from repro.core.records import Dataset, DatasetError, Record
+from repro.core.timeline import DiagramTimeline, TimelineSegment
+from repro.core.unionfind import MergeEntry, PairCountingUnionFind
+
+__all__ = [
+    "Clustering",
+    "ConfusionMatrix",
+    "Dataset",
+    "DatasetError",
+    "DiagramPoint",
+    "DiagramTimeline",
+    "DynamicIntersection",
+    "Experiment",
+    "GoldStandard",
+    "Match",
+    "MergeEntry",
+    "Pair",
+    "PairCountingUnionFind",
+    "Record",
+    "ScoredPair",
+    "TimelineSegment",
+    "canonical_pairs",
+    "closure_distance",
+    "compute_diagram_naive_clustering",
+    "compute_diagram_naive_pairwise",
+    "compute_diagram_optimized",
+    "make_pair",
+    "metric_metric_series",
+    "pair_key",
+    "transitive_closure",
+]

@@ -1,0 +1,70 @@
+"""Canonical record pairs.
+
+A record pair is an *unordered* set of two distinct record ids
+(Section 1.2: ``{r1, r2} ⊆ D``).  We canonicalize pairs as sorted
+2-tuples so that they hash and compare consistently, and provide a
+:class:`ScoredPair` that additionally carries the similarity/confidence
+score a matching solution attached to the pair.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["Pair", "ScoredPair", "make_pair", "canonical_pairs", "pair_key"]
+
+Pair = tuple[str, str]
+
+
+def make_pair(first: str, second: str) -> Pair:
+    """Canonical unordered pair of two distinct record ids.
+
+    Raises
+    ------
+    ValueError
+        If both ids are equal (a pair is a set of *two* records).
+    """
+    if first == second:
+        raise ValueError(f"a record pair needs two distinct records, got {first!r} twice")
+    if first <= second:
+        return (first, second)
+    return (second, first)
+
+
+def pair_key(pair: Iterable[str]) -> Pair:
+    """Canonicalize any iterable of two ids into a :data:`Pair`."""
+    first, second = pair
+    return make_pair(first, second)
+
+
+def canonical_pairs(pairs: Iterable[Iterable[str]]) -> set[Pair]:
+    """Canonicalize and deduplicate an iterable of id pairs."""
+    return {pair_key(pair) for pair in pairs}
+
+
+@dataclass(frozen=True, order=True)
+class ScoredPair:
+    """A record pair together with the similarity score assigned to it.
+
+    Ordering sorts by ``(score, pair)`` so that a descending sort visits
+    high-confidence matches first, with ties broken deterministically.
+    """
+
+    score: float
+    pair: Pair
+
+    @classmethod
+    def of(cls, first: str, second: str, score: float) -> "ScoredPair":
+        """Build the canonical pair of two record ids."""
+        return cls(score=score, pair=make_pair(first, second))
+
+    @property
+    def first(self) -> str:
+        """The lexicographically smaller record id."""
+        return self.pair[0]
+
+    @property
+    def second(self) -> str:
+        """The lexicographically larger record id."""
+        return self.pair[1]

@@ -1,0 +1,170 @@
+"""Records, schemas, and datasets.
+
+A :class:`Dataset` is a collection of :class:`Record` objects that may
+contain duplicates (Section 1.2 of the paper).  Records carry string (or
+``None``) attribute values under a shared schema.  On construction every
+record is assigned a dense numeric id (its position), mirroring
+Snowman's import optimization: "During import, a unique numerical ID is
+assigned to each record, allowing constant time access to records"
+(Section 5.3).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from dataclasses import dataclass, field
+
+__all__ = ["Record", "Dataset", "DatasetError"]
+
+
+class DatasetError(ValueError):
+    """Raised for malformed datasets: duplicate ids, schema violations."""
+
+
+@dataclass(frozen=True)
+class Record:
+    """A single record of a dataset.
+
+    Attributes
+    ----------
+    record_id:
+        The record's native identifier (as found in the source data).
+    values:
+        Mapping from attribute name to value.  ``None`` and ``""`` both
+        denote a missing value; profiling treats them identically.
+    """
+
+    record_id: str
+    values: Mapping[str, str | None] = field(default_factory=dict)
+
+    def value(self, attribute: str) -> str | None:
+        """Return the value of ``attribute``, or ``None`` if absent/empty."""
+        raw = self.values.get(attribute)
+        if raw is None or raw == "":
+            return None
+        return raw
+
+    def is_null(self, attribute: str) -> bool:
+        """Whether ``attribute`` is missing (``None`` or empty string)."""
+        return self.value(attribute) is None
+
+    def tokens(self, attribute: str | None = None) -> list[str]:
+        """Whitespace tokens of one attribute, or of all attributes.
+
+        Tokenization by whitespace matches the paper's vocabulary
+        definition (Section 3.1.3).
+        """
+        if attribute is not None:
+            value = self.value(attribute)
+            return value.split() if value else []
+        tokens: list[str] = []
+        for name in self.values:
+            value = self.value(name)
+            if value:
+                tokens.extend(value.split())
+        return tokens
+
+
+class Dataset:
+    """An ordered collection of records with a shared schema.
+
+    Records are indexable both by native id (``dataset["r1"]``) and by
+    the dense numeric id assigned at construction
+    (``dataset.by_numeric(0)``).  Iteration yields records in insertion
+    order.
+    """
+
+    def __init__(
+        self,
+        records: Iterable[Record],
+        name: str = "dataset",
+        attributes: Sequence[str] | None = None,
+    ) -> None:
+        self.name = name
+        self._records: list[Record] = list(records)
+        self._by_native: dict[str, int] = {}
+        for index, record in enumerate(self._records):
+            if record.record_id in self._by_native:
+                raise DatasetError(
+                    f"duplicate record id {record.record_id!r} in dataset {name!r}"
+                )
+            self._by_native[record.record_id] = index
+        if attributes is None:
+            seen: dict[str, None] = {}
+            for record in self._records:
+                for attribute in record.values:
+                    seen.setdefault(attribute)
+            attributes = list(seen)
+        self.attributes: tuple[str, ...] = tuple(attributes)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Record]:
+        return iter(self._records)
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._by_native
+
+    def __getitem__(self, record_id: str) -> Record:
+        try:
+            return self._records[self._by_native[record_id]]
+        except KeyError:
+            raise KeyError(
+                f"record id {record_id!r} not in dataset {self.name!r}"
+            ) from None
+
+    def __repr__(self) -> str:
+        return (
+            f"Dataset(name={self.name!r}, records={len(self)}, "
+            f"attributes={len(self.attributes)})"
+        )
+
+    # -- id mapping ----------------------------------------------------------
+
+    def numeric_id(self, record_id: str) -> int:
+        """Dense numeric id (0-based) assigned to ``record_id`` at import."""
+        try:
+            return self._by_native[record_id]
+        except KeyError:
+            raise KeyError(
+                f"record id {record_id!r} not in dataset {self.name!r}"
+            ) from None
+
+    def native_id(self, numeric_id: int) -> str:
+        """Native id for a dense numeric id."""
+        return self._records[numeric_id].record_id
+
+    def by_numeric(self, numeric_id: int) -> Record:
+        """Record for a dense numeric id (constant time)."""
+        return self._records[numeric_id]
+
+    @property
+    def record_ids(self) -> list[str]:
+        """Native ids in insertion order."""
+        return [record.record_id for record in self._records]
+
+    # -- derived quantities ---------------------------------------------------
+
+    def total_pairs(self) -> int:
+        """``C(|D|, 2)``: the number of record pairs in ``[D]^2``."""
+        n = len(self._records)
+        return n * (n - 1) // 2
+
+    def vocabulary(self) -> set[str]:
+        """The whitespace-token vocabulary of the dataset (Section 3.1.3)."""
+        vocab: set[str] = set()
+        for record in self._records:
+            vocab.update(record.tokens())
+        return vocab
+
+    def subset(self, record_ids: Iterable[str], name: str | None = None) -> "Dataset":
+        """A new dataset containing only ``record_ids`` (in given order)."""
+        subset_name = name if name is not None else f"{self.name}-subset"
+        return Dataset(
+            (self[record_id] for record_id in record_ids),
+            name=subset_name,
+            attributes=self.attributes,
+        )

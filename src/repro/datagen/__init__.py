@@ -1,0 +1,47 @@
+"""Synthetic benchmark-data generation.
+
+Replaces the paper's real-world artifacts (Cora, FreeDB CDs, Magellan
+Songs, SIGMOD 2021 contest data) with calibrated generators — see
+DESIGN.md §3 for the substitution rationale.
+"""
+
+from repro.datagen.corruption import CorruptionModel, DEFAULT_CORRUPTORS
+from repro.datagen.domains import (
+    make_cora_like_benchmark,
+    make_freedb_like_benchmark,
+    make_person_benchmark,
+    make_songs_like_benchmark,
+    make_x4_like_benchmark,
+)
+from repro.datagen.generator import (
+    DirtyDatasetGenerator,
+    GeneratedBenchmark,
+    cluster_sizes_fixed,
+    cluster_sizes_zipf,
+    scored_benchmark_experiment,
+)
+from repro.datagen.sigmod import (
+    LabeledPairs,
+    SigmodContestData,
+    SigmodSplit,
+    make_sigmod_contest,
+)
+
+__all__ = [
+    "CorruptionModel",
+    "DEFAULT_CORRUPTORS",
+    "DirtyDatasetGenerator",
+    "GeneratedBenchmark",
+    "LabeledPairs",
+    "SigmodContestData",
+    "SigmodSplit",
+    "cluster_sizes_fixed",
+    "cluster_sizes_zipf",
+    "make_cora_like_benchmark",
+    "make_freedb_like_benchmark",
+    "make_person_benchmark",
+    "make_sigmod_contest",
+    "make_songs_like_benchmark",
+    "make_x4_like_benchmark",
+    "scored_benchmark_experiment",
+]

@@ -1,0 +1,214 @@
+"""Error/corruption model for synthetic duplicates.
+
+Test-data generators such as TDGen [2] and GeCo [11] create duplicates
+by applying realistic transformations to clean records.  We implement
+the common error classes: keyboard typos (insertion, deletion,
+substitution, transposition), OCR confusions, token operations
+(swap, drop, duplicate), abbreviation, case noise, and whitespace
+noise.  A :class:`CorruptionModel` composes them with configurable
+rates and drives everything from a seeded ``random.Random`` so that
+generated benchmarks are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+__all__ = [
+    "typo_insert",
+    "typo_delete",
+    "typo_substitute",
+    "typo_transpose",
+    "ocr_confuse",
+    "swap_tokens",
+    "drop_token",
+    "duplicate_token",
+    "abbreviate_token",
+    "case_noise",
+    "whitespace_noise",
+    "CorruptionModel",
+    "DEFAULT_CORRUPTORS",
+]
+
+Corruptor = Callable[[str, random.Random], str]
+
+_ALPHABET = "abcdefghijklmnopqrstuvwxyz"
+
+_OCR_CONFUSIONS = {
+    "0": "o", "o": "0", "1": "l", "l": "1", "5": "s", "s": "5",
+    "8": "b", "b": "8", "2": "z", "z": "2", "m": "rn", "g": "q",
+}
+
+
+def typo_insert(value: str, rng: random.Random) -> str:
+    """Insert a random letter at a random position."""
+    if not value:
+        return value
+    position = rng.randrange(len(value) + 1)
+    return value[:position] + rng.choice(_ALPHABET) + value[position:]
+
+
+def typo_delete(value: str, rng: random.Random) -> str:
+    """Delete one random character."""
+    if len(value) < 2:
+        return value
+    position = rng.randrange(len(value))
+    return value[:position] + value[position + 1 :]
+
+
+def typo_substitute(value: str, rng: random.Random) -> str:
+    """Replace one random character with a random letter."""
+    if not value:
+        return value
+    position = rng.randrange(len(value))
+    return value[:position] + rng.choice(_ALPHABET) + value[position + 1 :]
+
+
+def typo_transpose(value: str, rng: random.Random) -> str:
+    """Swap two adjacent characters."""
+    if len(value) < 2:
+        return value
+    position = rng.randrange(len(value) - 1)
+    return (
+        value[:position]
+        + value[position + 1]
+        + value[position]
+        + value[position + 2 :]
+    )
+
+
+def ocr_confuse(value: str, rng: random.Random) -> str:
+    """Apply one OCR-style character confusion, if any applies."""
+    candidates = [i for i, char in enumerate(value) if char in _OCR_CONFUSIONS]
+    if not candidates:
+        return value
+    position = rng.choice(candidates)
+    return value[:position] + _OCR_CONFUSIONS[value[position]] + value[position + 1 :]
+
+
+def swap_tokens(value: str, rng: random.Random) -> str:
+    """Swap two adjacent word tokens (e.g. 'john smith' -> 'smith john')."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    position = rng.randrange(len(tokens) - 1)
+    tokens[position], tokens[position + 1] = tokens[position + 1], tokens[position]
+    return " ".join(tokens)
+
+
+def drop_token(value: str, rng: random.Random) -> str:
+    """Drop one word token."""
+    tokens = value.split()
+    if len(tokens) < 2:
+        return value
+    tokens.pop(rng.randrange(len(tokens)))
+    return " ".join(tokens)
+
+
+def duplicate_token(value: str, rng: random.Random) -> str:
+    """Repeat one word token (copy-paste noise)."""
+    tokens = value.split()
+    if not tokens:
+        return value
+    position = rng.randrange(len(tokens))
+    tokens.insert(position, tokens[position])
+    return " ".join(tokens)
+
+
+def abbreviate_token(value: str, rng: random.Random) -> str:
+    """Abbreviate one token to its initial ('john' -> 'j.')."""
+    tokens = value.split()
+    candidates = [i for i, token in enumerate(tokens) if len(token) > 2]
+    if not candidates:
+        return value
+    position = rng.choice(candidates)
+    tokens[position] = tokens[position][0] + "."
+    return " ".join(tokens)
+
+
+def case_noise(value: str, rng: random.Random) -> str:
+    """Randomly change the case of one token."""
+    tokens = value.split()
+    if not tokens:
+        return value
+    position = rng.randrange(len(tokens))
+    token = tokens[position]
+    tokens[position] = token.upper() if rng.random() < 0.5 else token.capitalize()
+    return " ".join(tokens)
+
+
+def whitespace_noise(value: str, rng: random.Random) -> str:
+    """Inject a doubled space or strip an existing space."""
+    if " " in value and rng.random() < 0.5:
+        position = value.index(" ")
+        return value[:position] + value[position + 1 :]
+    if not value:
+        return value
+    position = rng.randrange(len(value))
+    return value[:position] + "  " + value[position:]
+
+
+DEFAULT_CORRUPTORS: tuple[Corruptor, ...] = (
+    typo_insert,
+    typo_delete,
+    typo_substitute,
+    typo_transpose,
+    ocr_confuse,
+    swap_tokens,
+    drop_token,
+    abbreviate_token,
+    case_noise,
+    whitespace_noise,
+)
+
+
+@dataclass
+class CorruptionModel:
+    """Composable per-attribute corruption.
+
+    Attributes
+    ----------
+    attribute_rate:
+        Probability that an attribute value is corrupted at all.
+    errors_per_value:
+        Expected number of corruptor applications per corrupted value
+        (geometric: after each application another follows with
+        probability ``1 - 1/errors_per_value``... clamped to at least
+        one application).
+    null_rate:
+        Probability that an attribute value is replaced by ``None``
+        (drives the sparsity dimension of Table 2).
+    corruptors:
+        The corruptor pool to sample from.
+    """
+
+    attribute_rate: float = 0.4
+    errors_per_value: float = 1.5
+    null_rate: float = 0.0
+    corruptors: Sequence[Corruptor] = field(default=DEFAULT_CORRUPTORS)
+
+    def corrupt_value(self, value: str | None, rng: random.Random) -> str | None:
+        """Corrupt a single attribute value."""
+        if self.null_rate > 0.0 and rng.random() < self.null_rate:
+            return None
+        if value is None or rng.random() >= self.attribute_rate:
+            return value
+        applications = 1
+        continue_probability = max(0.0, 1.0 - 1.0 / max(self.errors_per_value, 1.0))
+        while rng.random() < continue_probability:
+            applications += 1
+        corrupted = value
+        for _ in range(applications):
+            corrupted = rng.choice(list(self.corruptors))(corrupted, rng)
+        return corrupted
+
+    def corrupt_record(
+        self, values: dict[str, str | None], rng: random.Random
+    ) -> dict[str, str | None]:
+        """Corrupt all attribute values of one record independently."""
+        return {
+            attribute: self.corrupt_value(value, rng)
+            for attribute, value in values.items()
+        }

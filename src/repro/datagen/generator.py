@@ -1,0 +1,187 @@
+"""The dirty-dataset generation engine.
+
+Mirrors the architecture of GeCo [11] and TDGen [2]: an *entity
+factory* produces clean entities, a cluster-size distribution decides
+how many duplicate records each entity receives, and a
+:class:`~repro.datagen.corruption.CorruptionModel` distorts the
+duplicates.  The output is a :class:`~repro.core.records.Dataset` plus
+its :class:`~repro.core.experiment.GoldStandard` — a complete synthetic
+benchmark (§3.1.2: "the artificial creation of test data can be
+automated").
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.clustering import Clustering
+from repro.core.experiment import GoldStandard
+from repro.core.records import Dataset, Record
+from repro.datagen.corruption import CorruptionModel
+
+__all__ = [
+    "EntityFactory",
+    "cluster_sizes_zipf",
+    "cluster_sizes_fixed",
+    "DirtyDatasetGenerator",
+    "GeneratedBenchmark",
+]
+
+EntityFactory = Callable[[random.Random], dict[str, str | None]]
+ClusterSizeSampler = Callable[[random.Random], int]
+
+
+def cluster_sizes_zipf(maximum: int = 6, skew: float = 2.0) -> ClusterSizeSampler:
+    """Zipf-like cluster sizes: most entities have few duplicates.
+
+    Size ``k`` has weight ``1 / k**skew``; sizes range from 1 (clean
+    entity, no duplicate) to ``maximum``.
+    """
+    if maximum < 1:
+        raise ValueError(f"maximum cluster size must be >= 1, got {maximum}")
+    sizes = list(range(1, maximum + 1))
+    weights = [1.0 / size**skew for size in sizes]
+
+    def sample(rng: random.Random) -> int:
+        return rng.choices(sizes, weights=weights, k=1)[0]
+
+    return sample
+
+
+def cluster_sizes_fixed(size: int) -> ClusterSizeSampler:
+    """Every entity gets exactly ``size`` records."""
+    if size < 1:
+        raise ValueError(f"cluster size must be >= 1, got {size}")
+    return lambda rng: size
+
+
+@dataclass
+class GeneratedBenchmark:
+    """A generated dataset together with its ground truth."""
+
+    dataset: Dataset
+    gold: GoldStandard
+
+    @property
+    def duplicate_pairs(self) -> int:
+        """Number of true duplicate pairs in the gold standard."""
+        return self.gold.pair_count()
+
+
+@dataclass
+class DirtyDatasetGenerator:
+    """Generates a dirty dataset with known duplicate clusters.
+
+    Parameters
+    ----------
+    entity_factory:
+        Produces one clean entity's attribute values.
+    cluster_sizes:
+        Samples how many records represent each entity.
+    corruption:
+        Distortion applied to every duplicate (the first record of a
+        cluster stays clean unless ``corrupt_originals``).
+    base_sparsity:
+        Probability that a clean value is dropped *before* duplication
+        — models datasets that are sparse to begin with (Table 2's
+        SP dimension), uniformly across the cluster.
+    corrupt_originals:
+        Also corrupt the first record of each cluster (no pristine
+        master record, as in most real-world datasets).
+    name / id_prefix / seed:
+        Naming and reproducibility controls.
+    """
+
+    entity_factory: EntityFactory
+    cluster_sizes: ClusterSizeSampler = field(default_factory=cluster_sizes_zipf)
+    corruption: CorruptionModel = field(default_factory=CorruptionModel)
+    base_sparsity: float = 0.0
+    corrupt_originals: bool = False
+    name: str = "synthetic"
+    id_prefix: str = "r"
+    seed: int = 0
+
+    def generate(self, record_count: int) -> GeneratedBenchmark:
+        """Generate approximately ``record_count`` records.
+
+        The count is met exactly: the final cluster is truncated when
+        it would overshoot.
+        """
+        if record_count < 0:
+            raise ValueError(f"record count must be non-negative, got {record_count}")
+        rng = random.Random(self.seed)
+        records: list[Record] = []
+        clusters: list[list[str]] = []
+        entity_index = 0
+        while len(records) < record_count:
+            size = min(self.cluster_sizes(rng), record_count - len(records))
+            clean = self.entity_factory(rng)
+            if self.base_sparsity > 0.0:
+                clean = {
+                    attribute: (
+                        None if rng.random() < self.base_sparsity else value
+                    )
+                    for attribute, value in clean.items()
+                }
+            cluster_ids: list[str] = []
+            for copy_index in range(size):
+                record_id = f"{self.id_prefix}{entity_index}-{copy_index}"
+                if copy_index == 0 and not self.corrupt_originals:
+                    values = dict(clean)
+                else:
+                    values = self.corruption.corrupt_record(clean, rng)
+                records.append(Record(record_id=record_id, values=values))
+                cluster_ids.append(record_id)
+            clusters.append(cluster_ids)
+            entity_index += 1
+        # shuffle so duplicates are not adjacent (blocking must earn it)
+        rng.shuffle(records)
+        dataset = Dataset(records, name=self.name)
+        gold = GoldStandard(
+            clustering=Clustering(clusters), name=f"{self.name}-gold"
+        )
+        return GeneratedBenchmark(dataset=dataset, gold=gold)
+
+
+def scored_benchmark_experiment(
+    benchmark: GeneratedBenchmark,
+    target_matches: int,
+    noise: float = 0.15,
+    seed: int = 0,
+    name: str = "synthetic-run",
+):
+    """A synthetic *experiment* with plausible similarity scores.
+
+    Used by the runtime benchmarks (Table 1), which need experiments of
+    a specific match count: true duplicate pairs receive high noisy
+    scores, and random non-duplicate pairs fill up (or cut down) to
+    ``target_matches`` with lower noisy scores.  Scores are clamped to
+    ``[0, 1]``.
+    """
+    from repro.core.experiment import Experiment, Match
+    from repro.core.pairs import make_pair
+
+    rng = random.Random(seed)
+    dataset = benchmark.dataset
+    true_pairs = sorted(benchmark.gold.pairs())
+    rng.shuffle(true_pairs)
+    matches: list[Match] = []
+    taken = set()
+    for pair in true_pairs[:target_matches]:
+        score = min(1.0, max(0.0, rng.gauss(0.82, noise)))
+        matches.append(Match(pair=pair, score=score))
+        taken.add(pair)
+    ids = dataset.record_ids
+    attempts = 0
+    while len(matches) < target_matches and attempts < 50 * target_matches:
+        attempts += 1
+        first, second = rng.sample(ids, 2)
+        pair = make_pair(first, second)
+        if pair in taken:
+            continue
+        taken.add(pair)
+        score = min(1.0, max(0.0, rng.gauss(0.55, noise)))
+        matches.append(Match(pair=pair, score=score))
+    return Experiment(matches, name=name, solution="synthetic")

@@ -1,0 +1,128 @@
+"""Word pools for the synthetic dataset generators.
+
+Small embedded vocabularies per domain; generators combine, corrupt,
+and re-sample them, so the effective vocabulary of a generated dataset
+is considerably larger than these seed lists.
+"""
+
+from __future__ import annotations
+
+GIVEN_NAMES = [
+    "james", "mary", "john", "patricia", "robert", "jennifer", "michael",
+    "linda", "william", "elizabeth", "david", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "christopher",
+    "nancy", "daniel", "lisa", "matthew", "betty", "anthony", "margaret",
+    "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
+    "emily", "andrew", "donna", "joshua", "michelle", "kenneth", "dorothy",
+    "kevin", "carol", "brian", "amanda", "george", "melissa", "edward",
+    "deborah",
+]
+
+SURNAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "ramirez", "lewis", "robinson", "walker", "young", "allen", "king",
+    "wright", "scott", "torres", "nguyen", "hill", "flores", "green",
+    "adams", "nelson", "baker", "hall", "rivera", "campbell", "mitchell",
+    "carter", "roberts",
+]
+
+CITIES = [
+    "springfield", "riverside", "franklin", "greenville", "bristol",
+    "clinton", "fairview", "salem", "madison", "georgetown", "arlington",
+    "ashland", "dover", "oxford", "jackson", "burlington", "manchester",
+    "milton", "newport", "auburn", "centerville", "dayton", "lexington",
+    "milford", "winchester", "cleveland", "hudson", "kingston", "riverton",
+    "lakewood",
+]
+
+STREETS = [
+    "main", "church", "oak", "pine", "maple", "cedar", "elm", "washington",
+    "lake", "hill", "park", "walnut", "spring", "north", "ridge", "mill",
+    "river", "meadow", "forest", "highland", "sunset", "valley", "chestnut",
+    "franklin", "prospect",
+]
+
+RESEARCH_WORDS = [
+    "learning", "inference", "bayesian", "networks", "probabilistic",
+    "reasoning", "knowledge", "discovery", "classification", "clustering",
+    "induction", "relational", "models", "decision", "trees", "boosting",
+    "reinforcement", "planning", "agents", "markov", "optimization",
+    "approximate", "sampling", "statistical", "databases", "matching",
+    "integration", "retrieval", "information", "extraction", "structured",
+    "efficient", "scalable", "adaptive", "hierarchical", "distributed",
+    "generalization", "estimation", "stochastic", "gradient",
+]
+
+VENUES = [
+    "proceedings of the international conference on machine learning",
+    "journal of artificial intelligence research",
+    "proceedings of aaai",
+    "machine learning",
+    "artificial intelligence",
+    "proceedings of the national conference on artificial intelligence",
+    "proceedings of ijcai",
+    "neural computation",
+    "proceedings of uai",
+    "data mining and knowledge discovery",
+]
+
+MUSIC_WORDS = [
+    "love", "night", "heart", "dream", "fire", "rain", "dance", "blue",
+    "summer", "road", "river", "light", "shadow", "moon", "star", "golden",
+    "broken", "wild", "silent", "electric", "midnight", "forever", "lonely",
+    "crazy", "sweet", "city", "angel", "ghost", "thunder", "velvet",
+]
+
+ARTIST_WORDS = [
+    "the", "black", "red", "stone", "kings", "queens", "echo", "neon",
+    "crystal", "iron", "silver", "arcade", "phantom", "royal", "lunar",
+    "cosmic", "velvet", "atomic", "electric", "savage", "golden", "wolves",
+    "tigers", "ravens", "foxes",
+]
+
+GENRES = [
+    "rock", "pop", "jazz", "blues", "folk", "electronic", "classical",
+    "country", "metal", "soul", "funk", "ambient",
+]
+
+LAPTOP_BRANDS = [
+    "lenovo", "dell", "hp", "asus", "acer", "apple", "toshiba", "msi",
+    "samsung", "sony",
+]
+
+LAPTOP_SERIES = [
+    "thinkpad", "ideapad", "latitude", "inspiron", "pavilion", "elitebook",
+    "zenbook", "vivobook", "aspire", "travelmate", "macbook", "satellite",
+    "prestige", "notebook", "vaio", "chromebook",
+]
+
+CPU_MODELS = [
+    "intel core i3-4010u", "intel core i5-4200u", "intel core i7-4500u",
+    "intel core i5-5200u", "intel core i7-5500u", "intel celeron n2840",
+    "intel pentium n3540", "amd a6-6310", "amd a8-6410", "amd e1-6010",
+    "intel core i5-6200u", "intel core i7-6500u",
+]
+
+SCREEN_SIZES = ["11.6", "12.5", "13.3", "14", "15.6", "17.3"]
+RAM_SIZES = ["2", "4", "6", "8", "12", "16"]
+STORAGE = ["128gb ssd", "256gb ssd", "500gb hdd", "1tb hdd", "32gb emmc"]
+
+PRODUCT_WORDS = [
+    "usb", "flash", "drive", "memory", "stick", "card", "micro", "sdhc",
+    "sdxc", "class", "speed", "high", "ultra", "premium", "pro", "plus",
+    "mini", "portable", "gen", "type",
+]
+
+PRODUCT_BRANDS = [
+    "sandisk", "kingston", "toshiba", "samsung", "lexar", "pny", "transcend",
+    "sony", "intenso", "verbatim",
+]
+
+MARKETING_WORDS = [
+    "new", "original", "sealed", "retail", "pack", "warranty", "official",
+    "fast", "shipping", "best", "price", "offer", "deal", "genuine", "oem",
+    "bulk", "limited", "edition", "free", "authentic",
+]

@@ -1,0 +1,75 @@
+"""Exploration techniques for data matching results (§4)."""
+
+from repro.exploration.attributes import (
+    AttributeRatio,
+    equal_ratios,
+    null_ratios,
+    render_bar_chart,
+)
+from repro.exploration.error_analysis import (
+    ErrorAnalysis,
+    Explanation,
+    minkowski_norm,
+    pair_similarity_score,
+)
+from repro.exploration.error_categories import (
+    ErrorCategorization,
+    ValueRelation,
+    categorize_errors,
+    categorize_record_pair,
+    classify_value_pair,
+)
+from repro.exploration.selection import (
+    Partition,
+    misclassified_outliers,
+    pairs_around_threshold,
+    percentile_partitions,
+    plain_result_pairs,
+    sample_class_based,
+    sample_quantiles,
+    sample_random,
+)
+from repro.exploration.setops import (
+    SetComparison,
+    VennRegion,
+    enrich_pairs,
+    pairs_missed_by_most,
+    venn_regions,
+)
+from repro.exploration.sorting import (
+    ColumnEntropyModel,
+    sort_by_entropy,
+    sort_by_similarity,
+)
+
+__all__ = [
+    "AttributeRatio",
+    "ColumnEntropyModel",
+    "ErrorAnalysis",
+    "ErrorCategorization",
+    "Explanation",
+    "Partition",
+    "ValueRelation",
+    "categorize_errors",
+    "categorize_record_pair",
+    "classify_value_pair",
+    "SetComparison",
+    "VennRegion",
+    "enrich_pairs",
+    "equal_ratios",
+    "minkowski_norm",
+    "misclassified_outliers",
+    "null_ratios",
+    "pair_similarity_score",
+    "pairs_around_threshold",
+    "pairs_missed_by_most",
+    "percentile_partitions",
+    "plain_result_pairs",
+    "render_bar_chart",
+    "sample_class_based",
+    "sample_quantiles",
+    "sample_random",
+    "sort_by_entropy",
+    "sort_by_similarity",
+    "venn_regions",
+]

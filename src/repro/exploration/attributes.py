@@ -1,0 +1,159 @@
+"""Attribute-level diagram explorations: nullRatio and equalRatio
+(§4.5.2, §4.5.3).
+
+* ``nullRatio(a) = falseNullCount(a) / nullCount(a)`` — among pairs
+  where at least one record is null in attribute ``a``, the fraction
+  that is misclassified.  High values flag attributes whose *absence*
+  correlates with errors (semantic vs material mismatch diagnosis).
+* ``equalRatio(a) = falseEqualCount(a) / equalCount(a)`` — among pairs
+  whose records are *equal* in ``a``, the fraction misclassified.  High
+  values flag attributes whose matching sufficiency the solution
+  weighed incorrectly.
+
+Both are computed over a pair population (by default the union of
+experiment and gold pairs — enumerating all of ``[D]^2`` is quadratic
+and adds only always-correct true negatives in practice; pass
+``pair_population`` explicitly for the full-space semantics).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.experiment import Experiment, GoldStandard
+from repro.core.pairs import Pair
+from repro.core.records import Dataset
+
+__all__ = [
+    "AttributeRatio",
+    "null_ratios",
+    "equal_ratios",
+    "render_bar_chart",
+]
+
+
+@dataclass(frozen=True)
+class AttributeRatio:
+    """Ratio result for one attribute (a bar of the §4.5.2/3 chart)."""
+
+    attribute: str
+    affected_pairs: int
+    misclassified_pairs: int
+
+    @property
+    def ratio(self) -> float:
+        """``misclassified / affected``; 0.0 when no pair is affected."""
+        if self.affected_pairs == 0:
+            return 0.0
+        return self.misclassified_pairs / self.affected_pairs
+
+
+def _population(
+    experiment: Experiment,
+    gold: GoldStandard,
+    pair_population: Iterable[Pair] | None,
+) -> set[Pair]:
+    if pair_population is not None:
+        return set(pair_population)
+    return experiment.pairs() | set(gold.pairs())
+
+
+def _misclassified(
+    pair: Pair, experiment_pairs: set[Pair], gold: GoldStandard
+) -> bool:
+    predicted = pair in experiment_pairs
+    actual = gold.is_duplicate(*pair)
+    return predicted != actual
+
+
+def null_ratios(
+    dataset: Dataset,
+    experiment: Experiment,
+    gold: GoldStandard,
+    pair_population: Iterable[Pair] | None = None,
+) -> list[AttributeRatio]:
+    """nullRatio(a) for every attribute of the dataset (§4.5.2).
+
+    "Attributes with high nullRatio scores are statistically highly
+    relevant for the matching decision as their absence could be
+    related to many incorrectly assigned labels."
+    """
+    population = _population(experiment, gold, pair_population)
+    experiment_pairs = experiment.pairs()
+    results: list[AttributeRatio] = []
+    for attribute in dataset.attributes:
+        null_count = 0
+        false_null_count = 0
+        for pair in population:
+            first, second = pair
+            either_null = (
+                dataset[first].is_null(attribute)
+                or dataset[second].is_null(attribute)
+            )
+            if not either_null:
+                continue
+            null_count += 1
+            if _misclassified(pair, experiment_pairs, gold):
+                false_null_count += 1
+        results.append(
+            AttributeRatio(
+                attribute=attribute,
+                affected_pairs=null_count,
+                misclassified_pairs=false_null_count,
+            )
+        )
+    results.sort(key=lambda r: (-r.ratio, r.attribute))
+    return results
+
+
+def equal_ratios(
+    dataset: Dataset,
+    experiment: Experiment,
+    gold: GoldStandard,
+    pair_population: Iterable[Pair] | None = None,
+) -> list[AttributeRatio]:
+    """equalRatio(a) for every attribute of the dataset (§4.5.3).
+
+    "A high equalRatio(a) indicates that the matching solution did not
+    weigh the matching sufficiency of ``a`` correctly (either too high
+    or too low)."
+    """
+    population = _population(experiment, gold, pair_population)
+    experiment_pairs = experiment.pairs()
+    results: list[AttributeRatio] = []
+    for attribute in dataset.attributes:
+        equal_count = 0
+        false_equal_count = 0
+        for pair in population:
+            first, second = pair
+            value_a = dataset[first].value(attribute)
+            value_b = dataset[second].value(attribute)
+            if value_a is None or value_b is None or value_a != value_b:
+                continue
+            equal_count += 1
+            if _misclassified(pair, experiment_pairs, gold):
+                false_equal_count += 1
+        results.append(
+            AttributeRatio(
+                attribute=attribute,
+                affected_pairs=equal_count,
+                misclassified_pairs=false_equal_count,
+            )
+        )
+    results.sort(key=lambda r: (-r.ratio, r.attribute))
+    return results
+
+
+def render_bar_chart(
+    ratios: Sequence[AttributeRatio], width: int = 40, title: str = "ratio"
+) -> str:
+    """ASCII bar chart of attribute ratios — the §4.5.2 visualization."""
+    lines = [f"{'attribute':<20} {title}"]
+    for entry in ratios:
+        bar = "#" * round(entry.ratio * width)
+        lines.append(
+            f"{entry.attribute:<20} {entry.ratio:6.3f} |{bar:<{width}}| "
+            f"({entry.misclassified_pairs}/{entry.affected_pairs})"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,291 @@
+"""Pair selection strategies (§4.2).
+
+"Real-world datasets can contain millions of records, making it
+unfeasible to examine all pairs in a set.  Therefore, strategies to
+reduce the number of pairs shown are crucial."
+
+Implemented: pairs around the threshold (§4.2.1), incorrectly labeled
+outliers (§4.2.2), percentiles with representatives under three
+sampling schemes (§4.2.3), and plain (non-closure) result pairs
+(§4.2.4).  Strategies operate on scored pairs and compose freely.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.confusion import ConfusionMatrix
+from repro.core.experiment import Experiment, GoldStandard
+from repro.core.pairs import Pair, ScoredPair
+
+__all__ = [
+    "pairs_around_threshold",
+    "misclassified_outliers",
+    "Partition",
+    "percentile_partitions",
+    "sample_random",
+    "sample_class_based",
+    "sample_quantiles",
+    "plain_result_pairs",
+]
+
+
+def pairs_around_threshold(
+    scored: Sequence[ScoredPair],
+    threshold: float,
+    k: int,
+    above_fraction: float = 0.5,
+) -> list[ScoredPair]:
+    """The ``k`` scored pairs closest to the similarity threshold.
+
+    "Pairs in this section are usually considered uncertain, as a
+    slight shift of the threshold may change their state" (§4.2.1).
+    ``above_fraction`` splits the budget between pairs above and below
+    the threshold (default: half/half; pass e.g. the ratio of
+    misclassifications above/below for the proportional variant).
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    if not 0.0 <= above_fraction <= 1.0:
+        raise ValueError(f"above_fraction must be in [0,1], got {above_fraction}")
+    above = sorted(
+        (sp for sp in scored if sp.score >= threshold),
+        key=lambda sp: (sp.score - threshold, sp.pair),
+    )
+    below = sorted(
+        (sp for sp in scored if sp.score < threshold),
+        key=lambda sp: (threshold - sp.score, sp.pair),
+    )
+    want_above = round(k * above_fraction)
+    want_below = k - want_above
+    taken_above = above[:want_above]
+    taken_below = below[:want_below]
+    # redistribute leftover budget if one side is short
+    shortage = k - len(taken_above) - len(taken_below)
+    if shortage > 0:
+        if len(taken_above) < want_above:
+            taken_below = below[: want_below + shortage]
+        else:
+            taken_above = above[: want_above + shortage]
+    selected = taken_above + taken_below
+    return sorted(selected, key=lambda sp: (abs(sp.score - threshold), sp.pair))[:k]
+
+
+def misclassified_outliers(
+    scored: Sequence[ScoredPair],
+    threshold: float,
+    gold: GoldStandard,
+    k: int,
+) -> list[ScoredPair]:
+    """Incorrectly labeled pairs furthest from the threshold (§4.2.2).
+
+    These are the confident mistakes — "one could evaluate why the
+    matching solution failed by searching for a common 'misleading'
+    feature among the selected pairs."
+    """
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    wrong = [
+        sp
+        for sp in scored
+        if (sp.score >= threshold) != gold.is_duplicate(*sp.pair)
+    ]
+    wrong.sort(key=lambda sp: (-abs(sp.score - threshold), sp.pair))
+    return wrong[:k]
+
+
+@dataclass(frozen=True)
+class Partition:
+    """One score partition with its representatives and error profile.
+
+    "We can label each partition with its confusion matrix and metrics.
+    Thus, users can focus on those partitions with high error levels"
+    (§4.2.3).
+    """
+
+    index: int
+    low_score: float
+    high_score: float
+    pairs: tuple[ScoredPair, ...]
+    representatives: tuple[ScoredPair, ...]
+    matrix: ConfusionMatrix | None
+
+    @property
+    def error_count(self) -> int:
+        """False positives + false negatives within the partition."""
+        if self.matrix is None:
+            return 0
+        return self.matrix.false_positives + self.matrix.false_negatives
+
+    @property
+    def is_confident(self) -> bool:
+        """A partition with few to no incorrectly labeled pairs (§4.2.3)."""
+        if self.matrix is None or not self.pairs:
+            return True
+        return self.error_count / len(self.pairs) < 0.05
+
+
+Sampler = Callable[[Sequence[ScoredPair], int], list[ScoredPair]]
+
+
+def sample_random(
+    pairs: Sequence[ScoredPair], budget: int, seed: int = 0
+) -> list[ScoredPair]:
+    """Unbiased random sample of ``budget`` pairs (§4.2.3)."""
+    if budget >= len(pairs):
+        return list(pairs)
+    rng = random.Random(seed)
+    return rng.sample(list(pairs), budget)
+
+
+def sample_class_based(
+    pairs: Sequence[ScoredPair],
+    budget: int,
+    correct: Callable[[ScoredPair], bool],
+    seed: int = 0,
+) -> list[ScoredPair]:
+    """Sample proportionally to correct/incorrect class sizes (§4.2.3).
+
+    "For a partition with kT correctly and kF incorrectly classified
+    pairs, we randomly sample b·kT/(kT+kF) correctly and b·kF/(kT+kF)
+    incorrectly labeled pairs."
+    """
+    right = [sp for sp in pairs if correct(sp)]
+    wrong = [sp for sp in pairs if not correct(sp)]
+    total = len(right) + len(wrong)
+    if total == 0 or budget <= 0:
+        return []
+    if budget >= total:
+        return list(pairs)
+    rng = random.Random(seed)
+    want_right = round(budget * len(right) / total)
+    want_wrong = budget - want_right
+    want_right = min(want_right, len(right))
+    want_wrong = min(want_wrong, len(wrong))
+    sample = rng.sample(right, want_right) + rng.sample(wrong, want_wrong)
+    # fill any rounding shortfall from the larger class
+    shortfall = budget - len(sample)
+    if shortfall > 0:
+        pool = [sp for sp in pairs if sp not in set(sample)]
+        sample += rng.sample(pool, min(shortfall, len(pool)))
+    return sample
+
+
+def sample_quantiles(pairs: Sequence[ScoredPair], budget: int) -> list[ScoredPair]:
+    """Deterministic quantile sample by similarity score (§4.2.3).
+
+    For ``budget=5`` selects the pairs at quantiles 0, .25, .5, .75, 1 —
+    "unbiasedly representing the different parts of the partition".
+    """
+    if budget <= 0 or not pairs:
+        return []
+    ordered = sorted(pairs, key=lambda sp: (sp.score, sp.pair))
+    if budget == 1:
+        return [ordered[len(ordered) // 2]]
+    if budget >= len(ordered):
+        return list(ordered)
+    picks = []
+    seen: set[Pair] = set()
+    for index in range(budget):
+        position = round(index * (len(ordered) - 1) / (budget - 1))
+        candidate = ordered[position]
+        if candidate.pair not in seen:
+            seen.add(candidate.pair)
+            picks.append(candidate)
+    return picks
+
+
+def percentile_partitions(
+    scored: Sequence[ScoredPair],
+    partitions: int,
+    budget_per_partition: int,
+    gold: GoldStandard | None = None,
+    threshold: float | None = None,
+    sampler: str = "quantile",
+    total_pairs: int | None = None,
+    seed: int = 0,
+) -> list[Partition]:
+    """Split scored pairs into score partitions with representatives.
+
+    "Conceptually, this strategy sorts result sets by a similarity
+    score and then splits them into smaller partitions.  Each of these
+    partitions is then reduced to a few representative pairs" (§4.2.3).
+
+    With ``gold`` and ``threshold`` given, each partition also carries
+    its confusion matrix (true negatives need ``total_pairs``;
+    partition-local TN is reported as 0 when omitted).
+    """
+    if partitions < 1:
+        raise ValueError(f"need at least one partition, got {partitions}")
+    ordered = sorted(scored, key=lambda sp: (sp.score, sp.pair))
+    if not ordered:
+        return []
+    chunk = max(1, len(ordered) // partitions)
+    results: list[Partition] = []
+    for index in range(partitions):
+        start = index * chunk
+        stop = (index + 1) * chunk if index < partitions - 1 else len(ordered)
+        members = ordered[start:stop]
+        if not members:
+            continue
+        matrix = None
+        correct: Callable[[ScoredPair], bool] | None = None
+        if gold is not None and threshold is not None:
+            tp = fp = fn = tn = 0
+            for sp in members:
+                predicted = sp.score >= threshold
+                actual = gold.is_duplicate(*sp.pair)
+                if predicted and actual:
+                    tp += 1
+                elif predicted and not actual:
+                    fp += 1
+                elif actual:
+                    fn += 1
+                else:
+                    tn += 1
+            matrix = ConfusionMatrix(tp, fp, fn, tn)
+
+            def correct(sp: ScoredPair, _threshold=threshold) -> bool:
+                """Correctly classified pairs of this partition."""
+                return (sp.score >= _threshold) == gold.is_duplicate(*sp.pair)
+
+        if sampler == "random":
+            representatives = sample_random(members, budget_per_partition, seed)
+        elif sampler == "class":
+            if correct is None:
+                raise ValueError("class-based sampling needs gold and threshold")
+            representatives = sample_class_based(
+                members, budget_per_partition, correct, seed
+            )
+        elif sampler == "quantile":
+            representatives = sample_quantiles(members, budget_per_partition)
+        else:
+            raise ValueError(
+                f"unknown sampler {sampler!r}; use random, class, or quantile"
+            )
+        results.append(
+            Partition(
+                index=index,
+                low_score=members[0].score,
+                high_score=members[-1].score,
+                pairs=tuple(members),
+                representatives=tuple(representatives),
+                matrix=matrix,
+            )
+        )
+    return results
+
+
+def plain_result_pairs(experiment: Experiment, subset: set[Pair] | None = None) -> set[Pair]:
+    """Hide pairs added by the clustering step (§4.2.4).
+
+    "Frost includes a selection strategy that will hide all pairs that
+    were added by a clustering algorithm [...] What remains are all
+    pairs that were originally labeled by a matching solution."
+    """
+    original = experiment.original_pairs()
+    if subset is None:
+        return original
+    return original & subset

@@ -1,0 +1,199 @@
+"""Set-based comparison of matching results (§4.1).
+
+"The set operations intersection and difference can describe all
+partitions of the confusion matrix [...] the generic approach can
+compare multiple result sets."  This module implements the engine
+behind Snowman's N-Intersection Viewer (Figure 1): Venn-region
+computation over any number of experiments/ground truths, record
+enrichment, and the derived evaluations the paper lists (common pairs,
+unique findings, experimental ground truths).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.experiment import Experiment, GoldStandard
+from repro.core.pairs import Pair
+from repro.core.records import Dataset, Record
+
+__all__ = [
+    "SetComparison",
+    "VennRegion",
+    "venn_regions",
+    "enrich_pairs",
+    "pairs_missed_by_most",
+]
+
+
+@dataclass(frozen=True)
+class VennRegion:
+    """One region of the N-set Venn diagram.
+
+    ``membership`` indicates, per input set (in input order), whether
+    the region lies inside it.  The all-``False`` region (pairs in no
+    set) is never produced — it is not enumerable without ``[D]^2``.
+    """
+
+    membership: tuple[bool, ...]
+    pairs: frozenset[Pair]
+
+    @property
+    def size(self) -> int:
+        """Number of pairs in this region."""
+        return len(self.pairs)
+
+    def label(self, names: Sequence[str]) -> str:
+        """Human-readable region label, e.g. ``"A ∩ B \\ C"``."""
+        inside = [name for name, member in zip(names, self.membership) if member]
+        outside = [
+            name for name, member in zip(names, self.membership) if not member
+        ]
+        text = " ∩ ".join(inside)
+        if outside:
+            text += " \\ " + " \\ ".join(outside)
+        return text
+
+
+def _pair_sets(
+    inputs: Sequence[Experiment | GoldStandard | Iterable[Pair]],
+) -> list[set[Pair]]:
+    sets: list[set[Pair]] = []
+    for source in inputs:
+        if isinstance(source, Experiment):
+            sets.append(source.pairs())
+        elif isinstance(source, GoldStandard):
+            sets.append(set(source.pairs()))
+        else:
+            sets.append(set(source))
+    return sets
+
+
+def venn_regions(
+    inputs: Sequence[Experiment | GoldStandard | Iterable[Pair]],
+) -> list[VennRegion]:
+    """All non-empty Venn regions of the input pair sets.
+
+    For ``n`` inputs there are up to ``2^n - 1`` regions; the paper
+    notes diagrams beyond three sets need advanced geometry [53] — the
+    *computation* here supports any ``n``, visualization is left to the
+    caller.
+    """
+    sets = _pair_sets(inputs)
+    if not sets:
+        return []
+    regions: dict[tuple[bool, ...], set[Pair]] = {}
+    universe: set[Pair] = set().union(*sets)
+    for pair in universe:
+        membership = tuple(pair in s for s in sets)
+        regions.setdefault(membership, set()).add(pair)
+    return [
+        VennRegion(membership=membership, pairs=frozenset(pairs))
+        for membership, pairs in sorted(
+            regions.items(), key=lambda item: item[0], reverse=True
+        )
+    ]
+
+
+class SetComparison:
+    """Interactive-style N-way set comparison bound to a dataset.
+
+    Mirrors the N-Intersection Viewer: named inputs, region selection
+    by inclusion/exclusion, and record enrichment ("Snowman shows
+    complete records instead of only entity IDs", §5.1).
+    """
+
+    def __init__(
+        self,
+        dataset: Dataset,
+        inputs: Mapping[str, Experiment | GoldStandard | Iterable[Pair]],
+    ) -> None:
+        if not inputs:
+            raise ValueError("comparison needs at least one input set")
+        self.dataset = dataset
+        self.names = list(inputs)
+        self._sets = dict(zip(self.names, _pair_sets(list(inputs.values()))))
+
+    def pairs_of(self, name: str) -> set[Pair]:
+        """The pair set registered under ``name``."""
+        try:
+            return set(self._sets[name])
+        except KeyError:
+            known = ", ".join(self.names)
+            raise KeyError(f"unknown input {name!r}; known: {known}") from None
+
+    def select(
+        self,
+        include: Sequence[str],
+        exclude: Sequence[str] = (),
+    ) -> set[Pair]:
+        """Pairs in every ``include`` set and in no ``exclude`` set.
+
+        This is the "clicking on regions" operation of §4.1: e.g.
+        ``select(include=["gold"], exclude=["run-1", "run-2"])`` yields
+        the true matches that no run found (Figure 1's evaluation).
+        """
+        if not include:
+            raise ValueError("select needs at least one set to include")
+        result = self.pairs_of(include[0])
+        for name in include[1:]:
+            result &= self._sets[name]
+        for name in exclude:
+            result -= self._sets[name]
+        return result
+
+    def regions(self) -> list[VennRegion]:
+        """All non-empty Venn regions across the named inputs."""
+        return venn_regions([self._sets[name] for name in self.names])
+
+    def region_sizes(self) -> dict[str, int]:
+        """Region label -> pair count, for rendering a Venn diagram."""
+        return {
+            region.label(self.names): region.size for region in self.regions()
+        }
+
+    def enriched(self, pairs: Iterable[Pair]) -> list[tuple[Record, Record]]:
+        """Join pair ids with the actual dataset records (§4.1)."""
+        return enrich_pairs(self.dataset, pairs)
+
+    def experimental_ground_truth(self, minimum_sets: int | None = None) -> set[Pair]:
+        """Pairs found by at least ``minimum_sets`` inputs (default: all).
+
+        "Create an experimental ground truth [59] from the intersection
+        of multiple experiments" (§4.1).
+        """
+        needed = minimum_sets if minimum_sets is not None else len(self.names)
+        counts: dict[Pair, int] = {}
+        for pairs in self._sets.values():
+            for pair in pairs:
+                counts[pair] = counts.get(pair, 0) + 1
+        return {pair for pair, count in counts.items() if count >= needed}
+
+
+def enrich_pairs(
+    dataset: Dataset, pairs: Iterable[Pair]
+) -> list[tuple[Record, Record]]:
+    """Resolve id pairs into record pairs, sorted for stable display."""
+    return [
+        (dataset[first], dataset[second]) for first, second in sorted(pairs)
+    ]
+
+
+def pairs_missed_by_most(
+    gold: GoldStandard,
+    experiments: Sequence[Experiment],
+    minimum_missing: int,
+) -> set[Pair]:
+    """True pairs that at least ``minimum_missing`` experiments missed.
+
+    The §5.4 evaluation: "we identified three true duplicate pairs that
+    were not detected by at least four solutions [...] by subtracting
+    all result sets from the ground truth".
+    """
+    result: set[Pair] = set()
+    for pair in gold.pairs():
+        missing = sum(1 for experiment in experiments if pair not in experiment)
+        if missing >= minimum_missing:
+            result.add(pair)
+    return result

@@ -1,0 +1,35 @@
+"""Import/export of datasets, gold standards, and experiments (§5.1)."""
+
+from repro.io.csvio import CsvFormat, read_rows, write_rows
+from repro.io.exporters import export_dataset, export_experiment, export_gold_standard
+from repro.io.importers import (
+    ClusterFormatImporter,
+    ExperimentImporter,
+    ImportError_,
+    PairFormatImporter,
+    import_dataset,
+    import_gold_standard,
+)
+from repro.io.jsonio import (
+    flatten_json,
+    import_json_dataset,
+    records_from_json_objects,
+)
+
+__all__ = [
+    "ClusterFormatImporter",
+    "CsvFormat",
+    "ExperimentImporter",
+    "ImportError_",
+    "PairFormatImporter",
+    "export_dataset",
+    "export_experiment",
+    "export_gold_standard",
+    "flatten_json",
+    "import_dataset",
+    "import_gold_standard",
+    "import_json_dataset",
+    "read_rows",
+    "records_from_json_objects",
+    "write_rows",
+]

@@ -1,0 +1,93 @@
+"""CSV reading and writing with configurable dialects.
+
+Snowman's custom importers are "in the case of a CSV-based format as
+simple as defining the separator, quote, escape symbols and a mapping
+for rows to duplicate pairs or clusters" (§5.1) — :class:`CsvFormat`
+captures exactly those knobs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["CsvFormat", "read_rows", "write_rows"]
+
+
+@dataclass(frozen=True)
+class CsvFormat:
+    """Separator / quote / escape configuration of a CSV-based format."""
+
+    separator: str = ","
+    quote: str = '"'
+    escape: str | None = None
+    has_header: bool = True
+
+    def dialect(self) -> type[csv.Dialect]:
+        """A csv.Dialect subclass encoding this format."""
+        fmt = self
+
+        class _Dialect(csv.Dialect):
+            delimiter = fmt.separator
+            quotechar = fmt.quote
+            escapechar = fmt.escape
+            doublequote = fmt.escape is None
+            lineterminator = "\r\n"
+            quoting = csv.QUOTE_MINIMAL
+
+        return _Dialect
+
+
+def read_rows(
+    source: str | Path | io.TextIOBase,
+    fmt: CsvFormat = CsvFormat(),
+) -> Iterator[dict[str, str]]:
+    """Yield rows as dictionaries.
+
+    Files without a header get positional column names ``col0..colN``.
+    Accepts a path or an open text stream (so importers work on
+    in-memory data and uploads alike).
+    """
+    if isinstance(source, (str, Path)):
+        with open(source, newline="", encoding="utf-8") as handle:
+            yield from _read_stream(handle, fmt)
+    else:
+        yield from _read_stream(source, fmt)
+
+
+def _read_stream(
+    handle: io.TextIOBase, fmt: CsvFormat
+) -> Iterator[dict[str, str]]:
+    if fmt.has_header:
+        reader = csv.DictReader(handle, dialect=fmt.dialect())
+        for row in reader:
+            yield {key: value for key, value in row.items() if key is not None}
+    else:
+        plain = csv.reader(handle, dialect=fmt.dialect())
+        for cells in plain:
+            yield {f"col{i}": value for i, value in enumerate(cells)}
+
+
+def write_rows(
+    target: str | Path | io.TextIOBase,
+    rows: Iterable[dict[str, str | None]],
+    columns: Sequence[str],
+    fmt: CsvFormat = CsvFormat(),
+) -> None:
+    """Write dictionaries as CSV with the given column order."""
+
+    def _write(handle: io.TextIOBase) -> None:
+        writer = csv.writer(handle, dialect=fmt.dialect())
+        if fmt.has_header:
+            writer.writerow(columns)
+        for row in rows:
+            writer.writerow([row.get(column) or "" for column in columns])
+
+    if isinstance(target, (str, Path)):
+        with open(target, "w", newline="", encoding="utf-8") as handle:
+            _write(handle)
+    else:
+        _write(target)

@@ -1,0 +1,80 @@
+"""Exporters: datasets, experiments, and gold standards back to CSV.
+
+Round-trips with :mod:`repro.io.importers` so evaluation results can be
+moved between Frost instances or consumed by external tools through the
+same file formats they were imported from.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.core.experiment import Experiment, GoldStandard
+from repro.core.records import Dataset
+from repro.io.csvio import CsvFormat, write_rows
+
+__all__ = ["export_dataset", "export_experiment", "export_gold_standard"]
+
+Target = str | Path | io.TextIOBase
+
+
+def export_dataset(
+    dataset: Dataset,
+    target: Target,
+    id_column: str = "id",
+    fmt: CsvFormat = CsvFormat(),
+) -> None:
+    """Write a dataset as CSV (id column first, schema order after)."""
+    columns = [id_column, *dataset.attributes]
+    rows = (
+        {id_column: record.record_id, **{a: record.value(a) for a in dataset.attributes}}
+        for record in dataset
+    )
+    write_rows(target, rows, columns, fmt)
+
+
+def export_experiment(
+    experiment: Experiment,
+    target: Target,
+    fmt: CsvFormat = CsvFormat(),
+    include_clustering_flag: bool = False,
+) -> None:
+    """Write an experiment in the pair format (p1, p2, score[, origin])."""
+    columns = ["p1", "p2", "score"]
+    if include_clustering_flag:
+        columns.append("from_clustering")
+    rows = []
+    for match in sorted(experiment.matches, key=lambda m: m.pair):
+        row: dict[str, str | None] = {
+            "p1": match.pair[0],
+            "p2": match.pair[1],
+            "score": f"{match.score:.6f}" if match.score is not None else None,
+        }
+        if include_clustering_flag:
+            row["from_clustering"] = "1" if match.from_clustering else "0"
+        rows.append(row)
+    write_rows(target, rows, columns, fmt)
+
+
+def export_gold_standard(
+    gold: GoldStandard,
+    target: Target,
+    format_: str = "clusters",
+    fmt: CsvFormat = CsvFormat(),
+) -> None:
+    """Write a gold standard in either supported format (§3.1.1)."""
+    if format_ == "clusters":
+        rows = []
+        for index, cluster in enumerate(gold.clustering.clusters):
+            for record_id in cluster:
+                rows.append({"id": record_id, "cluster": str(index)})
+        write_rows(target, rows, ["id", "cluster"], fmt)
+    elif format_ == "pairs":
+        rows = [
+            {"p1": first, "p2": second}
+            for first, second in sorted(gold.pairs())
+        ]
+        write_rows(target, rows, ["p1", "p2"], fmt)
+    else:
+        raise ValueError(f"unknown gold format {format_!r}; use 'pairs' or 'clusters'")

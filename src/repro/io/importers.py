@@ -1,0 +1,206 @@
+"""Dataset, gold-standard, and experiment importers (§5.1).
+
+Frost "supports a range of different dataset and experiment formats and
+provides a convenient interface for additional custom CSV-based
+formats".  Experiments come either as *pair lists* (two id columns and
+an optional score) or as *cluster assignments* (id column + cluster
+column); gold standards use the same two formats (§3.1.1).  Custom
+importers subclass :class:`ExperimentImporter` — the built-in ones are
+30–60 lines, like Snowman's.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Mapping
+from pathlib import Path
+
+from repro.core.experiment import Experiment, GoldStandard, Match
+from repro.core.pairs import make_pair
+from repro.core.records import Dataset, Record
+from repro.io.csvio import CsvFormat, read_rows
+
+__all__ = [
+    "ImportError_",
+    "import_dataset",
+    "PairFormatImporter",
+    "ClusterFormatImporter",
+    "ExperimentImporter",
+    "import_gold_standard",
+]
+
+Source = str | Path | io.TextIOBase
+
+
+class ImportError_(ValueError):
+    """Raised on malformed import input (missing columns, bad scores)."""
+
+
+def import_dataset(
+    source: Source,
+    id_column: str = "id",
+    fmt: CsvFormat = CsvFormat(),
+    name: str = "imported",
+    rename: Mapping[str, str] | None = None,
+) -> Dataset:
+    """Import a dataset from CSV; every non-id column is an attribute.
+
+    ``rename`` optionally maps source column names onto schema names.
+    """
+    records = []
+    mapping = dict(rename or {})
+    for row in read_rows(source, fmt):
+        if id_column not in row:
+            raise ImportError_(
+                f"dataset rows lack the id column {id_column!r}; "
+                f"columns: {sorted(row)}"
+            )
+        values = {
+            mapping.get(column, column): (value if value != "" else None)
+            for column, value in row.items()
+            if column != id_column
+        }
+        records.append(Record(record_id=row[id_column], values=values))
+    return Dataset(records, name=name)
+
+
+class ExperimentImporter:
+    """Base class for experiment importers.
+
+    Subclasses implement :meth:`matches` which yields
+    :class:`~repro.core.experiment.Match` objects from the source; the
+    base class wraps them into an :class:`Experiment`.
+    """
+
+    def __init__(self, fmt: CsvFormat = CsvFormat()) -> None:
+        self.fmt = fmt
+
+    def matches(self, source: Source):
+        """Yield :class:`~repro.core.experiment.Match` objects from ``source``."""
+        raise NotImplementedError
+
+    def import_experiment(
+        self,
+        source: Source,
+        name: str = "imported-experiment",
+        solution: str | None = None,
+    ) -> Experiment:
+        """Read ``source`` and wrap its matches into an Experiment."""
+        return Experiment(self.matches(source), name=name, solution=solution)
+
+
+class PairFormatImporter(ExperimentImporter):
+    """Importer for pair-list results: two id columns + optional score."""
+
+    def __init__(
+        self,
+        first_column: str = "p1",
+        second_column: str = "p2",
+        score_column: str | None = "score",
+        fmt: CsvFormat = CsvFormat(),
+    ) -> None:
+        super().__init__(fmt)
+        self.first_column = first_column
+        self.second_column = second_column
+        self.score_column = score_column
+
+    def matches(self, source: Source):
+        """Yield :class:`~repro.core.experiment.Match` objects from ``source``."""
+        for line_number, row in enumerate(read_rows(source, self.fmt), start=1):
+            try:
+                first = row[self.first_column]
+                second = row[self.second_column]
+            except KeyError as missing:
+                raise ImportError_(
+                    f"row {line_number} lacks column {missing}; "
+                    f"columns: {sorted(row)}"
+                ) from None
+            if first == second:
+                continue  # self-pairs carry no information
+            score: float | None = None
+            if self.score_column is not None and row.get(self.score_column):
+                raw = row[self.score_column]
+                try:
+                    score = float(raw)
+                except ValueError:
+                    raise ImportError_(
+                        f"row {line_number}: score {raw!r} is not a number"
+                    ) from None
+            yield Match(pair=make_pair(first, second), score=score)
+
+
+class ClusterFormatImporter(ExperimentImporter):
+    """Importer for cluster-assignment results: id column + cluster column.
+
+    Emits all intra-cluster pairs (the clustering representation is
+    transitively closed by construction, §1.2).
+    """
+
+    def __init__(
+        self,
+        id_column: str = "id",
+        cluster_column: str = "cluster",
+        fmt: CsvFormat = CsvFormat(),
+    ) -> None:
+        super().__init__(fmt)
+        self.id_column = id_column
+        self.cluster_column = cluster_column
+
+    def assignment(self, source: Source) -> dict[str, str]:
+        """Read the ``record id -> cluster id`` assignment from ``source``."""
+        result: dict[str, str] = {}
+        for line_number, row in enumerate(read_rows(source, self.fmt), start=1):
+            try:
+                record_id = row[self.id_column]
+                cluster = row[self.cluster_column]
+            except KeyError as missing:
+                raise ImportError_(
+                    f"row {line_number} lacks column {missing}; "
+                    f"columns: {sorted(row)}"
+                ) from None
+            result[record_id] = cluster
+        return result
+
+    def matches(self, source: Source):
+        """Yield :class:`~repro.core.experiment.Match` objects from ``source``."""
+        from itertools import combinations
+
+        by_cluster: dict[str, list[str]] = {}
+        for record_id, cluster in self.assignment(source).items():
+            by_cluster.setdefault(cluster, []).append(record_id)
+        for members in by_cluster.values():
+            for first, second in combinations(sorted(members), 2):
+                yield Match(pair=make_pair(first, second))
+
+
+def import_gold_standard(
+    source: Source,
+    format_: str = "pairs",
+    name: str = "gold",
+    fmt: CsvFormat = CsvFormat(),
+    **columns: str,
+) -> GoldStandard:
+    """Import a gold standard in either supported format (§3.1.1).
+
+    ``format_="pairs"`` reads a duplicate-pair list (columns ``p1``,
+    ``p2`` by default); ``format_="clusters"`` reads a cluster
+    assignment (columns ``id``, ``cluster``).  Column names are
+    overridable via keyword arguments.
+    """
+    if format_ == "pairs":
+        importer = PairFormatImporter(
+            first_column=columns.get("first_column", "p1"),
+            second_column=columns.get("second_column", "p2"),
+            score_column=None,
+            fmt=fmt,
+        )
+        pairs = [match.pair for match in importer.matches(source)]
+        return GoldStandard.from_pairs(pairs, name=name)
+    if format_ == "clusters":
+        importer = ClusterFormatImporter(
+            id_column=columns.get("id_column", "id"),
+            cluster_column=columns.get("cluster_column", "cluster"),
+            fmt=fmt,
+        )
+        return GoldStandard.from_assignment(importer.assignment(source), name=name)
+    raise ImportError_(f"unknown gold format {format_!r}; use 'pairs' or 'clusters'")

@@ -1,0 +1,147 @@
+"""Non-relational (JSON) data import (§7 outlook).
+
+"Data matching is relevant beyond tabular data.  Thus, Frost needs
+support for non-relational data models, such as XML or JSON."
+
+JSON records are flattened into the relational record model: nested
+objects become dot-separated attribute paths (``address.city``),
+arrays are joined into a single string value (with their elements
+flattened first), and scalars are stringified.  Both a JSON array of
+objects and JSON Lines are supported.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from collections.abc import Iterable, Mapping
+from pathlib import Path
+
+from repro.core.records import Dataset, Record
+
+__all__ = ["flatten_json", "import_json_dataset", "records_from_json_objects"]
+
+Source = str | Path | io.TextIOBase
+
+
+def flatten_json(
+    obj: object,
+    prefix: str = "",
+    separator: str = ".",
+    list_separator: str = " ",
+) -> dict[str, str | None]:
+    """Flatten one JSON value into ``{attribute path: value}``.
+
+    * nested objects extend the path (``a.b.c``),
+    * lists are flattened element-wise and joined with
+      ``list_separator`` under their own path,
+    * ``null`` maps to ``None`` (a missing value),
+    * scalars are stringified (booleans as ``true``/``false`` to stay
+      JSON-faithful).
+    """
+    flat: dict[str, str | None] = {}
+
+    def scalar(value: object) -> str | None:
+        if value is None:
+            return None
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        return str(value)
+
+    def visit(value: object, path: str) -> None:
+        if isinstance(value, Mapping):
+            for key, child in value.items():
+                child_path = f"{path}{separator}{key}" if path else str(key)
+                visit(child, child_path)
+        elif isinstance(value, (list, tuple)):
+            parts: list[str] = []
+            for element in value:
+                if isinstance(element, (Mapping, list, tuple)):
+                    nested = flatten_json(element, "", separator, list_separator)
+                    parts.extend(
+                        f"{key}={item}"
+                        for key, item in nested.items()
+                        if item is not None
+                    )
+                else:
+                    rendered = scalar(element)
+                    if rendered is not None:
+                        parts.append(rendered)
+            flat[path] = list_separator.join(parts) if parts else None
+        else:
+            flat[path] = scalar(value)
+
+    if not isinstance(obj, Mapping):
+        raise TypeError(f"expected a JSON object, got {type(obj).__name__}")
+    visit(obj, prefix)
+    return flat
+
+
+def records_from_json_objects(
+    objects: Iterable[Mapping],
+    id_field: str = "id",
+    separator: str = ".",
+) -> list[Record]:
+    """Build records from parsed JSON objects.
+
+    ``id_field`` may itself be a dot path into the nested object.
+    """
+    records: list[Record] = []
+    for index, obj in enumerate(objects):
+        flat = flatten_json(obj, separator=separator)
+        record_id = flat.pop(id_field, None)
+        if record_id is None:
+            raise ValueError(
+                f"object {index} lacks the id field {id_field!r}; "
+                f"fields: {sorted(flat)}"
+            )
+        records.append(Record(record_id=record_id, values=flat))
+    return records
+
+
+def _load_objects(source: Source) -> list[Mapping]:
+    """Parse a JSON array or JSON Lines into a list of objects."""
+    if isinstance(source, (str, Path)):
+        text = Path(source).read_text()
+    else:
+        text = source.read()
+    stripped = text.lstrip()
+    if not stripped:
+        return []
+    if stripped.startswith("["):
+        parsed = json.loads(text)
+        if not isinstance(parsed, list):
+            raise ValueError("top-level JSON value must be an array of objects")
+        return parsed
+    # JSON Lines: one object per non-empty line
+    objects: list[Mapping] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            objects.append(json.loads(line))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {line_number}: invalid JSON: {error}") from None
+    return objects
+
+
+def import_json_dataset(
+    source: Source,
+    id_field: str = "id",
+    name: str = "imported-json",
+    separator: str = ".",
+) -> Dataset:
+    """Import a dataset from a JSON array or JSON Lines source.
+
+    >>> import io
+    >>> data = '[{"id": "r1", "name": "ada", "address": {"city": "london"}}]'
+    >>> dataset = import_json_dataset(io.StringIO(data))
+    >>> dataset["r1"].value("address.city")
+    'london'
+    """
+    objects = _load_objects(source)
+    return Dataset(
+        records_from_json_objects(objects, id_field=id_field, separator=separator),
+        name=name,
+    )

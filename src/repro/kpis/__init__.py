@@ -1,0 +1,44 @@
+"""Soft KPIs: effort, cost, lifecycle, and their evaluation (§3.3, §5.5)."""
+
+from repro.kpis.decision import Aggregator, KpiDecisionMatrix, SolutionEntry
+from repro.kpis.diagrams import (
+    EffortCurve,
+    EffortPoint,
+    effort_to_reach,
+    out_of_box_score,
+    render_effort_diagram,
+)
+from repro.kpis.effort_study import (
+    ContestTimelineSimulator,
+    EffortStudySimulator,
+    SolutionProfile,
+)
+from repro.kpis.model import (
+    DeploymentType,
+    Effort,
+    ExperimentKpis,
+    InterfaceType,
+    LifecycleExpenditures,
+    MatchingTechnique,
+    SolutionProperties,
+)
+
+__all__ = [
+    "Aggregator",
+    "ContestTimelineSimulator",
+    "DeploymentType",
+    "Effort",
+    "EffortCurve",
+    "EffortPoint",
+    "EffortStudySimulator",
+    "ExperimentKpis",
+    "InterfaceType",
+    "KpiDecisionMatrix",
+    "LifecycleExpenditures",
+    "MatchingTechnique",
+    "SolutionEntry",
+    "SolutionProfile",
+    "effort_to_reach",
+    "out_of_box_score",
+    "render_effort_diagram",
+]

@@ -1,0 +1,110 @@
+"""Soft-KPI evaluation: decision matrix and aggregation (§3.3).
+
+"Frost supports two different evaluation techniques for soft KPIs.  On
+the one hand, it provides a decision matrix including all above metrics
+side by side.  Importantly, this decision matrix also includes quality
+metrics to provide a holistic view [...].  On the other hand, Frost
+provides users the ability to aggregate metrics [...] Because this
+aggregation depends on the use case, Frost does not pre-define
+aggregation strategies, but provides a framework."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.kpis.model import SolutionProperties
+
+__all__ = ["SolutionEntry", "KpiDecisionMatrix", "Aggregator"]
+
+
+@dataclass
+class SolutionEntry:
+    """One row of the KPI decision matrix: a solution with its numbers.
+
+    ``quality_metrics`` carries the hard metrics (precision, recall,
+    f1, ...) measured on a reference benchmark so that the matrix gives
+    the "holistic view of the attractiveness of the compared
+    solutions".
+    """
+
+    properties: SolutionProperties
+    quality_metrics: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        """The solution's display name."""
+        return self.properties.name
+
+
+class KpiDecisionMatrix:
+    """Side-by-side comparison of matching solutions (§3.3)."""
+
+    def __init__(self, entries: Sequence[SolutionEntry]) -> None:
+        if not entries:
+            raise ValueError("decision matrix needs at least one solution")
+        names = [entry.name for entry in entries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate solution names: {names}")
+        self.entries = list(entries)
+
+    def rows(
+        self, base_rate: float = 40.0, expertise_premium: float = 2.0
+    ) -> list[dict[str, object]]:
+        """One dictionary per solution with every KPI side by side."""
+        result = []
+        for entry in self.entries:
+            lifecycle = entry.properties.lifecycle
+            total_effort = lifecycle.total_effort()
+            row: dict[str, object] = {
+                "solution": entry.name,
+                "general_costs": lifecycle.general_costs,
+                "effort_hours": total_effort.hr_amount,
+                "effort_expertise": total_effort.expertise,
+                "estimated_cost": lifecycle.total_cost(base_rate, expertise_premium),
+                "deployment": sorted(
+                    d.value for d in entry.properties.deployment_types
+                ),
+                "interfaces": sorted(i.value for i in entry.properties.interfaces),
+                "techniques": sorted(t.value for t in entry.properties.techniques),
+            }
+            row.update(entry.quality_metrics)
+            result.append(row)
+        return result
+
+    def render(self, metrics: Sequence[str] = ("f1",)) -> str:
+        """Plain-text matrix for terminal display."""
+        columns = ["solution", "estimated_cost", "effort_hours", *metrics]
+        rows = self.rows()
+        header = "".join(f"{column:>18}" for column in columns)
+        lines = [header, "-" * len(header)]
+        for row in rows:
+            cells = []
+            for column in columns:
+                value = row.get(column, "-")
+                if isinstance(value, float):
+                    cells.append(f"{value:>18.2f}")
+                else:
+                    cells.append(f"{str(value):>18}")
+            lines.append("".join(cells))
+        return "\n".join(lines)
+
+    def aggregate(self, aggregator: "Aggregator") -> dict[str, float]:
+        """Use-case-specific aggregate score per solution.
+
+        The aggregation strategy is entirely user-defined, matching the
+        paper's framework approach.
+        """
+        return {
+            entry.name: aggregator(entry) for entry in self.entries
+        }
+
+    def best(self, aggregator: "Aggregator") -> SolutionEntry:
+        """The solution maximizing the user's aggregate score."""
+        scores = self.aggregate(aggregator)
+        best_name = max(scores, key=lambda name: (scores[name], name))
+        return next(entry for entry in self.entries if entry.name == best_name)
+
+
+Aggregator = Callable[[SolutionEntry], float]

@@ -1,0 +1,144 @@
+"""Effort/metric diagrams (§3.3, following FEVER [38]).
+
+"Frost aids users in analyzing soft KPIs for experiments with a
+diagram-based approach.  This helps answer questions, such as how much
+effort is needed to achieve a specific metric threshold (e.g., 80%
+precision), whether increased runtime yields better results, or how
+good a matching solution is out-of-the-box."
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["EffortPoint", "EffortCurve", "effort_to_reach", "out_of_box_score"]
+
+
+@dataclass(frozen=True)
+class EffortPoint:
+    """One tracked (effort, metric) observation of an optimization run."""
+
+    effort_hours: float
+    metric_value: float
+
+
+@dataclass
+class EffortCurve:
+    """Metric-vs-effort curve of one solution (a line of Figure 6).
+
+    Points are kept sorted by effort; ``best_so_far`` yields the
+    monotone envelope ("maximum f1 score against effort spent").
+    """
+
+    solution: str
+    points: list[EffortPoint]
+
+    def __post_init__(self) -> None:
+        self.points = sorted(
+            self.points, key=lambda point: (point.effort_hours, point.metric_value)
+        )
+
+    def best_so_far(self) -> list[EffortPoint]:
+        """The running-maximum envelope of the curve."""
+        envelope: list[EffortPoint] = []
+        best = float("-inf")
+        for point in self.points:
+            best = max(best, point.metric_value)
+            envelope.append(EffortPoint(point.effort_hours, best))
+        return envelope
+
+    def final_value(self) -> float:
+        """Best metric value over the whole run."""
+        if not self.points:
+            raise ValueError(f"curve for {self.solution!r} has no points")
+        return max(point.metric_value for point in self.points)
+
+    def breakthrough(self, jump: float = 0.15) -> float | None:
+        """Effort at which the metric first jumped by ``jump`` or more.
+
+        "Each solution had a breakthrough point-in-time at which the
+        performance increased significantly" (§5.5).  Returns ``None``
+        when no such jump occurs.
+        """
+        envelope = self.best_so_far()
+        for previous, current in zip(envelope, envelope[1:]):
+            if current.metric_value - previous.metric_value >= jump:
+                return current.effort_hours
+        return None
+
+    def barrier(self, window: float = 4.0, improvement: float = 0.01) -> float | None:
+        """Effort after which the envelope never gains ``improvement``
+        or more — the "barrier at around 14 hours, above which only
+        minor improvements were achieved" (§5.5).
+
+        A barrier claim needs evidence: a candidate point must be
+        followed by at least ``window`` hours of observations, so the
+        tail of the curve never counts as a barrier by default.
+        """
+        envelope = self.best_so_far()
+        if not envelope:
+            return None
+        last_hour = envelope[-1].effort_hours
+        for index, point in enumerate(envelope):
+            if last_hour - point.effort_hours < window:
+                return None
+            if all(
+                later.metric_value - point.metric_value < improvement
+                for later in envelope[index + 1 :]
+            ):
+                return point.effort_hours
+        return None
+
+
+def effort_to_reach(curve: EffortCurve, target: float) -> float | None:
+    """Hours needed until the metric first reaches ``target``.
+
+    The FEVER question: "How much effort is needed to reach 80%
+    precision?" [38].  ``None`` when the target is never reached.
+    """
+    for point in curve.best_so_far():
+        if point.metric_value >= target:
+            return point.effort_hours
+    return None
+
+
+def out_of_box_score(curve: EffortCurve) -> float:
+    """Metric value at the minimal tracked effort (the first point).
+
+    "How good a matching solution is out-of-the-box versus how much
+    effort it takes to improve the results" (§3.3).
+    """
+    if not curve.points:
+        raise ValueError(f"curve for {curve.solution!r} has no points")
+    return curve.points[0].metric_value
+
+
+def render_effort_diagram(
+    curves: Sequence[EffortCurve], width: int = 60, height: int = 16
+) -> str:
+    """ASCII rendering of several effort curves (Figure 6 style)."""
+    if not curves:
+        return "(no curves)"
+    max_effort = max(
+        (point.effort_hours for curve in curves for point in curve.points),
+        default=1.0,
+    )
+    max_effort = max(max_effort, 1e-9)
+    grid = [[" "] * width for _ in range(height)]
+    symbols = "ox+*#@"
+    for index, curve in enumerate(curves):
+        symbol = symbols[index % len(symbols)]
+        for point in curve.best_so_far():
+            column = min(width - 1, int(point.effort_hours / max_effort * (width - 1)))
+            row = min(height - 1, int((1.0 - point.metric_value) * (height - 1)))
+            grid[row][column] = symbol
+    lines = ["metric"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width + f"> effort (0..{max_effort:.1f}h)")
+    legend = "  ".join(
+        f"{symbols[i % len(symbols)]}={curve.solution}"
+        for i, curve in enumerate(curves)
+    )
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,180 @@
+"""Soft KPIs: effort, cost, lifecycle, and categorical properties (§3.3).
+
+"Most of these KPIs model the human effort [...] we measure such effort
+using two variables: (i) the amount of time an expert needs to finish
+the task (HR-amount), and (ii) the expert's skill level from 0
+(untrained) to 100 (highly skilled)."  Combining HR-amount and
+expertise yields a rough estimate of monetary cost, since expertise is
+typically related to pay level [6].
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Effort",
+    "DeploymentType",
+    "InterfaceType",
+    "MatchingTechnique",
+    "LifecycleExpenditures",
+    "SolutionProperties",
+    "ExperimentKpis",
+]
+
+
+@dataclass(frozen=True)
+class Effort:
+    """Human effort as (HR-amount, expertise).
+
+    Attributes
+    ----------
+    hr_amount:
+        Hours of work required.
+    expertise:
+        Skill level of the person performing it, 0 (untrained) to
+        100 (highly skilled).
+    """
+
+    hr_amount: float
+    expertise: float
+
+    def __post_init__(self) -> None:
+        if self.hr_amount < 0:
+            raise ValueError(f"HR-amount must be non-negative, got {self.hr_amount}")
+        if not 0 <= self.expertise <= 100:
+            raise ValueError(
+                f"expertise must be in [0, 100], got {self.expertise}"
+            )
+
+    def cost(
+        self, base_rate: float = 40.0, expertise_premium: float = 2.0
+    ) -> float:
+        """Monetary cost estimate.
+
+        Hourly rate grows linearly with expertise ("expertise is
+        typically related to pay level"): at expertise 0 the rate is
+        ``base_rate``; at 100 it is ``base_rate * (1 +
+        expertise_premium)``.
+        """
+        rate = base_rate * (1.0 + expertise_premium * self.expertise / 100.0)
+        return self.hr_amount * rate
+
+    def __add__(self, other: "Effort") -> "Effort":
+        """Sum of efforts: hours add; expertise is the hour-weighted mean."""
+        hours = self.hr_amount + other.hr_amount
+        if hours == 0:
+            return Effort(0.0, max(self.expertise, other.expertise))
+        expertise = (
+            self.hr_amount * self.expertise + other.hr_amount * other.expertise
+        ) / hours
+        return Effort(hours, expertise)
+
+
+class DeploymentType(enum.Enum):
+    """Categorical KPI: development/deployment types (§3.3)."""
+
+    ON_PREMISE = "on-premise"
+    CLOUD = "cloud"
+    HYBRID = "hybrid"
+
+
+class InterfaceType(enum.Enum):
+    """Categorical KPI: interfaces supported by the solution (§3.3)."""
+
+    GUI = "gui"
+    API = "api"
+    CLI = "cli"
+
+
+class MatchingTechnique(enum.Enum):
+    """Categorical KPI: techniques supported by the solution (§3.3)."""
+
+    RULE_BASED = "rule-based"
+    CLUSTERING = "clustering"
+    PROBABILISTIC = "probabilistic"
+    MACHINE_LEARNING = "machine-learning"
+    ACTIVE_LEARNING = "active-learning"
+
+
+@dataclass
+class LifecycleExpenditures:
+    """Lifecycle expenditure KPIs, based on life-cycle cost analysis [23].
+
+    Attributes
+    ----------
+    general_costs:
+        Monetary life-cycle costs (licenses, infrastructure, support).
+    production_readiness:
+        Effort to get the solution ready for production within the
+        company's ecosystem.
+    domain_configuration:
+        Domain-specific configuration effort (e.g. manual labeling of
+        training data).
+    technical_configuration:
+        Technique-specific configuration effort (e.g. algorithm
+        selection).
+    """
+
+    general_costs: float = 0.0
+    production_readiness: Effort = field(default_factory=lambda: Effort(0, 0))
+    domain_configuration: Effort = field(default_factory=lambda: Effort(0, 0))
+    technical_configuration: Effort = field(default_factory=lambda: Effort(0, 0))
+
+    def total_effort(self) -> Effort:
+        """All configuration effort combined."""
+        return (
+            self.production_readiness
+            + self.domain_configuration
+            + self.technical_configuration
+        )
+
+    def total_cost(
+        self, base_rate: float = 40.0, expertise_premium: float = 2.0
+    ) -> float:
+        """General costs plus all effort converted to money (§3.3:
+        "the effort-based metrics can be converted into costs [...] and
+        added to general costs")."""
+        return self.general_costs + self.total_effort().cost(
+            base_rate, expertise_premium
+        )
+
+
+@dataclass
+class SolutionProperties:
+    """The full soft-KPI sheet of one matching solution."""
+
+    name: str
+    lifecycle: LifecycleExpenditures = field(default_factory=LifecycleExpenditures)
+    deployment_types: frozenset[DeploymentType] = frozenset()
+    interfaces: frozenset[InterfaceType] = frozenset()
+    techniques: frozenset[MatchingTechnique] = frozenset()
+    notes: Mapping[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class ExperimentKpis:
+    """Per-experiment soft KPIs (§3.3: "Soft KPIs of Experiments").
+
+    Attributes
+    ----------
+    setup_effort:
+        Effort needed to set up the experiment (e.g. acquisition of
+        suitable test data).
+    configuration_effort:
+        Effort spent configuring the solution for this particular run;
+        the x-axis of the Figure 6 effort diagrams.
+    runtime_seconds:
+        Runtime the matching solution required to complete the
+        experiment.
+    """
+
+    setup_effort: Effort = field(default_factory=lambda: Effort(0, 0))
+    configuration_effort: Effort = field(default_factory=lambda: Effort(0, 0))
+    runtime_seconds: float = 0.0
+
+    def total_effort(self) -> Effort:
+        """Setup plus configuration effort combined."""
+        return self.setup_effort + self.configuration_effort

@@ -1,0 +1,250 @@
+"""Duplicate clustering algorithms (pipeline step 5, §1.2).
+
+"Given the set of high probability duplicate pairs, cluster the
+original dataset into disjoint sets of duplicates" [20, 31].  Frost
+also uses agreement between several clustering algorithms as a
+no-ground-truth quality signal (§3.2.3), so multiple algorithms are
+provided:
+
+* connected components (transitive closure) — the default;
+* center clustering and merge-center clustering (Hassanzadeh et al.);
+* greedy maximum-clique clustering;
+* Markov clustering (flow simulation on the similarity graph).
+
+All functions take scored pairs and return a
+:class:`~repro.core.clustering.Clustering`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.core.pairs import ScoredPair
+
+__all__ = [
+    "connected_components",
+    "center_clustering",
+    "merge_center_clustering",
+    "greedy_clique_clustering",
+    "markov_clustering",
+    "CLUSTERING_ALGORITHMS",
+]
+
+
+def connected_components(pairs: Sequence[ScoredPair]) -> Clustering:
+    """Transitive closure: connected components of the match graph.
+
+    Simple and recall-friendly, but "this step often introduces many
+    false positives" on chained matches (§1.2) — the motivation for the
+    alternatives below.
+    """
+    return Clustering.from_pairs(sp.pair for sp in pairs)
+
+
+def _ordered(pairs: Sequence[ScoredPair]) -> list[ScoredPair]:
+    """Pairs by descending score (ties broken by pair for determinism)."""
+    return sorted(pairs, key=lambda sp: (-sp.score, sp.pair))
+
+
+def center_clustering(pairs: Sequence[ScoredPair]) -> Clustering:
+    """Center clustering [31].
+
+    Scanning pairs by descending similarity: when both records of a
+    pair are unassigned, the first becomes a cluster *center* and the
+    second joins it; an unassigned record paired with an existing
+    center joins that center's cluster.  All other pairs (member–member,
+    member–unassigned, center–center) are ignored, which prevents the
+    chaining errors of transitive closure.
+    """
+    center_of: dict[str, str] = {}  # member -> its center
+    is_center: set[str] = set()
+
+    def assigned(record: str) -> bool:
+        """Whether a record has already been claimed by a cluster."""
+        return record in is_center or record in center_of
+
+    for sp in _ordered(pairs):
+        first, second = sp.pair
+        if not assigned(first) and not assigned(second):
+            is_center.add(first)
+            center_of[second] = first
+        elif first in is_center and not assigned(second):
+            center_of[second] = first
+        elif second in is_center and not assigned(first):
+            center_of[first] = second
+    clusters: dict[str, list[str]] = {center: [center] for center in is_center}
+    for member, center in center_of.items():
+        clusters[center].append(member)
+    # records that never got assigned become singletons
+    placed = is_center | set(center_of)
+    for sp in pairs:
+        for record in sp.pair:
+            if record not in placed:
+                placed.add(record)
+                clusters[record] = [record]
+    return Clustering(clusters.values())
+
+
+def merge_center_clustering(pairs: Sequence[ScoredPair]) -> Clustering:
+    """Merge-center clustering [31].
+
+    Like center clustering, but when a record of one cluster is similar
+    to the *center* of another cluster, the two clusters are merged —
+    more recall than center clustering, less chaining than transitive
+    closure.
+    """
+    from repro.core.unionfind import PairCountingUnionFind
+
+    ids: dict[str, int] = {}
+    ordered = _ordered(pairs)
+    for sp in ordered:
+        for record in sp.pair:
+            ids.setdefault(record, len(ids))
+    unionfind = PairCountingUnionFind(len(ids))
+    is_center: set[str] = set()
+    assigned: set[str] = set()
+    for sp in ordered:
+        first, second = sp.pair
+        first_known = first in is_center or first in assigned
+        second_known = second in is_center or second in assigned
+        if not first_known and not second_known:
+            is_center.add(first)
+            assigned.add(second)
+            unionfind.union(ids[first], ids[second])
+        elif first in is_center:
+            assigned.add(second)
+            unionfind.union(ids[first], ids[second])
+        elif second in is_center:
+            assigned.add(first)
+            unionfind.union(ids[first], ids[second])
+        # member-member pairs are ignored, as in center clustering
+    by_root: dict[int, list[str]] = {}
+    for record, numeric in ids.items():
+        by_root.setdefault(unionfind.find(numeric), []).append(record)
+    return Clustering(by_root.values())
+
+
+def greedy_clique_clustering(pairs: Sequence[ScoredPair]) -> Clustering:
+    """Greedy maximum-clique clustering.
+
+    Pairs are processed by descending score; a merge of two clusters is
+    accepted only if every cross pair is a match — so every cluster is
+    a clique of the match graph.  Precise but conservative.
+    """
+    match_set = {sp.pair for sp in pairs}
+    cluster_of: dict[str, int] = {}
+    members: dict[int, set[str]] = {}
+    next_id = 0
+    from repro.core.pairs import make_pair
+
+    for sp in _ordered(pairs):
+        first, second = sp.pair
+        for record in (first, second):
+            if record not in cluster_of:
+                cluster_of[record] = next_id
+                members[next_id] = {record}
+                next_id += 1
+        cluster_a = cluster_of[first]
+        cluster_b = cluster_of[second]
+        if cluster_a == cluster_b:
+            continue
+        complete = all(
+            make_pair(a, b) in match_set
+            for a in members[cluster_a]
+            for b in members[cluster_b]
+        )
+        if complete:
+            for record in members[cluster_b]:
+                cluster_of[record] = cluster_a
+            members[cluster_a] |= members.pop(cluster_b)
+    return Clustering(members.values())
+
+
+def markov_clustering(
+    pairs: Sequence[ScoredPair],
+    expansion: int = 2,
+    inflation: float = 2.0,
+    iterations: int = 50,
+    tolerance: float = 1e-6,
+) -> Clustering:
+    """Markov clustering (MCL) on the weighted match graph.
+
+    Simulates flow: alternating expansion (matrix power) and inflation
+    (element-wise power + renormalization) until convergence; attractors
+    define the clusters.  Runs independently per connected component to
+    keep the dense matrices small.
+    """
+    if not pairs:
+        return Clustering([])
+    components = Clustering.from_pairs(sp.pair for sp in pairs)
+    weights: dict[tuple[str, str], float] = {sp.pair: sp.score for sp in pairs}
+    clusters: list[list[str]] = []
+    for component in components.clusters:
+        if len(component) <= 2:
+            clusters.append(list(component))
+            continue
+        clusters.extend(
+            _mcl_component(
+                list(component), weights, expansion, inflation, iterations, tolerance
+            )
+        )
+    return Clustering(clusters)
+
+
+def _mcl_component(
+    nodes: list[str],
+    weights: dict[tuple[str, str], float],
+    expansion: int,
+    inflation: float,
+    iterations: int,
+    tolerance: float,
+) -> list[list[str]]:
+    from repro.core.pairs import make_pair
+
+    index = {node: position for position, node in enumerate(nodes)}
+    n = len(nodes)
+    matrix = np.eye(n)  # self loops, standard MCL practice
+    for i, node_a in enumerate(nodes):
+        for j in range(i + 1, n):
+            weight = weights.get(make_pair(node_a, nodes[j]))
+            if weight is not None and weight > 0:
+                matrix[i, j] = matrix[j, i] = weight
+    matrix /= matrix.sum(axis=0, keepdims=True)
+    for _ in range(iterations):
+        previous = matrix
+        matrix = np.linalg.matrix_power(matrix, expansion)
+        matrix = np.power(matrix, inflation)
+        sums = matrix.sum(axis=0, keepdims=True)
+        sums[sums == 0.0] = 1.0
+        matrix /= sums
+        if np.abs(matrix - previous).max() < tolerance:
+            break
+    # attractors: rows with non-negligible mass; cluster = attractor's support
+    assigned: dict[int, int] = {}
+    clusters: dict[int, set[str]] = {}
+    for row in range(n):
+        support = np.nonzero(matrix[row] > 1e-6)[0]
+        if len(support) == 0:
+            continue
+        for column in support:
+            if column not in assigned:
+                assigned[column] = row
+                clusters.setdefault(row, set()).add(nodes[column])
+    # unassigned nodes (numerical edge cases) become singletons
+    placed = {node for members in clusters.values() for node in members}
+    result = [sorted(members) for members in clusters.values()]
+    result.extend([node] for node in nodes if node not in placed)
+    del index
+    return result
+
+
+CLUSTERING_ALGORITHMS = {
+    "connected_components": connected_components,
+    "center": center_clustering,
+    "merge_center": merge_center_clustering,
+    "greedy_clique": greedy_clique_clustering,
+    "markov": markov_clustering,
+}

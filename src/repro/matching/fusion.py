@@ -1,0 +1,158 @@
+"""Duplicate merging / record fusion (pipeline step 6, §1.2).
+
+"Merge the clusters of duplicates into single records" [5, 17, 32].
+Fusion resolves per-attribute conflicts among a cluster's records with
+pluggable strategies and produces one fused record per cluster.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping, Sequence
+from collections import Counter
+
+from repro.core.clustering import Clustering
+from repro.core.records import Dataset, Record
+
+__all__ = [
+    "longest_value",
+    "most_frequent_value",
+    "first_non_null",
+    "concat_distinct",
+    "numeric_mean",
+    "fuse_cluster",
+    "fuse_dataset",
+    "FUSION_STRATEGIES",
+]
+
+FusionStrategy = Callable[[Sequence[str]], str]
+
+
+def longest_value(values: Sequence[str]) -> str:
+    """The longest value — a proxy for the most complete representation."""
+    return max(values, key=lambda value: (len(value), value))
+
+
+def most_frequent_value(values: Sequence[str]) -> str:
+    """The most frequent value; ties broken lexicographically."""
+    counts = Counter(values)
+    best = max(counts.values())
+    return min(value for value, count in counts.items() if count == best)
+
+
+def first_non_null(values: Sequence[str]) -> str:
+    """The first value in cluster order (source-priority fusion)."""
+    return values[0]
+
+
+def concat_distinct(values: Sequence[str]) -> str:
+    """All distinct values joined by `` | `` (keep-everything fusion)."""
+    seen: dict[str, None] = {}
+    for value in values:
+        seen.setdefault(value)
+    return " | ".join(seen)
+
+
+def numeric_mean(values: Sequence[str]) -> str:
+    """Mean of values parseable as numbers; falls back to most frequent."""
+    numbers = []
+    for value in values:
+        try:
+            numbers.append(float(value))
+        except ValueError:
+            pass
+    if not numbers:
+        return most_frequent_value(values)
+    mean = sum(numbers) / len(numbers)
+    if mean.is_integer():
+        return str(int(mean))
+    return f"{mean:g}"
+
+
+FUSION_STRATEGIES: dict[str, FusionStrategy] = {
+    "longest": longest_value,
+    "most_frequent": most_frequent_value,
+    "first": first_non_null,
+    "concat": concat_distinct,
+    "numeric_mean": numeric_mean,
+}
+
+
+def fuse_cluster(
+    records: Sequence[Record],
+    strategies: Mapping[str, FusionStrategy | str] | None = None,
+    default: FusionStrategy | str = "longest",
+    fused_id: str | None = None,
+) -> Record:
+    """Fuse a cluster of records into one record.
+
+    ``strategies`` maps attribute names to per-attribute strategies;
+    everything else uses ``default``.  Nulls are dropped before fusing;
+    an attribute null in every record stays null.
+    """
+    if not records:
+        raise ValueError("cannot fuse an empty cluster")
+
+    def resolve(strategy: FusionStrategy | str) -> FusionStrategy:
+        """The fused value for one attribute of a cluster."""
+        if isinstance(strategy, str):
+            try:
+                return FUSION_STRATEGIES[strategy]
+            except KeyError:
+                known = ", ".join(sorted(FUSION_STRATEGIES))
+                raise KeyError(
+                    f"unknown fusion strategy {strategy!r}; known: {known}"
+                ) from None
+        return strategy
+
+    default_fn = resolve(default)
+    strategy_fns = {
+        attribute: resolve(strategy)
+        for attribute, strategy in (strategies or {}).items()
+    }
+    attributes: dict[str, None] = {}
+    for record in records:
+        for attribute in record.values:
+            attributes.setdefault(attribute)
+    fused: dict[str, str | None] = {}
+    for attribute in attributes:
+        present = [
+            record.value(attribute)
+            for record in records
+            if record.value(attribute) is not None
+        ]
+        if not present:
+            fused[attribute] = None
+        else:
+            strategy = strategy_fns.get(attribute, default_fn)
+            fused[attribute] = strategy(present)
+    identifier = fused_id or min(record.record_id for record in records)
+    return Record(record_id=identifier, values=fused)
+
+
+def fuse_dataset(
+    dataset: Dataset,
+    clustering: Clustering,
+    strategies: Mapping[str, FusionStrategy | str] | None = None,
+    default: FusionStrategy | str = "longest",
+) -> Dataset:
+    """The deduplicated dataset: one fused record per cluster.
+
+    Records outside every cluster pass through unchanged.
+    """
+    fused_records: list[Record] = []
+    clustered: set[str] = set()
+    for cluster in clustering.clusters:
+        members = [dataset[record_id] for record_id in cluster if record_id in dataset]
+        if not members:
+            continue
+        clustered.update(record.record_id for record in members)
+        fused_records.append(
+            fuse_cluster(members, strategies=strategies, default=default)
+        )
+    for record in dataset:
+        if record.record_id not in clustered:
+            fused_records.append(record)
+    fused_records.sort(key=lambda record: record.record_id)
+    return Dataset(
+        fused_records, name=f"{dataset.name}-fused", attributes=dataset.attributes
+    )

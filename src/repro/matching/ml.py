@@ -1,0 +1,192 @@
+"""Learned decision models (pipeline step 4, §1.2).
+
+"Supervised machine learning models [...] are trained by domain experts
+who label example pairs from the dataset as duplicate or non-duplicate"
+(Section 1).  We implement logistic regression (batch gradient descent
+with L2 regularization) and Gaussian naive Bayes over similarity
+vectors, from scratch on numpy — no external ML dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.matching.attribute_matching import SimilarityVector
+
+__all__ = ["LogisticRegressionModel", "NaiveBayesModel"]
+
+
+class LogisticRegressionModel:
+    """L2-regularized logistic regression over similarity vectors.
+
+    Missing comparisons are imputed with ``missing_value`` and flagged
+    by companion indicator features, letting the model learn sparsity
+    behaviour explicitly (relevant for the nullRatio analyses, §4.5.2).
+    """
+
+    def __init__(
+        self,
+        attributes: Sequence[str],
+        learning_rate: float = 0.5,
+        iterations: int = 400,
+        l2: float = 1e-3,
+        missing_value: float = 0.0,
+        missing_indicators: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if not attributes:
+            raise ValueError("model needs at least one attribute")
+        self.attributes = list(attributes)
+        self.learning_rate = learning_rate
+        self.iterations = iterations
+        self.l2 = l2
+        self.missing_value = missing_value
+        # indicator features let the model exploit missingness patterns,
+        # but bind it to the training data's sparsity profile: applied
+        # to a dataset with a different null density, the shifted
+        # indicator activations bias every score (cf. the material
+        # mismatch of §4.5.2).  Disable for cross-dataset transfer.
+        self.missing_indicators = missing_indicators
+        self._rng = np.random.default_rng(seed)
+        self._weights: np.ndarray | None = None
+
+    # -- features -----------------------------------------------------------------
+
+    def _features(self, vectors: Sequence[SimilarityVector]) -> np.ndarray:
+        """Design matrix: similarities, missing indicators, and a bias."""
+        rows = []
+        for vector in vectors:
+            similarities = vector.dense(self.attributes, missing=self.missing_value)
+            if not self.missing_indicators:
+                rows.append([*similarities, 1.0])
+                continue
+            indicators = [
+                1.0 if vector.values.get(attribute) is None else 0.0
+                for attribute in self.attributes
+            ]
+            rows.append([*similarities, *indicators, 1.0])
+        return np.asarray(rows, dtype=float)
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(
+        self, vectors: Sequence[SimilarityVector], labels: Sequence[bool]
+    ) -> "LogisticRegressionModel":
+        """Train on labeled similarity vectors (True == duplicate)."""
+        if len(vectors) != len(labels):
+            raise ValueError(
+                f"got {len(vectors)} vectors but {len(labels)} labels"
+            )
+        if not vectors:
+            raise ValueError("training set is empty")
+        features = self._features(vectors)
+        targets = np.asarray(labels, dtype=float)
+        weights = self._rng.normal(0.0, 0.01, size=features.shape[1])
+        n = len(targets)
+        # class weighting counteracts the heavy match/non-match imbalance
+        positives = targets.sum()
+        if positives in (0, n):
+            sample_weights = np.ones(n)
+        else:
+            weight_pos = n / (2.0 * positives)
+            weight_neg = n / (2.0 * (n - positives))
+            sample_weights = np.where(targets == 1.0, weight_pos, weight_neg)
+        for _ in range(self.iterations):
+            logits = features @ weights
+            predictions = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+            errors = (predictions - targets) * sample_weights
+            gradient = features.T @ errors / n + self.l2 * weights
+            weights -= self.learning_rate * gradient
+        self._weights = weights
+        return self
+
+    # -- inference ----------------------------------------------------------------
+
+    def score(self, vector: SimilarityVector) -> float:
+        """Match probability for one candidate pair."""
+        return float(self.score_many([vector])[0])
+
+    def score_many(self, vectors: Sequence[SimilarityVector]) -> np.ndarray:
+        """Match probabilities for many candidate pairs (vectorized)."""
+        if self._weights is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        features = self._features(vectors)
+        logits = features @ self._weights
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+
+    def attribute_weights(self) -> dict[str, float]:
+        """Learned per-attribute weights (for semantic-mismatch analysis,
+        §4.5.2: a solution weighing semantically irrelevant attributes)."""
+        if self._weights is None:
+            raise RuntimeError("model is not fitted; call fit() first")
+        return dict(zip(self.attributes, self._weights[: len(self.attributes)]))
+
+
+class NaiveBayesModel:
+    """Gaussian naive Bayes over similarity vectors.
+
+    A second learned model family so that benchmark studies can compare
+    genuinely different decision models (cf. §5.4: "three of the
+    matching solutions used a machine learning approach").
+    """
+
+    def __init__(self, attributes: Sequence[str], missing_value: float = 0.0) -> None:
+        if not attributes:
+            raise ValueError("model needs at least one attribute")
+        self.attributes = list(attributes)
+        self.missing_value = missing_value
+        self._means: dict[bool, np.ndarray] = {}
+        self._variances: dict[bool, np.ndarray] = {}
+        self._priors: dict[bool, float] = {}
+
+    def _matrix(self, vectors: Sequence[SimilarityVector]) -> np.ndarray:
+        return np.asarray(
+            [v.dense(self.attributes, missing=self.missing_value) for v in vectors],
+            dtype=float,
+        )
+
+    def fit(
+        self, vectors: Sequence[SimilarityVector], labels: Sequence[bool]
+    ) -> "NaiveBayesModel":
+        """Train on labeled similarity vectors (True == duplicate)."""
+        if len(vectors) != len(labels):
+            raise ValueError(
+                f"got {len(vectors)} vectors but {len(labels)} labels"
+            )
+        matrix = self._matrix(vectors)
+        flags = np.asarray(labels, dtype=bool)
+        for label in (False, True):
+            rows = matrix[flags == label]
+            if len(rows) == 0:
+                # unseen class: uninformative prior centered mid-range
+                self._means[label] = np.full(matrix.shape[1], 0.5)
+                self._variances[label] = np.full(matrix.shape[1], 0.25)
+                self._priors[label] = 1e-9
+            else:
+                self._means[label] = rows.mean(axis=0)
+                self._variances[label] = rows.var(axis=0) + 1e-4
+                self._priors[label] = len(rows) / len(matrix)
+        return self
+
+    def score(self, vector: SimilarityVector) -> float:
+        """Match probability for one candidate pair."""
+        return float(self.score_many([vector])[0])
+
+    def score_many(self, vectors: Sequence[SimilarityVector]) -> np.ndarray:
+        """Match probabilities for many candidate pairs."""
+        if not self._priors:
+            raise RuntimeError("model is not fitted; call fit() first")
+        matrix = self._matrix(vectors)
+        log_odds = np.log(self._priors[True]) - np.log(self._priors[False])
+        scores = np.full(len(matrix), log_odds)
+        for label, sign in ((True, 1.0), (False, -1.0)):
+            means = self._means[label]
+            variances = self._variances[label]
+            log_density = (
+                -0.5 * np.log(2 * np.pi * variances)
+                - (matrix - means) ** 2 / (2 * variances)
+            ).sum(axis=1)
+            scores += sign * log_density
+        return 1.0 / (1.0 + np.exp(-np.clip(scores, -30, 30)))

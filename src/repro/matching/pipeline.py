@@ -1,0 +1,223 @@
+"""The end-to-end data matching pipeline (§1.2).
+
+"A data matching pipeline typically consists of the following steps:
+(1) data preparation, (2) candidate generation, (3) similarity-based
+attribute value matching, (4) decision model / classification,
+(5) duplicate clustering, (6) duplicate merging / record fusion."
+
+:class:`MatchingPipeline` wires the substrate modules together and —
+central to Frost — exposes *per-stage outputs* so that quality can be
+measured between the steps ("Measuring the performance between these
+steps [...] helps to find bottlenecks of matching performance").
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.experiment import Experiment, Match
+from repro.core.pairs import Pair, ScoredPair
+from repro.core.records import Dataset, Record
+from repro.matching.attribute_matching import AttributeComparator, SimilarityVector
+from repro.matching.clustering_algorithms import CLUSTERING_ALGORITHMS
+from repro.matching.fusion import fuse_dataset
+
+__all__ = ["PipelineRun", "MatchingPipeline", "normalize_whitespace", "lowercase_values"]
+
+Preparer = Callable[[Record], Record]
+CandidateGenerator = Callable[[Dataset], set[Pair]]
+DecisionModel = Callable[[SimilarityVector], float]
+
+
+def normalize_whitespace(record: Record) -> Record:
+    """Data-preparation step: collapse runs of whitespace, strip ends."""
+    cleaned = {
+        attribute: (" ".join(value.split()) if value is not None else None)
+        for attribute, value in record.values.items()
+    }
+    return Record(record_id=record.record_id, values=cleaned)
+
+
+def lowercase_values(record: Record) -> Record:
+    """Data-preparation step: lowercase all values (case standardization)."""
+    lowered = {
+        attribute: (value.lower() if value is not None else None)
+        for attribute, value in record.values.items()
+    }
+    return Record(record_id=record.record_id, values=lowered)
+
+
+@dataclass
+class PipelineRun:
+    """All intermediate and final outputs of one pipeline execution.
+
+    Pair-based metrics can be computed on ``candidates`` (candidate
+    generation quality), ``scored_pairs`` at any threshold (decision
+    model quality), and the final ``experiment`` (overall quality) —
+    exactly the inter-stage measurements Frost advocates (§1.2).
+    """
+
+    dataset: Dataset
+    prepared: Dataset
+    candidates: set[Pair]
+    vectors: Sequence[SimilarityVector]
+    scored_pairs: list[ScoredPair]
+    experiment: Experiment
+    fused: Dataset | None = None
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+
+class MatchingPipeline:
+    """A configurable six-step matching solution.
+
+    Parameters
+    ----------
+    candidate_generator:
+        Step 2 — maps the prepared dataset to candidate pairs.
+    comparator:
+        Step 3 — per-attribute similarity configuration.
+    decision_model:
+        Step 4 — maps a similarity vector to a score in ``[0, 1]``.
+    threshold:
+        "A pair is matched if its score is higher than a specific
+        threshold" (§1.2); we use ``score >= threshold``.
+    preparers:
+        Step 1 — record-level cleaning functions applied in order.
+    clustering:
+        Step 5 — name from ``CLUSTERING_ALGORITHMS`` or a callable.
+    fuse:
+        Step 6 — whether to also produce the fused (deduplicated)
+        dataset.
+    name / solution:
+        Labels attached to the resulting experiment.
+    """
+
+    def __init__(
+        self,
+        candidate_generator: CandidateGenerator,
+        comparator: AttributeComparator,
+        decision_model: DecisionModel,
+        threshold: float = 0.5,
+        preparers: Sequence[Preparer] = (normalize_whitespace,),
+        clustering: str | Callable[[Sequence[ScoredPair]], object] = "connected_components",
+        fuse: bool = False,
+        fusion_strategies: Mapping[str, object] | None = None,
+        name: str = "pipeline-run",
+        solution: str = "pipeline",
+    ) -> None:
+        self.candidate_generator = candidate_generator
+        self.comparator = comparator
+        self.decision_model = decision_model
+        self.threshold = threshold
+        self.preparers = list(preparers)
+        if isinstance(clustering, str):
+            try:
+                clustering = CLUSTERING_ALGORITHMS[clustering]
+            except KeyError:
+                known = ", ".join(sorted(CLUSTERING_ALGORITHMS))
+                raise KeyError(
+                    f"unknown clustering algorithm {clustering!r}; known: {known}"
+                ) from None
+        self.clustering = clustering
+        self.fuse = fuse
+        self.fusion_strategies = fusion_strategies
+        self.name = name
+        self.solution = solution
+
+    def run(self, dataset: Dataset) -> PipelineRun:
+        """Execute all pipeline steps on ``dataset``."""
+        stage_seconds: dict[str, float] = {}
+
+        started = time.perf_counter()
+        prepared_records = []
+        for record in dataset:
+            for preparer in self.preparers:
+                record = preparer(record)
+            prepared_records.append(record)
+        prepared = Dataset(
+            prepared_records, name=f"{dataset.name}-prepared",
+            attributes=dataset.attributes,
+        )
+        stage_seconds["preparation"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        candidates = self.candidate_generator(prepared)
+        stage_seconds["candidates"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        vectors = [
+            self.comparator.compare(prepared[a], prepared[b])
+            for a, b in sorted(candidates)
+        ]
+        stage_seconds["similarity"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        scored_pairs = [
+            ScoredPair(score=self.decision_model(vector), pair=vector.pair)
+            for vector in vectors
+        ]
+        stage_seconds["decision"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        accepted = [sp for sp in scored_pairs if sp.score >= self.threshold]
+        clustering = self.clustering(accepted)
+        accepted_set = {sp.pair for sp in accepted}
+        score_of = {sp.pair: sp.score for sp in accepted}
+        matches = []
+        for pair in sorted(clustering.pairs()):
+            matches.append(
+                Match(
+                    pair=pair,
+                    score=score_of.get(pair),
+                    from_clustering=pair not in accepted_set,
+                )
+            )
+        stage_seconds["clustering"] = time.perf_counter() - started
+
+        experiment = Experiment(
+            matches,
+            name=self.name,
+            solution=self.solution,
+            metadata={"threshold": self.threshold},
+        )
+
+        fused = None
+        if self.fuse:
+            started = time.perf_counter()
+            fused = fuse_dataset(
+                dataset, clustering, strategies=self.fusion_strategies
+            )
+            stage_seconds["fusion"] = time.perf_counter() - started
+
+        experiment.metadata["runtime_seconds"] = sum(stage_seconds.values())
+        return PipelineRun(
+            dataset=dataset,
+            prepared=prepared,
+            candidates=candidates,
+            vectors=vectors,
+            scored_pairs=scored_pairs,
+            experiment=experiment,
+            fused=fused,
+            stage_seconds=stage_seconds,
+        )
+
+    def scored_experiment(self, dataset: Dataset, keep_all: bool = True) -> Experiment:
+        """An experiment carrying *all* scored candidate pairs.
+
+        With ``keep_all`` the result retains pairs below the threshold
+        too — the input metric/metric diagrams need to sweep thresholds
+        meaningfully (§4.5.1 notes diagrams "heavily depend on how many
+        pairs have a similarity score assigned").
+        """
+        run = self.run(dataset)
+        pairs = run.scored_pairs if keep_all else [
+            sp for sp in run.scored_pairs if sp.score >= self.threshold
+        ]
+        return Experiment(
+            (Match(pair=sp.pair, score=sp.score) for sp in pairs),
+            name=f"{self.name}-scored",
+            solution=self.solution,
+            metadata=dict(run.experiment.metadata),
+        )

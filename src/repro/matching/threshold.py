@@ -1,0 +1,83 @@
+"""Threshold-based decision models (pipeline step 4, §1.2).
+
+The simplest decision model family: a weighted linear combination of
+attribute similarities compared against a threshold.  Draisbach and
+Naumann showed that the optimal threshold depends on dataset size [22],
+which Frost's metric/metric diagrams help locate (§4.5.1).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.matching.attribute_matching import SimilarityVector
+
+__all__ = ["WeightedAverageModel", "best_threshold"]
+
+
+class WeightedAverageModel:
+    """Weighted mean of attribute similarities as the match score.
+
+    Missing comparisons are excluded from the weighted mean (their
+    weight is redistributed), or — with ``missing_penalty`` — counted
+    as that fixed similarity, letting studies control how a solution
+    reacts to sparsity (cf. Appendix C).
+    """
+
+    def __init__(
+        self,
+        weights: Mapping[str, float],
+        missing_penalty: float | None = None,
+    ) -> None:
+        if not weights:
+            raise ValueError("model needs at least one attribute weight")
+        if any(weight < 0 for weight in weights.values()):
+            raise ValueError("attribute weights must be non-negative")
+        if sum(weights.values()) == 0:
+            raise ValueError("at least one attribute weight must be positive")
+        self.weights = dict(weights)
+        self.missing_penalty = missing_penalty
+
+    def __call__(self, vector: SimilarityVector) -> float:
+        return self.score(vector)
+
+    def score(self, vector: SimilarityVector) -> float:
+        """The weighted mean of the vector's attribute similarities."""
+        total = 0.0
+        total_weight = 0.0
+        for attribute, weight in self.weights.items():
+            value = vector.values.get(attribute)
+            if value is None:
+                if self.missing_penalty is None:
+                    continue
+                value = self.missing_penalty
+            total += weight * value
+            total_weight += weight
+        if total_weight == 0.0:
+            return 0.0
+        return total / total_weight
+
+
+def best_threshold(
+    points,
+    metric,
+) -> tuple[float, float]:
+    """The sampled threshold maximizing ``metric`` on a diagram.
+
+    Parameters
+    ----------
+    points:
+        ``DiagramPoint`` sequence from :mod:`repro.core.diagrams`.
+    metric:
+        Pair metric over confusion matrices, e.g.
+        :func:`repro.metrics.pairwise.f1_score`.
+
+    Returns
+    -------
+    (threshold, metric value) of the best sampled data point.  Ties go
+    to the higher (more conservative) threshold.
+    """
+    if not points:
+        raise ValueError("no diagram points given")
+    best = max(points, key=lambda point: (metric(point.matrix), point.threshold))
+    return best.threshold, metric(best.matrix)

@@ -1,0 +1,16 @@
+"""Quality metrics: pair-based, cluster-based, and ground-truth-free."""
+
+from repro.metrics import clusterwise, noground, pairwise
+from repro.metrics.pairwise import f1_score, precision, recall
+from repro.metrics.registry import MetricRegistry, default_registry
+
+__all__ = [
+    "MetricRegistry",
+    "clusterwise",
+    "default_registry",
+    "f1_score",
+    "noground",
+    "pairwise",
+    "precision",
+    "recall",
+]

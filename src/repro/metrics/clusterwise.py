@@ -1,0 +1,322 @@
+"""Cluster-based quality metrics (§3.2.2).
+
+These metrics compare the *clusterings* of ground truth and experiment
+rather than their pair sets, making them immune to the quadratic
+true-negative imbalance.  They require the experiment to be transitively
+closed (use :meth:`Experiment.clustering`).
+
+Implemented: the closest-cluster f1 score [4], the Variation of
+Information [41], the Generalized Merge Distance with pluggable cost
+functions and its specializations (basic merge distance, pairwise
+distance) [42], exact cluster precision/recall/f1, and the adjusted
+Rand index as a convenience.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+
+from repro.core.clustering import Clustering
+
+__all__ = [
+    "closest_cluster_precision",
+    "closest_cluster_recall",
+    "closest_cluster_f1",
+    "variation_of_information",
+    "generalized_merge_distance",
+    "basic_merge_distance",
+    "pairwise_merge_distance",
+    "cluster_precision",
+    "cluster_recall",
+    "cluster_f1",
+    "adjusted_rand_index",
+]
+
+
+def _universe(
+    experiment: Clustering,
+    truth: Clustering,
+    records: Iterable[str] | None,
+) -> list[str]:
+    if records is not None:
+        return list(records)
+    return sorted(experiment.records() | truth.records())
+
+
+def _overlap_table(
+    experiment: Clustering, truth: Clustering, universe: list[str]
+) -> tuple[dict[int, int], dict[int, int], dict[tuple[int, int], int]]:
+    """Cluster sizes and the contingency (overlap) table over ``universe``.
+
+    Records outside any explicit cluster get fresh singleton indices so
+    every record contributes exactly once.
+    """
+    exp_sizes: dict[int, int] = {}
+    truth_sizes: dict[int, int] = {}
+    overlap: dict[tuple[int, int], int] = {}
+    next_exp = len(experiment.clusters)
+    next_truth = len(truth.clusters)
+    for record_id in universe:
+        exp_index = experiment.cluster_index(record_id)
+        if exp_index is None:
+            exp_index = next_exp
+            next_exp += 1
+        truth_index = truth.cluster_index(record_id)
+        if truth_index is None:
+            truth_index = next_truth
+            next_truth += 1
+        exp_sizes[exp_index] = exp_sizes.get(exp_index, 0) + 1
+        truth_sizes[truth_index] = truth_sizes.get(truth_index, 0) + 1
+        key = (exp_index, truth_index)
+        overlap[key] = overlap.get(key, 0) + 1
+    return exp_sizes, truth_sizes, overlap
+
+
+# -- closest cluster f1 [4] -------------------------------------------------------
+
+
+def _closest_cluster_score(
+    from_sizes: dict[int, int],
+    to_sizes: dict[int, int],
+    overlap_by_from: dict[int, dict[int, int]],
+) -> float:
+    """Average, over 'from' clusters, of the best Jaccard match in 'to'."""
+    if not from_sizes:
+        return 1.0
+    total = 0.0
+    for from_index, size in from_sizes.items():
+        best = 0.0
+        for to_index, shared in overlap_by_from.get(from_index, {}).items():
+            union = size + to_sizes[to_index] - shared
+            best = max(best, shared / union)
+        total += best
+    return total / len(from_sizes)
+
+
+def closest_cluster_precision(
+    experiment: Clustering,
+    truth: Clustering,
+    records: Iterable[str] | None = None,
+) -> float:
+    """Average best-Jaccard of each experiment cluster against the truth."""
+    universe = _universe(experiment, truth, records)
+    exp_sizes, truth_sizes, overlap = _overlap_table(experiment, truth, universe)
+    by_exp: dict[int, dict[int, int]] = {}
+    for (exp_index, truth_index), shared in overlap.items():
+        by_exp.setdefault(exp_index, {})[truth_index] = shared
+    return _closest_cluster_score(exp_sizes, truth_sizes, by_exp)
+
+
+def closest_cluster_recall(
+    experiment: Clustering,
+    truth: Clustering,
+    records: Iterable[str] | None = None,
+) -> float:
+    """Average best-Jaccard of each truth cluster against the experiment."""
+    universe = _universe(experiment, truth, records)
+    exp_sizes, truth_sizes, overlap = _overlap_table(experiment, truth, universe)
+    by_truth: dict[int, dict[int, int]] = {}
+    for (exp_index, truth_index), shared in overlap.items():
+        by_truth.setdefault(truth_index, {})[exp_index] = shared
+    return _closest_cluster_score(truth_sizes, exp_sizes, by_truth)
+
+
+def closest_cluster_f1(
+    experiment: Clustering,
+    truth: Clustering,
+    records: Iterable[str] | None = None,
+) -> float:
+    """Harmonic mean of closest-cluster precision and recall [4]."""
+    p = closest_cluster_precision(experiment, truth, records)
+    r = closest_cluster_recall(experiment, truth, records)
+    if p == 0.0 and r == 0.0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+# -- variation of information [41] -------------------------------------------------
+
+
+def variation_of_information(
+    experiment: Clustering,
+    truth: Clustering,
+    records: Iterable[str] | None = None,
+) -> float:
+    """Meila's Variation of Information, ``VI = H(E|T) + H(T|E)`` (nats).
+
+    Non-negative; zero exactly when the clusterings agree on the
+    universe.  A true metric on the space of partitions.
+    """
+    universe = _universe(experiment, truth, records)
+    n = len(universe)
+    if n == 0:
+        return 0.0
+    exp_sizes, truth_sizes, overlap = _overlap_table(experiment, truth, universe)
+    vi = 0.0
+    for (exp_index, truth_index), shared in overlap.items():
+        p_joint = shared / n
+        p_exp = exp_sizes[exp_index] / n
+        p_truth = truth_sizes[truth_index] / n
+        vi -= p_joint * (
+            math.log(p_joint / p_exp) + math.log(p_joint / p_truth)
+        )
+    # numerical noise can produce tiny negatives for identical clusterings
+    return max(vi, 0.0)
+
+
+# -- generalized merge distance [42] ------------------------------------------------
+
+CostFunction = Callable[[int, int], float]
+
+
+def generalized_merge_distance(
+    source: Clustering,
+    target: Clustering,
+    merge_cost: CostFunction,
+    split_cost: CostFunction,
+    records: Iterable[str] | None = None,
+) -> float:
+    """Menestrina et al.'s GMD via the linear-time "Slice" algorithm.
+
+    The cheapest sequence of cluster merges and splits transforming
+    ``source`` into ``target``, where merging groups of sizes ``x`` and
+    ``y`` costs ``merge_cost(x, y)`` and splitting a cluster into parts
+    of sizes ``x`` and ``y`` costs ``split_cost(x, y)``.  Cost functions
+    must be non-negative; the standard algorithm assumes they are
+    monotone in both arguments.
+    """
+    universe = _universe(source, target, records)
+    # partition each source cluster by target cluster
+    target_index_of: dict[str, int] = {}
+    next_target = len(target.clusters)
+    for record_id in universe:
+        index = target.cluster_index(record_id)
+        if index is None:
+            index = next_target
+            next_target += 1
+        target_index_of[record_id] = index
+
+    source_index_of: dict[str, int] = {}
+    next_source = len(source.clusters)
+    groups: dict[int, dict[int, int]] = {}
+    for record_id in universe:
+        source_index = source.cluster_index(record_id)
+        if source_index is None:
+            source_index = next_source
+            next_source += 1
+        source_index_of[record_id] = source_index
+        target_index = target_index_of[record_id]
+        parts = groups.setdefault(source_index, {})
+        parts[target_index] = parts.get(target_index, 0) + 1
+
+    cost = 0.0
+    # accumulated size per target cluster, across source clusters seen so far
+    accumulated: dict[int, int] = {}
+    for parts in groups.values():
+        sizes = list(parts.values())
+        total = sum(sizes)
+        # split the source cluster into its parts, peeling one at a time
+        remaining = total
+        for size in sizes[:-1]:
+            cost += split_cost(size, remaining - size)
+            remaining -= size
+        # merge each part into the growing target cluster
+        for target_index, size in parts.items():
+            seen = accumulated.get(target_index, 0)
+            if seen > 0:
+                cost += merge_cost(size, seen)
+            accumulated[target_index] = seen + size
+    return cost
+
+
+def basic_merge_distance(
+    source: Clustering,
+    target: Clustering,
+    records: Iterable[str] | None = None,
+) -> float:
+    """GMD with unit costs: the minimum number of merge/split operations."""
+    return generalized_merge_distance(
+        source, target, merge_cost=lambda x, y: 1.0, split_cost=lambda x, y: 1.0,
+        records=records,
+    )
+
+
+def pairwise_merge_distance(
+    source: Clustering,
+    target: Clustering,
+    records: Iterable[str] | None = None,
+) -> float:
+    """GMD with product costs ``f(x, y) = x·y``.
+
+    Equals the number of pair-level disagreements ``FP + FN`` between
+    the two clusterings — the bridge between the cluster and pair views
+    shown by Menestrina et al.
+    """
+    return generalized_merge_distance(
+        source, target, merge_cost=lambda x, y: float(x * y),
+        split_cost=lambda x, y: float(x * y), records=records,
+    )
+
+
+# -- exact cluster matching -----------------------------------------------------------
+
+
+def cluster_precision(experiment: Clustering, truth: Clustering) -> float:
+    """Fraction of experiment clusters reproduced exactly in the truth.
+
+    Only non-singleton clusters are considered, since singletons are
+    representation-dependent.
+    """
+    experiment_clusters = experiment.nontrivial_clusters()
+    if not experiment_clusters:
+        return 1.0
+    truth_clusters = truth.nontrivial_clusters()
+    return len(experiment_clusters & truth_clusters) / len(experiment_clusters)
+
+
+def cluster_recall(experiment: Clustering, truth: Clustering) -> float:
+    """Fraction of truth clusters reproduced exactly by the experiment."""
+    truth_clusters = truth.nontrivial_clusters()
+    if not truth_clusters:
+        return 1.0
+    experiment_clusters = experiment.nontrivial_clusters()
+    return len(experiment_clusters & truth_clusters) / len(truth_clusters)
+
+
+def cluster_f1(experiment: Clustering, truth: Clustering) -> float:
+    """Harmonic mean of exact cluster precision and recall."""
+    p = cluster_precision(experiment, truth)
+    r = cluster_recall(experiment, truth)
+    if p == 0.0 and r == 0.0:
+        return 0.0
+    return 2 * p * r / (p + r)
+
+
+# -- adjusted Rand index ---------------------------------------------------------------
+
+
+def adjusted_rand_index(
+    experiment: Clustering,
+    truth: Clustering,
+    records: Iterable[str] | None = None,
+) -> float:
+    """Hubert & Arabie's chance-corrected Rand index, in [-0.5, 1]."""
+    universe = _universe(experiment, truth, records)
+    n = len(universe)
+    if n < 2:
+        return 1.0
+    exp_sizes, truth_sizes, overlap = _overlap_table(experiment, truth, universe)
+
+    def comb2(k: int) -> int:
+        return k * (k - 1) // 2
+
+    sum_overlap = sum(comb2(v) for v in overlap.values())
+    sum_exp = sum(comb2(v) for v in exp_sizes.values())
+    sum_truth = sum(comb2(v) for v in truth_sizes.values())
+    total = comb2(n)
+    expected = sum_exp * sum_truth / total
+    maximum = (sum_exp + sum_truth) / 2.0
+    if maximum == expected:
+        return 1.0
+    return (sum_overlap - expected) / (maximum - expected)

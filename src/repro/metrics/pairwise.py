@@ -1,0 +1,199 @@
+"""Pair-based quality metrics (§3.2.1).
+
+All metrics are pure functions of a :class:`ConfusionMatrix` and are
+therefore computable at any intermediate stage of the matching pipeline
+(candidate generation, decision model, ...), whether or not the match
+set is transitively closed.
+
+Conventions for degenerate denominators: a rate whose denominator is
+zero is defined as 1.0 when the numerator side is "nothing to get
+wrong" (e.g. precision with no predicted positives) — the solution made
+no mistakes of that kind — matching the behaviour of most ER toolkits.
+MCC with a zero denominator is defined as 0.0 (no correlation).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.confusion import ConfusionMatrix
+
+__all__ = [
+    "precision",
+    "recall",
+    "f1_score",
+    "f_beta",
+    "f_star",
+    "accuracy",
+    "balanced_accuracy",
+    "specificity",
+    "false_positive_rate",
+    "false_negative_rate",
+    "negative_predictive_value",
+    "fowlkes_mallows",
+    "matthews_correlation",
+    "reduction_ratio",
+    "pairs_completeness",
+    "pairs_quality",
+    "prevalence",
+    "jaccard_index",
+    "bookmaker_informedness",
+    "markedness",
+]
+
+
+def precision(matrix: ConfusionMatrix) -> float:
+    """TP / (TP + FP): fraction of declared matches that are correct."""
+    denominator = matrix.predicted_positives
+    if denominator == 0:
+        return 1.0
+    return matrix.true_positives / denominator
+
+
+def recall(matrix: ConfusionMatrix) -> float:
+    """TP / (TP + FN): fraction of true duplicates that were found."""
+    denominator = matrix.actual_positives
+    if denominator == 0:
+        return 1.0
+    return matrix.true_positives / denominator
+
+
+def f1_score(matrix: ConfusionMatrix) -> float:
+    """Harmonic mean of precision and recall."""
+    return f_beta(matrix, beta=1.0)
+
+
+def f_beta(matrix: ConfusionMatrix, beta: float = 1.0) -> float:
+    """Weighted harmonic mean; ``beta > 1`` weights recall higher."""
+    if beta <= 0:
+        raise ValueError(f"beta must be positive, got {beta}")
+    p = precision(matrix)
+    r = recall(matrix)
+    if p == 0.0 and r == 0.0:
+        return 0.0
+    beta2 = beta * beta
+    return (1 + beta2) * p * r / (beta2 * p + r)
+
+
+def f_star(matrix: ConfusionMatrix) -> float:
+    """The f* score of Hand, Christen & Kirielle [30].
+
+    ``f* = TP / (TP + FP + FN)`` — an interpretable transformation of
+    the F-measure: the fraction of relevant pairs (matched by either
+    experiment or ground truth) that are handled correctly.  Relates to
+    f1 via ``f* = f1 / (2 - f1)``.
+    """
+    denominator = (
+        matrix.true_positives + matrix.false_positives + matrix.false_negatives
+    )
+    if denominator == 0:
+        return 1.0
+    return matrix.true_positives / denominator
+
+
+def accuracy(matrix: ConfusionMatrix) -> float:
+    """(TP + TN) / all pairs.
+
+    Considered unreliable for matching due to class imbalance: it can
+    be close to 1 even when all pairs are classified as non-duplicates
+    (§3.2.1).  Provided for completeness.
+    """
+    if matrix.total == 0:
+        return 1.0
+    return (matrix.true_positives + matrix.true_negatives) / matrix.total
+
+
+def specificity(matrix: ConfusionMatrix) -> float:
+    """TN / (TN + FP): true-negative rate (used by ROC curves, §4.5.1)."""
+    denominator = matrix.actual_negatives
+    if denominator == 0:
+        return 1.0
+    return matrix.true_negatives / denominator
+
+
+def balanced_accuracy(matrix: ConfusionMatrix) -> float:
+    """Mean of recall and specificity."""
+    return (recall(matrix) + specificity(matrix)) / 2.0
+
+
+def false_positive_rate(matrix: ConfusionMatrix) -> float:
+    """FP / (FP + TN): x-axis of the ROC curve."""
+    return 1.0 - specificity(matrix)
+
+
+def false_negative_rate(matrix: ConfusionMatrix) -> float:
+    """FN / (FN + TP)."""
+    return 1.0 - recall(matrix)
+
+
+def negative_predictive_value(matrix: ConfusionMatrix) -> float:
+    """TN / (TN + FN)."""
+    denominator = matrix.predicted_negatives
+    if denominator == 0:
+        return 1.0
+    return matrix.true_negatives / denominator
+
+
+def fowlkes_mallows(matrix: ConfusionMatrix) -> float:
+    """Fowlkes–Mallows index [27]: geometric mean of precision and recall."""
+    return math.sqrt(precision(matrix) * recall(matrix))
+
+
+def matthews_correlation(matrix: ConfusionMatrix) -> float:
+    """Matthews correlation coefficient [8], in [-1, 1].
+
+    More reliable than accuracy and f1 under class imbalance; 0 when
+    any marginal is empty.
+    """
+    tp, fp = matrix.true_positives, matrix.false_positives
+    fn, tn = matrix.false_negatives, matrix.true_negatives
+    denominator = math.sqrt(
+        float(tp + fp) * float(tp + fn) * float(tn + fp) * float(tn + fn)
+    )
+    if denominator == 0.0:
+        return 0.0
+    return (tp * tn - fp * fn) / denominator
+
+
+def reduction_ratio(matrix: ConfusionMatrix) -> float:
+    """1 - |candidates| / |[D]^2| — candidate-generation efficiency [37].
+
+    When the matrix describes the output of a blocking/candidate stage
+    (candidates as "predicted positives"), this measures how much of the
+    quadratic comparison space the stage pruned.
+    """
+    if matrix.total == 0:
+        return 0.0
+    return 1.0 - matrix.predicted_positives / matrix.total
+
+
+def pairs_completeness(matrix: ConfusionMatrix) -> float:
+    """Alias of recall in blocking evaluation contexts [37]."""
+    return recall(matrix)
+
+
+def pairs_quality(matrix: ConfusionMatrix) -> float:
+    """Alias of precision in blocking evaluation contexts [37]."""
+    return precision(matrix)
+
+
+def prevalence(matrix: ConfusionMatrix) -> float:
+    """(TP + FN) / all pairs — the positive ratio of the task."""
+    if matrix.total == 0:
+        return 0.0
+    return matrix.actual_positives / matrix.total
+
+
+def jaccard_index(matrix: ConfusionMatrix) -> float:
+    """TP / (TP + FP + FN) — identical to f*; kept under its set name."""
+    return f_star(matrix)
+
+
+def bookmaker_informedness(matrix: ConfusionMatrix) -> float:
+    """recall + specificity - 1, in [-1, 1]."""
+    return recall(matrix) + specificity(matrix) - 1.0
+
+
+def markedness(matrix: ConfusionMatrix) -> float:
+    """precision + NPV - 1, in [-1, 1]."""
+    return precision(matrix) + negative_predictive_value(matrix) - 1.0

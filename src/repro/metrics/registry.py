@@ -1,0 +1,95 @@
+"""Metric registry — Frost's extensibility point for quality metrics.
+
+"To be universally useful but highly adaptable, Frost focuses on many
+well-known metrics, but can be extended easily by any other metrics"
+(§3.2).  The registry maps metric names to callables over confusion
+matrices and powers the platform's N-Metrics viewer and the diagram
+axes selection.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+from repro.core.confusion import ConfusionMatrix
+from repro.metrics import pairwise
+
+__all__ = ["MetricRegistry", "default_registry"]
+
+PairMetric = Callable[[ConfusionMatrix], float]
+
+
+class MetricRegistry:
+    """Named collection of pair-based metrics.
+
+    >>> registry = default_registry()
+    >>> sorted(registry)[:3]
+    ['accuracy', 'balanced_accuracy', 'bookmaker_informedness']
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, PairMetric] = {}
+
+    def register(self, name: str, metric: PairMetric, replace: bool = False) -> None:
+        """Register ``metric`` under ``name``.
+
+        Raises ``ValueError`` on name collision unless ``replace`` is
+        set — accidental shadowing of a well-known metric would corrupt
+        comparisons silently.
+        """
+        if name in self._metrics and not replace:
+            raise ValueError(f"metric {name!r} is already registered")
+        self._metrics[name] = metric
+
+    def get(self, name: str) -> PairMetric:
+        """The metric callable registered under ``name``."""
+        try:
+            return self._metrics[name]
+        except KeyError:
+            known = ", ".join(sorted(self._metrics))
+            raise KeyError(f"unknown metric {name!r}; known metrics: {known}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._metrics
+
+    def __iter__(self):
+        return iter(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def evaluate(
+        self, matrix: ConfusionMatrix, names: Iterable[str] | None = None
+    ) -> dict[str, float]:
+        """Evaluate all (or the named) metrics on one confusion matrix."""
+        selected = list(names) if names is not None else self.names()
+        return {name: self.get(name)(matrix) for name in selected}
+
+
+def default_registry() -> MetricRegistry:
+    """A registry pre-populated with all metrics of §3.2.1."""
+    registry = MetricRegistry()
+    registry.register("precision", pairwise.precision)
+    registry.register("recall", pairwise.recall)
+    registry.register("f1", pairwise.f1_score)
+    registry.register("f_star", pairwise.f_star)
+    registry.register("accuracy", pairwise.accuracy)
+    registry.register("balanced_accuracy", pairwise.balanced_accuracy)
+    registry.register("specificity", pairwise.specificity)
+    registry.register("false_positive_rate", pairwise.false_positive_rate)
+    registry.register("false_negative_rate", pairwise.false_negative_rate)
+    registry.register("negative_predictive_value", pairwise.negative_predictive_value)
+    registry.register("fowlkes_mallows", pairwise.fowlkes_mallows)
+    registry.register("matthews_correlation", pairwise.matthews_correlation)
+    registry.register("reduction_ratio", pairwise.reduction_ratio)
+    registry.register("pairs_completeness", pairwise.pairs_completeness)
+    registry.register("pairs_quality", pairwise.pairs_quality)
+    registry.register("prevalence", pairwise.prevalence)
+    registry.register("jaccard_index", pairwise.jaccard_index)
+    registry.register("bookmaker_informedness", pairwise.bookmaker_informedness)
+    registry.register("markedness", pairwise.markedness)
+    return registry

@@ -1,0 +1,70 @@
+"""Dataset profiling and benchmark-dataset selection (§3.1.3, Appendix C)."""
+
+from repro.profiling.dataset_profile import (
+    DatasetProfile,
+    attribute_sparsity,
+    corner_case_ratio,
+    positive_ratio,
+    profile_dataset,
+    schema_complexity,
+    sparsity,
+    textuality,
+)
+from repro.profiling.estimation import (
+    ClusterEstimate,
+    estimate_cluster_histogram,
+    estimate_from_sample,
+    sample_dataset,
+)
+from repro.profiling.recommendation import (
+    EvaluationRecord,
+    EvaluationRepository,
+    SolutionRecommendation,
+    recommend_solutions,
+)
+from repro.profiling.selection import (
+    BenchmarkCandidate,
+    DecisionMatrix,
+    profile_distance,
+    rank_benchmarks,
+)
+from repro.profiling.suitability import (
+    ClusterStructure,
+    SuitabilityReport,
+    cluster_structure,
+    cluster_structure_similarity,
+    recommend_benchmarks,
+    suitability_score,
+)
+from repro.profiling.vocabulary import vocabulary, vocabulary_similarity
+
+__all__ = [
+    "BenchmarkCandidate",
+    "ClusterEstimate",
+    "ClusterStructure",
+    "DatasetProfile",
+    "DecisionMatrix",
+    "EvaluationRecord",
+    "EvaluationRepository",
+    "SolutionRecommendation",
+    "SuitabilityReport",
+    "attribute_sparsity",
+    "cluster_structure",
+    "cluster_structure_similarity",
+    "corner_case_ratio",
+    "estimate_cluster_histogram",
+    "estimate_from_sample",
+    "positive_ratio",
+    "profile_dataset",
+    "profile_distance",
+    "rank_benchmarks",
+    "recommend_benchmarks",
+    "recommend_solutions",
+    "sample_dataset",
+    "schema_complexity",
+    "sparsity",
+    "suitability_score",
+    "textuality",
+    "vocabulary",
+    "vocabulary_similarity",
+]

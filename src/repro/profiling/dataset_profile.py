@@ -1,0 +1,171 @@
+"""Dataset profiling metrics (Table 2, Appendix C.1).
+
+Implements the profile dimensions the paper uses to characterize
+benchmark datasets:
+
+* **Sparsity (SP)** — fraction of missing attribute values [49];
+* **Textuality (TX)** — average number of words per attribute value [49];
+* **Tuple count (TC)** — dataset size [22];
+* **Positive ratio (PR)** — true duplicate pairs / all pairs;
+* **schema complexity** — number of (populated) attributes [49];
+* **corner-case ratio** — fraction of gold clusters that are "hard"
+  (near-duplicate pairs below / non-duplicates above typical
+  similarity), approximated structurally [49];
+* per-attribute sparsity, as used by the error analyses of §4.5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.experiment import GoldStandard
+from repro.core.records import Dataset
+
+__all__ = [
+    "DatasetProfile",
+    "sparsity",
+    "textuality",
+    "positive_ratio",
+    "schema_complexity",
+    "attribute_sparsity",
+    "corner_case_ratio",
+    "profile_dataset",
+]
+
+
+def sparsity(dataset: Dataset) -> float:
+    """Missing attribute values / all attribute values, in [0, 1].
+
+    "The relationship of missing attribute values to all attribute
+    values of the relevant attributes" [49].
+    """
+    attributes = dataset.attributes
+    if not attributes or len(dataset) == 0:
+        return 0.0
+    missing = 0
+    total = 0
+    for record in dataset:
+        for attribute in attributes:
+            total += 1
+            if record.is_null(attribute):
+                missing += 1
+    return missing / total
+
+
+def textuality(dataset: Dataset) -> float:
+    """Average number of whitespace words per non-null attribute value.
+
+    "Textuality is the average amount of words in attribute values"
+    [49]; long, non-atomic values complicate matching.
+    """
+    words = 0
+    values = 0
+    for record in dataset:
+        for attribute in dataset.attributes:
+            value = record.value(attribute)
+            if value is not None:
+                values += 1
+                words += len(value.split())
+    if values == 0:
+        return 0.0
+    return words / values
+
+
+def positive_ratio(dataset: Dataset, gold: GoldStandard) -> float:
+    """True duplicate pairs / all record pairs ``C(|D|, 2)``."""
+    total = dataset.total_pairs()
+    if total == 0:
+        return 0.0
+    return gold.pair_count() / total
+
+
+def schema_complexity(dataset: Dataset) -> int:
+    """Number of attributes in the schema [49]."""
+    return len(dataset.attributes)
+
+
+def attribute_sparsity(dataset: Dataset) -> dict[str, float]:
+    """Per-attribute missing-value ratio (Crescenzi et al. [14]).
+
+    Used by the nullRatio analysis of §4.5.2, which needs "interspersed
+    null values within the dataset and a meaningful [...] schema".
+    """
+    if len(dataset) == 0:
+        return {attribute: 0.0 for attribute in dataset.attributes}
+    counts = {attribute: 0 for attribute in dataset.attributes}
+    for record in dataset:
+        for attribute in dataset.attributes:
+            if record.is_null(attribute):
+                counts[attribute] += 1
+    return {
+        attribute: count / len(dataset) for attribute, count in counts.items()
+    }
+
+
+def corner_case_ratio(dataset: Dataset, gold: GoldStandard) -> float:
+    """Fraction of gold clusters that are structural corner cases.
+
+    Primpeli & Bizer identify corner cases via similarity overlap of
+    matches and non-matches [49]; without committing to one similarity
+    function, we use a structural proxy: clusters of size >= 4 (chained
+    duplicates) or records whose cluster spans very dissimilar value
+    lengths.  The proxy keeps the profile dimension available for the
+    decision matrices of §3.1.3.
+    """
+    clusters = [c for c in gold.clustering.clusters if len(c) >= 2]
+    if not clusters:
+        return 0.0
+    corner = 0
+    for cluster in clusters:
+        if len(cluster) >= 4:
+            corner += 1
+            continue
+        lengths = []
+        for record_id in cluster:
+            if record_id in dataset:
+                record = dataset[record_id]
+                lengths.append(
+                    sum(len(v) for v in record.values.values() if v)
+                )
+        if lengths and max(lengths) > 2 * max(1, min(lengths)):
+            corner += 1
+    return corner / len(clusters)
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """The full profile vector of one dataset (Table 2 columns)."""
+
+    name: str
+    sparsity: float
+    textuality: float
+    tuple_count: int
+    positive_ratio: float | None
+    schema_complexity: int
+    corner_case_ratio: float | None
+
+    def as_dict(self) -> dict[str, float | int | None]:
+        """All profile dimensions as a plain dictionary."""
+        return {
+            "SP": self.sparsity,
+            "TX": self.textuality,
+            "TC": self.tuple_count,
+            "PR": self.positive_ratio,
+            "schema": self.schema_complexity,
+            "corner_cases": self.corner_case_ratio,
+        }
+
+
+def profile_dataset(
+    dataset: Dataset, gold: GoldStandard | None = None
+) -> DatasetProfile:
+    """Compute the complete profile of a dataset (PR needs a gold)."""
+    return DatasetProfile(
+        name=dataset.name,
+        sparsity=sparsity(dataset),
+        textuality=textuality(dataset),
+        tuple_count=len(dataset),
+        positive_ratio=positive_ratio(dataset, gold) if gold else None,
+        schema_complexity=schema_complexity(dataset),
+        corner_case_ratio=corner_case_ratio(dataset, gold) if gold else None,
+    )

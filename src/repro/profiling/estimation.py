@@ -1,0 +1,177 @@
+"""Estimating the number and sizes of duplicate clusters (§3.1.3).
+
+"The amount and size of duplicate clusters in the ground truth
+annotation of the benchmark dataset should closely resemble that of
+the use case dataset.  Because the ground truth annotation for the use
+case dataset is unknown, these numbers have to be estimated.  Heise et
+al. developed a method for this estimation [33]."
+
+Following that approach, the full dataset's cluster-size histogram is
+estimated from a *sample*: a uniform sample including each record with
+probability ``q`` thins a duplicate cluster of true size ``s`` into an
+observed size ``k`` with binomial probability ``B(s, q)(k)``.  Running
+a (cheap) matching solution on the sample yields the observed
+histogram; inverting the binomial thinning with non-negative least
+squares recovers the full histogram, from which cluster count, mean
+size, and duplicate-pair count follow.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections import Counter
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.clustering import Clustering
+from repro.core.records import Dataset
+
+__all__ = [
+    "ClusterEstimate",
+    "estimate_cluster_histogram",
+    "estimate_from_sample",
+    "sample_dataset",
+]
+
+
+def sample_dataset(
+    dataset: Dataset, fraction: float, seed: int = 0
+) -> Dataset:
+    """A uniform record sample including each record with ``fraction``.
+
+    Uses per-record Bernoulli sampling (not fixed-size sampling) so the
+    binomial-thinning model of the estimator holds exactly.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    rng = random.Random(seed)
+    chosen = [
+        record.record_id for record in dataset if rng.random() < fraction
+    ]
+    return dataset.subset(chosen, name=f"{dataset.name}-sample")
+
+
+@dataclass(frozen=True)
+class ClusterEstimate:
+    """Estimated duplicate-cluster structure of a full dataset.
+
+    Attributes
+    ----------
+    size_histogram:
+        Estimated ``{cluster size: count}`` over sizes >= 2.
+    duplicate_cluster_count:
+        Estimated number of duplicate clusters.
+    duplicate_pair_count:
+        Estimated number of duplicate pairs, ``sum C(s, 2) * count``.
+    mean_cluster_size:
+        Estimated mean duplicate-cluster size.
+    """
+
+    size_histogram: Mapping[int, float]
+
+    @property
+    def duplicate_cluster_count(self) -> float:
+        return sum(self.size_histogram.values())
+
+    @property
+    def duplicate_pair_count(self) -> float:
+        return sum(
+            count * size * (size - 1) / 2
+            for size, count in self.size_histogram.items()
+        )
+
+    @property
+    def mean_cluster_size(self) -> float:
+        clusters = self.duplicate_cluster_count
+        if clusters == 0:
+            return 0.0
+        total = sum(
+            count * size for size, count in self.size_histogram.items()
+        )
+        return total / clusters
+
+
+def _binomial(s: int, k: int, q: float) -> float:
+    return math.comb(s, k) * q**k * (1.0 - q) ** (s - k)
+
+
+def estimate_cluster_histogram(
+    observed: Mapping[int, int],
+    fraction: float,
+    max_size: int | None = None,
+) -> ClusterEstimate:
+    """Invert binomial thinning on an observed cluster-size histogram.
+
+    ``observed`` maps sampled cluster sizes (>= 2) to their counts —
+    e.g. the clustering a matching solution produced on the sample.
+    ``fraction`` is the sampling probability ``q``.  The true
+    histogram ``H`` solves ``A @ H = observed`` with
+    ``A[k][s] = B(s, q)(k)``; we solve by non-negative least squares
+    so the estimate is never negative.
+
+    Note that singleton observations (k <= 1) are not usable: a sampled
+    singleton is indistinguishable from a unique record, exactly as in
+    the sample-and-clean setting of Heise et al.
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    observed = {
+        int(size): count for size, count in observed.items() if size >= 2
+    }
+    if not observed:
+        return ClusterEstimate(size_histogram={})
+    observed_max = max(observed)
+    if max_size is None:
+        # with thinning, true clusters are plausibly larger than any
+        # observed one; allow headroom inversely proportional to q
+        max_size = max(observed_max, min(50, int(observed_max / fraction) + 2))
+    if max_size < observed_max:
+        raise ValueError(
+            f"max_size {max_size} is below the largest observed size "
+            f"{observed_max}"
+        )
+
+    sizes = list(range(2, max_size + 1))
+    ks = list(range(2, observed_max + 1))
+    design = np.zeros((len(ks), len(sizes)))
+    for row, k in enumerate(ks):
+        for column, s in enumerate(sizes):
+            if k <= s:
+                design[row, column] = _binomial(s, k, fraction)
+    target = np.array([float(observed.get(k, 0)) for k in ks])
+
+    try:
+        from scipy.optimize import nnls
+
+        solution, _residual = nnls(design, target)
+    except ImportError:  # pragma: no cover - scipy is a soft dependency
+        solution, *_rest = np.linalg.lstsq(design, target, rcond=None)
+        solution = np.clip(solution, 0.0, None)
+
+    histogram = {
+        size: float(count)
+        for size, count in zip(sizes, solution)
+        if count > 1e-9
+    }
+    return ClusterEstimate(size_histogram=histogram)
+
+
+def estimate_from_sample(
+    sample_clustering: Clustering,
+    fraction: float,
+    max_size: int | None = None,
+) -> ClusterEstimate:
+    """Estimate the full dataset's cluster structure from a sample.
+
+    ``sample_clustering`` is the duplicate clustering a matching
+    solution produced on a ``fraction`` Bernoulli sample of the dataset
+    (see :func:`sample_dataset`).
+    """
+    observed: Counter[int] = Counter()
+    for members in sample_clustering.clusters:
+        if len(members) >= 2:
+            observed[len(members)] += 1
+    return estimate_cluster_histogram(observed, fraction, max_size=max_size)

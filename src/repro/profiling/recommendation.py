@@ -1,0 +1,156 @@
+"""Recommending matching solutions (§7 outlook).
+
+"A long-term goal might be to gather matching solutions, benchmark
+datasets, and evaluation results in a central repository.  To assist
+organizations with real-world matching tasks, Frost could use this
+information to automatically determine promising matching solutions."
+
+The :class:`EvaluationRepository` is that central repository: it stores
+benchmark datasets (as :class:`~repro.profiling.selection.BenchmarkCandidate`)
+and evaluation results (solution × benchmark → quality metrics).
+:func:`recommend_solutions` predicts how well each known solution would
+do on a new use-case dataset by weighting its benchmark results with
+the benchmarks' suitability for the use case.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.records import Dataset
+from repro.profiling.selection import BenchmarkCandidate
+from repro.profiling.suitability import suitability_score
+
+__all__ = [
+    "EvaluationRecord",
+    "EvaluationRepository",
+    "SolutionRecommendation",
+    "recommend_solutions",
+]
+
+
+@dataclass(frozen=True)
+class EvaluationRecord:
+    """One stored evaluation result: a solution's metrics on a benchmark."""
+
+    solution: str
+    benchmark_name: str
+    metrics: Mapping[str, float]
+
+
+class EvaluationRepository:
+    """Central repository of benchmarks and evaluation results (§7)."""
+
+    def __init__(self) -> None:
+        self._benchmarks: dict[str, BenchmarkCandidate] = {}
+        self._records: list[EvaluationRecord] = []
+
+    # -- registry ------------------------------------------------------------------
+
+    def add_benchmark(self, candidate: BenchmarkCandidate) -> None:
+        """Register a benchmark dataset (name must be unique)."""
+        name = candidate.dataset.name
+        if name in self._benchmarks:
+            raise ValueError(f"benchmark {name!r} is already registered")
+        self._benchmarks[name] = candidate
+
+    def add_result(
+        self, solution: str, benchmark_name: str, metrics: Mapping[str, float]
+    ) -> None:
+        """Store one solution's metrics on a registered benchmark."""
+        if benchmark_name not in self._benchmarks:
+            known = ", ".join(sorted(self._benchmarks)) or "(none)"
+            raise KeyError(
+                f"unknown benchmark {benchmark_name!r}; known: {known}"
+            )
+        self._records.append(
+            EvaluationRecord(
+                solution=solution,
+                benchmark_name=benchmark_name,
+                metrics=dict(metrics),
+            )
+        )
+
+    def benchmarks(self) -> list[BenchmarkCandidate]:
+        """All registered benchmarks, sorted by dataset name."""
+        return [self._benchmarks[name] for name in sorted(self._benchmarks)]
+
+    def solutions(self) -> list[str]:
+        """Names of all solutions with stored results, sorted."""
+        return sorted({record.solution for record in self._records})
+
+    def results_for(self, solution: str) -> list[EvaluationRecord]:
+        """All stored evaluation records of one solution."""
+        return [
+            record for record in self._records if record.solution == solution
+        ]
+
+
+@dataclass
+class SolutionRecommendation:
+    """One recommended solution with its predicted metric value.
+
+    ``support`` counts the benchmark results behind the prediction;
+    ``evidence`` maps benchmark names to ``(suitability, metric)``
+    pairs so the prediction is auditable.
+    """
+
+    solution: str
+    predicted_metric: float
+    metric_name: str
+    support: int
+    evidence: dict[str, tuple[float, float]] = field(default_factory=dict)
+
+
+def recommend_solutions(
+    use_case: Dataset,
+    repository: EvaluationRepository,
+    metric: str = "f1",
+    use_case_domain: str | None = None,
+    top: int | None = None,
+    minimum_suitability: float = 0.0,
+) -> list[SolutionRecommendation]:
+    """Rank known solutions by suitability-weighted benchmark results.
+
+    For each solution, benchmark results are averaged with weights equal
+    to the benchmark's suitability for ``use_case``; benchmarks below
+    ``minimum_suitability`` are ignored.  Solutions without any usable
+    result are omitted.
+    """
+    suitabilities = {
+        candidate.dataset.name: suitability_score(
+            use_case, candidate, use_case_domain=use_case_domain
+        ).score
+        for candidate in repository.benchmarks()
+    }
+
+    recommendations: list[SolutionRecommendation] = []
+    for solution in repository.solutions():
+        weighted_sum = 0.0
+        weight_total = 0.0
+        evidence: dict[str, tuple[float, float]] = {}
+        for record in repository.results_for(solution):
+            if metric not in record.metrics:
+                continue
+            suitability = suitabilities.get(record.benchmark_name, 0.0)
+            if suitability < minimum_suitability:
+                continue
+            value = record.metrics[metric]
+            weighted_sum += suitability * value
+            weight_total += suitability
+            evidence[record.benchmark_name] = (suitability, value)
+        if weight_total > 0.0:
+            recommendations.append(
+                SolutionRecommendation(
+                    solution=solution,
+                    predicted_metric=weighted_sum / weight_total,
+                    metric_name=metric,
+                    support=len(evidence),
+                    evidence=evidence,
+                )
+            )
+    recommendations.sort(
+        key=lambda rec: (-rec.predicted_metric, rec.solution)
+    )
+    return recommendations[:top] if top is not None else recommendations

@@ -1,0 +1,168 @@
+"""Finding a representative benchmark dataset (§3.1.3).
+
+"Frost includes a list of features impacting matching difficulty and
+provides decision matrices to compare a given use case dataset with
+several benchmark datasets based on these features.  It remains to the
+experts to determine how important the individual features are."
+
+A :class:`DecisionMatrix` tabulates profile features of the use-case
+dataset against candidate benchmark datasets; :func:`rank_benchmarks`
+scores the candidates with user-supplied feature weights.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.experiment import GoldStandard
+from repro.core.records import Dataset
+from repro.profiling.dataset_profile import DatasetProfile, profile_dataset
+from repro.profiling.vocabulary import vocabulary_similarity
+
+__all__ = [
+    "BenchmarkCandidate",
+    "DecisionMatrix",
+    "profile_distance",
+    "rank_benchmarks",
+]
+
+
+@dataclass
+class BenchmarkCandidate:
+    """A benchmark dataset (with gold standard) under consideration."""
+
+    dataset: Dataset
+    gold: GoldStandard | None = None
+    domain: str | None = None
+
+    def profile(self) -> DatasetProfile:
+        """The candidate dataset's profile (cached per call)."""
+        return profile_dataset(self.dataset, self.gold)
+
+
+#: Relative feature weights used when the caller supplies none.  The
+#: paper leaves the weighting to experts; these defaults weight the
+#: dimensions the paper's own study found influential (sparsity and
+#: vocabulary similarity, Appendix C) highest.
+DEFAULT_WEIGHTS: dict[str, float] = {
+    "sparsity": 2.0,
+    "textuality": 1.0,
+    "tuple_count": 1.0,
+    "vocabulary": 2.0,
+    "domain": 1.5,
+}
+
+
+def profile_distance(
+    use_case: DatasetProfile,
+    candidate: DatasetProfile,
+    vocabulary_sim: float,
+    same_domain: bool | None,
+    weights: Mapping[str, float] | None = None,
+) -> float:
+    """Weighted dissimilarity of a candidate's profile to the use case.
+
+    Each feature contributes a [0, 1] dissimilarity:
+
+    * sparsity — absolute difference (both already in [0, 1]);
+    * textuality — relative difference, capped at 1;
+    * tuple count — log-ratio distance, capped at 1 (Draisbach &
+      Naumann: size influences the optimal threshold [22]);
+    * vocabulary — ``1 - VS``;
+    * domain — 0 when matching, 1 when differing, 0.5 when unknown.
+    """
+    active = dict(DEFAULT_WEIGHTS)
+    if weights:
+        active.update(weights)
+    contributions = {
+        "sparsity": abs(use_case.sparsity - candidate.sparsity),
+        "textuality": min(
+            1.0,
+            abs(use_case.textuality - candidate.textuality)
+            / max(use_case.textuality, candidate.textuality, 1.0),
+        ),
+        "tuple_count": min(
+            1.0,
+            abs(
+                math.log10(max(use_case.tuple_count, 1))
+                - math.log10(max(candidate.tuple_count, 1))
+            )
+            / 3.0,
+        ),
+        "vocabulary": 1.0 - vocabulary_sim,
+        "domain": 0.5 if same_domain is None else (0.0 if same_domain else 1.0),
+    }
+    total_weight = sum(active.values())
+    if total_weight == 0:
+        return 0.0
+    return sum(active[f] * contributions[f] for f in contributions) / total_weight
+
+
+@dataclass
+class DecisionMatrix:
+    """Side-by-side profile comparison of candidates vs the use case.
+
+    ``rows`` maps candidate names to their feature dictionaries
+    (profile values plus vocabulary similarity and distance score).
+    """
+
+    use_case: DatasetProfile
+    rows: dict[str, dict[str, float | int | None]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Plain-text table for terminal display."""
+        features = ["SP", "TX", "TC", "VS", "distance"]
+        header = f"{'dataset':<22}" + "".join(f"{f:>12}" for f in features)
+        lines = [header, "-" * len(header)]
+        for name, row in sorted(
+            self.rows.items(), key=lambda item: item[1]["distance"]
+        ):
+            cells = []
+            for feature in features:
+                value = row.get(feature)
+                if value is None:
+                    cells.append(f"{'-':>12}")
+                elif isinstance(value, int):
+                    cells.append(f"{value:>12d}")
+                else:
+                    cells.append(f"{value:>12.3f}")
+            lines.append(f"{name:<22}" + "".join(cells))
+        return "\n".join(lines)
+
+
+def rank_benchmarks(
+    use_case: Dataset,
+    candidates: Sequence[BenchmarkCandidate],
+    use_case_domain: str | None = None,
+    weights: Mapping[str, float] | None = None,
+) -> DecisionMatrix:
+    """Rank candidate benchmarks by profile similarity to the use case.
+
+    The returned decision matrix carries one row per candidate with the
+    profile features and the aggregate distance (smaller is a better
+    substitute benchmark).
+    """
+    use_profile = profile_dataset(use_case)
+    matrix = DecisionMatrix(use_case=use_profile)
+    for candidate in candidates:
+        profile = candidate.profile()
+        vocab_sim = vocabulary_similarity(use_case, candidate.dataset)
+        same_domain: bool | None
+        if use_case_domain is None or candidate.domain is None:
+            same_domain = None
+        else:
+            same_domain = use_case_domain == candidate.domain
+        distance = profile_distance(
+            use_profile, profile, vocab_sim, same_domain, weights
+        )
+        matrix.rows[profile.name] = {
+            "SP": profile.sparsity,
+            "TX": profile.textuality,
+            "TC": profile.tuple_count,
+            "PR": profile.positive_ratio,
+            "VS": vocab_sim,
+            "distance": distance,
+        }
+    return matrix

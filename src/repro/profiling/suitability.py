@@ -1,0 +1,220 @@
+"""Benchmark-dataset suitability scores (§7 outlook).
+
+"A suitability score based on profiling metrics would be an important
+contribution towards the search for suitable benchmark datasets."
+
+This module turns the §3.1.3 decision-matrix features into a single
+``[0, 1]`` suitability score per candidate benchmark, adding the
+cluster-structure feature the decision matrix lacks ("the amount and
+size of duplicate clusters in the ground truth annotation of the
+benchmark dataset should closely resemble that of the use case
+dataset").  Because use-case datasets have no ground truth, cluster
+structure can be estimated from a matching solution's clustering
+(cf. Heise et al. [33]).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.clustering import Clustering
+from repro.core.records import Dataset
+from repro.profiling.dataset_profile import DatasetProfile, profile_dataset
+from repro.profiling.selection import BenchmarkCandidate, profile_distance
+from repro.profiling.vocabulary import vocabulary_similarity
+
+__all__ = [
+    "ClusterStructure",
+    "cluster_structure",
+    "cluster_structure_similarity",
+    "SuitabilityReport",
+    "suitability_score",
+    "recommend_benchmarks",
+]
+
+
+@dataclass(frozen=True)
+class ClusterStructure:
+    """Summary of a duplicate clustering's shape (§3.1.3).
+
+    Attributes
+    ----------
+    record_count:
+        Records covered by the clustering.
+    duplicate_cluster_count:
+        Clusters of size >= 2.
+    size_histogram:
+        ``{cluster size: count}`` over duplicate clusters.
+    """
+
+    record_count: int
+    duplicate_cluster_count: int
+    size_histogram: Mapping[int, int]
+
+    @property
+    def duplicate_record_fraction(self) -> float:
+        """Fraction of records that live in a duplicate cluster."""
+        if self.record_count == 0:
+            return 0.0
+        in_duplicates = sum(
+            size * count for size, count in self.size_histogram.items()
+        )
+        return min(1.0, in_duplicates / self.record_count)
+
+    @property
+    def mean_cluster_size(self) -> float:
+        """Mean size of duplicate clusters (0 when there are none)."""
+        if self.duplicate_cluster_count == 0:
+            return 0.0
+        total = sum(size * count for size, count in self.size_histogram.items())
+        return total / self.duplicate_cluster_count
+
+
+def cluster_structure(
+    clustering: Clustering, record_count: int | None = None
+) -> ClusterStructure:
+    """The :class:`ClusterStructure` of a (gold or estimated) clustering.
+
+    ``record_count`` defaults to the number of records the clustering
+    mentions; pass the dataset size when singletons are implicit.
+    """
+    histogram: Counter[int] = Counter()
+    mentioned = 0
+    for members in clustering.clusters:
+        mentioned += len(members)
+        if len(members) >= 2:
+            histogram[len(members)] += 1
+    return ClusterStructure(
+        record_count=record_count if record_count is not None else mentioned,
+        duplicate_cluster_count=sum(histogram.values()),
+        size_histogram=dict(histogram),
+    )
+
+
+def cluster_structure_similarity(
+    first: ClusterStructure, second: ClusterStructure
+) -> float:
+    """Similarity of two cluster structures in ``[0, 1]``.
+
+    Combines (i) agreement of the duplicate-record fractions and
+    (ii) ``1 -`` the total-variation distance between the normalized
+    cluster-size histograms.  Two datasets with the same duplication
+    level and the same size mix score 1.
+    """
+    fraction_agreement = 1.0 - abs(
+        first.duplicate_record_fraction - second.duplicate_record_fraction
+    )
+    total_a = sum(first.size_histogram.values())
+    total_b = sum(second.size_histogram.values())
+    if total_a == 0 and total_b == 0:
+        histogram_agreement = 1.0
+    elif total_a == 0 or total_b == 0:
+        histogram_agreement = 0.0
+    else:
+        sizes = set(first.size_histogram) | set(second.size_histogram)
+        total_variation = 0.5 * sum(
+            abs(
+                first.size_histogram.get(size, 0) / total_a
+                - second.size_histogram.get(size, 0) / total_b
+            )
+            for size in sizes
+        )
+        histogram_agreement = 1.0 - total_variation
+    return 0.5 * fraction_agreement + 0.5 * histogram_agreement
+
+
+@dataclass
+class SuitabilityReport:
+    """One candidate's suitability with per-feature contributions.
+
+    ``score`` is in ``[0, 1]``; 1 means "profiles indistinguishable
+    under the chosen weights".  ``features`` maps feature names to
+    their individual similarity contributions (also ``[0, 1]``).
+    """
+
+    candidate_name: str
+    score: float
+    features: dict[str, float]
+
+    def render(self) -> str:
+        """Plain-text rendering with per-feature contributions."""
+        lines = [f"{self.candidate_name}: suitability {self.score:.3f}"]
+        for feature, value in sorted(self.features.items()):
+            lines.append(f"  {feature}: {value:.3f}")
+        return "\n".join(lines)
+
+
+def suitability_score(
+    use_case: Dataset,
+    candidate: BenchmarkCandidate,
+    use_case_domain: str | None = None,
+    use_case_clustering: Clustering | None = None,
+    weights: Mapping[str, float] | None = None,
+    cluster_weight: float = 1.0,
+) -> SuitabilityReport:
+    """Suitability of one candidate benchmark for a use-case dataset.
+
+    ``use_case_clustering`` is the (estimated) duplicate clustering of
+    the use case — e.g. a matching solution's output — enabling the
+    cluster-structure feature even without a ground truth.  Without it
+    (and with candidates lacking gold standards) the feature is
+    skipped.
+    """
+    use_profile = profile_dataset(use_case)
+    candidate_profile = candidate.profile()
+    vocabulary_sim = vocabulary_similarity(use_case, candidate.dataset)
+    same_domain: bool | None
+    if use_case_domain is None or candidate.domain is None:
+        same_domain = None
+    else:
+        same_domain = use_case_domain == candidate.domain
+    distance = profile_distance(
+        use_profile, candidate_profile, vocabulary_sim, same_domain, weights
+    )
+    features = {
+        "profile": 1.0 - distance,
+        "vocabulary": vocabulary_sim,
+    }
+
+    cluster_sim: float | None = None
+    if use_case_clustering is not None and candidate.gold is not None:
+        cluster_sim = cluster_structure_similarity(
+            cluster_structure(use_case_clustering, len(use_case)),
+            cluster_structure(candidate.gold.clustering, len(candidate.dataset)),
+        )
+        features["cluster_structure"] = cluster_sim
+
+    if cluster_sim is None:
+        score = 1.0 - distance
+    else:
+        profile_weight = 1.0
+        total = profile_weight + cluster_weight
+        score = (profile_weight * (1.0 - distance) + cluster_weight * cluster_sim) / total
+    return SuitabilityReport(
+        candidate_name=candidate.dataset.name, score=score, features=features
+    )
+
+
+def recommend_benchmarks(
+    use_case: Dataset,
+    candidates: Sequence[BenchmarkCandidate],
+    use_case_domain: str | None = None,
+    use_case_clustering: Clustering | None = None,
+    weights: Mapping[str, float] | None = None,
+    top: int | None = None,
+) -> list[SuitabilityReport]:
+    """Rank all candidate benchmarks by suitability, best first."""
+    reports = [
+        suitability_score(
+            use_case,
+            candidate,
+            use_case_domain=use_case_domain,
+            use_case_clustering=use_case_clustering,
+            weights=weights,
+        )
+        for candidate in candidates
+    ]
+    reports.sort(key=lambda report: (-report.score, report.candidate_name))
+    return reports[:top] if top is not None else reports

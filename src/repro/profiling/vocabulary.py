@@ -1,0 +1,28 @@
+"""Vocabulary similarity between datasets (§3.1.3, Appendix C.1).
+
+``VS(D1, D2) = |vocab(D1) ∩ vocab(D2)| / |vocab(D1) ∪ vocab(D2)|``
+where ``vocab(D)`` is the whitespace-token set of the dataset.
+"Similar vocabularies might cause similar behavior of the matching
+solution."
+"""
+
+from __future__ import annotations
+
+from repro.core.records import Dataset
+
+__all__ = ["vocabulary", "vocabulary_similarity"]
+
+
+def vocabulary(dataset: Dataset) -> set[str]:
+    """The whitespace-token vocabulary of a dataset."""
+    return dataset.vocabulary()
+
+
+def vocabulary_similarity(first: Dataset, second: Dataset) -> float:
+    """Jaccard coefficient of the two vocabularies, in [0, 1]."""
+    vocab_a = first.vocabulary()
+    vocab_b = second.vocabulary()
+    union = vocab_a | vocab_b
+    if not union:
+        return 1.0
+    return len(vocab_a & vocab_b) / len(union)

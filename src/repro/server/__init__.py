@@ -1,0 +1,6 @@
+"""REST-style JSON API over the Frost platform (Appendix A.4)."""
+
+from repro.server.api import ApiError, FrostApi
+from repro.server.http import FrostHttpServer, serve
+
+__all__ = ["ApiError", "FrostApi", "FrostHttpServer", "serve"]

@@ -1,0 +1,255 @@
+"""REST-style JSON API over the platform (Appendix A.4).
+
+Snowman's front-end and third parties talk to its back-end through an
+OpenAPI-specified REST API; "all functionality included within the
+front-end [is] also made available through the API".  We mirror the
+route structure as a transport-agnostic dispatcher
+(:class:`FrostApi.handle`) plus a stdlib HTTP server wrapper in
+:mod:`repro.server.http` — no web framework required, matching the
+paper's no-external-dependencies constraint.
+
+Routes (all return JSON-serializable dictionaries):
+
+=============================================  =====================================
+``GET /datasets``                              dataset names
+``GET /datasets/{d}``                          dataset summary
+``GET /datasets/{d}/records``                  records (paginated)
+``GET /datasets/{d}/experiments``              experiment names
+``GET /datasets/{d}/experiments/{e}``          experiment summary
+``GET /datasets/{d}/golds``                    gold-standard names
+``GET /datasets/{d}/metrics?gold=&exps=``      N-metrics table
+``GET /datasets/{d}/diagram?exp=&gold=&n=``    metric/metric diagram points
+``GET /datasets/{d}/intersection?include=&exclude=``  set-comparison selection
+``GET /datasets/{d}/profile``                  profiling metrics (§3.1.3)
+``GET /datasets/{d}/categorize?exp=&gold=``    error categorization (§7)
+``GET /datasets/{d}/timeline?exp=&gold=&high=&low=``  new TP/FP in a threshold range
+=============================================  =====================================
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping
+
+from repro.core.platform import FrostPlatform
+
+__all__ = ["ApiError", "FrostApi"]
+
+
+class ApiError(Exception):
+    """An API-level error with an HTTP-ish status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class FrostApi:
+    """Transport-agnostic request dispatcher over a platform instance."""
+
+    def __init__(self, platform: FrostPlatform) -> None:
+        self.platform = platform
+
+    def handle(self, path: str, query: Mapping[str, str] | None = None) -> object:
+        """Dispatch a GET request path to the matching evaluation.
+
+        Raises :class:`ApiError` with status 404 for unknown routes or
+        names and 400 for bad parameters.
+        """
+        query = dict(query or {})
+        parts = [part for part in path.split("/") if part]
+        try:
+            return self._dispatch(parts, query)
+        except KeyError as missing:
+            raise ApiError(404, str(missing)) from None
+        except ValueError as bad:
+            raise ApiError(400, str(bad)) from None
+
+    def _dispatch(self, parts: list[str], query: dict[str, str]) -> object:
+        if parts == ["datasets"]:
+            return {"datasets": self.platform.dataset_names()}
+        if len(parts) >= 2 and parts[0] == "datasets":
+            dataset_name = parts[1]
+            rest = parts[2:]
+            if not rest:
+                return self._dataset_summary(dataset_name)
+            if rest == ["records"]:
+                return self._records(dataset_name, query)
+            if rest == ["experiments"]:
+                return {"experiments": self.platform.experiment_names(dataset_name)}
+            if len(rest) == 2 and rest[0] == "experiments":
+                return self._experiment_summary(dataset_name, rest[1])
+            if rest == ["golds"]:
+                return {"golds": self.platform.gold_names(dataset_name)}
+            if rest == ["metrics"]:
+                return self._metrics(dataset_name, query)
+            if rest == ["diagram"]:
+                return self._diagram(dataset_name, query)
+            if rest == ["intersection"]:
+                return self._intersection(dataset_name, query)
+            if rest == ["profile"]:
+                return self._profile(dataset_name)
+            if rest == ["categorize"]:
+                return self._categorize(dataset_name, query)
+            if rest == ["timeline"]:
+                return self._timeline(dataset_name, query)
+        raise ApiError(404, f"unknown route /{'/'.join(parts)}")
+
+    # -- handlers -----------------------------------------------------------------
+
+    def _dataset_summary(self, dataset_name: str) -> dict:
+        dataset = self.platform.dataset(dataset_name)
+        return {
+            "name": dataset.name,
+            "records": len(dataset),
+            "attributes": list(dataset.attributes),
+            "experiments": self.platform.experiment_names(dataset_name),
+            "golds": self.platform.gold_names(dataset_name),
+        }
+
+    def _records(self, dataset_name: str, query: dict[str, str]) -> dict:
+        dataset = self.platform.dataset(dataset_name)
+        offset = int(query.get("offset", "0"))
+        limit = int(query.get("limit", "100"))
+        if offset < 0 or limit < 0:
+            raise ValueError("offset and limit must be non-negative")
+        rows = []
+        for numeric_id in range(offset, min(offset + limit, len(dataset))):
+            record = dataset.by_numeric(numeric_id)
+            rows.append({"id": record.record_id, **dict(record.values)})
+        return {"total": len(dataset), "offset": offset, "records": rows}
+
+    def _experiment_summary(self, dataset_name: str, experiment_name: str) -> dict:
+        experiment = self.platform.experiment(dataset_name, experiment_name)
+        return {
+            "name": experiment.name,
+            "solution": experiment.solution,
+            "matches": len(experiment),
+            "has_scores": experiment.has_scores(),
+            "metadata": dict(experiment.metadata),
+        }
+
+    def _metrics(self, dataset_name: str, query: dict[str, str]) -> dict:
+        gold_name = query.get("gold")
+        if not gold_name:
+            raise ValueError("metrics needs a 'gold' query parameter")
+        experiments = (
+            query["exps"].split(",") if query.get("exps") else None
+        )
+        metrics = query["metrics"].split(",") if query.get("metrics") else None
+        return {
+            "gold": gold_name,
+            "metrics": self.platform.metrics_table(
+                dataset_name, gold_name, experiments, metrics
+            ),
+        }
+
+    def _diagram(self, dataset_name: str, query: dict[str, str]) -> dict:
+        experiment_name = query.get("exp")
+        gold_name = query.get("gold")
+        if not experiment_name or not gold_name:
+            raise ValueError("diagram needs 'exp' and 'gold' query parameters")
+        samples = int(query.get("n", "100"))
+        points = self.platform.diagram(
+            dataset_name, experiment_name, gold_name, samples=samples
+        )
+        return {
+            "experiment": experiment_name,
+            "gold": gold_name,
+            "points": [
+                {
+                    "threshold": (
+                        None if math.isinf(point.threshold) else point.threshold
+                    ),
+                    "matches": point.matches_applied,
+                    **point.matrix.as_dict(),
+                }
+                for point in points
+            ],
+        }
+
+    def _profile(self, dataset_name: str) -> dict:
+        from repro.profiling import profile_dataset
+
+        profile = profile_dataset(self.platform.dataset(dataset_name))
+        return {
+            "name": profile.name,
+            "tuple_count": profile.tuple_count,
+            "sparsity": profile.sparsity,
+            "textuality": profile.textuality,
+            "schema_complexity": profile.schema_complexity,
+        }
+
+    def _categorize(self, dataset_name: str, query: dict[str, str]) -> dict:
+        from repro.exploration.error_categories import categorize_errors
+
+        experiment_name = query.get("exp")
+        gold_name = query.get("gold")
+        if not experiment_name or not gold_name:
+            raise ValueError("categorize needs 'exp' and 'gold' query parameters")
+        limit = int(query["limit"]) if query.get("limit") else None
+        categorization = categorize_errors(
+            self.platform.dataset(dataset_name),
+            self.platform.experiment(dataset_name, experiment_name),
+            self.platform.gold(dataset_name, gold_name),
+            limit=limit,
+        )
+        weakness = categorization.dominant_weakness()
+        return {
+            "false_negatives": len(categorization.false_negatives),
+            "false_positives": len(categorization.false_positives),
+            "fn_relations": {
+                relation.value: count
+                for relation, count in
+                categorization.false_negative_relations.items()
+            },
+            "fp_relations": {
+                relation.value: count
+                for relation, count in
+                categorization.false_positive_relations.items()
+            },
+            "dominant_weakness": weakness.value if weakness else None,
+        }
+
+    def _timeline(self, dataset_name: str, query: dict[str, str]) -> dict:
+        from repro.core.timeline import DiagramTimeline
+
+        experiment_name = query.get("exp")
+        gold_name = query.get("gold")
+        if not experiment_name or not gold_name:
+            raise ValueError("timeline needs 'exp' and 'gold' query parameters")
+        if "high" not in query or "low" not in query:
+            raise ValueError("timeline needs 'high' and 'low' query parameters")
+        high = float(query["high"])
+        low = float(query["low"])
+        timeline = DiagramTimeline(
+            self.platform.dataset(dataset_name),
+            self.platform.experiment(dataset_name, experiment_name),
+            self.platform.gold(dataset_name, gold_name),
+        )
+        segment = timeline.segment(high, low)
+        return {
+            "high": high,
+            "low": low,
+            "new_true_positives": [
+                list(pair) for pair in sorted(segment.new_true_positives)[:1000]
+            ],
+            "new_false_positives": [
+                list(pair) for pair in sorted(segment.new_false_positives)[:1000]
+            ],
+        }
+
+    def _intersection(self, dataset_name: str, query: dict[str, str]) -> dict:
+        include = [name for name in query.get("include", "").split(",") if name]
+        exclude = [name for name in query.get("exclude", "").split(",") if name]
+        if not include:
+            raise ValueError("intersection needs an 'include' query parameter")
+        comparison = self.platform.compare_sets(dataset_name, include + exclude)
+        pairs = comparison.select(include=include, exclude=exclude)
+        return {
+            "include": include,
+            "exclude": exclude,
+            "size": len(pairs),
+            "pairs": [list(pair) for pair in sorted(pairs)[:1000]],
+        }

@@ -1,0 +1,95 @@
+"""Minimal HTTP server exposing the Frost API (Appendix A.4–A.5).
+
+Built on the stdlib ``http.server`` so that, like Snowman, the platform
+"requires no installation or external dependencies" and can be deployed
+"both on local computers and in shared cloud environments".  GET-only:
+the evaluations are read operations; imports happen through the Python
+API or the store.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qsl, urlparse
+
+from repro.server.api import ApiError, FrostApi
+
+__all__ = ["serve", "FrostHttpServer"]
+
+
+def _make_handler(api: FrostApi) -> type[BaseHTTPRequestHandler]:
+    class Handler(BaseHTTPRequestHandler):
+        def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+            """Serve one API GET request as JSON."""
+            parsed = urlparse(self.path)
+            query = dict(parse_qsl(parsed.query))
+            try:
+                payload = api.handle(parsed.path, query)
+                body = json.dumps(payload).encode("utf-8")
+                status = 200
+            except ApiError as error:
+                body = json.dumps(
+                    {"error": error.message, "status": error.status}
+                ).encode("utf-8")
+                status = error.status
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def log_message(self, format: str, *args: object) -> None:
+            """Silence per-request logging (tests run many requests)."""
+            pass  # evaluations should not spam stdout
+
+    return Handler
+
+
+class FrostHttpServer:
+    """A background HTTP server over a :class:`FrostApi`.
+
+    >>> server = FrostHttpServer(api, port=0)   # doctest: +SKIP
+    >>> server.start()                          # doctest: +SKIP
+    >>> server.port                             # doctest: +SKIP
+    """
+
+    def __init__(self, api: FrostApi, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._server = ThreadingHTTPServer((host, port), _make_handler(api))
+        self._thread: threading.Thread | None = None
+
+    @property
+    def port(self) -> int:
+        """The TCP port the server is bound to."""
+        return self._server.server_address[1]
+
+    def start(self) -> None:
+        """Start serving requests on a background thread."""
+        self._thread = threading.Thread(
+            target=self._server.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop the server and release the socket."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "FrostHttpServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def serve(api: FrostApi, host: str = "127.0.0.1", port: int = 8080) -> None:
+    """Serve the API in the foreground until interrupted."""
+    server = ThreadingHTTPServer((host, port), _make_handler(api))
+    try:
+        server.serve_forever()
+    finally:
+        server.server_close()

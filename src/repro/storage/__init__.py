@@ -1,0 +1,5 @@
+"""SQLite persistence for datasets, experiments, and gold standards."""
+
+from repro.storage.database import FrostStore, StorageError
+
+__all__ = ["FrostStore", "StorageError"]

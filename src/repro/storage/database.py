@@ -1,0 +1,369 @@
+"""SQLite-backed persistent store (Appendix A.3).
+
+Snowman persists datasets and experiments in SQLite "which can be
+bundled together with the application" and assigns "a unique numerical
+ID to each record, allowing constant time access" at import time.  This
+module reproduces that storage design: one SQLite file (or in-memory
+database), per-dataset record tables created dynamically, experiments
+stored over numeric record ids, and gold standards stored as cluster
+assignments.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from pathlib import Path
+
+from repro.core.clustering import Clustering
+from repro.core.experiment import Experiment, GoldStandard, Match
+from repro.core.pairs import make_pair
+from repro.core.records import Dataset, Record
+
+__all__ = ["FrostStore", "StorageError"]
+
+
+class StorageError(RuntimeError):
+    """Raised for storage-level failures (unknown names, collisions)."""
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS datasets (
+    dataset_id INTEGER PRIMARY KEY,
+    name TEXT UNIQUE NOT NULL,
+    attributes TEXT NOT NULL,
+    record_count INTEGER NOT NULL
+);
+CREATE TABLE IF NOT EXISTS records (
+    dataset_id INTEGER NOT NULL REFERENCES datasets(dataset_id),
+    numeric_id INTEGER NOT NULL,
+    native_id TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    PRIMARY KEY (dataset_id, numeric_id)
+);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_records_native
+    ON records(dataset_id, native_id);
+CREATE TABLE IF NOT EXISTS experiments (
+    experiment_id INTEGER PRIMARY KEY,
+    dataset_id INTEGER NOT NULL REFERENCES datasets(dataset_id),
+    name TEXT NOT NULL,
+    solution TEXT,
+    metadata TEXT NOT NULL,
+    UNIQUE (dataset_id, name)
+);
+CREATE TABLE IF NOT EXISTS matches (
+    experiment_id INTEGER NOT NULL REFERENCES experiments(experiment_id),
+    first_numeric INTEGER NOT NULL,
+    second_numeric INTEGER NOT NULL,
+    score REAL,
+    from_clustering INTEGER NOT NULL DEFAULT 0,
+    PRIMARY KEY (experiment_id, first_numeric, second_numeric)
+);
+CREATE TABLE IF NOT EXISTS gold_standards (
+    gold_id INTEGER PRIMARY KEY,
+    dataset_id INTEGER NOT NULL REFERENCES datasets(dataset_id),
+    name TEXT NOT NULL,
+    UNIQUE (dataset_id, name)
+);
+CREATE TABLE IF NOT EXISTS gold_assignments (
+    gold_id INTEGER NOT NULL REFERENCES gold_standards(gold_id),
+    numeric_id INTEGER NOT NULL,
+    cluster_index INTEGER NOT NULL,
+    PRIMARY KEY (gold_id, numeric_id)
+);
+"""
+
+
+class FrostStore:
+    """Persistent store for datasets, experiments, and gold standards.
+
+    Parameters
+    ----------
+    path:
+        SQLite file path, or ``":memory:"`` (default) for an ephemeral
+        store.  A single connection is used — Snowman's back-end is
+        likewise single-threaded (Appendix A.6).
+    """
+
+    def __init__(self, path: str | Path = ":memory:") -> None:
+        self._connection = sqlite3.connect(str(path))
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    def close(self) -> None:
+        """Close the underlying SQLite connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "FrostStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- datasets ---------------------------------------------------------------
+
+    def save_dataset(self, dataset: Dataset) -> int:
+        """Persist a dataset; numeric ids are assigned by import order."""
+        cursor = self._connection.cursor()
+        try:
+            cursor.execute(
+                "INSERT INTO datasets (name, attributes, record_count) VALUES (?, ?, ?)",
+                (dataset.name, json.dumps(list(dataset.attributes)), len(dataset)),
+            )
+        except sqlite3.IntegrityError:
+            raise StorageError(f"dataset {dataset.name!r} already stored") from None
+        dataset_id = cursor.lastrowid
+        cursor.executemany(
+            "INSERT INTO records (dataset_id, numeric_id, native_id, payload) "
+            "VALUES (?, ?, ?, ?)",
+            (
+                (
+                    dataset_id,
+                    numeric_id,
+                    record.record_id,
+                    json.dumps(dict(record.values)),
+                )
+                for numeric_id, record in enumerate(dataset)
+            ),
+        )
+        self._connection.commit()
+        return dataset_id
+
+    def load_dataset(self, name: str) -> Dataset:
+        """Load a dataset by name (records in original import order)."""
+        row = self._connection.execute(
+            "SELECT dataset_id, attributes FROM datasets WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no dataset named {name!r}")
+        dataset_id, attributes_json = row
+        records = [
+            Record(record_id=native_id, values=json.loads(payload))
+            for native_id, payload in self._connection.execute(
+                "SELECT native_id, payload FROM records "
+                "WHERE dataset_id = ? ORDER BY numeric_id",
+                (dataset_id,),
+            )
+        ]
+        return Dataset(records, name=name, attributes=json.loads(attributes_json))
+
+    def dataset_names(self) -> list[str]:
+        """Names of all stored datasets, sorted."""
+        return [
+            name
+            for (name,) in self._connection.execute(
+                "SELECT name FROM datasets ORDER BY name"
+            )
+        ]
+
+    def _dataset_id(self, name: str) -> int:
+        row = self._connection.execute(
+            "SELECT dataset_id FROM datasets WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no dataset named {name!r}")
+        return row[0]
+
+    def _numeric_ids(self, dataset_id: int) -> dict[str, int]:
+        return {
+            native: numeric
+            for native, numeric in self._connection.execute(
+                "SELECT native_id, numeric_id FROM records WHERE dataset_id = ?",
+                (dataset_id,),
+            )
+        }
+
+    def _native_ids(self, dataset_id: int) -> dict[int, str]:
+        return {
+            numeric: native
+            for native, numeric in self._connection.execute(
+                "SELECT native_id, numeric_id FROM records WHERE dataset_id = ?",
+                (dataset_id,),
+            )
+        }
+
+    # -- experiments --------------------------------------------------------------
+
+    def save_experiment(self, dataset_name: str, experiment: Experiment) -> int:
+        """Persist an experiment over the dataset's numeric record ids.
+
+        The native→numeric mapping at import time is the Snowman
+        optimization: it takes ``O(|Matches| · log|D|)`` and makes all
+        later evaluations id-arithmetic only (§5.3).
+        """
+        dataset_id = self._dataset_id(dataset_name)
+        numeric = self._numeric_ids(dataset_id)
+        cursor = self._connection.cursor()
+        try:
+            cursor.execute(
+                "INSERT INTO experiments (dataset_id, name, solution, metadata) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    dataset_id,
+                    experiment.name,
+                    experiment.solution,
+                    json.dumps(experiment.metadata, default=str),
+                ),
+            )
+        except sqlite3.IntegrityError:
+            raise StorageError(
+                f"experiment {experiment.name!r} already stored for "
+                f"dataset {dataset_name!r}"
+            ) from None
+        experiment_id = cursor.lastrowid
+
+        def numeric_pair(match: Match) -> tuple[int, int]:
+            try:
+                first = numeric[match.pair[0]]
+                second = numeric[match.pair[1]]
+            except KeyError as missing:
+                raise StorageError(
+                    f"experiment {experiment.name!r} references unknown "
+                    f"record {missing} of dataset {dataset_name!r}"
+                ) from None
+            return (first, second) if first < second else (second, first)
+
+        cursor.executemany(
+            "INSERT INTO matches (experiment_id, first_numeric, second_numeric, "
+            "score, from_clustering) VALUES (?, ?, ?, ?, ?)",
+            (
+                (
+                    experiment_id,
+                    *numeric_pair(match),
+                    match.score,
+                    int(match.from_clustering),
+                )
+                for match in experiment.matches
+            ),
+        )
+        self._connection.commit()
+        return experiment_id
+
+    def load_experiment(self, dataset_name: str, experiment_name: str) -> Experiment:
+        """Load an experiment of a dataset by name."""
+        dataset_id = self._dataset_id(dataset_name)
+        row = self._connection.execute(
+            "SELECT experiment_id, solution, metadata FROM experiments "
+            "WHERE dataset_id = ? AND name = ?",
+            (dataset_id, experiment_name),
+        ).fetchone()
+        if row is None:
+            raise StorageError(
+                f"no experiment {experiment_name!r} for dataset {dataset_name!r}"
+            )
+        experiment_id, solution, metadata_json = row
+        native = self._native_ids(dataset_id)
+        matches = [
+            Match(
+                pair=make_pair(native[first], native[second]),
+                score=score,
+                from_clustering=bool(from_clustering),
+            )
+            for first, second, score, from_clustering in self._connection.execute(
+                "SELECT first_numeric, second_numeric, score, from_clustering "
+                "FROM matches WHERE experiment_id = ?",
+                (experiment_id,),
+            )
+        ]
+        return Experiment(
+            matches,
+            name=experiment_name,
+            solution=solution,
+            metadata=json.loads(metadata_json),
+        )
+
+    def experiment_names(self, dataset_name: str) -> list[str]:
+        """Names of a dataset's stored experiments, sorted."""
+        dataset_id = self._dataset_id(dataset_name)
+        return [
+            name
+            for (name,) in self._connection.execute(
+                "SELECT name FROM experiments WHERE dataset_id = ? ORDER BY name",
+                (dataset_id,),
+            )
+        ]
+
+    def delete_experiment(self, dataset_name: str, experiment_name: str) -> None:
+        """Delete an experiment and its matches."""
+        dataset_id = self._dataset_id(dataset_name)
+        row = self._connection.execute(
+            "SELECT experiment_id FROM experiments WHERE dataset_id = ? AND name = ?",
+            (dataset_id, experiment_name),
+        ).fetchone()
+        if row is None:
+            raise StorageError(
+                f"no experiment {experiment_name!r} for dataset {dataset_name!r}"
+            )
+        self._connection.execute(
+            "DELETE FROM matches WHERE experiment_id = ?", (row[0],)
+        )
+        self._connection.execute(
+            "DELETE FROM experiments WHERE experiment_id = ?", (row[0],)
+        )
+        self._connection.commit()
+
+    # -- gold standards --------------------------------------------------------------
+
+    def save_gold_standard(self, dataset_name: str, gold: GoldStandard) -> int:
+        """Persist a gold standard over the dataset's numeric ids."""
+        dataset_id = self._dataset_id(dataset_name)
+        numeric = self._numeric_ids(dataset_id)
+        cursor = self._connection.cursor()
+        try:
+            cursor.execute(
+                "INSERT INTO gold_standards (dataset_id, name) VALUES (?, ?)",
+                (dataset_id, gold.name),
+            )
+        except sqlite3.IntegrityError:
+            raise StorageError(
+                f"gold standard {gold.name!r} already stored for "
+                f"dataset {dataset_name!r}"
+            ) from None
+        gold_id = cursor.lastrowid
+        rows = []
+        for cluster_index, cluster in enumerate(gold.clustering.clusters):
+            for record_id in cluster:
+                if record_id not in numeric:
+                    raise StorageError(
+                        f"gold {gold.name!r} references unknown record "
+                        f"{record_id!r} of dataset {dataset_name!r}"
+                    )
+                rows.append((gold_id, numeric[record_id], cluster_index))
+        cursor.executemany(
+            "INSERT INTO gold_assignments (gold_id, numeric_id, cluster_index) "
+            "VALUES (?, ?, ?)",
+            rows,
+        )
+        self._connection.commit()
+        return gold_id
+
+    def load_gold_standard(self, dataset_name: str, gold_name: str) -> GoldStandard:
+        """Load a gold standard of a dataset by name."""
+        dataset_id = self._dataset_id(dataset_name)
+        row = self._connection.execute(
+            "SELECT gold_id FROM gold_standards WHERE dataset_id = ? AND name = ?",
+            (dataset_id, gold_name),
+        ).fetchone()
+        if row is None:
+            raise StorageError(
+                f"no gold standard {gold_name!r} for dataset {dataset_name!r}"
+            )
+        native = self._native_ids(dataset_id)
+        clusters: dict[int, list[str]] = {}
+        for numeric_id, cluster_index in self._connection.execute(
+            "SELECT numeric_id, cluster_index FROM gold_assignments WHERE gold_id = ?",
+            (row[0],),
+        ):
+            clusters.setdefault(cluster_index, []).append(native[numeric_id])
+        return GoldStandard(clustering=Clustering(clusters.values()), name=gold_name)
+
+    def gold_standard_names(self, dataset_name: str) -> list[str]:
+        """Names of a dataset's stored gold standards, sorted."""
+        dataset_id = self._dataset_id(dataset_name)
+        return [
+            name
+            for (name,) in self._connection.execute(
+                "SELECT name FROM gold_standards WHERE dataset_id = ? ORDER BY name",
+                (dataset_id,),
+            )
+        ]

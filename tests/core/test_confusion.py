@@ -1,0 +1,106 @@
+"""Tests for the pair-level confusion matrix (Figure 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Clustering, ConfusionMatrix
+
+
+class TestConstruction:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ConfusionMatrix(-1, 0, 0, 0)
+
+    def test_from_pair_sets(self):
+        matrix = ConfusionMatrix.from_pair_sets(
+            experiment=[("a", "b"), ("a", "c")],
+            ground_truth=[("a", "b"), ("c", "d")],
+            total_pairs=6,
+        )
+        assert matrix.as_dict() == {"tp": 1, "fp": 1, "fn": 1, "tn": 3}
+
+    def test_from_pair_sets_canonicalizes(self):
+        matrix = ConfusionMatrix.from_pair_sets(
+            experiment=[("b", "a")], ground_truth=[("a", "b")], total_pairs=1
+        )
+        assert matrix.true_positives == 1
+
+    def test_from_pair_sets_rejects_impossible_total(self):
+        with pytest.raises(ValueError, match="too small"):
+            ConfusionMatrix.from_pair_sets(
+                experiment=[("a", "b")], ground_truth=[("c", "d")], total_pairs=1
+            )
+
+    def test_from_clusterings(self):
+        experiment = Clustering([["a", "b", "c"]])
+        truth = Clustering([["a", "b"], ["c", "d"]])
+        matrix = ConfusionMatrix.from_clusterings(experiment, truth, 6)
+        assert matrix.as_dict() == {"tp": 1, "fp": 2, "fn": 1, "tn": 2}
+
+    def test_from_counts(self):
+        matrix = ConfusionMatrix.from_counts(
+            tp=2, experiment_pairs=5, truth_pairs=3, total_pairs=10
+        )
+        assert matrix.as_dict() == {"tp": 2, "fp": 3, "fn": 1, "tn": 4}
+
+
+class TestDerived:
+    def test_marginals(self):
+        matrix = ConfusionMatrix(2, 3, 1, 4)
+        assert matrix.total == 10
+        assert matrix.predicted_positives == 5
+        assert matrix.actual_positives == 3
+        assert matrix.predicted_negatives == 5
+        assert matrix.actual_negatives == 7
+
+    def test_addition(self):
+        total = ConfusionMatrix(1, 0, 1, 0) + ConfusionMatrix(0, 2, 0, 3)
+        assert total.as_dict() == {"tp": 1, "fp": 2, "fn": 1, "tn": 3}
+
+    def test_frozen(self):
+        matrix = ConfusionMatrix(1, 1, 1, 1)
+        with pytest.raises(AttributeError):
+            matrix.true_positives = 5
+
+
+@st.composite
+def clustering_pairs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    ids = [f"r{i}" for i in range(n)]
+
+    def draw_pairs(max_pairs):
+        pairs = []
+        for _ in range(draw(st.integers(min_value=0, max_value=max_pairs))):
+            a = draw(st.sampled_from(ids))
+            b = draw(st.sampled_from(ids))
+            if a != b:
+                pairs.append((a, b))
+        return pairs
+
+    return n, draw_pairs(15), draw_pairs(15)
+
+
+class TestInvariants:
+    @given(clustering_pairs())
+    @settings(max_examples=60)
+    def test_quadrants_sum_to_total(self, case):
+        n, experiment_pairs, truth_pairs = case
+        experiment = Clustering.from_pairs(experiment_pairs)
+        truth = Clustering.from_pairs(truth_pairs)
+        total = n * (n - 1) // 2
+        matrix = ConfusionMatrix.from_clusterings(experiment, truth, total)
+        assert matrix.total == total
+
+    @given(clustering_pairs())
+    @settings(max_examples=60)
+    def test_clustering_and_pairset_paths_agree(self, case):
+        n, experiment_pairs, truth_pairs = case
+        experiment = Clustering.from_pairs(experiment_pairs)
+        truth = Clustering.from_pairs(truth_pairs)
+        total = n * (n - 1) // 2
+        from_clusterings = ConfusionMatrix.from_clusterings(experiment, truth, total)
+        from_pairs = ConfusionMatrix.from_pair_sets(
+            experiment.pairs(), truth.pairs(), total
+        )
+        assert from_clusterings == from_pairs

@@ -1,0 +1,173 @@
+"""Tests for metric/metric diagram algorithms (Algorithm 1, Appendix D)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Dataset,
+    Experiment,
+    GoldStandard,
+    Record,
+    compute_diagram_naive_clustering,
+    compute_diagram_naive_pairwise,
+    compute_diagram_optimized,
+    metric_metric_series,
+)
+from repro.core.diagrams import _sample_boundaries
+from repro.metrics.pairwise import precision, recall
+
+
+class TestFigure10:
+    def test_optimized_reproduces_paper_matrices(
+        self, abcd_dataset, abcd_gold, abcd_experiment
+    ):
+        points = compute_diagram_optimized(
+            abcd_dataset, abcd_experiment, abcd_gold, samples=4
+        )
+        matrices = [p.matrix.as_dict() for p in points]
+        assert matrices == [
+            {"tp": 0, "fp": 0, "fn": 2, "tn": 4},
+            {"tp": 0, "fp": 1, "fn": 2, "tn": 3},
+            {"tp": 0, "fp": 2, "fn": 2, "tn": 2},
+            {"tp": 2, "fp": 4, "fn": 0, "tn": 0},
+        ]
+
+    def test_first_point_is_infinite_threshold(
+        self, abcd_dataset, abcd_gold, abcd_experiment
+    ):
+        points = compute_diagram_optimized(
+            abcd_dataset, abcd_experiment, abcd_gold, samples=4
+        )
+        assert math.isinf(points[0].threshold)
+        assert points[0].matches_applied == 0
+
+    def test_thresholds_are_descending_scores(
+        self, abcd_dataset, abcd_gold, abcd_experiment
+    ):
+        points = compute_diagram_optimized(
+            abcd_dataset, abcd_experiment, abcd_gold, samples=4
+        )
+        assert [p.threshold for p in points[1:]] == [0.9, 0.8, 0.7]
+
+
+class TestValidation:
+    def test_unscored_matches_rejected(self, abcd_dataset, abcd_gold):
+        experiment = Experiment([("a", "b")])
+        with pytest.raises(ValueError, match="unscored"):
+            compute_diagram_optimized(abcd_dataset, experiment, abcd_gold)
+
+    def test_zero_samples_rejected(self, abcd_dataset, abcd_gold, abcd_experiment):
+        with pytest.raises(ValueError, match="at least one sample"):
+            compute_diagram_optimized(
+                abcd_dataset, abcd_experiment, abcd_gold, samples=0
+            )
+
+    def test_empty_experiment(self, abcd_dataset, abcd_gold):
+        points = compute_diagram_optimized(
+            abcd_dataset, Experiment([]), abcd_gold, samples=5
+        )
+        assert len(points) == 1
+        assert points[0].matrix.true_positives == 0
+        assert points[0].matrix.false_negatives == 2
+
+
+class TestSampleBoundaries:
+    def test_divisible(self):
+        assert _sample_boundaries(9, 4) == [0, 3, 6, 9]
+
+    def test_non_divisible_still_monotone_and_complete(self):
+        boundaries = _sample_boundaries(10, 4)
+        assert boundaries[0] == 0
+        assert boundaries[-1] == 10
+        assert boundaries == sorted(boundaries)
+
+    def test_more_samples_than_matches(self):
+        boundaries = _sample_boundaries(2, 5)
+        assert boundaries[0] == 0
+        assert boundaries[-1] == 2
+
+
+def _random_case(seed, n=30, matches=40, samples=7):
+    rng = random.Random(seed)
+    dataset = Dataset([Record(f"r{i}", {}) for i in range(n)], name="rand")
+    # random ground truth clustering
+    assignment = {f"r{i}": str(rng.randrange(n // 2)) for i in range(n)}
+    gold = GoldStandard.from_assignment(assignment)
+    matches = min(matches, n * (n - 1) // 2)  # cannot exceed C(n, 2)
+    pairs = set()
+    while len(pairs) < matches:
+        a, b = rng.sample(range(n), 2)
+        pairs.add((f"r{min(a,b)}", f"r{max(a,b)}"))
+    experiment = Experiment(
+        [(a, b, rng.random()) for a, b in sorted(pairs)], name="rand-run"
+    )
+    return dataset, experiment, gold, samples
+
+
+class TestAlgorithmEquivalence:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_optimized_equals_naive_clustering(self, seed):
+        dataset, experiment, gold, samples = _random_case(seed)
+        optimized = compute_diagram_optimized(dataset, experiment, gold, samples)
+        naive = compute_diagram_naive_clustering(dataset, experiment, gold, samples)
+        assert [p.matrix for p in optimized] == [p.matrix for p in naive]
+        assert [p.threshold for p in optimized] == [p.threshold for p in naive]
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_optimized_equals_naive_pairwise(self, seed):
+        dataset, experiment, gold, samples = _random_case(seed, n=15, matches=20)
+        optimized = compute_diagram_optimized(dataset, experiment, gold, samples)
+        pairwise = compute_diagram_naive_pairwise(dataset, experiment, gold, samples)
+        assert [p.matrix for p in optimized] == [p.matrix for p in pairwise]
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_equivalence_property(self, seed):
+        rng = random.Random(seed)
+        dataset, experiment, gold, _ = _random_case(
+            seed, n=rng.randrange(4, 20), matches=rng.randrange(1, 25)
+        )
+        samples = rng.randrange(2, 9)
+        optimized = compute_diagram_optimized(dataset, experiment, gold, samples)
+        naive = compute_diagram_naive_clustering(dataset, experiment, gold, samples)
+        assert [p.matrix for p in optimized] == [p.matrix for p in naive]
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_sweep_invariants(self, seed):
+        """As the threshold drops: |E| grows, FN shrinks, TP grows."""
+        dataset, experiment, gold, _ = _random_case(seed)
+        points = compute_diagram_optimized(dataset, experiment, gold, samples=9)
+        for before, after in zip(points, points[1:]):
+            assert (
+                after.matrix.predicted_positives
+                >= before.matrix.predicted_positives
+            )
+            assert after.matrix.true_positives >= before.matrix.true_positives
+            assert after.matrix.false_negatives <= before.matrix.false_negatives
+
+    def test_total_constant_across_sweep(self, abcd_dataset, abcd_gold, abcd_experiment):
+        points = compute_diagram_optimized(
+            abcd_dataset, abcd_experiment, abcd_gold, samples=4
+        )
+        totals = {p.matrix.total for p in points}
+        assert totals == {abcd_dataset.total_pairs()}
+
+
+class TestMetricSeries:
+    def test_precision_recall_series(self, abcd_dataset, abcd_gold, abcd_experiment):
+        points = compute_diagram_optimized(
+            abcd_dataset, abcd_experiment, abcd_gold, samples=4
+        )
+        series = metric_metric_series(points, recall, precision)
+        assert len(series) == 4
+        # first point: nothing predicted -> recall 0, precision 1 (vacuous)
+        assert series[0] == (0.0, 1.0)
+        # last point: everything merged -> recall 1, precision 2/6
+        assert series[-1][0] == 1.0
+        assert series[-1][1] == pytest.approx(2 / 6)

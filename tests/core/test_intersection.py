@@ -1,0 +1,142 @@
+"""Tests for the dynamically maintained intersection clustering
+(Appendix D.3), including the paper's worked example (Figure 10)."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.intersection import DynamicIntersection
+from repro.core.unionfind import PairCountingUnionFind
+
+
+def run_batches(truth_of, batches):
+    """Apply match batches to experiment + intersection; return both."""
+    experiment = PairCountingUnionFind(len(truth_of))
+    intersection = DynamicIntersection(truth_of)
+    pair_counts = []
+    for batch in batches:
+        merges = experiment.tracked_union(batch)
+        intersection.update(merges)
+        pair_counts.append(intersection.pair_count)
+    return experiment, intersection, pair_counts
+
+
+class TestPaperExamples:
+    def test_figure10_example(self):
+        """a,b,c,d = 0..3; truth g0={a,b}, g1={c,d};
+        matches {a,c},{b,d},{a,b} give TP counts 0,0,2."""
+        truth_of = [0, 0, 1, 1]
+        _, _, tp = run_batches(truth_of, [[(0, 2)], [(1, 3)], [(0, 1)]])
+        assert tp == [0, 0, 2]
+
+    def test_figure9_pitfall(self):
+        """truth {{a,b},{c}}; merging {b,c} then {a,c}: the first merge
+        does not change the intersection, the second must join a and b."""
+        truth_of = [0, 0, 1]  # a, b, c
+        _, intersection, tp = run_batches(truth_of, [[(1, 2)], [(0, 2)]])
+        assert tp == [0, 1]
+        assert intersection.intersection_cluster_of(
+            0
+        ) == intersection.intersection_cluster_of(1)
+
+    def test_appendix_d3_merge_example(self):
+        """The update walkthrough of Appendix D.3 (merging a and b after
+        {a,c} and {b,d} were merged)."""
+        truth_of = [0, 0, 1, 1]
+        experiment = PairCountingUnionFind(4)
+        intersection = DynamicIntersection(truth_of)
+        intersection.update(experiment.tracked_union([(0, 2), (1, 3)]))
+        assert intersection.pair_count == 0
+        intersection.update(experiment.tracked_union([(0, 1)]))
+        # intersection now {a,b} and {c,d}
+        clusters = sorted(
+            tuple(sorted(m)) for m in intersection.clusters().values() if len(m) > 1
+        )
+        assert clusters == [(0, 1), (2, 3)]
+
+
+class TestEdgeCases:
+    def test_empty(self):
+        intersection = DynamicIntersection([])
+        assert intersection.pair_count == 0
+        assert len(intersection) == 0
+
+    def test_no_merges(self):
+        intersection = DynamicIntersection([0, 1, 2])
+        intersection.update([])
+        assert intersection.pair_count == 0
+
+    def test_unknown_source_raises(self):
+        from repro.core.unionfind import MergeEntry
+
+        intersection = DynamicIntersection([0, 1])
+        intersection.update([MergeEntry(sources=(0, 1), target=2)])
+        try:
+            intersection.update([MergeEntry(sources=(0, 1), target=3)])
+        except KeyError as error:
+            assert "exactly once" in str(error)
+        else:
+            raise AssertionError("expected KeyError on replayed merge")
+
+    def test_all_same_truth_cluster(self):
+        truth_of = [0, 0, 0]
+        _, intersection, tp = run_batches(truth_of, [[(0, 1), (1, 2)]])
+        assert tp == [3]
+
+    def test_all_distinct_truth_clusters(self):
+        truth_of = [0, 1, 2]
+        _, intersection, tp = run_batches(truth_of, [[(0, 1), (1, 2)]])
+        assert tp == [0]
+
+
+def naive_intersection_pairs(experiment: PairCountingUnionFind, truth_of) -> int:
+    """Reference implementation: rebuild the meet from scratch."""
+    groups: dict[tuple[int, int], int] = {}
+    for element in range(len(truth_of)):
+        key = (experiment.find(element), truth_of[element])
+        groups[key] = groups.get(key, 0) + 1
+    return sum(size * (size - 1) // 2 for size in groups.values())
+
+
+@st.composite
+def intersection_cases(draw):
+    n = draw(st.integers(min_value=1, max_value=25))
+    truth_of = [draw(st.integers(min_value=0, max_value=max(0, n // 2))) for _ in range(n)]
+    batch_count = draw(st.integers(min_value=1, max_value=5))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=10_000)))
+    batches = []
+    for _ in range(batch_count):
+        batch = [
+            (rng.randrange(n), rng.randrange(n))
+            for _ in range(rng.randrange(0, n))
+        ]
+        batches.append([(a, b) for a, b in batch if a != b])
+    return truth_of, batches
+
+
+class TestAgainstNaiveRecomputation:
+    @given(intersection_cases())
+    @settings(max_examples=80)
+    def test_matches_fresh_meet_after_every_batch(self, case):
+        """The core Appendix D invariant: the dynamic intersection's pair
+        count equals a from-scratch meet computation at every step."""
+        truth_of, batches = case
+        experiment = PairCountingUnionFind(len(truth_of))
+        intersection = DynamicIntersection(truth_of)
+        for batch in batches:
+            merges = experiment.tracked_union(batch)
+            intersection.update(merges)
+            assert intersection.pair_count == naive_intersection_pairs(
+                experiment, truth_of
+            )
+
+    @given(intersection_cases())
+    @settings(max_examples=40)
+    def test_batching_is_irrelevant(self, case):
+        """Applying matches in one batch or many yields the same result."""
+        truth_of, batches = case
+        flat = [pair for batch in batches for pair in batch]
+        _, _, incremental = run_batches(truth_of, batches)
+        _, _, single = run_batches(truth_of, [flat] if flat else [[]])
+        assert incremental[-1] == single[-1]

@@ -1,0 +1,67 @@
+"""Tests for canonical record pairs."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pairs import ScoredPair, canonical_pairs, make_pair, pair_key
+
+
+class TestMakePair:
+    def test_orders_lexicographically(self):
+        assert make_pair("b", "a") == ("a", "b")
+
+    def test_keeps_sorted_order(self):
+        assert make_pair("a", "b") == ("a", "b")
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError, match="two distinct records"):
+            make_pair("x", "x")
+
+    @given(st.text(min_size=1), st.text(min_size=1))
+    def test_symmetric(self, first, second):
+        if first == second:
+            return
+        assert make_pair(first, second) == make_pair(second, first)
+
+    @given(st.text(min_size=1), st.text(min_size=1))
+    def test_always_sorted(self, first, second):
+        if first == second:
+            return
+        pair = make_pair(first, second)
+        assert pair[0] < pair[1]
+
+
+class TestPairKey:
+    def test_from_list(self):
+        assert pair_key(["z", "a"]) == ("a", "z")
+
+    def test_from_set(self):
+        assert pair_key({"x", "y"}) == ("x", "y")
+
+
+class TestCanonicalPairs:
+    def test_deduplicates_mirrored_pairs(self):
+        pairs = canonical_pairs([("a", "b"), ("b", "a"), ("a", "c")])
+        assert pairs == {("a", "b"), ("a", "c")}
+
+    def test_empty(self):
+        assert canonical_pairs([]) == set()
+
+
+class TestScoredPair:
+    def test_of_canonicalizes(self):
+        sp = ScoredPair.of("z", "a", 0.5)
+        assert sp.pair == ("a", "z")
+        assert sp.first == "a"
+        assert sp.second == "z"
+
+    def test_sorts_by_score_first(self):
+        low = ScoredPair.of("a", "b", 0.1)
+        high = ScoredPair.of("c", "d", 0.9)
+        assert sorted([high, low]) == [low, high]
+
+    def test_ties_broken_by_pair(self):
+        first = ScoredPair.of("a", "b", 0.5)
+        second = ScoredPair.of("a", "c", 0.5)
+        assert sorted([second, first]) == [first, second]

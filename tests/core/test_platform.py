@@ -1,0 +1,86 @@
+"""Tests for the FrostPlatform facade."""
+
+import pytest
+
+from repro.core.platform import FrostPlatform
+
+
+@pytest.fixture
+def platform(people_dataset, people_gold, people_experiment):
+    platform = FrostPlatform()
+    platform.add_dataset(people_dataset)
+    platform.add_gold(people_dataset.name, people_gold)
+    platform.add_experiment(people_dataset.name, people_experiment)
+    return platform
+
+
+class TestRegistry:
+    def test_names(self, platform):
+        assert platform.dataset_names() == ["people"]
+        assert platform.experiment_names("people") == ["people-run"]
+        assert platform.gold_names("people") == ["people-gold"]
+
+    def test_duplicate_dataset_rejected(self, platform, people_dataset):
+        with pytest.raises(ValueError, match="already registered"):
+            platform.add_dataset(people_dataset)
+
+    def test_duplicate_experiment_rejected(self, platform, people_experiment):
+        with pytest.raises(ValueError, match="already registered"):
+            platform.add_experiment("people", people_experiment)
+
+    def test_unknown_dataset_error_lists_known(self, platform):
+        with pytest.raises(KeyError, match="known: people"):
+            platform.dataset("nope")
+
+    def test_unknown_experiment_error_lists_known(self, platform):
+        with pytest.raises(KeyError, match="people-run"):
+            platform.experiment("people", "nope")
+
+
+class TestEvaluations:
+    def test_confusion(self, platform):
+        matrix = platform.confusion("people", "people-run", "people-gold")
+        # found p1~p2 (tp), invented p5~p6 (fp), missed p3~p4 (fn)
+        assert matrix.as_dict() == {"tp": 1, "fp": 1, "fn": 1, "tn": 12}
+
+    def test_metrics_table(self, platform):
+        table = platform.metrics_table(
+            "people", "people-gold", metric_names=["precision", "recall", "f1"]
+        )
+        row = table["people-run"]
+        assert row["precision"] == 0.5
+        assert row["recall"] == 0.5
+        assert row["f1"] == 0.5
+
+    def test_diagram(self, platform):
+        points = platform.diagram("people", "people-run", "people-gold", samples=3)
+        assert points[0].matches_applied == 0
+        assert points[-1].matches_applied == 2
+
+    def test_compare_sets_with_gold(self, platform):
+        comparison = platform.compare_sets("people", ["people-run", "people-gold"])
+        missed = comparison.select(include=["people-gold"], exclude=["people-run"])
+        assert missed == {("p3", "p4")}
+
+    def test_compare_sets_unknown_name(self, platform):
+        with pytest.raises(KeyError, match="no experiment or gold"):
+            platform.compare_sets("people", ["nope"])
+
+
+class TestConvenienceViews:
+    def test_profile_uses_registered_gold(self, platform):
+        profile = platform.profile("people")
+        assert profile.tuple_count == 6
+        # people-gold has 2 duplicate pairs over C(6,2)=15 pairs
+        assert profile.positive_ratio == pytest.approx(2 / 15)
+
+    def test_profile_without_gold(self, people_dataset):
+        bare = FrostPlatform()
+        bare.add_dataset(people_dataset)
+        profile = bare.profile("people")
+        assert profile.positive_ratio is None
+
+    def test_timeline_matches_diagram(self, platform):
+        timeline = platform.timeline("people", "people-run", "people-gold")
+        for point in platform.diagram("people", "people-run", "people-gold", 3):
+            assert timeline.matrix_at(point.threshold) == point.matrix

@@ -1,0 +1,92 @@
+"""Tests for records and datasets."""
+
+import pytest
+
+from repro.core import Dataset, DatasetError, Record
+
+
+class TestRecord:
+    def test_value_returns_content(self):
+        record = Record("r1", {"name": "alice"})
+        assert record.value("name") == "alice"
+
+    def test_empty_string_is_null(self):
+        record = Record("r1", {"name": ""})
+        assert record.value("name") is None
+        assert record.is_null("name")
+
+    def test_missing_attribute_is_null(self):
+        record = Record("r1", {})
+        assert record.is_null("anything")
+
+    def test_tokens_single_attribute(self):
+        record = Record("r1", {"title": "deep learning methods"})
+        assert record.tokens("title") == ["deep", "learning", "methods"]
+
+    def test_tokens_all_attributes(self):
+        record = Record("r1", {"a": "x y", "b": None, "c": "z"})
+        assert sorted(record.tokens()) == ["x", "y", "z"]
+
+    def test_frozen(self):
+        record = Record("r1", {})
+        with pytest.raises(AttributeError):
+            record.record_id = "r2"
+
+
+class TestDataset:
+    def test_len_and_iteration(self, people_dataset):
+        assert len(people_dataset) == 6
+        assert [r.record_id for r in people_dataset][:2] == ["p1", "p2"]
+
+    def test_getitem_by_native_id(self, people_dataset):
+        assert people_dataset["p3"].value("first") == "mary"
+
+    def test_getitem_unknown_raises_with_context(self, people_dataset):
+        with pytest.raises(KeyError, match="nope.*people"):
+            people_dataset["nope"]
+
+    def test_contains(self, people_dataset):
+        assert "p1" in people_dataset
+        assert "p99" not in people_dataset
+
+    def test_numeric_ids_are_dense_insertion_order(self, people_dataset):
+        assert people_dataset.numeric_id("p1") == 0
+        assert people_dataset.numeric_id("p6") == 5
+        assert people_dataset.native_id(2) == "p3"
+        assert people_dataset.by_numeric(0).record_id == "p1"
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(DatasetError, match="duplicate record id"):
+            Dataset([Record("x", {}), Record("x", {})])
+
+    def test_attributes_inferred_in_first_seen_order(self):
+        dataset = Dataset(
+            [Record("a", {"x": "1"}), Record("b", {"y": "2", "x": "3"})]
+        )
+        assert dataset.attributes == ("x", "y")
+
+    def test_explicit_attributes_respected(self):
+        dataset = Dataset([Record("a", {"x": "1"})], attributes=["x", "y"])
+        assert dataset.attributes == ("x", "y")
+
+    def test_total_pairs(self, people_dataset):
+        assert people_dataset.total_pairs() == 15  # C(6, 2)
+
+    def test_total_pairs_degenerate(self):
+        assert Dataset([]).total_pairs() == 0
+        assert Dataset([Record("a", {})]).total_pairs() == 0
+
+    def test_vocabulary(self):
+        dataset = Dataset(
+            [Record("a", {"t": "hello world"}), Record("b", {"t": "hello there"})]
+        )
+        assert dataset.vocabulary() == {"hello", "world", "there"}
+
+    def test_subset_preserves_schema(self, people_dataset):
+        subset = people_dataset.subset(["p2", "p5"])
+        assert len(subset) == 2
+        assert subset.attributes == people_dataset.attributes
+        assert subset.numeric_id("p2") == 0
+
+    def test_record_ids(self, people_dataset):
+        assert people_dataset.record_ids == ["p1", "p2", "p3", "p4", "p5", "p6"]

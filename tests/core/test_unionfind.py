@@ -1,0 +1,197 @@
+"""Tests for the pair-counting, merge-tracking union-find (Appendix D)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.unionfind import PairCountingUnionFind
+
+
+class TestBasics:
+    def test_initial_state(self):
+        uf = PairCountingUnionFind(4)
+        assert uf.cluster_count == 4
+        assert uf.pair_count == 0
+        assert not uf.connected(0, 1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PairCountingUnionFind(-1)
+
+    def test_union_connects(self):
+        uf = PairCountingUnionFind(4)
+        uf.union(0, 1)
+        assert uf.connected(0, 1)
+        assert uf.cluster_count == 3
+        assert uf.pair_count == 1
+
+    def test_union_is_idempotent_on_pair_count(self):
+        uf = PairCountingUnionFind(3)
+        first_id = uf.union(0, 1)
+        second_id = uf.union(1, 0)
+        assert uf.pair_count == 1
+        assert second_id == first_id  # no-op keeps the existing id
+
+    def test_pair_count_triangle(self):
+        uf = PairCountingUnionFind(3)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.pair_count == 3  # C(3,2)
+
+    def test_cluster_sizes(self):
+        uf = PairCountingUnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.cluster_size(0) == 3
+        assert uf.cluster_size(4) == 1
+
+    def test_fresh_cluster_ids_minted_per_merge(self):
+        uf = PairCountingUnionFind(4)
+        first = uf.union(0, 1)
+        second = uf.union(2, 3)
+        third = uf.union(0, 2)
+        assert first == 4
+        assert second == 5
+        assert third == 6
+        assert uf.cluster_id_of(3) == 6
+
+    def test_clusters_materialization(self):
+        uf = PairCountingUnionFind(4)
+        uf.union(0, 1)
+        clusters = uf.clusters()
+        members = sorted(tuple(sorted(m)) for m in clusters.values())
+        assert members == [(0, 1), (2,), (3,)]
+
+    def test_copy_is_independent(self):
+        uf = PairCountingUnionFind(3)
+        uf.union(0, 1)
+        clone = uf.copy()
+        clone.union(1, 2)
+        assert uf.pair_count == 1
+        assert clone.pair_count == 3
+
+
+class TestTrackedUnion:
+    def test_paper_example(self):
+        """Appendix D.1: {{a},{b},{c,d}} + pairs {a,b},{b,c} -> one entry."""
+        uf = PairCountingUnionFind(4)  # a=0, b=1, c=2, d=3
+        cd_id = uf.union(2, 3)
+        merges = uf.tracked_union([(0, 1), (1, 2)])
+        assert len(merges) == 1
+        entry = merges[0]
+        assert sorted(entry.sources) == [0, 1, cd_id]
+        assert entry.target == uf.cluster_id_of(0)
+
+    def test_no_op_batch(self):
+        uf = PairCountingUnionFind(3)
+        uf.union(0, 1)
+        assert uf.tracked_union([(0, 1), (1, 0)]) == []
+
+    def test_disjoint_merges_produce_separate_entries(self):
+        uf = PairCountingUnionFind(4)
+        merges = uf.tracked_union([(0, 1), (2, 3)])
+        assert len(merges) == 2
+        targets = {entry.target for entry in merges}
+        assert targets == {uf.cluster_id_of(0), uf.cluster_id_of(2)}
+
+    def test_sources_are_pre_batch_ids_only(self):
+        """Mid-batch intermediate cluster ids never leak into sources."""
+        uf = PairCountingUnionFind(4)
+        merges = uf.tracked_union([(0, 1), (1, 2), (2, 3)])
+        assert len(merges) == 1
+        assert sorted(merges[0].sources) == [0, 1, 2, 3]
+
+    def test_figure10_sequence(self):
+        """The three single-pair batches of the Figure 10 run."""
+        uf = PairCountingUnionFind(4)  # a,b,c,d = 0..3
+        step1 = uf.tracked_union([(0, 2)])  # {a,c}
+        assert [sorted(e.sources) for e in step1] == [[0, 2]]
+        step2 = uf.tracked_union([(1, 3)])  # {b,d}
+        assert [sorted(e.sources) for e in step2] == [[1, 3]]
+        step3 = uf.tracked_union([(0, 1)])  # {a,b} merges both clusters
+        assert [sorted(e.sources) for e in step3] == [
+            [step1[0].target, step2[0].target]
+        ]
+        assert uf.pair_count == 6  # all four together
+
+
+@st.composite
+def union_sequences(draw):
+    n = draw(st.integers(min_value=1, max_value=30))
+    pair_count = draw(st.integers(min_value=0, max_value=60))
+    pairs = [
+        (
+            draw(st.integers(min_value=0, max_value=n - 1)),
+            draw(st.integers(min_value=0, max_value=n - 1)),
+        )
+        for _ in range(pair_count)
+    ]
+    pairs = [(a, b) for a, b in pairs if a != b]
+    return n, pairs
+
+
+class TestProperties:
+    @given(union_sequences())
+    @settings(max_examples=60)
+    def test_pair_count_matches_cluster_sizes(self, case):
+        n, pairs = case
+        uf = PairCountingUnionFind(n)
+        for a, b in pairs:
+            uf.union(a, b)
+        expected = sum(
+            len(members) * (len(members) - 1) // 2
+            for members in uf.clusters().values()
+        )
+        assert uf.pair_count == expected
+
+    @given(union_sequences())
+    @settings(max_examples=60)
+    def test_cluster_count_plus_merges_is_n(self, case):
+        n, pairs = case
+        uf = PairCountingUnionFind(n)
+        merges = 0
+        for a, b in pairs:
+            if not uf.connected(a, b):
+                merges += 1
+            uf.union(a, b)
+        assert uf.cluster_count == n - merges
+
+    @given(union_sequences())
+    @settings(max_examples=60)
+    def test_tracked_union_matches_plain_union(self, case):
+        """A tracked batch produces the identical partition."""
+        n, pairs = case
+        tracked = PairCountingUnionFind(n)
+        plain = PairCountingUnionFind(n)
+        tracked.tracked_union(pairs)
+        for a, b in pairs:
+            plain.union(a, b)
+        tracked_partition = sorted(
+            tuple(sorted(m)) for m in tracked.clusters().values()
+        )
+        plain_partition = sorted(
+            tuple(sorted(m)) for m in plain.clusters().values()
+        )
+        assert tracked_partition == plain_partition
+        assert tracked.pair_count == plain.pair_count
+
+    @given(union_sequences())
+    @settings(max_examples=60)
+    def test_merge_log_sources_partition_targets(self, case):
+        """Each entry's sources are disjoint pre-batch clusters whose
+        union is exactly the target cluster."""
+        n, pairs = case
+        uf = PairCountingUnionFind(n)
+        before = {
+            cluster_id: set(members)
+            for cluster_id, members in uf.clusters().items()
+        }
+        merges = uf.tracked_union(pairs)
+        after = uf.clusters()
+        for entry in merges:
+            combined: set[int] = set()
+            for source in entry.sources:
+                assert source in before
+                assert not (combined & before[source])
+                combined |= before[source]
+            assert combined == set(after[entry.target])

@@ -1,0 +1,112 @@
+"""Tests for the corruption model."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datagen import corruption
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestCharacterCorruptors:
+    def test_insert_grows_by_one(self, rng):
+        assert len(corruption.typo_insert("hello", rng)) == 6
+
+    def test_delete_shrinks_by_one(self, rng):
+        assert len(corruption.typo_delete("hello", rng)) == 4
+
+    def test_delete_keeps_single_char(self, rng):
+        assert corruption.typo_delete("x", rng) == "x"
+
+    def test_substitute_keeps_length(self, rng):
+        assert len(corruption.typo_substitute("hello", rng)) == 5
+
+    def test_transpose_keeps_multiset(self, rng):
+        result = corruption.typo_transpose("abcdef", rng)
+        assert sorted(result) == sorted("abcdef")
+
+    def test_transpose_short_string(self, rng):
+        assert corruption.typo_transpose("a", rng) == "a"
+
+    def test_ocr_confuse_applies_known_confusion(self, rng):
+        result = corruption.ocr_confuse("0k", rng)
+        assert result == "ok"
+
+    def test_ocr_confuse_no_candidates(self, rng):
+        assert corruption.ocr_confuse("xyx", rng) == "xyx"
+
+
+class TestTokenCorruptors:
+    def test_swap_tokens(self, rng):
+        result = corruption.swap_tokens("alpha beta", rng)
+        assert result == "beta alpha"
+
+    def test_swap_single_token(self, rng):
+        assert corruption.swap_tokens("alpha", rng) == "alpha"
+
+    def test_drop_token(self, rng):
+        result = corruption.drop_token("a b c", rng)
+        assert len(result.split()) == 2
+
+    def test_drop_last_token_keeps_one(self, rng):
+        assert corruption.drop_token("solo", rng) == "solo"
+
+    def test_duplicate_token(self, rng):
+        result = corruption.duplicate_token("a b", rng)
+        assert len(result.split()) == 3
+
+    def test_abbreviate_token(self, rng):
+        result = corruption.abbreviate_token("john smith", rng)
+        assert any(token.endswith(".") for token in result.split())
+
+    def test_abbreviate_short_tokens_unchanged(self, rng):
+        assert corruption.abbreviate_token("ab cd", rng) == "ab cd"
+
+    def test_case_noise_changes_case_only(self, rng):
+        result = corruption.case_noise("hello world", rng)
+        assert result.lower() == "hello world"
+
+
+class TestCorruptionModel:
+    def test_zero_rate_is_identity(self, rng):
+        model = corruption.CorruptionModel(attribute_rate=0.0, null_rate=0.0)
+        assert model.corrupt_value("unchanged", rng) == "unchanged"
+
+    def test_null_rate_one_always_nulls(self, rng):
+        model = corruption.CorruptionModel(null_rate=1.0)
+        assert model.corrupt_value("anything", rng) is None
+
+    def test_none_stays_none(self, rng):
+        model = corruption.CorruptionModel(attribute_rate=1.0)
+        assert model.corrupt_value(None, rng) is None
+
+    def test_full_rate_usually_changes_value(self):
+        model = corruption.CorruptionModel(attribute_rate=1.0, errors_per_value=2.0)
+        rng = random.Random(1)
+        changed = sum(
+            1
+            for _ in range(50)
+            if model.corrupt_value("representative value", rng)
+            != "representative value"
+        )
+        assert changed > 40
+
+    def test_corrupt_record_visits_all_attributes(self):
+        model = corruption.CorruptionModel(null_rate=1.0)
+        rng = random.Random(0)
+        values = {"a": "x", "b": "y"}
+        assert model.corrupt_record(values, rng) == {"a": None, "b": None}
+
+    @given(st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_deterministic_given_seed(self, seed):
+        model = corruption.CorruptionModel(attribute_rate=0.8)
+        first = model.corrupt_value("some test value", random.Random(seed))
+        second = model.corrupt_value("some test value", random.Random(seed))
+        assert first == second

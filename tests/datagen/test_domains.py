@@ -1,0 +1,70 @@
+"""Tests for the domain generators and their paper calibrations."""
+
+import random
+
+import pytest
+
+from repro.datagen import domains
+
+
+class TestEntityFactories:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            domains.person_entity,
+            domains.bibliographic_entity,
+            domains.cd_entity,
+            domains.song_entity,
+            domains.product_offer_entity,
+        ],
+    )
+    def test_produces_string_or_none_values(self, factory):
+        entity = factory(random.Random(0))
+        assert entity
+        for value in entity.values():
+            assert value is None or isinstance(value, str)
+
+    def test_person_schema(self):
+        entity = domains.person_entity(random.Random(1))
+        assert {"first_name", "last_name", "city", "zip"} <= set(entity)
+
+    def test_bibliographic_rich_schema(self):
+        """§4.5.2 needs a 'meaningful and sophisticated schema' —
+        Cora has many attributes."""
+        entity = domains.bibliographic_entity(random.Random(1))
+        assert len(entity) >= 7
+
+    def test_product_offer_cluttered_name(self):
+        """§5.4: 'unstructured, cluttered information in the attribute
+        name'."""
+        entity = domains.product_offer_entity(random.Random(2))
+        assert len(entity["name"].split()) >= 4
+
+
+class TestPackagedBenchmarks:
+    def test_person_benchmark(self):
+        benchmark = domains.make_person_benchmark(200, seed=0)
+        assert len(benchmark.dataset) == 200
+        assert benchmark.duplicate_pairs > 0
+
+    def test_cora_like_sizes(self):
+        benchmark = domains.make_cora_like_benchmark(500, seed=0)
+        assert len(benchmark.dataset) == 500
+        # heavy cluster tail: some cluster of size >= 5
+        assert max(benchmark.gold.clustering.cluster_sizes()) >= 5
+
+    def test_freedb_like_few_duplicates(self):
+        benchmark = domains.make_freedb_like_benchmark(2000, seed=0)
+        # FreeDB regime: very low duplicate density
+        assert benchmark.duplicate_pairs < len(benchmark.dataset) * 0.05
+
+    def test_x4_like_dense_clusters(self):
+        benchmark = domains.make_x4_like_benchmark(200, seed=0)
+        # X4 regime: matched pairs greatly exceed record count
+        assert benchmark.duplicate_pairs > len(benchmark.dataset) * 2
+
+    def test_full_scale_x4_calibration(self):
+        """Table 1 row 1: 835 records, ~4 005 matched pairs."""
+        benchmark = domains.make_x4_like_benchmark()
+        assert len(benchmark.dataset) == 835
+        assert 2500 < benchmark.duplicate_pairs < 6000

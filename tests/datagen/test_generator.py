@@ -1,0 +1,150 @@
+"""Tests for the dirty-dataset generation engine."""
+
+import random
+
+import pytest
+
+from repro.datagen.corruption import CorruptionModel
+from repro.datagen.generator import (
+    DirtyDatasetGenerator,
+    cluster_sizes_fixed,
+    cluster_sizes_zipf,
+    scored_benchmark_experiment,
+)
+
+
+def entity(rng):
+    return {"name": f"entity-{rng.randrange(10_000)}", "kind": "thing"}
+
+
+class TestClusterSizeSamplers:
+    def test_fixed(self):
+        sampler = cluster_sizes_fixed(3)
+        assert sampler(random.Random(0)) == 3
+
+    def test_fixed_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            cluster_sizes_fixed(0)
+
+    def test_zipf_range(self):
+        sampler = cluster_sizes_zipf(maximum=4)
+        rng = random.Random(0)
+        sizes = {sampler(rng) for _ in range(200)}
+        assert sizes <= {1, 2, 3, 4}
+        assert 1 in sizes
+
+    def test_zipf_skew_prefers_small(self):
+        sampler = cluster_sizes_zipf(maximum=5, skew=3.0)
+        rng = random.Random(0)
+        sizes = [sampler(rng) for _ in range(500)]
+        assert sizes.count(1) > sizes.count(5)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            cluster_sizes_zipf(maximum=0)
+
+
+class TestGenerator:
+    def test_exact_record_count(self):
+        generator = DirtyDatasetGenerator(entity_factory=entity, seed=1)
+        benchmark = generator.generate(137)
+        assert len(benchmark.dataset) == 137
+
+    def test_zero_records(self):
+        generator = DirtyDatasetGenerator(entity_factory=entity)
+        assert len(generator.generate(0).dataset) == 0
+
+    def test_negative_rejected(self):
+        generator = DirtyDatasetGenerator(entity_factory=entity)
+        with pytest.raises(ValueError, match="non-negative"):
+            generator.generate(-1)
+
+    def test_gold_covers_only_generated_records(self):
+        generator = DirtyDatasetGenerator(entity_factory=entity, seed=2)
+        benchmark = generator.generate(50)
+        record_ids = set(benchmark.dataset.record_ids)
+        assert benchmark.gold.clustering.records() <= record_ids
+
+    def test_duplicates_exist_with_fixed_clusters(self):
+        generator = DirtyDatasetGenerator(
+            entity_factory=entity, cluster_sizes=cluster_sizes_fixed(2), seed=3
+        )
+        benchmark = generator.generate(40)
+        assert benchmark.duplicate_pairs == 20
+
+    def test_reproducible(self):
+        make = lambda: DirtyDatasetGenerator(entity_factory=entity, seed=9).generate(30)
+        first, second = make(), make()
+        assert first.dataset.record_ids == second.dataset.record_ids
+        assert first.gold.pairs() == second.gold.pairs()
+
+    def test_base_sparsity_nulls_values(self):
+        generator = DirtyDatasetGenerator(
+            entity_factory=entity, base_sparsity=0.9, seed=4
+        )
+        benchmark = generator.generate(60)
+        nulls = sum(
+            1
+            for record in benchmark.dataset
+            for attribute in benchmark.dataset.attributes
+            if record.is_null(attribute)
+        )
+        total = len(benchmark.dataset) * len(benchmark.dataset.attributes)
+        assert nulls / total > 0.7
+
+    def test_originals_clean_by_default(self):
+        generator = DirtyDatasetGenerator(
+            entity_factory=lambda rng: {"fixed": "constant value here"},
+            cluster_sizes=cluster_sizes_fixed(3),
+            corruption=CorruptionModel(attribute_rate=1.0, errors_per_value=3.0),
+            seed=5,
+        )
+        benchmark = generator.generate(30)
+        # each cluster's -0 record keeps the clean value
+        originals = [
+            record
+            for record in benchmark.dataset
+            if record.record_id.endswith("-0")
+        ]
+        assert all(r.value("fixed") == "constant value here" for r in originals)
+
+    def test_duplicates_shuffled(self):
+        generator = DirtyDatasetGenerator(
+            entity_factory=entity, cluster_sizes=cluster_sizes_fixed(2), seed=6
+        )
+        benchmark = generator.generate(100)
+        ids = benchmark.dataset.record_ids
+        adjacent_duplicates = sum(
+            1
+            for a, b in zip(ids, ids[1:])
+            if a.split("-")[0] == b.split("-")[0]
+        )
+        assert adjacent_duplicates < len(ids) // 2
+
+
+class TestScoredBenchmarkExperiment:
+    def test_target_match_count(self):
+        generator = DirtyDatasetGenerator(
+            entity_factory=entity, cluster_sizes=cluster_sizes_fixed(2), seed=7
+        )
+        benchmark = generator.generate(60)
+        experiment = scored_benchmark_experiment(benchmark, target_matches=100)
+        assert len(experiment) == 100
+        assert experiment.has_scores()
+
+    def test_true_pairs_score_higher_on_average(self):
+        generator = DirtyDatasetGenerator(
+            entity_factory=entity, cluster_sizes=cluster_sizes_fixed(2), seed=8
+        )
+        benchmark = generator.generate(80)
+        experiment = scored_benchmark_experiment(benchmark, target_matches=120)
+        gold_pairs = benchmark.gold.pairs()
+        true_scores = [
+            sp.score for sp in experiment.scored_pairs() if sp.pair in gold_pairs
+        ]
+        false_scores = [
+            sp.score for sp in experiment.scored_pairs() if sp.pair not in gold_pairs
+        ]
+        assert sum(true_scores) / len(true_scores) > sum(false_scores) / len(
+            false_scores
+        )

@@ -1,0 +1,76 @@
+"""Tests for the calibrated SIGMOD contest substitutes (Table 2)."""
+
+import pytest
+
+from repro.datagen.sigmod import make_sigmod_contest
+from repro.profiling import sparsity, textuality, vocabulary_similarity
+
+
+@pytest.fixture(scope="module")
+def contest():
+    return make_sigmod_contest(scale=0.01, seed=0)
+
+
+class TestStructure:
+    def test_split_lookup(self, contest):
+        assert contest.split("X2") is contest.x2
+        assert contest.split("z3") is contest.z3
+
+    def test_unknown_split(self, contest):
+        with pytest.raises(KeyError, match="x2/z2/x3/z3"):
+            contest.split("q9")
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_sigmod_contest(scale=0)
+
+    def test_record_counts_scale(self, contest):
+        assert len(contest.x2.dataset) == round(58_653 * 0.01)
+        assert len(contest.z2.dataset) == round(18_915 * 0.01)
+
+
+class TestProfileCalibration:
+    def test_sparsity_ordering(self, contest):
+        """Table 2: X3/Z3 are much sparser than X2/Z2."""
+        assert sparsity(contest.x3.dataset) > 2 * sparsity(contest.x2.dataset)
+        assert sparsity(contest.z3.dataset) > sparsity(contest.z2.dataset)
+
+    def test_sparsity_magnitudes(self, contest):
+        assert sparsity(contest.x2.dataset) == pytest.approx(0.111, abs=0.05)
+        assert sparsity(contest.x3.dataset) == pytest.approx(0.501, abs=0.06)
+
+    def test_textuality_ordering(self, contest):
+        """Table 2: D2 is much more textual than D3."""
+        assert textuality(contest.x2.dataset) > textuality(contest.x3.dataset)
+
+    def test_vocabulary_similarity_ordering(self, contest):
+        """Table 2: VS(X2,Z2)=59% > VS(X3,Z3)=37.7%."""
+        vs_d2 = vocabulary_similarity(contest.x2.dataset, contest.z2.dataset)
+        vs_d3 = vocabulary_similarity(contest.x3.dataset, contest.z3.dataset)
+        assert vs_d2 > vs_d3
+
+    def test_positive_ratio_ordering(self, contest):
+        """Table 2: PR(Z3)=12.1% far above PR(X3)=2.2%."""
+        assert contest.z3.labeled.positive_ratio > 3 * contest.x3.labeled.positive_ratio
+
+    def test_labeled_positive_ratios_near_targets(self, contest):
+        assert contest.x2.labeled.positive_ratio == pytest.approx(0.022, abs=0.01)
+        assert contest.z3.labeled.positive_ratio == pytest.approx(0.121, abs=0.03)
+
+
+class TestLabeledPairs:
+    def test_labels_consistent_with_gold(self, contest):
+        clustering = contest.x2.gold.clustering
+        for pair, label in contest.x2.labeled.pairs[:200]:
+            assert clustering.same_cluster(*pair) == label
+
+    def test_positives_helper(self, contest):
+        positives = contest.x2.labeled.positives()
+        assert len(positives) == sum(
+            1 for _, label in contest.x2.labeled.pairs if label
+        )
+
+    def test_pairs_reference_dataset_records(self, contest):
+        dataset = contest.x2.dataset
+        for pair, _ in contest.x2.labeled.pairs[:100]:
+            assert pair[0] in dataset and pair[1] in dataset

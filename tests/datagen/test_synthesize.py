@@ -1,0 +1,89 @@
+"""Tests for quality-scheduled experiment synthesis."""
+
+import pytest
+
+from repro.core import ConfusionMatrix
+from repro.datagen import make_person_benchmark
+from repro.datagen.synthesize import synthesize_experiment
+from repro.metrics.pairwise import precision, recall
+
+
+@pytest.fixture(scope="module")
+def bench_data():
+    return make_person_benchmark(300, seed=11)
+
+
+class TestSynthesize:
+    def test_hits_recall_target(self, bench_data):
+        experiment = synthesize_experiment(
+            bench_data.dataset, bench_data.gold, precision=1.0, recall=0.6, seed=0
+        )
+        matrix = ConfusionMatrix.from_pair_sets(
+            experiment.pairs(), bench_data.gold.pairs(),
+            bench_data.dataset.total_pairs(),
+        )
+        assert recall(matrix) == pytest.approx(0.6, abs=0.05)
+        assert precision(matrix) == 1.0
+
+    def test_hits_precision_target(self, bench_data):
+        """Targets refer to the transitively closed result (what Frost
+        evaluates); the raw match set carries only spanning edges for
+        its false-positive clusters."""
+        experiment = synthesize_experiment(
+            bench_data.dataset, bench_data.gold, precision=0.7, recall=0.8, seed=1
+        )
+        matrix = ConfusionMatrix.from_clusterings(
+            experiment.clustering(), bench_data.gold.clustering,
+            bench_data.dataset.total_pairs(),
+        )
+        assert precision(matrix) == pytest.approx(0.7, abs=0.07)
+
+    def test_closed_precision_across_targets(self, bench_data):
+        for target in (0.3, 0.5, 0.9):
+            experiment = synthesize_experiment(
+                bench_data.dataset, bench_data.gold,
+                precision=target, recall=0.6, seed=4,
+            )
+            matrix = ConfusionMatrix.from_clusterings(
+                experiment.clustering(), bench_data.gold.clustering,
+                bench_data.dataset.total_pairs(),
+            )
+            assert precision(matrix) == pytest.approx(target, abs=0.07)
+
+    def test_scores_separate_true_from_false(self, bench_data):
+        experiment = synthesize_experiment(
+            bench_data.dataset, bench_data.gold, precision=0.6, recall=0.9, seed=2
+        )
+        gold_pairs = bench_data.gold.pairs()
+        true_scores = [
+            sp.score for sp in experiment.scored_pairs() if sp.pair in gold_pairs
+        ]
+        false_scores = [
+            sp.score for sp in experiment.scored_pairs() if sp.pair not in gold_pairs
+        ]
+        assert sum(true_scores) / len(true_scores) > sum(false_scores) / len(
+            false_scores
+        )
+
+    def test_without_scores(self, bench_data):
+        experiment = synthesize_experiment(
+            bench_data.dataset, bench_data.gold,
+            precision=0.9, recall=0.5, with_scores=False,
+        )
+        assert not experiment.has_scores() or len(experiment) == 0
+
+    def test_validation(self, bench_data):
+        with pytest.raises(ValueError, match="recall"):
+            synthesize_experiment(
+                bench_data.dataset, bench_data.gold, precision=0.9, recall=1.5
+            )
+        with pytest.raises(ValueError, match="precision"):
+            synthesize_experiment(
+                bench_data.dataset, bench_data.gold, precision=0.0, recall=0.5
+            )
+
+    def test_deterministic(self, bench_data):
+        make = lambda: synthesize_experiment(
+            bench_data.dataset, bench_data.gold, precision=0.8, recall=0.7, seed=5
+        )
+        assert make().pairs() == make().pairs()

@@ -1,0 +1,46 @@
+"""Sanity tests for the embedded word pools behind the generators."""
+
+import pytest
+
+from repro.datagen import vocab
+
+
+POOLS = [
+    "GIVEN_NAMES",
+    "SURNAMES",
+    "STREETS",
+    "CITIES",
+    "RESEARCH_WORDS",
+    "VENUES",
+    "ARTIST_WORDS",
+    "MUSIC_WORDS",
+    "GENRES",
+    "PRODUCT_BRANDS",
+    "PRODUCT_WORDS",
+    "MARKETING_WORDS",
+    "LAPTOP_BRANDS",
+    "LAPTOP_SERIES",
+    "CPU_MODELS",
+    "RAM_SIZES",
+    "STORAGE",
+    "SCREEN_SIZES",
+]
+
+
+@pytest.mark.parametrize("pool_name", POOLS)
+def test_pool_exists_and_is_usable(pool_name):
+    pool = getattr(vocab, pool_name)
+    assert len(pool) >= 3, f"{pool_name} is too small to drive a generator"
+    assert all(isinstance(entry, str) and entry for entry in pool)
+
+
+@pytest.mark.parametrize("pool_name", POOLS)
+def test_pool_entries_unique(pool_name):
+    pool = getattr(vocab, pool_name)
+    assert len(set(pool)) == len(pool), f"{pool_name} contains duplicates"
+
+
+def test_sampling_pools_support_rngsample():
+    """Generators draw several distinct words per value."""
+    assert len(vocab.RESEARCH_WORDS) >= 9  # bibliographic titles draw up to 8
+    assert len(vocab.PRODUCT_WORDS) >= 5  # product offers draw up to 4

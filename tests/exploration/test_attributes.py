@@ -1,0 +1,104 @@
+"""Tests for nullRatio and equalRatio analyses (§4.5.2, §4.5.3)."""
+
+import pytest
+
+from repro.core import Dataset, Experiment, GoldStandard, Record
+from repro.exploration.attributes import (
+    AttributeRatio,
+    equal_ratios,
+    null_ratios,
+    render_bar_chart,
+)
+
+
+@pytest.fixture
+def dataset():
+    rows = [
+        ("r1", "john", None),
+        ("r2", "john", None),
+        ("r3", "mary", "12345"),
+        ("r4", "mary", "12345"),
+        ("r5", "bob", "99999"),
+    ]
+    return Dataset(
+        [Record(rid, {"name": name, "zip": zip_}) for rid, name, zip_ in rows],
+        name="ratios",
+    )
+
+
+@pytest.fixture
+def gold():
+    return GoldStandard.from_pairs([("r1", "r2"), ("r3", "r4")])
+
+
+class TestNullRatios:
+    def test_nulls_correlated_with_errors(self, dataset, gold):
+        # solution misses the zip-null pair r1-r2 and finds r3-r4
+        experiment = Experiment([("r3", "r4")])
+        ratios = {r.attribute: r for r in null_ratios(dataset, experiment, gold)}
+        # zip is null on the misclassified pair -> nullRatio(zip) = 1
+        assert ratios["zip"].ratio == 1.0
+        assert ratios["zip"].affected_pairs == 1
+        # name is never null in the population
+        assert ratios["name"].affected_pairs == 0
+        assert ratios["name"].ratio == 0.0
+
+    def test_sorted_by_ratio_descending(self, dataset, gold):
+        experiment = Experiment([("r3", "r4")])
+        ratios = null_ratios(dataset, experiment, gold)
+        values = [r.ratio for r in ratios]
+        assert values == sorted(values, reverse=True)
+
+    def test_explicit_population(self, dataset, gold):
+        experiment = Experiment([("r3", "r4")])
+        population = [("r1", "r2"), ("r1", "r5"), ("r2", "r5")]
+        ratios = {
+            r.attribute: r
+            for r in null_ratios(dataset, experiment, gold, population)
+        }
+        # three pairs involve a zip-null record; only r1-r2 misclassified
+        assert ratios["zip"].affected_pairs == 3
+        assert ratios["zip"].misclassified_pairs == 1
+
+
+class TestEqualRatios:
+    def test_equal_values_on_misclassified_pairs(self, dataset, gold):
+        # solution wrongly relies on name equality: matches r1-r2 and
+        # r3-r4 (correct) -- add a false negative with equal names
+        extended = Dataset(
+            [*dataset, Record("r6", {"name": "bob", "zip": "11111"})],
+            name="ratios2",
+        )
+        gold2 = GoldStandard.from_pairs(
+            [("r1", "r2"), ("r3", "r4"), ("r5", "r6")]
+        )
+        experiment = Experiment([("r1", "r2"), ("r3", "r4")])
+        ratios = {
+            r.attribute: r for r in equal_ratios(extended, experiment, gold2)
+        }
+        # the missed pair r5-r6 has equal 'name' -> contributes to equalRatio
+        assert ratios["name"].misclassified_pairs == 1
+
+    def test_null_values_never_equal(self, dataset, gold):
+        experiment = Experiment([("r1", "r2")])
+        ratios = {r.attribute: r for r in equal_ratios(dataset, experiment, gold)}
+        # r1-r2 zip is null-null: not counted as equal
+        assert ratios["zip"].affected_pairs == 1  # only r3-r4
+
+    def test_perfect_solution_zero_ratios(self, dataset, gold):
+        experiment = Experiment([("r1", "r2"), ("r3", "r4")])
+        for ratio in equal_ratios(dataset, experiment, gold):
+            assert ratio.ratio == 0.0
+
+
+class TestRendering:
+    def test_bar_chart_contains_attributes(self):
+        chart = render_bar_chart(
+            [
+                AttributeRatio("name", affected_pairs=4, misclassified_pairs=2),
+                AttributeRatio("zip", affected_pairs=0, misclassified_pairs=0),
+            ]
+        )
+        assert "name" in chart
+        assert "0.500" in chart
+        assert "(2/4)" in chart

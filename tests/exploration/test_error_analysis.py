@@ -1,0 +1,95 @@
+"""Tests for error analysis: nearest correctly classified pair (§4.4)."""
+
+import math
+
+import pytest
+
+from repro.core import Dataset, Record
+from repro.exploration.error_analysis import (
+    ErrorAnalysis,
+    minkowski_norm,
+    pair_similarity_score,
+)
+
+
+class TestMinkowskiNorm:
+    def test_manhattan(self):
+        assert minkowski_norm((3.0, 4.0), q=1.0) == pytest.approx(7.0)
+
+    def test_euclidean(self):
+        assert minkowski_norm((3.0, 4.0), q=2.0) == pytest.approx(5.0)
+
+    def test_intermediate_q(self):
+        value = minkowski_norm((1.0, 1.0), q=1.5)
+        assert 2 ** (1 / 2) < value < 2  # between Euclidean and Manhattan
+
+    def test_q_out_of_range(self):
+        with pytest.raises(ValueError, match="q must be in"):
+            minkowski_norm((1.0, 1.0), q=3.0)
+
+
+class TestPairSimilarityScore:
+    def test_uses_best_of_direct_and_cross(self):
+        a = Record("a", {"x": "alpha"})
+        b = Record("b", {"x": "beta"})
+
+        def similarity(first, second):
+            # direct alignment poor, crossed alignment perfect
+            return 1.0 if first.record_id != second.record_id else 0.0
+
+        direct_only = pair_similarity_score((a, b), (a, b), similarity)
+        assert direct_only == pytest.approx(math.sqrt(2))
+
+
+@pytest.fixture
+def analysis_dataset():
+    rows = [
+        ("f1", "john", "smith"),
+        ("f2", "jon", "smith"),
+        ("c1", "johny", "smith"),
+        ("c2", "jon", "smith"),
+        ("u1", "zzz", "qqq"),
+        ("u2", "yyy", "ppp"),
+    ]
+    return Dataset(
+        [Record(rid, {"first": first, "last": last}) for rid, first, last in rows],
+        name="errors",
+    )
+
+
+class TestErrorAnalysis:
+    def test_finds_similar_correct_pair(self, analysis_dataset):
+        analysis = ErrorAnalysis(analysis_dataset)
+        explanation = analysis.explain(
+            ("f1", "f2"), [("c1", "c2"), ("u1", "u2")]
+        )
+        assert explanation.nearest_correct_pair == ("c1", "c2")
+        assert explanation.score > 0
+
+    def test_skips_self(self, analysis_dataset):
+        analysis = ErrorAnalysis(analysis_dataset)
+        explanation = analysis.explain(("f1", "f2"), [("f1", "f2")])
+        assert explanation.nearest_correct_pair is None
+        assert explanation.score == 0.0
+
+    def test_explain_all(self, analysis_dataset):
+        analysis = ErrorAnalysis(analysis_dataset)
+        explanations = analysis.explain_all(
+            [("f1", "f2"), ("u1", "u2")], [("c1", "c2")]
+        )
+        assert len(explanations) == 2
+        assert explanations[0].failed_pair == ("f1", "f2")
+
+    def test_custom_similarity(self, analysis_dataset):
+        analysis = ErrorAnalysis(
+            analysis_dataset, similarity=lambda a, b: 1.0, q=1.0
+        )
+        explanation = analysis.explain(("f1", "f2"), [("c1", "c2"), ("u1", "u2")])
+        # all candidates tie at score 2 -> deterministic smallest pair
+        assert explanation.nearest_correct_pair == ("c1", "c2")
+        assert explanation.score == pytest.approx(2.0)
+
+    def test_q_validation_happens_at_scoring(self, analysis_dataset):
+        analysis = ErrorAnalysis(analysis_dataset, q=2.5)
+        with pytest.raises(ValueError, match="q must be in"):
+            analysis.explain(("f1", "f2"), [("c1", "c2")])

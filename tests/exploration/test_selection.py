@@ -1,0 +1,216 @@
+"""Tests for pair selection strategies (§4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Experiment, GoldStandard, Match
+from repro.core.pairs import ScoredPair
+from repro.exploration.selection import (
+    misclassified_outliers,
+    pairs_around_threshold,
+    percentile_partitions,
+    plain_result_pairs,
+    sample_class_based,
+    sample_quantiles,
+    sample_random,
+)
+
+
+def scored_range(n=20):
+    """n scored pairs with scores 0.0, 1/(n-1), ..., 1.0."""
+    return [
+        ScoredPair.of(f"a{i}", f"b{i}", i / (n - 1)) for i in range(n)
+    ]
+
+
+GOLD = GoldStandard.from_pairs(
+    [(f"a{i}", f"b{i}") for i in range(10, 20)]  # high-score pairs are true
+)
+
+
+class TestAroundThreshold:
+    def test_selects_closest(self):
+        pairs = scored_range()
+        selected = pairs_around_threshold(pairs, threshold=0.5, k=4)
+        assert len(selected) == 4
+        assert all(abs(sp.score - 0.5) < 0.15 for sp in selected)
+
+    def test_split_above_below(self):
+        pairs = scored_range()
+        selected = pairs_around_threshold(pairs, 0.5, k=6, above_fraction=0.5)
+        above = sum(1 for sp in selected if sp.score >= 0.5)
+        assert above == 3
+
+    def test_all_budget_above(self):
+        pairs = scored_range()
+        selected = pairs_around_threshold(pairs, 0.5, k=4, above_fraction=1.0)
+        assert all(sp.score >= 0.5 for sp in selected)
+
+    def test_redistributes_when_one_side_short(self):
+        pairs = [ScoredPair.of(f"x{i}", f"y{i}", 0.9) for i in range(5)]
+        selected = pairs_around_threshold(pairs, 0.5, k=4)
+        assert len(selected) == 4  # nothing below, budget flows above
+
+    def test_k_zero(self):
+        assert pairs_around_threshold(scored_range(), 0.5, k=0) == []
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            pairs_around_threshold([], 0.5, k=-1)
+        with pytest.raises(ValueError, match="above_fraction"):
+            pairs_around_threshold([], 0.5, k=1, above_fraction=2.0)
+
+
+class TestMisclassifiedOutliers:
+    def test_returns_confident_mistakes_first(self):
+        pairs = scored_range()
+        # threshold 0.5: pairs >= 0.5 predicted positive; gold says only
+        # a10..a19 are true. So a0..a9 below are TN (correct), those
+        # above are TP.  Flip gold to create mistakes:
+        gold = GoldStandard.from_pairs([(f"a{i}", f"b{i}") for i in range(5)])
+        outliers = misclassified_outliers(pairs, 0.5, gold, k=3)
+        # worst mistakes: high-score false positives (score 1.0 down)
+        # and low-score false negatives (score 0.0 up)
+        distances = [abs(sp.score - 0.5) for sp in outliers]
+        assert distances == sorted(distances, reverse=True)
+        assert distances[0] == pytest.approx(0.5)
+
+    def test_no_mistakes(self):
+        pairs = scored_range()
+        outliers = misclassified_outliers(pairs, 0.5, GOLD, k=5)
+        assert outliers == []
+
+    def test_k_limits(self):
+        gold = GoldStandard.from_pairs([("zz1", "zz2")])  # everything wrong above
+        pairs = scored_range()
+        outliers = misclassified_outliers(pairs, 0.5, gold, k=2)
+        assert len(outliers) == 2
+
+
+class TestSamplers:
+    def test_random_respects_budget(self):
+        sample = sample_random(scored_range(), 5, seed=1)
+        assert len(sample) == 5
+
+    def test_random_budget_exceeds_population(self):
+        pairs = scored_range(5)
+        assert len(sample_random(pairs, 100)) == 5
+
+    def test_quantile_picks_extremes(self):
+        pairs = scored_range(21)
+        sample = sample_quantiles(pairs, 5)
+        scores = [sp.score for sp in sample]
+        assert min(scores) == 0.0
+        assert max(scores) == 1.0
+        assert len(sample) == 5
+
+    def test_quantile_single(self):
+        sample = sample_quantiles(scored_range(9), 1)
+        assert len(sample) == 1
+
+    def test_quantile_empty(self):
+        assert sample_quantiles([], 5) == []
+
+    def test_class_based_proportions(self):
+        pairs = scored_range(20)
+        correct = lambda sp: sp.score >= 0.5
+        sample = sample_class_based(pairs, 10, correct, seed=2)
+        assert len(sample) == 10
+        right = sum(1 for sp in sample if correct(sp))
+        assert right == 5  # half the population is 'correct'
+
+    def test_class_based_empty(self):
+        assert sample_class_based([], 10, lambda sp: True) == []
+
+
+class TestPercentilePartitions:
+    def test_partition_count_and_coverage(self):
+        pairs = scored_range(30)
+        partitions = percentile_partitions(pairs, partitions=5, budget_per_partition=2)
+        assert len(partitions) == 5
+        covered = [sp for p in partitions for sp in p.pairs]
+        assert len(covered) == 30
+
+    def test_partitions_ordered_by_score(self):
+        partitions = percentile_partitions(
+            scored_range(20), partitions=4, budget_per_partition=2
+        )
+        for before, after in zip(partitions, partitions[1:]):
+            assert before.high_score <= after.low_score
+
+    def test_confusion_matrices_attached(self):
+        partitions = percentile_partitions(
+            scored_range(20),
+            partitions=2,
+            budget_per_partition=2,
+            gold=GOLD,
+            threshold=0.5,
+        )
+        assert all(p.matrix is not None for p in partitions)
+        # low partition: all below threshold, all gold-negative -> TN
+        assert partitions[0].matrix.true_negatives == 10
+        # high partition: all above threshold, all gold-positive -> TP
+        assert partitions[1].matrix.true_positives == 10
+
+    def test_confident_partitions_flagged(self):
+        partitions = percentile_partitions(
+            scored_range(20),
+            partitions=2,
+            budget_per_partition=2,
+            gold=GOLD,
+            threshold=0.5,
+        )
+        assert all(p.is_confident for p in partitions)
+        assert all(p.error_count == 0 for p in partitions)
+
+    def test_class_sampler_requires_gold(self):
+        with pytest.raises(ValueError, match="needs gold"):
+            percentile_partitions(
+                scored_range(), partitions=2, budget_per_partition=2,
+                sampler="class",
+            )
+
+    def test_unknown_sampler(self):
+        with pytest.raises(ValueError, match="unknown sampler"):
+            percentile_partitions(
+                scored_range(), partitions=2, budget_per_partition=2,
+                sampler="nope",
+            )
+
+    def test_empty_input(self):
+        assert percentile_partitions([], partitions=3, budget_per_partition=2) == []
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=40)
+    def test_representatives_are_subsets(self, partitions_count, budget, n):
+        pairs = scored_range(max(n, 2))
+        partitions = percentile_partitions(
+            pairs, partitions=partitions_count, budget_per_partition=budget
+        )
+        for partition in partitions:
+            members = set(partition.pairs)
+            assert set(partition.representatives) <= members
+            assert len(partition.representatives) <= max(budget, len(members))
+
+
+class TestPlainResultPairs:
+    def test_hides_clustering_additions(self):
+        experiment = Experiment(
+            [
+                Match(pair=("a", "b"), score=0.9),
+                Match(pair=("b", "c"), score=0.8),
+                Match(pair=("a", "c"), from_clustering=True),
+            ]
+        )
+        assert plain_result_pairs(experiment) == {("a", "b"), ("b", "c")}
+
+    def test_subset_filter(self):
+        experiment = Experiment(
+            [Match(pair=("a", "b")), Match(pair=("c", "d"))]
+        )
+        assert plain_result_pairs(experiment, {("a", "b")}) == {("a", "b")}

@@ -1,0 +1,134 @@
+"""Tests for set-based comparisons and Venn regions (§4.1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Experiment, GoldStandard
+from repro.exploration.setops import (
+    SetComparison,
+    enrich_pairs,
+    pairs_missed_by_most,
+    venn_regions,
+)
+
+
+@pytest.fixture
+def comparison(people_dataset, people_gold, people_experiment):
+    other = Experiment([("p3", "p4", 0.8), ("p1", "p2", 0.9)], name="run-2")
+    return SetComparison(
+        people_dataset,
+        {
+            "run-1": people_experiment,
+            "run-2": other,
+            "gold": people_gold,
+        },
+    )
+
+
+class TestVennRegions:
+    def test_two_sets(self):
+        regions = venn_regions([[("a", "b"), ("c", "d")], [("c", "d"), ("e", "f")]])
+        by_membership = {r.membership: r.pairs for r in regions}
+        assert by_membership[(True, False)] == {("a", "b")}
+        assert by_membership[(True, True)] == {("c", "d")}
+        assert by_membership[(False, True)] == {("e", "f")}
+
+    def test_empty_inputs(self):
+        assert venn_regions([]) == []
+
+    def test_region_label(self):
+        regions = venn_regions([[("a", "b")], [("a", "b")], []])
+        full = next(r for r in regions if r.membership == (True, True, False))
+        assert full.label(["A", "B", "C"]) == "A ∩ B \\ C"
+
+    @given(
+        st.lists(
+            st.lists(
+                st.tuples(
+                    st.sampled_from("abcdef"), st.sampled_from("ghijkl")
+                ),
+                max_size=10,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    @settings(max_examples=50)
+    def test_regions_partition_the_union(self, raw_sets):
+        from repro.core.pairs import make_pair
+
+        sets = [{make_pair(*p) for p in pairs} for pairs in raw_sets]
+        regions = venn_regions(sets)
+        union = set().union(*sets) if sets else set()
+        covered = [pair for region in regions for pair in region.pairs]
+        assert len(covered) == len(set(covered))  # disjoint
+        assert set(covered) == union  # complete
+
+
+class TestSetComparison:
+    def test_select_intersection(self, comparison):
+        common = comparison.select(include=["run-1", "run-2"])
+        assert common == {("p1", "p2")}
+
+    def test_figure1_evaluation(self, comparison):
+        """Ground truth matches run-2 found and run-1 did not find."""
+        pairs = comparison.select(include=["gold", "run-2"], exclude=["run-1"])
+        assert pairs == {("p3", "p4")}
+
+    def test_false_positives_via_difference(self, comparison):
+        """§4.1: false positives of run-1 are run-1 \\ gold."""
+        fp = comparison.select(include=["run-1"], exclude=["gold"])
+        assert fp == {("p5", "p6")}
+
+    def test_select_requires_include(self, comparison):
+        with pytest.raises(ValueError, match="at least one"):
+            comparison.select(include=[])
+
+    def test_unknown_name(self, comparison):
+        with pytest.raises(KeyError, match="known:"):
+            comparison.pairs_of("nope")
+
+    def test_region_sizes(self, comparison):
+        sizes = comparison.region_sizes()
+        assert sum(sizes.values()) == 3  # p1p2, p3p4, p5p6
+
+    def test_enrichment_resolves_records(self, comparison):
+        enriched = comparison.enriched([("p1", "p2")])
+        assert enriched[0][0].value("first") == "john"
+        assert enriched[0][1].value("first") == "jon"
+
+    def test_experimental_ground_truth(self, comparison):
+        # pairs in all three sets
+        assert comparison.experimental_ground_truth() == {("p1", "p2")}
+        # pairs in at least two
+        assert comparison.experimental_ground_truth(2) == {
+            ("p1", "p2"),
+            ("p3", "p4"),
+        }
+
+    def test_empty_inputs_rejected(self, people_dataset):
+        with pytest.raises(ValueError, match="at least one input"):
+            SetComparison(people_dataset, {})
+
+
+class TestEnrichPairs:
+    def test_sorted_output(self, people_dataset):
+        enriched = enrich_pairs(people_dataset, [("p3", "p4"), ("p1", "p2")])
+        assert enriched[0][0].record_id == "p1"
+
+
+class TestPairsMissedByMost:
+    def test_section_54_analysis(self, people_gold):
+        """Pairs not detected by at least N solutions (§5.4)."""
+        finds_both = Experiment([("p1", "p2"), ("p3", "p4")])
+        finds_one = Experiment([("p1", "p2")])
+        finds_none = Experiment([("x", "y")])
+        missed = pairs_missed_by_most(
+            people_gold, [finds_both, finds_one, finds_none], minimum_missing=2
+        )
+        assert missed == {("p3", "p4")}
+
+    def test_threshold_zero_returns_all(self, people_gold):
+        missed = pairs_missed_by_most(people_gold, [], minimum_missing=0)
+        assert missed == people_gold.pairs()

@@ -1,0 +1,99 @@
+"""Tests for sorting strategies (§4.3)."""
+
+import pytest
+
+from repro.core import Dataset, Record
+from repro.core.pairs import ScoredPair
+from repro.exploration.sorting import (
+    ColumnEntropyModel,
+    sort_by_entropy,
+    sort_by_similarity,
+)
+
+
+class TestSortBySimilarity:
+    def test_descending_default(self):
+        pairs = [ScoredPair.of("a", "b", 0.2), ScoredPair.of("c", "d", 0.9)]
+        ordered = sort_by_similarity(pairs)
+        assert [sp.score for sp in ordered] == [0.9, 0.2]
+
+    def test_ascending(self):
+        pairs = [ScoredPair.of("a", "b", 0.2), ScoredPair.of("c", "d", 0.9)]
+        ordered = sort_by_similarity(pairs, descending=False)
+        assert [sp.score for sp in ordered] == [0.2, 0.9]
+
+    def test_stable_tie_break(self):
+        pairs = [ScoredPair.of("c", "d", 0.5), ScoredPair.of("a", "b", 0.5)]
+        ordered = sort_by_similarity(pairs)
+        assert ordered[0].pair == ("a", "b")
+
+
+@pytest.fixture
+def entropy_dataset():
+    return Dataset(
+        [
+            Record("r1", {"title": "common common rareword"}),
+            Record("r2", {"title": "common common"}),
+            Record("r3", {"title": "common common"}),
+            Record("r4", {"title": "common unique"}),
+        ],
+        name="entropy",
+    )
+
+
+class TestColumnEntropy:
+    def test_rare_tokens_score_higher(self, entropy_dataset):
+        model = ColumnEntropyModel(entropy_dataset)
+        rare = model.record_entropy(entropy_dataset["r1"])
+        plain = model.record_entropy(entropy_dataset["r2"])
+        assert rare > plain
+
+    def test_null_cell_entropy_zero(self):
+        dataset = Dataset([Record("r", {"x": None})])
+        model = ColumnEntropyModel(dataset)
+        assert model.cell_entropy(dataset["r"], "x") == 0.0
+
+    def test_pair_entropy_is_sum(self, entropy_dataset):
+        model = ColumnEntropyModel(entropy_dataset)
+        pair_score = model.pair_entropy(("r1", "r2"))
+        assert pair_score == pytest.approx(
+            model.record_entropy(entropy_dataset["r1"])
+            + model.record_entropy(entropy_dataset["r2"])
+        )
+
+    def test_unseen_token_finite(self, entropy_dataset):
+        model = ColumnEntropyModel(entropy_dataset)
+        probe = Record("probe", {"title": "neverbefore"})
+        assert model.cell_entropy(probe, "title") < float("inf")
+
+    def test_column_probability(self, entropy_dataset):
+        model = ColumnEntropyModel(entropy_dataset)
+        assert model.column_probability("title", "common") > model.column_probability(
+            "title", "rareword"
+        )
+
+
+class TestSortByEntropy:
+    def test_high_entropy_first(self, entropy_dataset):
+        ordered = sort_by_entropy(
+            entropy_dataset, [("r2", "r3"), ("r1", "r4")]
+        )
+        assert ordered[0][0] == ("r1", "r4")  # rare tokens first
+
+    def test_accepts_scored_pairs(self, entropy_dataset):
+        ordered = sort_by_entropy(
+            entropy_dataset, [ScoredPair.of("r2", "r3", 0.5)]
+        )
+        assert ordered[0][0] == ("r2", "r3")
+
+    def test_reusable_model(self, entropy_dataset):
+        model = ColumnEntropyModel(entropy_dataset)
+        first = sort_by_entropy(entropy_dataset, [("r1", "r2")], model=model)
+        second = sort_by_entropy(entropy_dataset, [("r1", "r2")], model=model)
+        assert first == second
+
+    def test_ascending(self, entropy_dataset):
+        ordered = sort_by_entropy(
+            entropy_dataset, [("r2", "r3"), ("r1", "r4")], descending=False
+        )
+        assert ordered[0][0] == ("r2", "r3")

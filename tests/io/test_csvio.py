@@ -1,0 +1,61 @@
+"""Tests for CSV reading/writing with dialects."""
+
+import io
+
+from repro.io.csvio import CsvFormat, read_rows, write_rows
+
+
+class TestReadRows:
+    def test_with_header(self):
+        rows = list(read_rows(io.StringIO("a,b\r\n1,2\r\n3,4\r\n")))
+        assert rows == [{"a": "1", "b": "2"}, {"a": "3", "b": "4"}]
+
+    def test_without_header(self):
+        fmt = CsvFormat(has_header=False)
+        rows = list(read_rows(io.StringIO("1,2\r\n"), fmt))
+        assert rows == [{"col0": "1", "col1": "2"}]
+
+    def test_custom_separator(self):
+        fmt = CsvFormat(separator=";")
+        rows = list(read_rows(io.StringIO("a;b\r\nx;y\r\n"), fmt))
+        assert rows == [{"a": "x", "b": "y"}]
+
+    def test_quoted_values(self):
+        rows = list(read_rows(io.StringIO('a,b\r\n"x,1",y\r\n')))
+        assert rows[0]["a"] == "x,1"
+
+    def test_escape_character(self):
+        fmt = CsvFormat(escape="\\")
+        rows = list(read_rows(io.StringIO('a\r\n"he said \\"hi\\""\r\n'), fmt))
+        assert rows[0]["a"] == 'he said "hi"'
+
+    def test_file_path(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("a,b\r\n1,2\r\n", encoding="utf-8")
+        assert list(read_rows(path)) == [{"a": "1", "b": "2"}]
+
+
+class TestWriteRows:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_rows(path, [{"a": "1", "b": "x,y"}], columns=["a", "b"])
+        assert list(read_rows(path)) == [{"a": "1", "b": "x,y"}]
+
+    def test_none_becomes_empty(self):
+        target = io.StringIO()
+        write_rows(target, [{"a": None}], columns=["a"])
+        assert "a" in target.getvalue()
+        rows = list(read_rows(io.StringIO(target.getvalue())))
+        assert rows[0]["a"] == ""
+
+    def test_no_header(self):
+        target = io.StringIO()
+        write_rows(
+            target, [{"a": "1"}], columns=["a"], fmt=CsvFormat(has_header=False)
+        )
+        assert target.getvalue().strip() == "1"
+
+    def test_column_order(self):
+        target = io.StringIO()
+        write_rows(target, [{"a": "1", "b": "2"}], columns=["b", "a"])
+        assert target.getvalue().splitlines()[0] == "b,a"

@@ -1,0 +1,68 @@
+"""Tests for exporters and importer round trips."""
+
+import io
+
+from repro.core import Experiment, GoldStandard, Match
+from repro.io.exporters import export_dataset, export_experiment, export_gold_standard
+from repro.io.importers import (
+    PairFormatImporter,
+    import_dataset,
+    import_gold_standard,
+)
+
+
+class TestDatasetRoundTrip:
+    def test_round_trip(self, people_dataset):
+        buffer = io.StringIO()
+        export_dataset(people_dataset, buffer)
+        reimported = import_dataset(io.StringIO(buffer.getvalue()), name="people")
+        assert reimported.record_ids == people_dataset.record_ids
+        assert reimported["p3"].value("first") == "mary"
+        # nulls survive (empty cells re-import as None)
+        assert reimported["p3"].is_null("zip")
+
+
+class TestExperimentRoundTrip:
+    def test_round_trip_with_scores(self):
+        experiment = Experiment([("a", "b", 0.9), ("c", "d", 0.25)], name="run")
+        buffer = io.StringIO()
+        export_experiment(experiment, buffer)
+        reimported = PairFormatImporter().import_experiment(
+            io.StringIO(buffer.getvalue())
+        )
+        assert reimported.pairs() == experiment.pairs()
+        assert reimported.score_of("a", "b") == 0.9
+
+    def test_clustering_flag_column(self):
+        experiment = Experiment(
+            [Match(pair=("a", "b"), score=0.9), Match(pair=("a", "c"), from_clustering=True)]
+        )
+        buffer = io.StringIO()
+        export_experiment(experiment, buffer, include_clustering_flag=True)
+        content = buffer.getvalue()
+        assert "from_clustering" in content
+        assert ",1" in content  # flagged row
+
+
+class TestGoldRoundTrip:
+    def test_clusters_round_trip(self, people_gold):
+        buffer = io.StringIO()
+        export_gold_standard(people_gold, buffer, format_="clusters")
+        reimported = import_gold_standard(
+            io.StringIO(buffer.getvalue()), format_="clusters"
+        )
+        assert reimported.pairs() == people_gold.pairs()
+
+    def test_pairs_round_trip(self, people_gold):
+        buffer = io.StringIO()
+        export_gold_standard(people_gold, buffer, format_="pairs")
+        reimported = import_gold_standard(
+            io.StringIO(buffer.getvalue()), format_="pairs"
+        )
+        assert reimported.pairs() == people_gold.pairs()
+
+    def test_unknown_format_rejected(self, people_gold):
+        import pytest
+
+        with pytest.raises(ValueError, match="unknown gold format"):
+            export_gold_standard(people_gold, io.StringIO(), format_="json")

@@ -1,0 +1,116 @@
+"""Tests for dataset / experiment / gold-standard importers (§5.1)."""
+
+import io
+
+import pytest
+
+from repro.io.csvio import CsvFormat
+from repro.io.importers import (
+    ClusterFormatImporter,
+    ImportError_,
+    PairFormatImporter,
+    import_dataset,
+    import_gold_standard,
+)
+
+
+class TestDatasetImport:
+    def test_basic(self):
+        source = io.StringIO("id,name,city\r\nr1,john,salem\r\nr2,mary,\r\n")
+        dataset = import_dataset(source, name="csv-test")
+        assert len(dataset) == 2
+        assert dataset["r1"].value("name") == "john"
+        assert dataset["r2"].is_null("city")
+
+    def test_custom_id_column(self):
+        source = io.StringIO("key,v\r\nx,1\r\n")
+        dataset = import_dataset(source, id_column="key")
+        assert "x" in dataset
+
+    def test_missing_id_column(self):
+        source = io.StringIO("a,b\r\n1,2\r\n")
+        with pytest.raises(ImportError_, match="id column"):
+            import_dataset(source)
+
+    def test_rename_mapping(self):
+        source = io.StringIO("id,Vorname\r\nr1,hans\r\n")
+        dataset = import_dataset(source, rename={"Vorname": "first_name"})
+        assert dataset["r1"].value("first_name") == "hans"
+
+
+class TestPairFormatImporter:
+    def test_with_scores(self):
+        source = io.StringIO("p1,p2,score\r\na,b,0.9\r\nc,d,0.5\r\n")
+        experiment = PairFormatImporter().import_experiment(source, name="run")
+        assert len(experiment) == 2
+        assert experiment.score_of("a", "b") == 0.9
+
+    def test_without_score_column(self):
+        source = io.StringIO("p1,p2\r\na,b\r\n")
+        importer = PairFormatImporter(score_column=None)
+        experiment = importer.import_experiment(source)
+        assert experiment.score_of("a", "b") is None
+
+    def test_empty_score_cell_tolerated(self):
+        source = io.StringIO("p1,p2,score\r\na,b,\r\n")
+        experiment = PairFormatImporter().import_experiment(source)
+        assert experiment.score_of("a", "b") is None
+
+    def test_bad_score_raises_with_line(self):
+        source = io.StringIO("p1,p2,score\r\na,b,high\r\n")
+        with pytest.raises(ImportError_, match="row 1.*not a number"):
+            PairFormatImporter().import_experiment(source)
+
+    def test_missing_column_raises(self):
+        source = io.StringIO("x,y\r\na,b\r\n")
+        with pytest.raises(ImportError_, match="lacks column"):
+            PairFormatImporter().import_experiment(source)
+
+    def test_self_pairs_skipped(self):
+        source = io.StringIO("p1,p2,score\r\na,a,0.9\r\na,b,0.8\r\n")
+        experiment = PairFormatImporter().import_experiment(source)
+        assert len(experiment) == 1
+
+    def test_custom_columns_and_separator(self):
+        source = io.StringIO("left;right\r\na;b\r\n")
+        importer = PairFormatImporter(
+            first_column="left", second_column="right", score_column=None,
+            fmt=CsvFormat(separator=";"),
+        )
+        assert len(importer.import_experiment(source)) == 1
+
+
+class TestClusterFormatImporter:
+    def test_emits_intra_cluster_pairs(self):
+        source = io.StringIO("id,cluster\r\na,1\r\nb,1\r\nc,1\r\nd,2\r\n")
+        experiment = ClusterFormatImporter().import_experiment(source)
+        assert experiment.pairs() == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_missing_column(self):
+        source = io.StringIO("id,x\r\na,1\r\n")
+        with pytest.raises(ImportError_, match="lacks column"):
+            ClusterFormatImporter().import_experiment(source)
+
+
+class TestGoldImport:
+    def test_pairs_format_closes(self):
+        source = io.StringIO("p1,p2\r\na,b\r\nb,c\r\n")
+        gold = import_gold_standard(source, format_="pairs")
+        assert gold.is_duplicate("a", "c")
+
+    def test_clusters_format(self):
+        source = io.StringIO("id,cluster\r\na,g1\r\nb,g1\r\nc,g2\r\n")
+        gold = import_gold_standard(source, format_="clusters")
+        assert gold.is_duplicate("a", "b")
+        assert not gold.is_duplicate("a", "c")
+
+    def test_custom_columns(self):
+        source = io.StringIO("rec,grp\r\na,1\r\nb,1\r\n")
+        gold = import_gold_standard(
+            source, format_="clusters", id_column="rec", cluster_column="grp"
+        )
+        assert gold.is_duplicate("a", "b")
+
+    def test_unknown_format(self):
+        with pytest.raises(ImportError_, match="unknown gold format"):
+            import_gold_standard(io.StringIO(""), format_="xml")

@@ -1,0 +1,129 @@
+"""Tests for non-relational (JSON) import (§7 outlook)."""
+
+import io
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.io.jsonio import (
+    flatten_json,
+    import_json_dataset,
+    records_from_json_objects,
+)
+
+
+class TestFlattenJson:
+    def test_scalars_stringified(self):
+        flat = flatten_json({"a": 1, "b": 2.5, "c": "x"})
+        assert flat == {"a": "1", "b": "2.5", "c": "x"}
+
+    def test_booleans_json_style(self):
+        assert flatten_json({"a": True, "b": False}) == {"a": "true", "b": "false"}
+
+    def test_null_becomes_none(self):
+        assert flatten_json({"a": None}) == {"a": None}
+
+    def test_nested_objects_use_dot_paths(self):
+        flat = flatten_json({"address": {"city": "london", "geo": {"lat": 51}}})
+        assert flat == {"address.city": "london", "address.geo.lat": "51"}
+
+    def test_custom_separator(self):
+        flat = flatten_json({"a": {"b": "x"}}, separator="/")
+        assert flat == {"a/b": "x"}
+
+    def test_scalar_list_joined(self):
+        flat = flatten_json({"tags": ["red", "blue"]})
+        assert flat == {"tags": "red blue"}
+
+    def test_list_of_objects_flattened(self):
+        flat = flatten_json({"phones": [{"kind": "home", "nr": "1"}]})
+        assert flat == {"phones": "kind=home nr=1"}
+
+    def test_empty_list_is_missing(self):
+        assert flatten_json({"tags": []}) == {"tags": None}
+
+    def test_list_with_nulls_skips_them(self):
+        assert flatten_json({"tags": ["a", None, "b"]}) == {"tags": "a b"}
+
+    def test_non_object_rejected(self):
+        with pytest.raises(TypeError, match="expected a JSON object"):
+            flatten_json([1, 2, 3])
+
+    @given(
+        st.dictionaries(
+            st.text(min_size=1, max_size=5).filter(lambda s: "." not in s),
+            st.one_of(st.none(), st.integers(), st.text(max_size=8)),
+            max_size=5,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_flat_objects_keep_their_keys(self, obj):
+        flat = flatten_json(obj)
+        assert set(flat) == set(obj)
+
+
+class TestRecordsFromJsonObjects:
+    def test_id_field_extracted(self):
+        records = records_from_json_objects([{"id": "r1", "name": "ada"}])
+        assert records[0].record_id == "r1"
+        assert records[0].value("name") == "ada"
+        assert "id" not in records[0].values
+
+    def test_nested_id_field(self):
+        records = records_from_json_objects(
+            [{"meta": {"key": "k9"}, "name": "x"}], id_field="meta.key"
+        )
+        assert records[0].record_id == "k9"
+
+    def test_missing_id_rejected(self):
+        with pytest.raises(ValueError, match="lacks the id field"):
+            records_from_json_objects([{"name": "ada"}])
+
+
+class TestImportJsonDataset:
+    def test_array_source(self):
+        data = json.dumps(
+            [
+                {"id": "r1", "name": "ada", "address": {"city": "london"}},
+                {"id": "r2", "name": "grace", "address": {"city": "nyc"}},
+            ]
+        )
+        dataset = import_json_dataset(io.StringIO(data), name="json-ds")
+        assert len(dataset) == 2
+        assert dataset["r1"].value("address.city") == "london"
+        assert dataset.name == "json-ds"
+
+    def test_json_lines_source(self):
+        data = '{"id": "a", "v": 1}\n\n{"id": "b", "v": 2}\n'
+        dataset = import_json_dataset(io.StringIO(data))
+        assert sorted(dataset.record_ids) == ["a", "b"]
+
+    def test_file_path_source(self, tmp_path):
+        path = tmp_path / "data.json"
+        path.write_text('[{"id": "r1", "name": "ada"}]')
+        dataset = import_json_dataset(path)
+        assert dataset["r1"].value("name") == "ada"
+
+    def test_empty_source(self):
+        dataset = import_json_dataset(io.StringIO(""))
+        assert len(dataset) == 0
+
+    def test_invalid_json_line_reports_line_number(self):
+        data = '{"id": "a"}\nnot json\n'
+        with pytest.raises(ValueError, match="line 2"):
+            import_json_dataset(io.StringIO(data))
+
+    def test_non_array_top_level_rejected(self):
+        with pytest.raises(
+            (ValueError, TypeError), match="array|object"
+        ):
+            import_json_dataset(io.StringIO('"just a string"'))
+
+    def test_null_values_profile_as_sparse(self):
+        from repro.profiling import sparsity
+
+        data = '[{"id": "a", "x": null, "y": "v"}, {"id": "b", "x": "w", "y": null}]'
+        dataset = import_json_dataset(io.StringIO(data))
+        assert sparsity(dataset) == pytest.approx(0.5)

@@ -1,0 +1,158 @@
+"""Property-based round trips through the CSV import/export layer.
+
+Exporters and importers must be inverse for *any* content, including
+values containing the CSV separator, quotes, and newlines — the kind of
+adversarial data real matching results contain.
+"""
+
+import io
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dataset, Experiment, GoldStandard, Record
+from repro.io import (
+    CsvFormat,
+    PairFormatImporter,
+    export_dataset,
+    export_experiment,
+    export_gold_standard,
+    import_dataset,
+    import_gold_standard,
+)
+
+# printable-ish text without NUL (csv cannot carry NUL) and without
+# bare carriage returns (the csv module folds \r\n <-> \n on round trip)
+adversarial_text = st.text(
+    alphabet=st.characters(blacklist_characters="\x00\r", blacklist_categories=("Cs",)),
+    min_size=0,
+    max_size=20,
+)
+
+record_ids = st.lists(
+    st.text(
+        alphabet=st.characters(
+            blacklist_characters="\x00\r\n", blacklist_categories=("Cs",)
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=1,
+    max_size=8,
+    unique=True,
+)
+
+
+@st.composite
+def datasets(draw):
+    ids = draw(record_ids)
+    attributes = draw(
+        st.lists(
+            st.sampled_from(["name", "city", "zip", "note"]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    )
+    records = []
+    for record_id in ids:
+        values = {
+            attribute: draw(st.one_of(st.none(), adversarial_text))
+            for attribute in attributes
+        }
+        records.append(Record(record_id, values))
+    return Dataset(records, name="prop", attributes=attributes)
+
+
+class TestDatasetRoundTrip:
+    @given(datasets())
+    @settings(max_examples=40, deadline=None)
+    def test_values_survive(self, dataset):
+        buffer = io.StringIO()
+        export_dataset(dataset, buffer)
+        buffer.seek(0)
+        reloaded = import_dataset(buffer, name=dataset.name)
+        assert reloaded.record_ids == dataset.record_ids
+        for record in dataset:
+            clone = reloaded[record.record_id]
+            for attribute in dataset.attributes:
+                # "" and None both mean missing (Record.value folds them)
+                assert clone.value(attribute) == record.value(attribute)
+
+    @given(datasets(), st.sampled_from([",", ";", "\t", "|"]))
+    @settings(max_examples=20, deadline=None)
+    def test_any_separator(self, dataset, separator):
+        fmt = CsvFormat(separator=separator)
+        buffer = io.StringIO()
+        export_dataset(dataset, buffer, fmt=fmt)
+        buffer.seek(0)
+        reloaded = import_dataset(buffer, fmt=fmt)
+        assert reloaded.record_ids == dataset.record_ids
+
+
+@st.composite
+def experiments(draw):
+    ids = draw(record_ids)
+    if len(ids) < 2:
+        return Experiment([], name="prop-run")
+    pair_count = draw(st.integers(min_value=0, max_value=6))
+    matches = []
+    for _ in range(pair_count):
+        indexes = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(ids) - 1),
+                min_size=2,
+                max_size=2,
+                unique=True,
+            )
+        )
+        score = draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0, max_value=1, allow_nan=False, width=32),
+            )
+        )
+        first, second = ids[indexes[0]], ids[indexes[1]]
+        matches.append((first, second) if score is None else (first, second, score))
+    return Experiment(matches, name="prop-run")
+
+
+class TestExperimentRoundTrip:
+    @given(experiments())
+    @settings(max_examples=40, deadline=None)
+    def test_pairs_survive(self, experiment):
+        buffer = io.StringIO()
+        export_experiment(experiment, buffer)
+        buffer.seek(0)
+        reloaded = PairFormatImporter().import_experiment(buffer)
+        assert reloaded.pairs() == experiment.pairs()
+
+    @given(experiments())
+    @settings(max_examples=40, deadline=None)
+    def test_scores_survive_to_6_decimals(self, experiment):
+        buffer = io.StringIO()
+        export_experiment(experiment, buffer)
+        buffer.seek(0)
+        reloaded = PairFormatImporter().import_experiment(buffer)
+        for match in experiment.matches:
+            round_tripped = reloaded.score_of(*match.pair)
+            if match.score is None:
+                assert round_tripped is None
+            else:
+                assert round_tripped is not None
+                assert abs(round_tripped - match.score) < 1e-6
+
+
+class TestGoldRoundTrip:
+    @given(experiments())
+    @settings(max_examples=30, deadline=None)
+    def test_both_formats_reproduce_the_clustering(self, experiment):
+        gold = GoldStandard.from_pairs(
+            [tuple(pair) for pair in experiment.pairs()]
+        )
+        for format_ in ("pairs", "clusters"):
+            buffer = io.StringIO()
+            export_gold_standard(gold, buffer, format_=format_)
+            buffer.seek(0)
+            reloaded = import_gold_standard(buffer, format_=format_)
+            assert reloaded.pairs() == gold.pairs()

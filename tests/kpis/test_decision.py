@@ -1,0 +1,87 @@
+"""Tests for the KPI decision matrix and aggregation framework (§3.3)."""
+
+import pytest
+
+from repro.kpis.decision import KpiDecisionMatrix, SolutionEntry
+from repro.kpis.model import (
+    DeploymentType,
+    Effort,
+    LifecycleExpenditures,
+    SolutionProperties,
+)
+
+
+@pytest.fixture
+def entries():
+    cheap = SolutionEntry(
+        properties=SolutionProperties(
+            name="cheap-rules",
+            lifecycle=LifecycleExpenditures(
+                general_costs=0.0, technical_configuration=Effort(5, 20)
+            ),
+            deployment_types=frozenset({DeploymentType.ON_PREMISE}),
+        ),
+        quality_metrics={"f1": 0.7, "precision": 0.8},
+    )
+    expensive = SolutionEntry(
+        properties=SolutionProperties(
+            name="premium-ml",
+            lifecycle=LifecycleExpenditures(
+                general_costs=10_000.0, domain_configuration=Effort(40, 80)
+            ),
+            deployment_types=frozenset({DeploymentType.CLOUD}),
+        ),
+        quality_metrics={"f1": 0.92, "precision": 0.95},
+    )
+    return [cheap, expensive]
+
+
+class TestDecisionMatrix:
+    def test_rows_side_by_side(self, entries):
+        matrix = KpiDecisionMatrix(entries)
+        rows = matrix.rows()
+        assert [row["solution"] for row in rows] == ["cheap-rules", "premium-ml"]
+        assert rows[0]["f1"] == 0.7
+        assert rows[1]["estimated_cost"] > rows[0]["estimated_cost"]
+
+    def test_rows_include_categorical(self, entries):
+        rows = KpiDecisionMatrix(entries).rows()
+        assert rows[0]["deployment"] == ["on-premise"]
+
+    def test_render_contains_solutions_and_metrics(self, entries):
+        text = KpiDecisionMatrix(entries).render(metrics=["f1"])
+        assert "cheap-rules" in text
+        assert "premium-ml" in text
+        assert "f1" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            KpiDecisionMatrix([])
+
+    def test_duplicate_names_rejected(self, entries):
+        with pytest.raises(ValueError, match="duplicate"):
+            KpiDecisionMatrix([entries[0], entries[0]])
+
+
+class TestAggregation:
+    def test_quality_first_aggregator(self, entries):
+        matrix = KpiDecisionMatrix(entries)
+        best = matrix.best(lambda entry: entry.quality_metrics["f1"])
+        assert best.name == "premium-ml"
+
+    def test_budget_aware_aggregator(self, entries):
+        """The §3.3 framework: convert effort to cost and trade off."""
+        matrix = KpiDecisionMatrix(entries)
+
+        def roi(entry):
+            cost = entry.properties.lifecycle.total_cost()
+            return entry.quality_metrics["f1"] - cost / 20_000.0
+
+        best = matrix.best(roi)
+        assert best.name == "cheap-rules"
+
+    def test_aggregate_returns_all_scores(self, entries):
+        scores = KpiDecisionMatrix(entries).aggregate(
+            lambda entry: entry.quality_metrics["precision"]
+        )
+        assert set(scores) == {"cheap-rules", "premium-ml"}

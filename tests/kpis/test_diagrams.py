@@ -1,0 +1,109 @@
+"""Tests for effort/metric diagrams (§3.3, Figure 6 machinery)."""
+
+import pytest
+
+from repro.kpis.diagrams import (
+    EffortCurve,
+    EffortPoint,
+    effort_to_reach,
+    out_of_box_score,
+    render_effort_diagram,
+)
+
+
+@pytest.fixture
+def curve():
+    # noisy run: dips below earlier best at 3h
+    return EffortCurve(
+        solution="demo",
+        points=[
+            EffortPoint(0.0, 0.30),
+            EffortPoint(1.0, 0.35),
+            EffortPoint(2.0, 0.70),  # breakthrough
+            EffortPoint(3.0, 0.60),  # regression
+            EffortPoint(4.0, 0.80),
+            EffortPoint(10.0, 0.82),
+            EffortPoint(14.0, 0.825),
+            EffortPoint(20.0, 0.826),
+        ],
+    )
+
+
+class TestEffortCurve:
+    def test_points_sorted_on_init(self):
+        curve = EffortCurve(
+            "x", [EffortPoint(5.0, 0.5), EffortPoint(1.0, 0.2)]
+        )
+        assert [p.effort_hours for p in curve.points] == [1.0, 5.0]
+
+    def test_best_so_far_monotone(self, curve):
+        envelope = curve.best_so_far()
+        values = [p.metric_value for p in envelope]
+        assert values == sorted(values)
+        assert envelope[3].metric_value == 0.70  # regression flattened
+
+    def test_final_value(self, curve):
+        assert curve.final_value() == 0.826
+
+    def test_final_value_empty_rejected(self):
+        with pytest.raises(ValueError, match="no points"):
+            EffortCurve("x", []).final_value()
+
+    def test_breakthrough_detection(self, curve):
+        assert curve.breakthrough(jump=0.3) == 2.0
+
+    def test_no_breakthrough(self):
+        flat = EffortCurve(
+            "flat", [EffortPoint(float(h), 0.5 + 0.001 * h) for h in range(10)]
+        )
+        assert flat.breakthrough(jump=0.3) is None
+
+    def test_barrier_detection(self, curve):
+        barrier = curve.barrier(window=4.0, improvement=0.01)
+        assert barrier is not None
+        assert barrier >= 4.0  # big gains stop after the 4h point
+
+    def test_barrier_requires_window_of_evidence(self, curve):
+        """A candidate barrier at the very tail is not a barrier."""
+        # the last observation is at 20h; a 10h window leaves 10h as the
+        # latest point with enough evidence
+        barrier = curve.barrier(window=10.0, improvement=0.01)
+        assert barrier is not None
+        assert barrier <= 10.0
+
+    def test_no_barrier_when_still_improving(self):
+        rising = EffortCurve(
+            "rising",
+            [EffortPoint(float(h), 0.1 * h) for h in range(10)],
+        )
+        assert rising.barrier(window=2.0, improvement=0.05) is None
+
+    def test_barrier_on_empty_curve(self):
+        assert EffortCurve("x", []).barrier() is None
+
+    def test_barrier_short_curve_lacks_evidence(self):
+        short = EffortCurve(
+            "short", [EffortPoint(0.0, 0.5), EffortPoint(1.0, 0.5)]
+        )
+        assert short.barrier(window=4.0) is None
+
+
+class TestHelpers:
+    def test_effort_to_reach(self, curve):
+        assert effort_to_reach(curve, 0.7) == 2.0
+        assert effort_to_reach(curve, 0.99) is None
+
+    def test_out_of_box(self, curve):
+        assert out_of_box_score(curve) == 0.30
+
+    def test_out_of_box_empty_rejected(self):
+        with pytest.raises(ValueError, match="no points"):
+            out_of_box_score(EffortCurve("x", []))
+
+    def test_render_diagram(self, curve):
+        text = render_effort_diagram([curve])
+        assert "demo" in text
+        assert "effort" in text
+
+    def test_render_empty(self):
+        assert render_effort_diagram([]) == "(no curves)"

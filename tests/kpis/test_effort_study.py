@@ -1,0 +1,103 @@
+"""Tests for the Figure 6 / Figure 7 study simulators (§5.5)."""
+
+import pytest
+
+from repro.datagen import make_person_benchmark
+from repro.kpis.effort_study import (
+    ContestTimelineSimulator,
+    EffortStudySimulator,
+    SolutionProfile,
+)
+
+
+@pytest.fixture(scope="module")
+def bench_data():
+    return make_person_benchmark(250, seed=21)
+
+
+@pytest.fixture(scope="module")
+def curves(bench_data):
+    simulator = EffortStudySimulator(
+        dataset=bench_data.dataset,
+        gold=bench_data.gold,
+        profiles=[
+            SolutionProfile(
+                "rule-based", out_of_box=0.3, plateau=0.8,
+                breakthrough_hours=5.0,
+            ),
+            SolutionProfile(
+                "ml", out_of_box=0.2, plateau=0.92, breakthrough_hours=8.0,
+            ),
+        ],
+        checkpoint_hours=1.0,
+        total_hours=24.0,
+        seed=3,
+    )
+    return simulator.run()
+
+
+class TestEffortStudy:
+    def test_one_curve_per_profile(self, curves):
+        assert [c.solution for c in curves] == ["rule-based", "ml"]
+
+    def test_checkpoints_cover_total_hours(self, curves):
+        assert len(curves[0].points) == 25  # 0..24 inclusive
+
+    def test_quality_improves_with_effort(self, curves):
+        """Figure 6 shape: final >> out-of-box."""
+        for curve in curves:
+            assert curve.final_value() > curve.points[0].metric_value + 0.2
+
+    def test_breakthrough_visible(self, curves):
+        for curve in curves:
+            assert curve.breakthrough(jump=0.15) is not None
+
+    def test_barrier_near_14_hours(self, curves):
+        """§5.5: 'all solutions reached a barrier at around 14 hours'."""
+        for curve in curves:
+            barrier = curve.barrier(window=4.0, improvement=0.02)
+            assert barrier is not None
+            assert barrier <= 16.0
+
+    def test_measured_f1_in_unit_interval(self, curves):
+        for curve in curves:
+            assert all(0.0 <= p.metric_value <= 1.0 for p in curve.points)
+
+
+class TestContestTimeline:
+    @pytest.fixture(scope="class")
+    def timelines(self, bench_data):
+        simulator = ContestTimelineSimulator(
+            dataset=bench_data.dataset,
+            gold=bench_data.gold,
+            team_count=3,
+            submissions=20,
+            seed=5,
+        )
+        return simulator.run()
+
+    def test_one_timeline_per_team(self, timelines):
+        assert len(timelines) == 3
+        assert all(len(points) == 20 for points in timelines.values())
+
+    def test_quality_generally_increases(self, timelines):
+        """Figure 7: 'matching quality generally increased over time'."""
+        for points in timelines.values():
+            early = sum(f1 for _, f1 in points[:5]) / 5
+            late = sum(f1 for _, f1 in points[-5:]) / 5
+            assert late > early
+
+    def test_declines_occur(self, timelines):
+        """Figure 7: 'sometimes faced significant declines' —
+        trial-and-error character."""
+        total_declines = 0
+        for points in timelines.values():
+            values = [f1 for _, f1 in points]
+            total_declines += sum(
+                1 for a, b in zip(values, values[1:]) if b < a - 0.03
+            )
+        assert total_declines >= 2
+
+    def test_values_bounded(self, timelines):
+        for points in timelines.values():
+            assert all(0.0 <= f1 <= 1.0 for _, f1 in points)

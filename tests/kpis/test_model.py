@@ -1,0 +1,90 @@
+"""Tests for the soft-KPI data model (§3.3)."""
+
+import pytest
+
+from repro.kpis.model import (
+    DeploymentType,
+    Effort,
+    ExperimentKpis,
+    InterfaceType,
+    LifecycleExpenditures,
+    MatchingTechnique,
+    SolutionProperties,
+)
+
+
+class TestEffort:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Effort(-1, 50)
+        with pytest.raises(ValueError, match="expertise"):
+            Effort(1, 150)
+
+    def test_cost_grows_with_expertise(self):
+        junior = Effort(10, 0)
+        senior = Effort(10, 100)
+        assert senior.cost() > junior.cost()
+
+    def test_cost_formula(self):
+        assert Effort(10, 0).cost(base_rate=40, expertise_premium=2.0) == 400.0
+        assert Effort(10, 100).cost(base_rate=40, expertise_premium=2.0) == 1200.0
+
+    def test_addition_weights_expertise_by_hours(self):
+        combined = Effort(10, 100) + Effort(30, 0)
+        assert combined.hr_amount == 40
+        assert combined.expertise == pytest.approx(25.0)
+
+    def test_addition_zero_hours(self):
+        combined = Effort(0, 80) + Effort(0, 20)
+        assert combined.hr_amount == 0
+        assert combined.expertise == 80  # max of the two
+
+
+class TestLifecycleExpenditures:
+    def test_total_effort_combines_phases(self):
+        lifecycle = LifecycleExpenditures(
+            general_costs=1000.0,
+            production_readiness=Effort(5, 80),
+            domain_configuration=Effort(20, 30),
+            technical_configuration=Effort(10, 90),
+        )
+        assert lifecycle.total_effort().hr_amount == 35
+
+    def test_total_cost_adds_general_costs(self):
+        lifecycle = LifecycleExpenditures(
+            general_costs=500.0, domain_configuration=Effort(10, 0)
+        )
+        assert lifecycle.total_cost(base_rate=40) == 500.0 + 400.0
+
+    def test_defaults_are_zero(self):
+        lifecycle = LifecycleExpenditures()
+        assert lifecycle.total_cost() == 0.0
+
+
+class TestCategoricalKpis:
+    def test_enum_values(self):
+        assert DeploymentType.ON_PREMISE.value == "on-premise"
+        assert InterfaceType.API.value == "api"
+        assert MatchingTechnique.RULE_BASED.value == "rule-based"
+
+    def test_solution_properties(self):
+        properties = SolutionProperties(
+            name="matcher-x",
+            deployment_types=frozenset({DeploymentType.CLOUD}),
+            techniques=frozenset(
+                {MatchingTechnique.MACHINE_LEARNING, MatchingTechnique.RULE_BASED}
+            ),
+        )
+        assert DeploymentType.CLOUD in properties.deployment_types
+        assert len(properties.techniques) == 2
+
+
+class TestExperimentKpis:
+    def test_total_effort(self):
+        kpis = ExperimentKpis(
+            setup_effort=Effort(2, 40),
+            configuration_effort=Effort(6, 60),
+            runtime_seconds=12.5,
+        )
+        assert kpis.total_effort().hr_amount == 8
+        assert kpis.runtime_seconds == 12.5

@@ -1,0 +1,116 @@
+"""Tests for candidate generation / blocking."""
+
+import pytest
+
+from repro.core import Dataset, Record
+from repro.matching import blocking
+
+
+@pytest.fixture
+def dataset():
+    rows = [
+        ("r1", "smith", "john"),
+        ("r2", "smith", "jon"),
+        ("r3", "smyth", "john"),
+        ("r4", "jones", "mary"),
+        ("r5", None, "mary"),
+    ]
+    return Dataset(
+        [Record(rid, {"last": last, "first": first}) for rid, last, first in rows],
+        name="blocking-test",
+    )
+
+
+class TestFullPairs:
+    def test_quadratic_count(self, dataset):
+        pairs = blocking.full_pairs(dataset)
+        assert len(pairs) == 10  # C(5, 2)
+
+    def test_pairs_canonical(self, dataset):
+        for first, second in blocking.full_pairs(dataset):
+            assert first < second
+
+
+class TestStandardBlocking:
+    def test_groups_by_key(self, dataset):
+        pairs = blocking.standard_blocking(
+            dataset, blocking.first_token_key("last")
+        )
+        assert ("r1", "r2") in pairs
+        assert ("r1", "r3") not in pairs  # smith vs smyth
+
+    def test_null_keys_excluded(self, dataset):
+        pairs = blocking.standard_blocking(
+            dataset, blocking.first_token_key("last")
+        )
+        assert not any("r5" in pair for pair in pairs)
+
+    def test_soundex_key_bridges_typos(self, dataset):
+        pairs = blocking.standard_blocking(dataset, blocking.soundex_key("last"))
+        assert ("r1", "r3") in pairs  # smith ~ smyth phonetically
+
+    def test_prefix_key(self, dataset):
+        pairs = blocking.standard_blocking(dataset, blocking.prefix_key("last", 2))
+        assert ("r1", "r2") in pairs
+        assert ("r1", "r3") in pairs  # both 'sm'
+
+
+class TestSortedNeighborhood:
+    def test_window_pairs(self, dataset):
+        pairs = blocking.sorted_neighborhood(
+            dataset, blocking.first_token_key("last"), window=2
+        )
+        # sorted by last name: '', jones, smith, smith, smyth
+        # adjacent pairs only
+        assert len(pairs) == 4
+
+    def test_larger_window_superset(self, dataset):
+        small = blocking.sorted_neighborhood(
+            dataset, blocking.first_token_key("last"), window=2
+        )
+        large = blocking.sorted_neighborhood(
+            dataset, blocking.first_token_key("last"), window=4
+        )
+        assert small <= large
+
+    def test_window_validation(self, dataset):
+        with pytest.raises(ValueError, match="at least 2"):
+            blocking.sorted_neighborhood(
+                dataset, blocking.first_token_key("last"), window=1
+            )
+
+    def test_null_keys_participate(self, dataset):
+        pairs = blocking.sorted_neighborhood(
+            dataset, blocking.first_token_key("last"), window=5
+        )
+        assert any("r5" in pair for pair in pairs)
+
+
+class TestTokenBlocking:
+    def test_shared_tokens_pair(self, dataset):
+        pairs = blocking.token_blocking(dataset, attributes=["first"])
+        assert ("r4", "r5") in pairs  # both 'mary'
+
+    def test_min_token_length_filters(self, dataset):
+        pairs = blocking.token_blocking(
+            dataset, attributes=["first"], min_token_length=10
+        )
+        assert pairs == set()
+
+    def test_block_purging(self):
+        # 30 records sharing one token: block is purged at max size 10
+        records = [Record(f"r{i}", {"t": "shared"}) for i in range(30)]
+        dataset = Dataset(records)
+        assert blocking.token_blocking(dataset, max_block_size=10) == set()
+        assert len(blocking.token_blocking(dataset, max_block_size=None)) == 435
+
+    def test_candidates_subset_of_full(self, dataset):
+        full = blocking.full_pairs(dataset)
+        for pairs in (
+            blocking.standard_blocking(dataset, blocking.first_token_key("last")),
+            blocking.sorted_neighborhood(
+                dataset, blocking.first_token_key("last"), window=3
+            ),
+            blocking.token_blocking(dataset),
+        ):
+            assert pairs <= full

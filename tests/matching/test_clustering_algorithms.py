@@ -1,0 +1,164 @@
+"""Tests for duplicate clustering algorithms (pipeline step 5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pairs import ScoredPair
+from repro.matching.clustering_algorithms import (
+    CLUSTERING_ALGORITHMS,
+    center_clustering,
+    connected_components,
+    greedy_clique_clustering,
+    markov_clustering,
+    merge_center_clustering,
+)
+
+
+def scored(*triples):
+    return [ScoredPair.of(a, b, score) for a, b, score in triples]
+
+
+CHAIN = scored(("a", "b", 0.9), ("b", "c", 0.8), ("c", "d", 0.7))
+TRIANGLE = scored(("a", "b", 0.9), ("b", "c", 0.8), ("a", "c", 0.85))
+
+
+class TestConnectedComponents:
+    def test_chain_becomes_one_cluster(self):
+        clustering = connected_components(CHAIN)
+        assert clustering.same_cluster("a", "d")
+
+    def test_empty(self):
+        assert len(connected_components([])) == 0
+
+
+class TestCenterClustering:
+    def test_triangle_single_cluster(self):
+        clustering = center_clustering(TRIANGLE)
+        assert clustering.same_cluster("a", "b")
+
+    def test_chain_is_broken_at_centers(self):
+        """Center clustering does not chain: d can only join an existing
+        center, and c is a member (not a center) when {c,d} arrives."""
+        clustering = center_clustering(CHAIN)
+        assert clustering.same_cluster("a", "b")
+        assert not clustering.same_cluster("a", "d")
+
+    def test_star_joins_center(self):
+        star = scored(("hub", "x", 0.9), ("hub", "y", 0.8), ("hub", "z", 0.7))
+        clustering = center_clustering(star)
+        assert clustering.same_cluster("x", "z")
+
+
+class TestMergeCenterClustering:
+    def test_merges_via_shared_record(self):
+        pairs = scored(
+            ("a", "b", 0.95), ("c", "d", 0.9), ("b", "c", 0.85)
+        )
+        merge_center = merge_center_clustering(pairs)
+        plain_center = center_clustering(pairs)
+        # merge-center merges clusters when their centers get linked
+        assert merge_center.pair_count() >= plain_center.pair_count()
+
+    def test_empty(self):
+        assert len(merge_center_clustering([])) == 0
+
+
+class TestGreedyClique:
+    def test_triangle_accepted(self):
+        clustering = greedy_clique_clustering(TRIANGLE)
+        assert clustering.same_cluster("a", "c")
+
+    def test_chain_rejected(self):
+        """A chain is not a clique: a-c edge is missing, so the merge
+        into one cluster must be refused."""
+        clustering = greedy_clique_clustering(CHAIN)
+        assert not clustering.same_cluster("a", "c")
+
+    def test_every_cluster_is_a_clique(self):
+        rng = random.Random(3)
+        ids = [f"r{i}" for i in range(12)]
+        pairs = []
+        seen = set()
+        for _ in range(25):
+            a, b = rng.sample(ids, 2)
+            key = tuple(sorted((a, b)))
+            if key not in seen:
+                seen.add(key)
+                pairs.append(ScoredPair.of(a, b, rng.random()))
+        clustering = greedy_clique_clustering(pairs)
+        match_set = {sp.pair for sp in pairs}
+        for cluster in clustering.clusters:
+            members = sorted(cluster)
+            for i in range(len(members)):
+                for j in range(i + 1, len(members)):
+                    assert (members[i], members[j]) in match_set
+
+
+class TestMarkovClustering:
+    def test_two_dense_groups_separated_by_weak_link(self):
+        pairs = scored(
+            ("a", "b", 0.95), ("b", "c", 0.9), ("a", "c", 0.92),
+            ("x", "y", 0.93), ("y", "z", 0.91), ("x", "z", 0.94),
+            ("c", "x", 0.15),  # weak bridge
+        )
+        clustering = markov_clustering(pairs)
+        assert clustering.same_cluster("a", "b")
+        assert clustering.same_cluster("x", "y")
+        assert not clustering.same_cluster("a", "x")
+
+    def test_empty(self):
+        assert len(markov_clustering([])) == 0
+
+    def test_single_pair(self):
+        clustering = markov_clustering(scored(("a", "b", 0.9)))
+        assert clustering.same_cluster("a", "b")
+
+    def test_every_record_appears_exactly_once(self):
+        pairs = TRIANGLE + scored(("d", "e", 0.5))
+        clustering = markov_clustering(pairs)
+        seen = [record for cluster in clustering.clusters for record in cluster]
+        assert sorted(seen) == sorted(set(seen))
+        assert set(seen) == {"a", "b", "c", "d", "e"}
+
+
+@st.composite
+def random_scored_pairs(draw):
+    n = draw(st.integers(min_value=2, max_value=12))
+    ids = [f"r{i}" for i in range(n)]
+    count = draw(st.integers(min_value=0, max_value=20))
+    rng = random.Random(draw(st.integers(min_value=0, max_value=9999)))
+    pairs = {}
+    for _ in range(count):
+        a, b = rng.sample(ids, 2)
+        pairs[tuple(sorted((a, b)))] = rng.random()
+    return [ScoredPair.of(a, b, s) for (a, b), s in pairs.items()]
+
+
+class TestCommonInvariants:
+    @given(random_scored_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_all_algorithms_produce_disjoint_clusterings(self, pairs):
+        matched_records = {record for sp in pairs for record in sp.pair}
+        for name, algorithm in CLUSTERING_ALGORITHMS.items():
+            clustering = algorithm(pairs)
+            seen: set[str] = set()
+            for cluster in clustering.clusters:
+                for record in cluster:
+                    assert record not in seen, name
+                    seen.add(record)
+            # no algorithm invents records
+            assert seen <= matched_records, name
+
+    @given(random_scored_pairs())
+    @settings(max_examples=30, deadline=None)
+    def test_clusterings_are_subsets_of_components(self, pairs):
+        """No algorithm links records across connected components."""
+        components = connected_components(pairs)
+        for name, algorithm in CLUSTERING_ALGORITHMS.items():
+            if name == "connected_components":
+                continue
+            clustering = algorithm(pairs)
+            assert clustering.pairs() <= components.pairs(), name

@@ -1,0 +1,107 @@
+"""Tests for record fusion (pipeline step 6)."""
+
+import pytest
+
+from repro.core import Clustering, Dataset, Record
+from repro.matching.fusion import (
+    concat_distinct,
+    first_non_null,
+    fuse_cluster,
+    fuse_dataset,
+    longest_value,
+    most_frequent_value,
+    numeric_mean,
+)
+
+
+class TestStrategies:
+    def test_longest(self):
+        assert longest_value(["ab", "abcd", "abc"]) == "abcd"
+
+    def test_longest_tie_deterministic(self):
+        assert longest_value(["bb", "aa"]) == longest_value(["aa", "bb"])
+
+    def test_most_frequent(self):
+        assert most_frequent_value(["x", "y", "x"]) == "x"
+
+    def test_most_frequent_tie_lexicographic(self):
+        assert most_frequent_value(["b", "a"]) == "a"
+
+    def test_first(self):
+        assert first_non_null(["z", "a"]) == "z"
+
+    def test_concat_distinct_preserves_order(self):
+        assert concat_distinct(["b", "a", "b"]) == "b | a"
+
+    def test_numeric_mean(self):
+        assert numeric_mean(["10", "20"]) == "15"
+        assert numeric_mean(["1", "2"]) == "1.5"
+
+    def test_numeric_mean_non_numeric_fallback(self):
+        assert numeric_mean(["x", "x", "y"]) == "x"
+
+
+class TestFuseCluster:
+    def test_default_strategy(self):
+        fused = fuse_cluster(
+            [
+                Record("r2", {"name": "jo", "city": "salem"}),
+                Record("r1", {"name": "john", "city": None}),
+            ]
+        )
+        assert fused.value("name") == "john"
+        assert fused.value("city") == "salem"
+        assert fused.record_id == "r1"  # smallest id
+
+    def test_per_attribute_strategy(self):
+        fused = fuse_cluster(
+            [
+                Record("a", {"price": "10", "name": "x"}),
+                Record("b", {"price": "30", "name": "xy"}),
+            ],
+            strategies={"price": "numeric_mean"},
+        )
+        assert fused.value("price") == "20"
+        assert fused.value("name") == "xy"
+
+    def test_all_null_stays_null(self):
+        fused = fuse_cluster(
+            [Record("a", {"x": None}), Record("b", {"x": None})]
+        )
+        assert fused.is_null("x")
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            fuse_cluster([])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(KeyError, match="unknown fusion strategy"):
+            fuse_cluster([Record("a", {"x": "1"})], default="nope")
+
+    def test_explicit_fused_id(self):
+        fused = fuse_cluster([Record("z", {"x": "1"})], fused_id="merged-1")
+        assert fused.record_id == "merged-1"
+
+
+class TestFuseDataset:
+    def test_cluster_collapses_to_one_record(self, people_dataset):
+        clustering = Clustering([["p1", "p2"]])
+        fused = fuse_dataset(people_dataset, clustering)
+        assert len(fused) == 5
+        assert "p1" in fused
+        assert "p2" not in fused
+
+    def test_unclustered_records_pass_through(self, people_dataset):
+        clustering = Clustering([["p1", "p2"]])
+        fused = fuse_dataset(people_dataset, clustering)
+        assert fused["p6"].value("first") == "robert"
+
+    def test_fills_nulls_from_cluster_members(self, people_dataset):
+        clustering = Clustering([["p3", "p4"]])
+        fused = fuse_dataset(people_dataset, clustering)
+        # p3 has no zip; p4 provides 99999
+        assert fused["p3"].value("zip") == "99999"
+
+    def test_schema_preserved(self, people_dataset):
+        fused = fuse_dataset(people_dataset, Clustering([["p1", "p2"]]))
+        assert fused.attributes == people_dataset.attributes

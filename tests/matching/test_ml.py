@@ -1,0 +1,139 @@
+"""Tests for the learned decision models."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.matching.attribute_matching import SimilarityVector
+from repro.matching.ml import LogisticRegressionModel, NaiveBayesModel
+
+
+def make_training_data(n=200, seed=0):
+    """Separable data: duplicates have high name & zip similarity."""
+    rng = random.Random(seed)
+    vectors, labels = [], []
+    for index in range(n):
+        duplicate = rng.random() < 0.3
+        if duplicate:
+            name = rng.uniform(0.75, 1.0)
+            zip_sim = rng.uniform(0.8, 1.0)
+        else:
+            name = rng.uniform(0.0, 0.55)
+            zip_sim = rng.uniform(0.0, 0.6)
+        noise = rng.random()  # uninformative attribute
+        vectors.append(
+            SimilarityVector(
+                pair=(f"a{index}", f"b{index}"),
+                values={"name": name, "zip": zip_sim, "noise": noise},
+            )
+        )
+        labels.append(duplicate)
+    return vectors, labels
+
+
+ATTRIBUTES = ["name", "zip", "noise"]
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self):
+        vectors, labels = make_training_data()
+        model = LogisticRegressionModel(ATTRIBUTES).fit(vectors, labels)
+        scores = model.score_many(vectors)
+        predictions = scores >= 0.5
+        accuracy = float(np.mean(predictions == np.asarray(labels)))
+        assert accuracy > 0.95
+
+    def test_score_single_matches_batch(self):
+        vectors, labels = make_training_data(50)
+        model = LogisticRegressionModel(ATTRIBUTES).fit(vectors, labels)
+        assert model.score(vectors[0]) == pytest.approx(
+            float(model.score_many(vectors)[0])
+        )
+
+    def test_scores_in_unit_interval(self):
+        vectors, labels = make_training_data(80)
+        model = LogisticRegressionModel(ATTRIBUTES).fit(vectors, labels)
+        scores = model.score_many(vectors)
+        assert np.all((scores >= 0) & (scores <= 1))
+
+    def test_informative_attributes_get_larger_weights(self):
+        vectors, labels = make_training_data(400)
+        model = LogisticRegressionModel(ATTRIBUTES, iterations=800).fit(
+            vectors, labels
+        )
+        weights = model.attribute_weights()
+        assert abs(weights["name"]) > abs(weights["noise"])
+
+    def test_unfitted_raises(self):
+        model = LogisticRegressionModel(ATTRIBUTES)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.score_many([])
+
+    def test_mismatched_lengths_rejected(self):
+        vectors, labels = make_training_data(10)
+        with pytest.raises(ValueError, match="labels"):
+            LogisticRegressionModel(ATTRIBUTES).fit(vectors, labels[:-1])
+
+    def test_empty_training_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            LogisticRegressionModel(ATTRIBUTES).fit([], [])
+
+    def test_no_attributes_rejected(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            LogisticRegressionModel([])
+
+    def test_handles_missing_values(self):
+        vectors, labels = make_training_data(100)
+        # null out 'zip' on half the vectors
+        patched = [
+            SimilarityVector(
+                pair=v.pair,
+                values={**v.values, "zip": None if i % 2 else v.values["zip"]},
+            )
+            for i, v in enumerate(vectors)
+        ]
+        model = LogisticRegressionModel(ATTRIBUTES).fit(patched, labels)
+        scores = model.score_many(patched)
+        assert np.all(np.isfinite(scores))
+
+    def test_deterministic_given_seed(self):
+        vectors, labels = make_training_data(60)
+        scores_a = (
+            LogisticRegressionModel(ATTRIBUTES, seed=7)
+            .fit(vectors, labels)
+            .score_many(vectors)
+        )
+        scores_b = (
+            LogisticRegressionModel(ATTRIBUTES, seed=7)
+            .fit(vectors, labels)
+            .score_many(vectors)
+        )
+        assert np.allclose(scores_a, scores_b)
+
+
+class TestNaiveBayes:
+    def test_learns_separable_data(self):
+        vectors, labels = make_training_data()
+        model = NaiveBayesModel(ATTRIBUTES).fit(vectors, labels)
+        scores = model.score_many(vectors)
+        predictions = scores >= 0.5
+        accuracy = float(np.mean(predictions == np.asarray(labels)))
+        assert accuracy > 0.9
+
+    def test_single_class_training(self):
+        vectors, labels = make_training_data(30)
+        all_negative = [False] * len(vectors)
+        model = NaiveBayesModel(ATTRIBUTES).fit(vectors, all_negative)
+        scores = model.score_many(vectors)
+        assert np.all(scores < 0.5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            NaiveBayesModel(ATTRIBUTES).score_many([])
+
+    def test_scores_bounded(self):
+        vectors, labels = make_training_data(80)
+        model = NaiveBayesModel(ATTRIBUTES).fit(vectors, labels)
+        scores = model.score_many(vectors)
+        assert np.all((scores >= 0) & (scores <= 1))

@@ -1,0 +1,117 @@
+"""Tests for the end-to-end matching pipeline (§1.2)."""
+
+import pytest
+
+from repro.core import ConfusionMatrix
+from repro.core.records import Record
+from repro.matching import (
+    AttributeComparator,
+    MatchingPipeline,
+    WeightedAverageModel,
+    full_pairs,
+    lowercase_values,
+    normalize_whitespace,
+)
+from repro.metrics.pairwise import f1_score
+
+
+@pytest.fixture
+def pipeline():
+    comparator = AttributeComparator(
+        {"first": "jaro_winkler", "last": "jaro_winkler", "zip": "exact"}
+    )
+    model = WeightedAverageModel({"first": 1.0, "last": 2.0, "zip": 2.0})
+    return MatchingPipeline(
+        candidate_generator=full_pairs,
+        comparator=comparator,
+        decision_model=model,
+        threshold=0.85,
+        name="test-run",
+        solution="test-solution",
+    )
+
+
+class TestPreparers:
+    def test_normalize_whitespace(self):
+        record = Record("r", {"x": "  a   b  ", "y": None})
+        cleaned = normalize_whitespace(record)
+        assert cleaned.value("x") == "a b"
+        assert cleaned.value("y") is None
+
+    def test_lowercase_values(self):
+        record = Record("r", {"x": "John SMITH"})
+        assert lowercase_values(record).value("x") == "john smith"
+
+
+class TestPipelineRun:
+    def test_finds_obvious_duplicates(self, pipeline, people_dataset, people_gold):
+        run = pipeline.run(people_dataset)
+        assert ("p1", "p2") in run.experiment.pairs()
+        assert ("p3", "p4") in run.experiment.pairs()
+
+    def test_quality_on_people(self, pipeline, people_dataset, people_gold):
+        run = pipeline.run(people_dataset)
+        matrix = ConfusionMatrix.from_clusterings(
+            run.experiment.clustering(),
+            people_gold.clustering,
+            people_dataset.total_pairs(),
+        )
+        assert f1_score(matrix) == 1.0
+
+    def test_stage_outputs_exposed(self, pipeline, people_dataset):
+        run = pipeline.run(people_dataset)
+        assert len(run.candidates) == people_dataset.total_pairs()
+        assert len(run.vectors) == len(run.candidates)
+        assert len(run.scored_pairs) == len(run.candidates)
+        assert set(run.stage_seconds) == {
+            "preparation", "candidates", "similarity", "decision", "clustering",
+        }
+
+    def test_experiment_metadata(self, pipeline, people_dataset):
+        run = pipeline.run(people_dataset)
+        assert run.experiment.metadata["threshold"] == 0.85
+        assert run.experiment.metadata["runtime_seconds"] >= 0
+        assert run.experiment.solution == "test-solution"
+
+    def test_clustering_added_pairs_flagged(self, people_dataset):
+        """A chain accepted pairwise gets its closure pairs flagged."""
+        comparator = AttributeComparator({"last": "jaro_winkler"})
+        pipeline = MatchingPipeline(
+            candidate_generator=full_pairs,
+            comparator=comparator,
+            decision_model=WeightedAverageModel({"last": 1.0}),
+            threshold=0.8,
+        )
+        run = pipeline.run(people_dataset)
+        closure_pairs = [
+            m for m in run.experiment.matches if m.from_clustering
+        ]
+        for match in closure_pairs:
+            assert match.score is None
+
+    def test_fusion_enabled(self, pipeline, people_dataset):
+        pipeline.fuse = True
+        run = pipeline.run(people_dataset)
+        assert run.fused is not None
+        assert len(run.fused) < len(people_dataset)
+        assert "fusion" in run.stage_seconds
+
+    def test_unknown_clustering_rejected(self, pipeline):
+        with pytest.raises(KeyError, match="unknown clustering"):
+            MatchingPipeline(
+                candidate_generator=full_pairs,
+                comparator=pipeline.comparator,
+                decision_model=pipeline.decision_model,
+                clustering="nope",
+            )
+
+
+class TestScoredExperiment:
+    def test_keeps_below_threshold_pairs(self, pipeline, people_dataset):
+        scored = pipeline.scored_experiment(people_dataset)
+        assert len(scored) == people_dataset.total_pairs()
+        assert scored.has_scores()
+
+    def test_keep_all_false_filters(self, pipeline, people_dataset):
+        scored = pipeline.scored_experiment(people_dataset, keep_all=False)
+        assert all(sp.score >= 0.85 for sp in scored.scored_pairs())

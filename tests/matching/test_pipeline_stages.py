@@ -1,0 +1,188 @@
+"""Per-stage evaluation of the matching pipeline (§1.2).
+
+"Measuring the performance between these steps, as supported by Frost,
+can provide useful insights for tweaking specific parts of the matching
+solution and helps to find bottlenecks" — these tests exercise exactly
+those inter-stage measurements: candidate-generation quality via
+pair-based metrics, decision-model quality on the (not transitively
+closed) scored pairs, and the quality deltas between stages.
+"""
+
+import pytest
+
+from repro.core.confusion import ConfusionMatrix
+from repro.datagen import make_person_benchmark
+from repro.matching import (
+    AttributeComparator,
+    MatchingPipeline,
+    WeightedAverageModel,
+    first_token_key,
+    full_pairs,
+    sorted_neighborhood,
+    standard_blocking,
+)
+from repro.matching.clustering_algorithms import CLUSTERING_ALGORITHMS
+from repro.metrics.pairwise import (
+    pairs_completeness,
+    pairs_quality,
+    precision,
+    recall,
+    reduction_ratio,
+)
+
+
+@pytest.fixture(scope="module")
+def bench_data():
+    return make_person_benchmark(250, seed=42)
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return MatchingPipeline(
+        candidate_generator=lambda ds: standard_blocking(
+            ds, first_token_key("last_name")
+        ),
+        comparator=AttributeComparator(
+            {
+                "first_name": "jaro_winkler",
+                "last_name": "jaro_winkler",
+                "city": "levenshtein",
+                "zip": "exact",
+            }
+        ),
+        decision_model=WeightedAverageModel(
+            {"first_name": 2, "last_name": 2, "city": 1, "zip": 2}
+        ),
+        threshold=0.8,
+        name="staged",
+    )
+
+
+@pytest.fixture(scope="module")
+def run(pipeline, bench_data):
+    return pipeline.run(bench_data.dataset)
+
+
+class TestCandidateStage:
+    def test_candidates_are_a_subset_of_all_pairs(self, run, bench_data):
+        assert len(run.candidates) <= bench_data.dataset.total_pairs()
+
+    def test_blocking_reduces_comparisons(self, run, bench_data):
+        """Reduction ratio must be high: blocking is the point."""
+        matrix = ConfusionMatrix.from_pair_sets(
+            run.candidates,
+            bench_data.gold.pairs(),
+            bench_data.dataset.total_pairs(),
+        )
+        assert reduction_ratio(matrix) > 0.8
+
+    def test_pairs_completeness_reasonable(self, run, bench_data):
+        """Candidate generation must retain most true duplicates."""
+        matrix = ConfusionMatrix.from_pair_sets(
+            run.candidates,
+            bench_data.gold.pairs(),
+            bench_data.dataset.total_pairs(),
+        )
+        assert pairs_completeness(matrix) > 0.5
+
+    def test_pairs_quality_between_zero_and_one(self, run, bench_data):
+        matrix = ConfusionMatrix.from_pair_sets(
+            run.candidates,
+            bench_data.gold.pairs(),
+            bench_data.dataset.total_pairs(),
+        )
+        assert 0.0 <= pairs_quality(matrix) <= 1.0
+
+    def test_full_pairs_is_the_upper_bound(self, bench_data):
+        candidates = full_pairs(bench_data.dataset)
+        assert len(candidates) == bench_data.dataset.total_pairs()
+
+    def test_sorted_neighborhood_alternative(self, bench_data):
+        """Windowing is a drop-in replacement for blocking (§1.2)."""
+        candidates = sorted_neighborhood(
+            bench_data.dataset,
+            key=lambda record: record.value("last_name") or "",
+            window=5,
+        )
+        matrix = ConfusionMatrix.from_pair_sets(
+            candidates, bench_data.gold.pairs(), bench_data.dataset.total_pairs()
+        )
+        assert pairs_completeness(matrix) > 0.3
+
+
+class TestDecisionStage:
+    def test_every_candidate_gets_a_score(self, run):
+        assert len(run.scored_pairs) == len(run.candidates)
+        assert all(0.0 <= sp.score <= 1.0 for sp in run.scored_pairs)
+
+    def test_intermediate_metrics_without_closure(self, run, bench_data):
+        """Pair-based metrics work on non-closed intermediate output."""
+        accepted = {
+            sp.pair for sp in run.scored_pairs if sp.score >= 0.8
+        }
+        matrix = ConfusionMatrix.from_pair_sets(
+            accepted, bench_data.gold.pairs(), bench_data.dataset.total_pairs()
+        )
+        assert precision(matrix) > 0.5
+
+    def test_decision_stage_bounded_by_candidates(self, run, bench_data):
+        """The decision model cannot recover pairs blocking lost."""
+        candidate_matrix = ConfusionMatrix.from_pair_sets(
+            run.candidates, bench_data.gold.pairs(), bench_data.dataset.total_pairs()
+        )
+        final_matrix = ConfusionMatrix.from_clusterings(
+            run.experiment.clustering(),
+            bench_data.gold.clustering,
+            bench_data.dataset.total_pairs(),
+        )
+        # closure can only add pairs among candidates' components; recall
+        # of the decision stage alone never exceeds candidate completeness
+        accepted = {sp.pair for sp in run.scored_pairs if sp.score >= 0.8}
+        accepted_matrix = ConfusionMatrix.from_pair_sets(
+            accepted, bench_data.gold.pairs(), bench_data.dataset.total_pairs()
+        )
+        assert recall(accepted_matrix) <= pairs_completeness(candidate_matrix)
+        assert final_matrix.true_positives >= accepted_matrix.true_positives
+
+    def test_stage_timings_recorded(self, run):
+        expected = {"preparation", "candidates", "similarity", "decision", "clustering"}
+        assert expected.issubset(run.stage_seconds)
+        assert all(value >= 0.0 for value in run.stage_seconds.values())
+
+
+class TestClusteringStageChoices:
+    @pytest.mark.parametrize("algorithm", sorted(CLUSTERING_ALGORITHMS))
+    def test_each_algorithm_plugs_in(self, bench_data, algorithm):
+        pipeline = MatchingPipeline(
+            candidate_generator=lambda ds: standard_blocking(
+                ds, first_token_key("last_name")
+            ),
+            comparator=AttributeComparator(
+                {"first_name": "jaro_winkler", "last_name": "jaro_winkler"}
+            ),
+            decision_model=WeightedAverageModel(
+                {"first_name": 1, "last_name": 1}
+            ),
+            threshold=0.9,
+            clustering=algorithm,
+            name=f"clustered-{algorithm}",
+        )
+        run = pipeline.run(bench_data.dataset)
+        # every algorithm yields a transitively closed experiment
+        assert run.experiment.closure_distance() == 0
+
+    def test_stricter_threshold_means_fewer_accepted_pairs(
+        self, bench_data, pipeline
+    ):
+        lax = pipeline.scored_experiment(bench_data.dataset, keep_all=False)
+        strict_pipeline = MatchingPipeline(
+            candidate_generator=pipeline.candidate_generator,
+            comparator=pipeline.comparator,
+            decision_model=pipeline.decision_model,
+            threshold=0.95,
+            name="strict",
+        )
+        strict = strict_pipeline.scored_experiment(
+            bench_data.dataset, keep_all=False
+        )
+        assert strict.pairs() <= lax.pairs()

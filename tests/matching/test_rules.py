@@ -1,0 +1,95 @@
+"""Tests for rule-based decision models."""
+
+import pytest
+
+from repro.matching.attribute_matching import SimilarityVector
+from repro.matching.rules import (
+    RuleSet,
+    attribute_threshold_rule,
+    weighted_average_rule,
+)
+
+
+def vector(**values):
+    return SimilarityVector(pair=("a", "b"), values=values)
+
+
+class TestAttributeThresholdRule:
+    def test_fires_above_threshold(self):
+        rule = attribute_threshold_rule("name", 0.8)
+        assert rule.fires(vector(name=0.9))
+        assert rule.fires(vector(name=0.8))
+        assert not rule.fires(vector(name=0.7))
+
+    def test_missing_never_fires(self):
+        rule = attribute_threshold_rule("name", 0.1)
+        assert not rule.fires(vector(name=None))
+        assert not rule.fires(vector(other=0.9))
+
+    def test_default_name(self):
+        assert attribute_threshold_rule("name", 0.8).name == "name>=0.8"
+
+
+class TestWeightedAverageRule:
+    def test_weighted_mean(self):
+        rule = weighted_average_rule({"a": 3.0, "b": 1.0}, threshold=0.7)
+        assert rule.fires(vector(a=0.9, b=0.1))  # mean 0.7
+        assert not rule.fires(vector(a=0.5, b=0.5))
+
+    def test_missing_weight_redistributed(self):
+        rule = weighted_average_rule({"a": 1.0, "b": 1.0}, threshold=0.8)
+        assert rule.fires(vector(a=0.9, b=None))
+
+    def test_all_missing_does_not_fire(self):
+        rule = weighted_average_rule({"a": 1.0}, threshold=0.0)
+        assert not rule.fires(vector(a=None))
+
+
+class TestRuleSet:
+    def test_score_monotone_in_fired_weight(self):
+        rules = RuleSet(
+            rules=[
+                attribute_threshold_rule("name", 0.8, weight=2.0),
+                attribute_threshold_rule("zip", 0.9, weight=1.0),
+            ],
+            bias=-1.5,
+        )
+        none_fire = rules.score(vector(name=0.1, zip=0.1))
+        one_fires = rules.score(vector(name=0.9, zip=0.1))
+        both_fire = rules.score(vector(name=0.9, zip=0.95))
+        assert none_fire < one_fires < both_fire
+
+    def test_score_in_unit_interval(self):
+        rules = RuleSet(rules=[attribute_threshold_rule("x", 0.5, weight=100.0)])
+        assert 0.0 <= rules.score(vector(x=0.9)) <= 1.0
+        assert 0.0 <= rules.score(vector(x=0.1)) <= 1.0
+
+    def test_negative_weight_rule(self):
+        """§1: 'high similarity of customer IDs is not' an indicator."""
+        rules = RuleSet(
+            rules=[
+                attribute_threshold_rule("surname", 0.8, weight=2.0),
+                attribute_threshold_rule("customer_id", 0.9, weight=-2.0),
+            ]
+        )
+        plain = rules.score(vector(surname=0.9, customer_id=0.1))
+        with_id = rules.score(vector(surname=0.9, customer_id=0.95))
+        assert with_id < plain
+
+    def test_explain_lists_fired_rules(self):
+        rules = RuleSet(
+            rules=[
+                attribute_threshold_rule("name", 0.8),
+                attribute_threshold_rule("zip", 0.9),
+            ]
+        )
+        assert rules.explain(vector(name=0.9, zip=0.5)) == ["name>=0.8"]
+
+    def test_rule_influence_counts(self):
+        rules = RuleSet(rules=[attribute_threshold_rule("name", 0.5)])
+        rules.score(vector(name=0.9))
+        rules.score(vector(name=0.9))
+        rules.score(vector(name=0.1))
+        assert rules.rule_influence() == {"name>=0.5": 2}
+        rules.reset_influence()
+        assert rules.rule_influence() == {}

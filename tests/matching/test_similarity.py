@@ -1,0 +1,193 @@
+"""Tests for string similarity measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.matching import similarity as sim
+
+words = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd"), max_codepoint=127),
+    max_size=20,
+)
+
+
+class TestLevenshtein:
+    def test_distance_known_values(self):
+        assert sim.levenshtein_distance("kitten", "sitting") == 3
+        assert sim.levenshtein_distance("abc", "abc") == 0
+        assert sim.levenshtein_distance("", "abc") == 3
+        assert sim.levenshtein_distance("abc", "") == 3
+
+    def test_similarity_normalized(self):
+        assert sim.levenshtein("abc", "abc") == 1.0
+        assert sim.levenshtein("abc", "abd") == pytest.approx(2 / 3)
+        assert sim.levenshtein("", "") == 1.0
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_distance_symmetric(self, a, b):
+        assert sim.levenshtein_distance(a, b) == sim.levenshtein_distance(b, a)
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_similarity_bounds(self, a, b):
+        assert 0.0 <= sim.levenshtein(a, b) <= 1.0
+
+    @given(words, words, words)
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, a, b, c):
+        assert sim.levenshtein_distance(a, c) <= (
+            sim.levenshtein_distance(a, b) + sim.levenshtein_distance(b, c)
+        )
+
+
+class TestJaro:
+    def test_identical(self):
+        assert sim.jaro("martha", "martha") == 1.0
+
+    def test_known_value(self):
+        assert sim.jaro("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_disjoint(self):
+        assert sim.jaro("abc", "xyz") == 0.0
+
+    def test_empty(self):
+        assert sim.jaro("", "abc") == 0.0
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_symmetric_and_bounded(self, a, b):
+        value = sim.jaro(a, b)
+        assert 0.0 <= value <= 1.0
+        assert value == pytest.approx(sim.jaro(b, a))
+
+
+class TestJaroWinkler:
+    def test_prefix_boost(self):
+        assert sim.jaro_winkler("prefix", "prefax") > sim.jaro("prefix", "prefax")
+
+    def test_no_boost_below_07(self):
+        base = sim.jaro("abcdef", "fedcba")
+        if base <= 0.7:
+            assert sim.jaro_winkler("abcdef", "fedcba") == base
+
+    @given(words, words)
+    @settings(max_examples=80)
+    def test_bounds(self, a, b):
+        assert 0.0 <= sim.jaro_winkler(a, b) <= 1.0
+
+
+class TestTokenMeasures:
+    def test_jaccard(self):
+        assert sim.token_jaccard("red apple", "green apple") == pytest.approx(1 / 3)
+
+    def test_jaccard_identical(self):
+        assert sim.token_jaccard("a b c", "c b a") == 1.0
+
+    def test_jaccard_empty(self):
+        assert sim.token_jaccard("", "") == 1.0
+        assert sim.token_jaccard("word", "") == 0.0
+
+    def test_overlap_coefficient(self):
+        assert sim.overlap_coefficient("a b", "a b c d") == 1.0
+
+    def test_tokenize_lowercases_and_splits(self):
+        assert sim.tokenize("Hello, World-2") == ["hello", "world", "2"]
+
+
+class TestNgrams:
+    def test_bigram_set(self):
+        grams = sim.ngrams("ab", 2)
+        assert grams == {"#a", "ab", "b#"}
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError, match="positive"):
+            sim.ngrams("abc", 0)
+
+    def test_ngram_jaccard_similar_strings(self):
+        assert sim.ngram_jaccard("hello", "hallo") > sim.ngram_jaccard(
+            "hello", "world"
+        )
+
+    @given(words, words)
+    @settings(max_examples=60)
+    def test_bounds(self, a, b):
+        assert 0.0 <= sim.ngram_jaccard(a, b) <= 1.0
+
+
+class TestMongeElkan:
+    def test_token_reordering_robust(self):
+        assert sim.monge_elkan("john smith", "smith john") == pytest.approx(1.0)
+
+    def test_partial_tokens(self):
+        value = sim.monge_elkan("john smith", "john smyth")
+        assert 0.8 < value < 1.0
+
+    def test_empty(self):
+        assert sim.monge_elkan("", "") == 1.0
+        assert sim.monge_elkan("word", "") == 0.0
+
+
+class TestSoundex:
+    def test_classic_codes(self):
+        assert sim.soundex("Robert") == "R163"
+        assert sim.soundex("Rupert") == "R163"
+        assert sim.soundex("Ashcraft") == "A261"
+
+    def test_similarity(self):
+        assert sim.soundex_similarity("Robert", "Rupert") == 1.0
+        assert sim.soundex_similarity("Robert", "Smith") == 0.0
+
+    def test_non_alpha(self):
+        assert sim.soundex("123") == "0000"
+        assert sim.soundex("") == "0000"
+
+
+class TestNumeric:
+    def test_equal_numbers(self):
+        assert sim.numeric_similarity("42", "42.0") == 1.0
+
+    def test_within_tolerance(self):
+        assert 0.0 < sim.numeric_similarity("100", "110") < 1.0
+
+    def test_outside_tolerance(self):
+        assert sim.numeric_similarity("100", "200") == 0.0
+
+    def test_non_numeric_falls_back_to_exact(self):
+        assert sim.numeric_similarity("abc", "abc") == 1.0
+        assert sim.numeric_similarity("abc", "abd") == 0.0
+
+    def test_zero(self):
+        assert sim.numeric_similarity("0", "0") == 1.0
+
+
+class TestTfIdfCosine:
+    def test_rare_tokens_weigh_more(self):
+        corpus = ["common alpha", "common beta", "common gamma", "rareword delta"]
+        measure = sim.TfIdfCosine(corpus)
+        assert measure("rareword x", "rareword y") > measure("common x", "common y")
+
+    def test_identical_documents(self):
+        measure = sim.TfIdfCosine(["a b c"])
+        assert measure("a b c", "a b c") == pytest.approx(1.0)
+
+    def test_disjoint_documents(self):
+        measure = sim.TfIdfCosine(["a", "b"])
+        assert measure("a", "b") == 0.0
+
+    def test_empty_strings(self):
+        measure = sim.TfIdfCosine([])
+        assert measure("", "") == 1.0
+        assert measure("word", "") == 0.0
+
+
+class TestRegistry:
+    def test_all_functions_bounded(self):
+        for name, function in sim.SIMILARITY_FUNCTIONS.items():
+            value = function("hello world", "hello word")
+            assert 0.0 <= value <= 1.0, name
+
+    def test_exact(self):
+        assert sim.exact("a", "a") == 1.0
+        assert sim.exact("a", "A") == 0.0

@@ -1,0 +1,68 @@
+"""Tests for threshold decision models and threshold search."""
+
+import math
+
+import pytest
+
+from repro.core import compute_diagram_optimized
+from repro.matching.attribute_matching import SimilarityVector
+from repro.matching.threshold import WeightedAverageModel, best_threshold
+from repro.metrics.pairwise import f1_score, precision
+
+
+def vector(**values):
+    return SimilarityVector(pair=("a", "b"), values=values)
+
+
+class TestWeightedAverageModel:
+    def test_weighted_mean(self):
+        model = WeightedAverageModel({"x": 3.0, "y": 1.0})
+        assert model.score(vector(x=1.0, y=0.0)) == pytest.approx(0.75)
+
+    def test_missing_excluded_by_default(self):
+        model = WeightedAverageModel({"x": 1.0, "y": 1.0})
+        assert model.score(vector(x=0.8, y=None)) == pytest.approx(0.8)
+
+    def test_missing_penalty(self):
+        model = WeightedAverageModel({"x": 1.0, "y": 1.0}, missing_penalty=0.0)
+        assert model.score(vector(x=0.8, y=None)) == pytest.approx(0.4)
+
+    def test_all_missing_scores_zero(self):
+        model = WeightedAverageModel({"x": 1.0})
+        assert model.score(vector(x=None)) == 0.0
+
+    def test_callable(self):
+        model = WeightedAverageModel({"x": 1.0})
+        assert model(vector(x=0.5)) == 0.5
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one attribute"):
+            WeightedAverageModel({})
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightedAverageModel({"x": -1.0})
+        with pytest.raises(ValueError, match="positive"):
+            WeightedAverageModel({"x": 0.0})
+
+
+class TestBestThreshold:
+    def test_finds_f1_optimum(self, abcd_dataset, abcd_gold, abcd_experiment):
+        points = compute_diagram_optimized(
+            abcd_dataset, abcd_experiment, abcd_gold, samples=4
+        )
+        threshold, value = best_threshold(points, f1_score)
+        # only the full sweep (threshold 0.7) has any TP at all
+        assert threshold == 0.7
+        assert value == pytest.approx(2 * (2 / 6) * 1.0 / ((2 / 6) + 1.0))
+
+    def test_tie_prefers_higher_threshold(self, abcd_dataset, abcd_gold, abcd_experiment):
+        points = compute_diagram_optimized(
+            abcd_dataset, abcd_experiment, abcd_gold, samples=4
+        )
+        threshold, value = best_threshold(points, precision)
+        # precision is 1.0 (vacuously) at threshold inf
+        assert math.isinf(threshold)
+        assert value == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="no diagram points"):
+            best_threshold([], f1_score)

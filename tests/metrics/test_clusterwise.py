@@ -1,0 +1,183 @@
+"""Tests for cluster-based quality metrics (§3.2.2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Clustering, ConfusionMatrix
+from repro.metrics import clusterwise
+
+
+def random_clustering(rng, ids):
+    labels = {record_id: rng.randrange(1 + len(ids) // 2) for record_id in ids}
+    return Clustering.from_assignment({k: str(v) for k, v in labels.items()})
+
+
+@st.composite
+def clustering_pairs(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = random.Random(seed)
+    ids = [f"r{i}" for i in range(n)]
+    return ids, random_clustering(rng, ids), random_clustering(rng, ids)
+
+
+IDS = ["a", "b", "c", "d", "e"]
+TRUTH = Clustering([["a", "b", "c"], ["d", "e"]])
+
+
+class TestClosestClusterF1:
+    def test_identical_clusterings_score_one(self):
+        assert clusterwise.closest_cluster_f1(TRUTH, TRUTH, IDS) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        experiment = Clustering([["a", "b"], ["c", "d", "e"]])
+        precision = clusterwise.closest_cluster_precision(experiment, TRUTH, IDS)
+        # {a,b} vs {a,b,c}: 2/3; {c,d,e} vs {d,e}: 2/3
+        assert precision == pytest.approx(2 / 3)
+
+    def test_all_singletons_vs_clusters(self):
+        singletons = Clustering([[x] for x in IDS])
+        f1 = clusterwise.closest_cluster_f1(singletons, TRUTH, IDS)
+        assert 0.0 < f1 < 1.0
+
+    @given(clustering_pairs())
+    @settings(max_examples=50)
+    def test_bounds_and_symmetry_of_roles(self, case):
+        ids, experiment, truth = case
+        precision = clusterwise.closest_cluster_precision(experiment, truth, ids)
+        recall = clusterwise.closest_cluster_recall(experiment, truth, ids)
+        assert 0.0 <= precision <= 1.0
+        assert 0.0 <= recall <= 1.0
+        # swapping arguments swaps precision and recall
+        assert clusterwise.closest_cluster_precision(
+            truth, experiment, ids
+        ) == pytest.approx(recall)
+
+
+class TestVariationOfInformation:
+    def test_identical_is_zero(self):
+        assert clusterwise.variation_of_information(TRUTH, TRUTH, IDS) == 0.0
+
+    def test_positive_for_different(self):
+        experiment = Clustering([["a", "b", "c", "d", "e"]])
+        assert clusterwise.variation_of_information(experiment, TRUTH, IDS) > 0.0
+
+    def test_symmetric(self):
+        experiment = Clustering([["a", "d"], ["b", "c"]])
+        forward = clusterwise.variation_of_information(experiment, TRUTH, IDS)
+        backward = clusterwise.variation_of_information(TRUTH, experiment, IDS)
+        assert forward == pytest.approx(backward)
+
+    def test_empty_universe(self):
+        assert clusterwise.variation_of_information(
+            Clustering([]), Clustering([]), []
+        ) == 0.0
+
+    @given(clustering_pairs())
+    @settings(max_examples=50)
+    def test_non_negative(self, case):
+        ids, experiment, truth = case
+        assert clusterwise.variation_of_information(experiment, truth, ids) >= 0.0
+
+    @given(clustering_pairs())
+    @settings(max_examples=40)
+    def test_triangle_inequality(self, case):
+        ids, first, second = case
+        third = Clustering([ids])  # everything in one cluster
+        d12 = clusterwise.variation_of_information(first, second, ids)
+        d13 = clusterwise.variation_of_information(first, third, ids)
+        d23 = clusterwise.variation_of_information(third, second, ids)
+        assert d12 <= d13 + d23 + 1e-9
+
+
+class TestGeneralizedMergeDistance:
+    def test_identity_costs_zero(self):
+        assert clusterwise.basic_merge_distance(TRUTH, TRUTH, IDS) == 0.0
+
+    def test_single_merge(self):
+        split = Clustering([["a", "b"], ["c"], ["d", "e"]])
+        assert clusterwise.basic_merge_distance(split, TRUTH, IDS) == 1.0
+
+    def test_single_split(self):
+        merged = Clustering([["a", "b", "c", "d", "e"]])
+        # one split separates {a,b,c} from {d,e}
+        assert clusterwise.basic_merge_distance(merged, TRUTH, IDS) == 1.0
+
+    def test_pairwise_gmd_equals_fp_plus_fn(self):
+        experiment = Clustering([["a", "b"], ["c", "d"], ["e"]])
+        matrix = ConfusionMatrix.from_clusterings(experiment, TRUTH, 10)
+        assert clusterwise.pairwise_merge_distance(
+            experiment, TRUTH, IDS
+        ) == pytest.approx(matrix.false_positives + matrix.false_negatives)
+
+    @given(clustering_pairs())
+    @settings(max_examples=50)
+    def test_pairwise_gmd_identity_property(self, case):
+        """Menestrina et al.: GMD with product costs == pair disagreements."""
+        ids, experiment, truth = case
+        total = len(ids) * (len(ids) - 1) // 2
+        matrix = ConfusionMatrix.from_clusterings(experiment, truth, total)
+        assert clusterwise.pairwise_merge_distance(
+            experiment, truth, ids
+        ) == pytest.approx(matrix.false_positives + matrix.false_negatives)
+
+    @given(clustering_pairs())
+    @settings(max_examples=50)
+    def test_gmd_non_negative(self, case):
+        ids, experiment, truth = case
+        assert clusterwise.basic_merge_distance(experiment, truth, ids) >= 0.0
+
+    def test_custom_cost_functions(self):
+        merged = Clustering([["a", "b", "c", "d", "e"]])
+        expensive_split = clusterwise.generalized_merge_distance(
+            merged, TRUTH, merge_cost=lambda x, y: 0.0,
+            split_cost=lambda x, y: 10.0, records=IDS,
+        )
+        assert expensive_split == 10.0
+
+
+class TestExactClusterMetrics:
+    def test_perfect(self):
+        assert clusterwise.cluster_f1(TRUTH, TRUTH) == 1.0
+
+    def test_partial(self):
+        experiment = Clustering([["a", "b", "c"], ["d"], ["e"]])
+        assert clusterwise.cluster_precision(experiment, TRUTH) == 1.0
+        assert clusterwise.cluster_recall(experiment, TRUTH) == 0.5
+
+    def test_singletons_ignored(self):
+        experiment = Clustering([["a"], ["b"], ["c"]])
+        # no non-trivial clusters -> vacuous precision
+        assert clusterwise.cluster_precision(experiment, TRUTH) == 1.0
+        assert clusterwise.cluster_recall(experiment, TRUTH) == 0.0
+
+    def test_f1_zero_when_disjoint(self):
+        experiment = Clustering([["a", "d"], ["b", "e"]])
+        assert clusterwise.cluster_f1(experiment, TRUTH) == 0.0
+
+
+class TestAdjustedRandIndex:
+    def test_identical_is_one(self):
+        assert clusterwise.adjusted_rand_index(TRUTH, TRUTH, IDS) == pytest.approx(1.0)
+
+    def test_trivial_universe(self):
+        assert clusterwise.adjusted_rand_index(
+            Clustering([]), Clustering([]), ["a"]
+        ) == 1.0
+
+    @given(clustering_pairs())
+    @settings(max_examples=50)
+    def test_upper_bound(self, case):
+        ids, experiment, truth = case
+        assert clusterwise.adjusted_rand_index(experiment, truth, ids) <= 1.0 + 1e-9
+
+    @given(clustering_pairs())
+    @settings(max_examples=50)
+    def test_symmetric(self, case):
+        ids, experiment, truth = case
+        assert clusterwise.adjusted_rand_index(
+            experiment, truth, ids
+        ) == pytest.approx(clusterwise.adjusted_rand_index(truth, experiment, ids))

@@ -1,0 +1,147 @@
+"""Tests for quality estimation without ground truth (§3.2.3)."""
+
+import pytest
+
+from repro.core import Clustering, Experiment, Match
+from repro.metrics import noground
+
+
+class TestClosureDistance:
+    def test_open_chain(self):
+        experiment = Experiment([("a", "b", 0.9), ("b", "c", 0.8)])
+        assert noground.transitive_closure_distance(experiment) == 1
+
+    def test_closed_triangle(self):
+        experiment = Experiment([("a", "b"), ("b", "c"), ("a", "c")])
+        assert noground.transitive_closure_distance(experiment) == 0
+
+    def test_ignores_clustering_added_pairs(self):
+        experiment = Experiment(
+            [
+                Match(pair=("a", "b")),
+                Match(pair=("b", "c")),
+                Match(pair=("a", "c"), from_clustering=True),
+            ]
+        )
+        # original pairs a-b, b-c are open
+        assert noground.transitive_closure_distance(experiment) == 1
+
+
+class TestComponentRedundancy:
+    def test_empty_is_one(self):
+        assert noground.component_redundancy([]) == 1.0
+
+    def test_pair_component_is_complete(self):
+        assert noground.component_redundancy([("a", "b")]) == 1.0
+
+    def test_spanning_tree_is_zero(self):
+        assert noground.component_redundancy([("a", "b"), ("b", "c")]) == 0.0
+
+    def test_complete_triangle_is_one(self):
+        pairs = [("a", "b"), ("b", "c"), ("a", "c")]
+        assert noground.component_redundancy(pairs) == 1.0
+
+    def test_mixed_components_average(self):
+        pairs = [("a", "b"), ("c", "d"), ("d", "e")]  # complete + tree
+        assert noground.component_redundancy(pairs) == pytest.approx(0.5)
+
+
+class TestBridges:
+    def test_chain_all_bridges(self):
+        assert noground.bridge_count([("a", "b"), ("b", "c")]) == 2
+
+    def test_triangle_no_bridges(self):
+        assert noground.bridge_count([("a", "b"), ("b", "c"), ("a", "c")]) == 0
+
+    def test_triangle_with_tail(self):
+        pairs = [("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")]
+        assert noground.bridge_count(pairs) == 1
+
+    def test_long_chain_does_not_recurse(self):
+        pairs = [(f"n{i}", f"n{i+1}") for i in range(5000)]
+        assert noground.bridge_count(pairs) == 5000
+
+
+class TestLinkNetworkQuality:
+    def test_empty_experiment(self):
+        assert noground.link_network_quality(Experiment([])) == 1.0
+
+    def test_redundant_beats_chained(self):
+        redundant = Experiment([("a", "b"), ("b", "c"), ("a", "c")])
+        chained = Experiment([("a", "b"), ("b", "c"), ("c", "d")])
+        assert noground.link_network_quality(
+            redundant
+        ) > noground.link_network_quality(chained)
+
+    def test_bounds(self):
+        for pairs in ([("a", "b")], [("a", "b"), ("b", "c")]):
+            value = noground.link_network_quality(Experiment(pairs))
+            assert 0.0 <= value <= 1.0
+
+
+class TestCompactnessSparsity:
+    def test_compactness_is_mean_score(self):
+        experiment = Experiment([("a", "b", 0.8), ("c", "d", 0.6)])
+        assert noground.cluster_compactness(experiment) == pytest.approx(0.7)
+
+    def test_compactness_requires_scores(self):
+        with pytest.raises(ValueError, match="scores"):
+            noground.cluster_compactness(Experiment([("a", "b")]))
+
+    def test_sparsity(self):
+        assert noground.neighborhood_sparsity(
+            Experiment([("a", "b", 0.9)]), [0.2, 0.4]
+        ) == pytest.approx(0.3)
+
+    def test_ratio(self):
+        experiment = Experiment([("a", "b", 0.9)])
+        assert noground.compactness_sparsity_ratio(
+            experiment, [0.3]
+        ) == pytest.approx(3.0)
+
+    def test_ratio_infinite_when_isolated(self):
+        experiment = Experiment([("a", "b", 0.9)])
+        assert noground.compactness_sparsity_ratio(experiment, []) == float("inf")
+
+
+class TestClusteringAgreement:
+    def test_single_clustering(self):
+        assert noground.clustering_agreement([Clustering([["a", "b"]])]) == 1.0
+
+    def test_identical_clusterings(self):
+        clustering = Clustering([["a", "b", "c"]])
+        assert noground.clustering_agreement([clustering, clustering]) == 1.0
+
+    def test_disjoint_clusterings(self):
+        first = Clustering([["a", "b"]])
+        second = Clustering([["c", "d"]])
+        assert noground.clustering_agreement([first, second]) == 0.0
+
+    def test_partial_agreement(self):
+        first = Clustering([["a", "b", "c"]])  # 3 pairs
+        second = Clustering([["a", "b"]])  # 1 pair, shared
+        assert noground.clustering_agreement([first, second]) == pytest.approx(1 / 3)
+
+
+class TestConsensus:
+    def test_majority_vote(self):
+        experiments = [
+            Experiment([("a", "b"), ("c", "d")]),
+            Experiment([("a", "b")]),
+            Experiment([("a", "b"), ("e", "f")]),
+        ]
+        assert noground.majority_vote_pairs(experiments) == {("a", "b")}
+
+    def test_majority_empty_input(self):
+        assert noground.majority_vote_pairs([]) == set()
+
+    def test_consensus_deviation(self):
+        agreeing = Experiment([("a", "b")])
+        others = [Experiment([("a", "b")]), Experiment([("a", "b")])]
+        assert noground.consensus_deviation(agreeing, others) == 0
+
+    def test_deviant_experiment(self):
+        deviant = Experiment([("x", "y")])
+        others = [Experiment([("a", "b")]), Experiment([("a", "b")])]
+        # deviant misses the majority pair (a,b) and adds (x,y)
+        assert noground.consensus_deviation(deviant, others) == 2

@@ -1,0 +1,163 @@
+"""Tests for pair-based quality metrics (§3.2.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfusionMatrix
+from repro.metrics import pairwise
+
+matrices = st.builds(
+    ConfusionMatrix,
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+    st.integers(min_value=0, max_value=1000),
+)
+
+PERFECT = ConfusionMatrix(10, 0, 0, 90)
+ALL_WRONG = ConfusionMatrix(0, 10, 10, 80)
+MIXED = ConfusionMatrix(6, 2, 4, 88)
+
+
+class TestPrecisionRecall:
+    def test_perfect(self):
+        assert pairwise.precision(PERFECT) == 1.0
+        assert pairwise.recall(PERFECT) == 1.0
+
+    def test_mixed(self):
+        assert pairwise.precision(MIXED) == pytest.approx(6 / 8)
+        assert pairwise.recall(MIXED) == pytest.approx(6 / 10)
+
+    def test_empty_prediction_gives_vacuous_precision(self):
+        matrix = ConfusionMatrix(0, 0, 5, 5)
+        assert pairwise.precision(matrix) == 1.0
+        assert pairwise.recall(matrix) == 0.0
+
+    def test_no_true_duplicates_gives_vacuous_recall(self):
+        matrix = ConfusionMatrix(0, 5, 0, 5)
+        assert pairwise.recall(matrix) == 1.0
+
+
+class TestFScores:
+    def test_f1_harmonic_mean(self):
+        p = pairwise.precision(MIXED)
+        r = pairwise.recall(MIXED)
+        assert pairwise.f1_score(MIXED) == pytest.approx(2 * p * r / (p + r))
+
+    def test_f1_zero_when_nothing_right(self):
+        assert pairwise.f1_score(ALL_WRONG) == 0.0
+
+    def test_f_beta_weights_recall(self):
+        high_recall = ConfusionMatrix(9, 9, 1, 81)
+        high_precision = ConfusionMatrix(5, 0, 5, 90)
+        assert pairwise.f_beta(high_recall, beta=2) > pairwise.f_beta(
+            high_precision, beta=2
+        )
+
+    def test_f_beta_rejects_nonpositive_beta(self):
+        with pytest.raises(ValueError, match="positive"):
+            pairwise.f_beta(MIXED, beta=0)
+
+    def test_f_star_definition(self):
+        assert pairwise.f_star(MIXED) == pytest.approx(6 / 12)
+
+    @given(matrices)
+    @settings(max_examples=100)
+    def test_f_star_relates_to_f1(self, matrix):
+        """Hand et al.: f* = f1 / (2 - f1)."""
+        f1 = pairwise.f1_score(matrix)
+        if matrix.predicted_positives == 0 or matrix.actual_positives == 0:
+            return  # vacuous conventions differ between the two formulas
+        assert pairwise.f_star(matrix) == pytest.approx(f1 / (2 - f1))
+
+    def test_jaccard_is_f_star(self):
+        assert pairwise.jaccard_index(MIXED) == pairwise.f_star(MIXED)
+
+
+class TestAccuracyFamily:
+    def test_accuracy(self):
+        assert pairwise.accuracy(MIXED) == pytest.approx(94 / 100)
+
+    def test_accuracy_class_imbalance_weakness(self):
+        """The §3.2.1 caveat: all-negative predictions still score ~1."""
+        lazy = ConfusionMatrix(0, 0, 10, 9990)
+        assert pairwise.accuracy(lazy) > 0.99
+        assert pairwise.f1_score(lazy) == 0.0
+
+    def test_specificity(self):
+        assert pairwise.specificity(MIXED) == pytest.approx(88 / 90)
+
+    def test_balanced_accuracy(self):
+        expected = (pairwise.recall(MIXED) + pairwise.specificity(MIXED)) / 2
+        assert pairwise.balanced_accuracy(MIXED) == pytest.approx(expected)
+
+    def test_rates_complement(self):
+        assert pairwise.false_positive_rate(MIXED) == pytest.approx(
+            1 - pairwise.specificity(MIXED)
+        )
+        assert pairwise.false_negative_rate(MIXED) == pytest.approx(
+            1 - pairwise.recall(MIXED)
+        )
+
+
+class TestCorrelationMetrics:
+    def test_fowlkes_mallows_geometric_mean(self):
+        expected = math.sqrt(pairwise.precision(MIXED) * pairwise.recall(MIXED))
+        assert pairwise.fowlkes_mallows(MIXED) == pytest.approx(expected)
+
+    def test_mcc_perfect(self):
+        assert pairwise.matthews_correlation(PERFECT) == pytest.approx(1.0)
+
+    def test_mcc_inverted(self):
+        inverted = ConfusionMatrix(0, 90, 10, 0)
+        assert pairwise.matthews_correlation(inverted) < 0
+
+    def test_mcc_degenerate_is_zero(self):
+        assert pairwise.matthews_correlation(ConfusionMatrix(0, 0, 0, 10)) == 0.0
+
+    @given(matrices)
+    @settings(max_examples=100)
+    def test_mcc_bounds(self, matrix):
+        assert -1.0 <= pairwise.matthews_correlation(matrix) <= 1.0 + 1e-12
+
+    @given(matrices)
+    @settings(max_examples=100)
+    def test_informedness_and_markedness_bounds(self, matrix):
+        assert -1.0 <= pairwise.bookmaker_informedness(matrix) <= 1.0 + 1e-12
+        assert -1.0 <= pairwise.markedness(matrix) <= 1.0 + 1e-12
+
+
+class TestBlockingMetrics:
+    def test_reduction_ratio(self):
+        # 8 candidates out of 100 pairs -> 92% reduction
+        assert pairwise.reduction_ratio(MIXED) == pytest.approx(0.92)
+
+    def test_aliases(self):
+        assert pairwise.pairs_completeness(MIXED) == pairwise.recall(MIXED)
+        assert pairwise.pairs_quality(MIXED) == pairwise.precision(MIXED)
+
+    def test_prevalence(self):
+        assert pairwise.prevalence(MIXED) == pytest.approx(0.1)
+
+
+class TestUnitIntervalBounds:
+    @given(matrices)
+    @settings(max_examples=100)
+    def test_rates_in_unit_interval(self, matrix):
+        for metric in (
+            pairwise.precision,
+            pairwise.recall,
+            pairwise.f1_score,
+            pairwise.f_star,
+            pairwise.accuracy,
+            pairwise.specificity,
+            pairwise.balanced_accuracy,
+            pairwise.fowlkes_mallows,
+            pairwise.negative_predictive_value,
+            pairwise.prevalence,
+        ):
+            value = metric(matrix)
+            assert 0.0 <= value <= 1.0 + 1e-12, metric.__name__

@@ -1,0 +1,50 @@
+"""Tests for the metric registry (extensibility point, §3.2)."""
+
+import pytest
+
+from repro.core import ConfusionMatrix
+from repro.metrics.registry import MetricRegistry, default_registry
+
+
+class TestRegistry:
+    def test_default_contains_core_metrics(self):
+        registry = default_registry()
+        for name in ("precision", "recall", "f1", "f_star", "matthews_correlation"):
+            assert name in registry
+
+    def test_register_and_get(self):
+        registry = MetricRegistry()
+        registry.register("always_one", lambda matrix: 1.0)
+        assert registry.get("always_one")(ConfusionMatrix(1, 1, 1, 1)) == 1.0
+
+    def test_collision_rejected(self):
+        registry = default_registry()
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("precision", lambda matrix: 0.0)
+
+    def test_collision_with_replace(self):
+        registry = default_registry()
+        registry.register("precision", lambda matrix: 0.0, replace=True)
+        assert registry.get("precision")(ConfusionMatrix(5, 0, 0, 5)) == 0.0
+
+    def test_unknown_metric_lists_known(self):
+        registry = default_registry()
+        with pytest.raises(KeyError, match="known metrics"):
+            registry.get("nope")
+
+    def test_evaluate_all(self):
+        registry = default_registry()
+        values = registry.evaluate(ConfusionMatrix(5, 0, 0, 5))
+        assert values["precision"] == 1.0
+        assert len(values) == len(registry)
+
+    def test_evaluate_selected(self):
+        registry = default_registry()
+        values = registry.evaluate(
+            ConfusionMatrix(1, 1, 1, 1), names=["f1", "recall"]
+        )
+        assert sorted(values) == ["f1", "recall"]
+
+    def test_len_and_iter(self):
+        registry = default_registry()
+        assert len(list(registry)) == len(registry) >= 15

@@ -1,0 +1,110 @@
+"""Tests for dataset profiling metrics (§3.1.3, Appendix C.1)."""
+
+import pytest
+
+from repro.core import Clustering, Dataset, GoldStandard, Record
+from repro.profiling.dataset_profile import (
+    attribute_sparsity,
+    corner_case_ratio,
+    positive_ratio,
+    profile_dataset,
+    schema_complexity,
+    sparsity,
+    textuality,
+)
+
+
+@pytest.fixture
+def dataset():
+    rows = [
+        ("r1", "one two three", "x"),
+        ("r2", "one", None),
+        ("r3", None, "y z"),
+        ("r4", "four five", None),
+    ]
+    return Dataset(
+        [Record(rid, {"text": text, "code": code}) for rid, text, code in rows],
+        name="profile-test",
+    )
+
+
+class TestSparsity:
+    def test_counts_missing_fraction(self, dataset):
+        # 3 nulls out of 8 values
+        assert sparsity(dataset) == pytest.approx(3 / 8)
+
+    def test_empty_dataset(self):
+        assert sparsity(Dataset([])) == 0.0
+
+    def test_fully_populated(self):
+        dataset = Dataset([Record("a", {"x": "1"})])
+        assert sparsity(dataset) == 0.0
+
+
+class TestTextuality:
+    def test_average_words_per_value(self, dataset):
+        # values: 3 + 1 + 1 + 2 + 1 + 2 words over 5 non-null values? no:
+        # text: "one two three"(3), "one"(1), "four five"(2)
+        # code: "x"(1), "y z"(2)  -> 9 words / 5 values
+        assert textuality(dataset) == pytest.approx(9 / 5)
+
+    def test_empty(self):
+        assert textuality(Dataset([])) == 0.0
+
+
+class TestPositiveRatio:
+    def test_ratio(self, dataset):
+        gold = GoldStandard.from_pairs([("r1", "r2")])
+        assert positive_ratio(dataset, gold) == pytest.approx(1 / 6)
+
+    def test_empty_dataset(self):
+        gold = GoldStandard(clustering=Clustering([]))
+        assert positive_ratio(Dataset([]), gold) == 0.0
+
+
+class TestSchemaAndAttributes:
+    def test_schema_complexity(self, dataset):
+        assert schema_complexity(dataset) == 2
+
+    def test_attribute_sparsity(self, dataset):
+        per_attribute = attribute_sparsity(dataset)
+        assert per_attribute["text"] == pytest.approx(1 / 4)
+        assert per_attribute["code"] == pytest.approx(2 / 4)
+
+
+class TestCornerCases:
+    def test_large_clusters_flagged(self, dataset):
+        gold = GoldStandard(
+            clustering=Clustering([["r1", "r2", "r3", "r4"]])
+        )
+        assert corner_case_ratio(dataset, gold) == 1.0
+
+    def test_small_uniform_clusters_not_flagged(self):
+        dataset = Dataset(
+            [Record(f"r{i}", {"t": "same size"}) for i in range(4)]
+        )
+        gold = GoldStandard(clustering=Clustering([["r0", "r1"], ["r2", "r3"]]))
+        assert corner_case_ratio(dataset, gold) == 0.0
+
+    def test_no_clusters(self, dataset):
+        gold = GoldStandard(clustering=Clustering([]))
+        assert corner_case_ratio(dataset, gold) == 0.0
+
+
+class TestProfileDataset:
+    def test_full_profile(self, dataset):
+        gold = GoldStandard.from_pairs([("r1", "r2")])
+        profile = profile_dataset(dataset, gold)
+        assert profile.name == "profile-test"
+        assert profile.tuple_count == 4
+        assert profile.positive_ratio == pytest.approx(1 / 6)
+        assert profile.schema_complexity == 2
+
+    def test_without_gold(self, dataset):
+        profile = profile_dataset(dataset)
+        assert profile.positive_ratio is None
+        assert profile.corner_case_ratio is None
+
+    def test_as_dict_table2_columns(self, dataset):
+        profile = profile_dataset(dataset)
+        assert {"SP", "TX", "TC", "PR"} <= set(profile.as_dict())

@@ -1,0 +1,153 @@
+"""Tests for duplicate-cluster estimation from samples (§3.1.3, [33])."""
+
+import math
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Clustering, Dataset, Record
+from repro.datagen import make_person_benchmark
+from repro.profiling.estimation import (
+    ClusterEstimate,
+    estimate_cluster_histogram,
+    estimate_from_sample,
+    sample_dataset,
+)
+
+
+class TestSampleDataset:
+    def test_fraction_one_keeps_everything(self):
+        dataset = Dataset([Record(f"r{i}", {}) for i in range(20)])
+        sample = sample_dataset(dataset, 1.0, seed=1)
+        assert sample.record_ids == dataset.record_ids
+
+    def test_expected_size_roughly_holds(self):
+        dataset = Dataset([Record(f"r{i}", {}) for i in range(2000)])
+        sample = sample_dataset(dataset, 0.3, seed=2)
+        assert 450 <= len(sample) <= 750  # 600 ± generous slack
+
+    def test_deterministic_per_seed(self):
+        dataset = Dataset([Record(f"r{i}", {}) for i in range(100)])
+        first = sample_dataset(dataset, 0.5, seed=3).record_ids
+        second = sample_dataset(dataset, 0.5, seed=3).record_ids
+        assert first == second
+
+    def test_invalid_fraction_rejected(self):
+        dataset = Dataset([Record("a", {})])
+        with pytest.raises(ValueError, match="fraction"):
+            sample_dataset(dataset, 0.0)
+        with pytest.raises(ValueError, match="fraction"):
+            sample_dataset(dataset, 1.5)
+
+
+class TestClusterEstimate:
+    def test_derived_quantities(self):
+        estimate = ClusterEstimate(size_histogram={2: 10.0, 3: 4.0})
+        assert estimate.duplicate_cluster_count == 14.0
+        assert estimate.duplicate_pair_count == 10.0 + 4 * 3
+        assert estimate.mean_cluster_size == pytest.approx(32 / 14)
+
+    def test_empty(self):
+        estimate = ClusterEstimate(size_histogram={})
+        assert estimate.duplicate_cluster_count == 0
+        assert estimate.mean_cluster_size == 0.0
+
+
+class TestEstimateHistogram:
+    def test_full_sample_is_identity(self):
+        """At q=1 the observed histogram IS the true histogram."""
+        observed = {2: 40, 3: 12, 5: 3}
+        estimate = estimate_cluster_histogram(observed, fraction=1.0)
+        for size, count in observed.items():
+            assert estimate.size_histogram[size] == pytest.approx(
+                count, rel=0.01
+            )
+
+    def test_thinned_pairs_recovered(self):
+        """Pure 2-clusters observed at q: true count ≈ observed / q²."""
+        q = 0.5
+        true_pairs = 400
+        observed_pairs = round(true_pairs * q * q)  # expectation
+        estimate = estimate_cluster_histogram(
+            {2: observed_pairs}, fraction=q, max_size=2
+        )
+        assert estimate.size_histogram[2] == pytest.approx(
+            true_pairs, rel=0.05
+        )
+
+    def test_singletons_ignored(self):
+        estimate = estimate_cluster_histogram({1: 1000, 2: 10}, fraction=1.0)
+        assert 1 not in estimate.size_histogram
+
+    def test_empty_observation(self):
+        estimate = estimate_cluster_histogram({}, fraction=0.5)
+        assert estimate.duplicate_cluster_count == 0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError, match="fraction"):
+            estimate_cluster_histogram({2: 5}, fraction=0.0)
+
+    def test_max_size_below_observed_rejected(self):
+        with pytest.raises(ValueError, match="max_size"):
+            estimate_cluster_histogram({4: 5}, fraction=0.5, max_size=3)
+
+    @given(
+        st.integers(min_value=5, max_value=300),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_estimates_are_non_negative(self, pairs, triples):
+        estimate = estimate_cluster_histogram(
+            {2: pairs, 3: triples}, fraction=0.6
+        )
+        assert all(count >= 0 for count in estimate.size_histogram.values())
+        assert estimate.duplicate_pair_count >= 0
+
+
+class TestEndToEnd:
+    def test_recovers_generated_benchmark_structure(self):
+        """A 50% sample with a perfect sample-matcher estimates the full
+        dataset's cluster count and pair count within ~20%."""
+        benchmark = make_person_benchmark(4000, seed=5)
+        truth = Counter(
+            len(c) for c in benchmark.gold.clustering.clusters if len(c) >= 2
+        )
+        true_clusters = sum(truth.values())
+        true_pairs = benchmark.gold.pair_count()
+
+        q = 0.5
+        sample = sample_dataset(benchmark.dataset, q, seed=9)
+        sampled_ids = set(sample.record_ids)
+        sample_clusters = [
+            [m for m in cluster if m in sampled_ids]
+            for cluster in benchmark.gold.clustering.clusters
+        ]
+        estimate = estimate_from_sample(
+            Clustering(c for c in sample_clusters if c), q
+        )
+        assert estimate.duplicate_cluster_count == pytest.approx(
+            true_clusters, rel=0.2
+        )
+        assert estimate.duplicate_pair_count == pytest.approx(
+            true_pairs, rel=0.2
+        )
+        assert estimate.mean_cluster_size == pytest.approx(
+            sum(k * v for k, v in truth.items()) / true_clusters, rel=0.2
+        )
+
+    def test_small_fraction_still_sane(self):
+        benchmark = make_person_benchmark(3000, seed=6)
+        q = 0.25
+        sample = sample_dataset(benchmark.dataset, q, seed=4)
+        sampled_ids = set(sample.record_ids)
+        sample_clusters = [
+            [m for m in cluster if m in sampled_ids]
+            for cluster in benchmark.gold.clustering.clusters
+        ]
+        estimate = estimate_from_sample(
+            Clustering(c for c in sample_clusters if c), q
+        )
+        assert estimate.duplicate_pair_count > 0
+        assert math.isfinite(estimate.mean_cluster_size)

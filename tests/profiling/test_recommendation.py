@@ -1,0 +1,116 @@
+"""Tests for the solution recommender (§7 outlook)."""
+
+import pytest
+
+from repro.core import Dataset, Record
+from repro.profiling.recommendation import (
+    EvaluationRepository,
+    recommend_solutions,
+)
+from repro.profiling.selection import BenchmarkCandidate
+
+
+def _dataset(name, rows):
+    return Dataset(
+        [Record(f"{name}{i}", {"text": row}) for i, row in enumerate(rows)],
+        name=name,
+    )
+
+
+@pytest.fixture
+def use_case():
+    return _dataset("use", ["john smith", "mary jones", "jon smith"])
+
+
+@pytest.fixture
+def repository():
+    repo = EvaluationRepository()
+    repo.add_benchmark(
+        BenchmarkCandidate(_dataset("persons", ["john smith", "mary jones"]))
+    )
+    repo.add_benchmark(
+        BenchmarkCandidate(
+            _dataset("gadgets", ["usb flashdrive 32gb sandisk ultra stick"])
+        )
+    )
+    return repo
+
+
+class TestRepository:
+    def test_duplicate_benchmark_rejected(self, repository):
+        with pytest.raises(ValueError, match="already registered"):
+            repository.add_benchmark(
+                BenchmarkCandidate(_dataset("persons", ["x"]))
+            )
+
+    def test_result_for_unknown_benchmark_rejected(self, repository):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            repository.add_result("sol", "nope", {"f1": 0.5})
+
+    def test_solutions_sorted_unique(self, repository):
+        repository.add_result("zeta", "persons", {"f1": 0.5})
+        repository.add_result("alpha", "persons", {"f1": 0.5})
+        repository.add_result("zeta", "gadgets", {"f1": 0.4})
+        assert repository.solutions() == ["alpha", "zeta"]
+
+    def test_results_for_filters_by_solution(self, repository):
+        repository.add_result("a", "persons", {"f1": 0.5})
+        repository.add_result("b", "persons", {"f1": 0.6})
+        records = repository.results_for("a")
+        assert len(records) == 1
+        assert records[0].metrics["f1"] == 0.5
+
+
+class TestRecommendSolutions:
+    def test_weighted_by_suitability(self, use_case, repository):
+        # sol-alpha shines on the similar benchmark, sol-beta on the
+        # dissimilar one; alpha should be predicted stronger
+        repository.add_result("sol-alpha", "persons", {"f1": 0.9})
+        repository.add_result("sol-alpha", "gadgets", {"f1": 0.2})
+        repository.add_result("sol-beta", "persons", {"f1": 0.2})
+        repository.add_result("sol-beta", "gadgets", {"f1": 0.9})
+        ranked = recommend_solutions(use_case, repository)
+        assert ranked[0].solution == "sol-alpha"
+        assert ranked[0].predicted_metric > ranked[1].predicted_metric
+
+    def test_prediction_between_observed_values(self, use_case, repository):
+        repository.add_result("sol", "persons", {"f1": 0.8})
+        repository.add_result("sol", "gadgets", {"f1": 0.4})
+        ranked = recommend_solutions(use_case, repository)
+        assert 0.4 <= ranked[0].predicted_metric <= 0.8
+
+    def test_solutions_without_metric_omitted(self, use_case, repository):
+        repository.add_result("sol-noisy", "persons", {"runtime": 12.0})
+        ranked = recommend_solutions(use_case, repository, metric="f1")
+        assert ranked == []
+
+    def test_minimum_suitability_filters_evidence(self, use_case, repository):
+        repository.add_result("sol", "persons", {"f1": 0.9})
+        repository.add_result("sol", "gadgets", {"f1": 0.1})
+        unfiltered = recommend_solutions(use_case, repository)[0]
+        filtered = recommend_solutions(
+            use_case, repository, minimum_suitability=0.99
+        )
+        # with an impossible bar nothing qualifies
+        assert filtered == []
+        assert unfiltered.support == 2
+
+    def test_evidence_is_auditable(self, use_case, repository):
+        repository.add_result("sol", "persons", {"f1": 0.7})
+        recommendation = recommend_solutions(use_case, repository)[0]
+        suitability, value = recommendation.evidence["persons"]
+        assert 0.0 <= suitability <= 1.0
+        assert value == 0.7
+
+    def test_top_limits(self, use_case, repository):
+        repository.add_result("a", "persons", {"f1": 0.5})
+        repository.add_result("b", "persons", {"f1": 0.6})
+        ranked = recommend_solutions(use_case, repository, top=1)
+        assert len(ranked) == 1
+        assert ranked[0].solution == "b"
+
+    def test_tiebreak_by_name(self, use_case, repository):
+        repository.add_result("bbb", "persons", {"f1": 0.5})
+        repository.add_result("aaa", "persons", {"f1": 0.5})
+        ranked = recommend_solutions(use_case, repository)
+        assert [r.solution for r in ranked] == ["aaa", "bbb"]

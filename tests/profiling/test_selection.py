@@ -1,0 +1,80 @@
+"""Tests for benchmark-dataset selection (§3.1.3)."""
+
+import pytest
+
+from repro.core import Dataset, Record
+from repro.profiling.dataset_profile import profile_dataset
+from repro.profiling.selection import (
+    BenchmarkCandidate,
+    profile_distance,
+    rank_benchmarks,
+)
+
+
+def make_dataset(name, rows, sparsify=0):
+    records = []
+    for index, text in enumerate(rows):
+        value = None if index < sparsify else text
+        records.append(Record(f"{name}{index}", {"t": value}))
+    return Dataset(records, name=name)
+
+
+@pytest.fixture
+def use_case():
+    return make_dataset("use-case", ["alpha beta"] * 10, sparsify=1)
+
+
+class TestProfileDistance:
+    def test_identical_profiles_near_zero(self, use_case):
+        profile = profile_dataset(use_case)
+        distance = profile_distance(
+            profile, profile, vocabulary_sim=1.0, same_domain=True
+        )
+        assert distance == pytest.approx(0.0)
+
+    def test_domain_mismatch_increases_distance(self, use_case):
+        profile = profile_dataset(use_case)
+        same = profile_distance(profile, profile, 1.0, same_domain=True)
+        different = profile_distance(profile, profile, 1.0, same_domain=False)
+        assert different > same
+
+    def test_custom_weights(self, use_case):
+        profile = profile_dataset(use_case)
+        vocab_only = profile_distance(
+            profile, profile, vocabulary_sim=0.0, same_domain=True,
+            weights={"sparsity": 0, "textuality": 0, "tuple_count": 0, "domain": 0,
+                     "vocabulary": 1.0},
+        )
+        assert vocab_only == pytest.approx(1.0)
+
+
+class TestRankBenchmarks:
+    def test_similar_candidate_ranks_first(self, use_case):
+        twin = BenchmarkCandidate(
+            dataset=make_dataset("twin", ["alpha beta"] * 10, sparsify=1),
+            domain="products",
+        )
+        stranger = BenchmarkCandidate(
+            dataset=make_dataset("stranger", ["zzz"] * 1000, sparsify=900),
+            domain="persons",
+        )
+        matrix = rank_benchmarks(
+            use_case, [twin, stranger], use_case_domain="products"
+        )
+        assert matrix.rows["twin"]["distance"] < matrix.rows["stranger"]["distance"]
+
+    def test_rows_carry_profile_features(self, use_case):
+        candidate = BenchmarkCandidate(dataset=make_dataset("c", ["x y"] * 5))
+        matrix = rank_benchmarks(use_case, [candidate])
+        row = matrix.rows["c"]
+        assert {"SP", "TX", "TC", "VS", "distance"} <= set(row)
+
+    def test_render_sorts_by_distance(self, use_case):
+        close = BenchmarkCandidate(
+            dataset=make_dataset("close", ["alpha beta"] * 10, sparsify=1)
+        )
+        far = BenchmarkCandidate(
+            dataset=make_dataset("far", ["unrelated words entirely"] * 500)
+        )
+        text = rank_benchmarks(use_case, [close, far]).render()
+        assert text.index("close") < text.index("far")

@@ -1,0 +1,181 @@
+"""Tests for the benchmark suitability score (§7 outlook)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Clustering, Dataset, GoldStandard, Record
+from repro.profiling.selection import BenchmarkCandidate
+from repro.profiling.suitability import (
+    ClusterStructure,
+    cluster_structure,
+    cluster_structure_similarity,
+    recommend_benchmarks,
+    suitability_score,
+)
+
+
+def _dataset(name, rows):
+    return Dataset(
+        [Record(f"{name}{i}", {"text": row}) for i, row in enumerate(rows)],
+        name=name,
+    )
+
+
+@pytest.fixture
+def people():
+    return _dataset("people", ["john smith", "jon smith", "mary jones", "bob ray"])
+
+
+@pytest.fixture
+def people_like():
+    return _dataset("people2", ["john smith", "mary jones", "alice smith", "bob ray"])
+
+
+@pytest.fixture
+def products():
+    return _dataset(
+        "products",
+        ["usb stick 32gb sandisk flashdrive", "ssd 1tb samsung evo storage"],
+    )
+
+
+class TestClusterStructure:
+    def test_counts_nontrivial_clusters_only(self):
+        clustering = Clustering([["a", "b"], ["c", "d", "e"], ["f"]])
+        structure = cluster_structure(clustering, record_count=10)
+        assert structure.duplicate_cluster_count == 2
+        assert structure.size_histogram == {2: 1, 3: 1}
+
+    def test_duplicate_record_fraction(self):
+        clustering = Clustering([["a", "b"], ["c"]])
+        structure = cluster_structure(clustering, record_count=4)
+        assert structure.duplicate_record_fraction == pytest.approx(0.5)
+
+    def test_mean_cluster_size(self):
+        clustering = Clustering([["a", "b"], ["c", "d", "e", "f"]])
+        structure = cluster_structure(clustering)
+        assert structure.mean_cluster_size == pytest.approx(3.0)
+
+    def test_empty(self):
+        structure = cluster_structure(Clustering([]), record_count=0)
+        assert structure.duplicate_record_fraction == 0.0
+        assert structure.mean_cluster_size == 0.0
+
+    def test_record_count_defaults_to_mentioned(self):
+        structure = cluster_structure(Clustering([["a", "b"], ["c"]]))
+        assert structure.record_count == 3
+
+
+class TestClusterStructureSimilarity:
+    def test_identical_structures_score_one(self):
+        first = ClusterStructure(100, 10, {2: 8, 3: 2})
+        assert cluster_structure_similarity(first, first) == pytest.approx(1.0)
+
+    def test_disjoint_histograms_halve_the_score(self):
+        first = ClusterStructure(100, 10, {2: 10})
+        second = ClusterStructure(100, 10, {5: 4})
+        value = cluster_structure_similarity(first, second)
+        assert value < 0.8
+
+    def test_no_duplicates_on_both_sides_is_similar(self):
+        first = ClusterStructure(50, 0, {})
+        second = ClusterStructure(80, 0, {})
+        assert cluster_structure_similarity(first, second) == pytest.approx(1.0)
+
+    def test_duplicates_vs_none_is_dissimilar(self):
+        first = ClusterStructure(10, 5, {2: 5})
+        second = ClusterStructure(10, 0, {})
+        assert cluster_structure_similarity(first, second) <= 0.5
+
+    def test_symmetric(self):
+        first = ClusterStructure(40, 4, {2: 3, 4: 1})
+        second = ClusterStructure(90, 9, {2: 2, 3: 7})
+        assert cluster_structure_similarity(
+            first, second
+        ) == cluster_structure_similarity(second, first)
+
+    @given(
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_bounded(self, pairs_a, pairs_b):
+        first = ClusterStructure(50, pairs_a, {2: pairs_a})
+        second = ClusterStructure(50, pairs_b, {3: pairs_b})
+        value = cluster_structure_similarity(first, second)
+        assert 0.0 <= value <= 1.0
+
+
+class TestSuitabilityScore:
+    def test_same_dataset_scores_near_one(self, people):
+        report = suitability_score(
+            people, BenchmarkCandidate(people, domain="person"),
+            use_case_domain="person",
+        )
+        assert report.score > 0.9
+
+    def test_similar_beats_dissimilar(self, people, people_like, products):
+        similar = suitability_score(people, BenchmarkCandidate(people_like))
+        dissimilar = suitability_score(people, BenchmarkCandidate(products))
+        assert similar.score > dissimilar.score
+
+    def test_score_in_unit_interval(self, people, products):
+        report = suitability_score(people, BenchmarkCandidate(products))
+        assert 0.0 <= report.score <= 1.0
+
+    def test_domain_mismatch_lowers_score(self, people, people_like):
+        matching = suitability_score(
+            people,
+            BenchmarkCandidate(people_like, domain="person"),
+            use_case_domain="person",
+        )
+        mismatched = suitability_score(
+            people,
+            BenchmarkCandidate(people_like, domain="product"),
+            use_case_domain="person",
+        )
+        assert matching.score > mismatched.score
+
+    def test_cluster_structure_feature_used_when_available(self, people):
+        gold = GoldStandard(Clustering([["people0", "people1"]]))
+        estimated = Clustering([["people0", "people1"]])
+        with_clusters = suitability_score(
+            people,
+            BenchmarkCandidate(people, gold),
+            use_case_clustering=estimated,
+        )
+        assert "cluster_structure" in with_clusters.features
+        without = suitability_score(people, BenchmarkCandidate(people, gold))
+        assert "cluster_structure" not in without.features
+
+    def test_render_mentions_features(self, people, people_like):
+        report = suitability_score(people, BenchmarkCandidate(people_like))
+        rendered = report.render()
+        assert "people2" in rendered
+        assert "vocabulary" in rendered
+
+
+class TestRecommendBenchmarks:
+    def test_ranked_best_first(self, people, people_like, products):
+        reports = recommend_benchmarks(
+            people,
+            [BenchmarkCandidate(products), BenchmarkCandidate(people_like)],
+        )
+        assert [r.candidate_name for r in reports] == ["people2", "products"]
+
+    def test_top_limits_results(self, people, people_like, products):
+        reports = recommend_benchmarks(
+            people,
+            [BenchmarkCandidate(products), BenchmarkCandidate(people_like)],
+            top=1,
+        )
+        assert len(reports) == 1
+
+    def test_deterministic_tiebreak_by_name(self, people):
+        twin_a = _dataset("aaa", ["john smith"])
+        twin_b = _dataset("bbb", ["john smith"])
+        reports = recommend_benchmarks(
+            people, [BenchmarkCandidate(twin_b), BenchmarkCandidate(twin_a)]
+        )
+        assert [r.candidate_name for r in reports] == ["aaa", "bbb"]

@@ -1,0 +1,48 @@
+"""Tests for vocabulary similarity (§3.1.3)."""
+
+import pytest
+
+from repro.core import Dataset, Record
+from repro.profiling.vocabulary import vocabulary, vocabulary_similarity
+
+
+def make(name, *texts):
+    return Dataset(
+        [Record(f"{name}{i}", {"t": text}) for i, text in enumerate(texts)],
+        name=name,
+    )
+
+
+class TestVocabulary:
+    def test_whitespace_tokens(self):
+        dataset = make("a", "hello world", "hello again")
+        assert vocabulary(dataset) == {"hello", "world", "again"}
+
+    def test_null_values_ignored(self):
+        dataset = Dataset([Record("r", {"t": None})])
+        assert vocabulary(dataset) == set()
+
+
+class TestVocabularySimilarity:
+    def test_identical(self):
+        left = make("a", "x y z")
+        right = make("b", "z y x")
+        assert vocabulary_similarity(left, right) == 1.0
+
+    def test_disjoint(self):
+        assert vocabulary_similarity(make("a", "x"), make("b", "y")) == 0.0
+
+    def test_jaccard_value(self):
+        left = make("a", "x y")
+        right = make("b", "y z")
+        assert vocabulary_similarity(left, right) == pytest.approx(1 / 3)
+
+    def test_both_empty(self):
+        assert vocabulary_similarity(make("a"), make("b")) == 1.0
+
+    def test_symmetric(self):
+        left = make("a", "p q r")
+        right = make("b", "q r s t")
+        assert vocabulary_similarity(left, right) == vocabulary_similarity(
+            right, left
+        )

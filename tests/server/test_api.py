@@ -1,0 +1,83 @@
+"""Tests for the REST-style API dispatcher (Appendix A.4)."""
+
+import pytest
+
+from repro.core.platform import FrostPlatform
+from repro.server.api import ApiError, FrostApi
+
+
+@pytest.fixture
+def api(people_dataset, people_gold, people_experiment):
+    platform = FrostPlatform()
+    platform.add_dataset(people_dataset)
+    platform.add_gold(people_dataset.name, people_gold)
+    platform.add_experiment(people_dataset.name, people_experiment)
+    return FrostApi(platform)
+
+
+class TestRoutes:
+    def test_list_datasets(self, api):
+        assert api.handle("/datasets") == {"datasets": ["people"]}
+
+    def test_dataset_summary(self, api):
+        summary = api.handle("/datasets/people")
+        assert summary["records"] == 6
+        assert summary["experiments"] == ["people-run"]
+        assert summary["golds"] == ["people-gold"]
+
+    def test_records_pagination(self, api):
+        page = api.handle("/datasets/people/records", {"offset": "2", "limit": "2"})
+        assert page["total"] == 6
+        assert [r["id"] for r in page["records"]] == ["p3", "p4"]
+
+    def test_experiment_summary(self, api):
+        summary = api.handle("/datasets/people/experiments/people-run")
+        assert summary["matches"] == 2
+        assert summary["has_scores"] is True
+
+    def test_metrics_route(self, api):
+        payload = api.handle(
+            "/datasets/people/metrics",
+            {"gold": "people-gold", "metrics": "precision,recall"},
+        )
+        row = payload["metrics"]["people-run"]
+        assert row == {"precision": 0.5, "recall": 0.5}
+
+    def test_diagram_route(self, api):
+        payload = api.handle(
+            "/datasets/people/diagram",
+            {"exp": "people-run", "gold": "people-gold", "n": "3"},
+        )
+        points = payload["points"]
+        assert points[0]["threshold"] is None  # infinity serialized as null
+        assert points[-1]["tp"] == 1
+
+    def test_intersection_route(self, api):
+        payload = api.handle(
+            "/datasets/people/intersection",
+            {"include": "people-gold", "exclude": "people-run"},
+        )
+        assert payload["size"] == 1
+        assert payload["pairs"] == [["p3", "p4"]]
+
+
+class TestErrors:
+    def test_unknown_route_404(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/nope")
+        assert excinfo.value.status == 404
+
+    def test_unknown_dataset_404(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/datasets/ghost")
+        assert excinfo.value.status == 404
+
+    def test_missing_parameter_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/datasets/people/metrics")
+        assert excinfo.value.status == 400
+
+    def test_negative_offset_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/datasets/people/records", {"offset": "-1"})
+        assert excinfo.value.status == 400

@@ -1,0 +1,57 @@
+"""Tests for the stdlib HTTP server wrapper (Appendix A.4)."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.platform import FrostPlatform
+from repro.server.api import FrostApi
+from repro.server.http import FrostHttpServer
+
+
+@pytest.fixture
+def server(people_dataset, people_gold, people_experiment):
+    platform = FrostPlatform()
+    platform.add_dataset(people_dataset)
+    platform.add_gold(people_dataset.name, people_gold)
+    platform.add_experiment(people_dataset.name, people_experiment)
+    with FrostHttpServer(FrostApi(platform), port=0) as server:
+        yield server
+
+
+def fetch(server, path):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{server.port}{path}", timeout=5
+    ) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestHttpServer:
+    def test_list_datasets_over_http(self, server):
+        status, payload = fetch(server, "/datasets")
+        assert status == 200
+        assert payload == {"datasets": ["people"]}
+
+    def test_metrics_over_http(self, server):
+        status, payload = fetch(
+            server, "/datasets/people/metrics?gold=people-gold&metrics=f1"
+        )
+        assert status == 200
+        assert payload["metrics"]["people-run"]["f1"] == 0.5
+
+    def test_error_status_propagates(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server, "/datasets/ghost")
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert "error" in body
+
+    def test_concurrent_requests(self, server):
+        import concurrent.futures
+
+        with concurrent.futures.ThreadPoolExecutor(4) as pool:
+            results = list(
+                pool.map(lambda _: fetch(server, "/datasets")[0], range(8))
+            )
+        assert results == [200] * 8

@@ -1,0 +1,133 @@
+"""Tests for the SQLite-backed store (Appendix A.3)."""
+
+import pytest
+
+from repro.core import Experiment, Match
+from repro.storage.database import FrostStore, StorageError
+
+
+@pytest.fixture
+def store():
+    with FrostStore() as store:
+        yield store
+
+
+class TestDatasets:
+    def test_round_trip(self, store, people_dataset):
+        store.save_dataset(people_dataset)
+        loaded = store.load_dataset("people")
+        assert loaded.record_ids == people_dataset.record_ids
+        assert loaded.attributes == people_dataset.attributes
+        assert loaded["p3"].value("first") == "mary"
+        assert loaded["p3"].value("zip") is None
+
+    def test_numeric_ids_preserved_by_order(self, store, people_dataset):
+        store.save_dataset(people_dataset)
+        loaded = store.load_dataset("people")
+        for record_id in people_dataset.record_ids:
+            assert loaded.numeric_id(record_id) == people_dataset.numeric_id(
+                record_id
+            )
+
+    def test_duplicate_name_rejected(self, store, people_dataset):
+        store.save_dataset(people_dataset)
+        with pytest.raises(StorageError, match="already stored"):
+            store.save_dataset(people_dataset)
+
+    def test_unknown_dataset(self, store):
+        with pytest.raises(StorageError, match="no dataset"):
+            store.load_dataset("nope")
+
+    def test_dataset_names(self, store, people_dataset):
+        assert store.dataset_names() == []
+        store.save_dataset(people_dataset)
+        assert store.dataset_names() == ["people"]
+
+
+class TestExperiments:
+    def test_round_trip(self, store, people_dataset, people_experiment):
+        store.save_dataset(people_dataset)
+        store.save_experiment("people", people_experiment)
+        loaded = store.load_experiment("people", "people-run")
+        assert loaded.pairs() == people_experiment.pairs()
+        assert loaded.score_of("p1", "p2") == 0.95
+        assert loaded.solution == "test-solution"
+
+    def test_from_clustering_flag_survives(self, store, people_dataset):
+        store.save_dataset(people_dataset)
+        experiment = Experiment(
+            [Match(pair=("p1", "p2"), score=0.9),
+             Match(pair=("p1", "p3"), from_clustering=True)],
+            name="flagged",
+        )
+        store.save_experiment("people", experiment)
+        loaded = store.load_experiment("people", "flagged")
+        assert loaded.original_pairs() == {("p1", "p2")}
+
+    def test_metadata_round_trip(self, store, people_dataset):
+        store.save_dataset(people_dataset)
+        experiment = Experiment(
+            [("p1", "p2")], name="meta", metadata={"threshold": 0.8}
+        )
+        store.save_experiment("people", experiment)
+        assert store.load_experiment("people", "meta").metadata == {
+            "threshold": 0.8
+        }
+
+    def test_unknown_record_rejected(self, store, people_dataset):
+        store.save_dataset(people_dataset)
+        bad = Experiment([("p1", "ghost")], name="bad")
+        with pytest.raises(StorageError, match="unknown"):
+            store.save_experiment("people", bad)
+
+    def test_duplicate_name_rejected(self, store, people_dataset, people_experiment):
+        store.save_dataset(people_dataset)
+        store.save_experiment("people", people_experiment)
+        with pytest.raises(StorageError, match="already stored"):
+            store.save_experiment("people", people_experiment)
+
+    def test_delete(self, store, people_dataset, people_experiment):
+        store.save_dataset(people_dataset)
+        store.save_experiment("people", people_experiment)
+        store.delete_experiment("people", "people-run")
+        assert store.experiment_names("people") == []
+        with pytest.raises(StorageError, match="no experiment"):
+            store.load_experiment("people", "people-run")
+
+    def test_delete_unknown(self, store, people_dataset):
+        store.save_dataset(people_dataset)
+        with pytest.raises(StorageError, match="no experiment"):
+            store.delete_experiment("people", "ghost")
+
+
+class TestGoldStandards:
+    def test_round_trip(self, store, people_dataset, people_gold):
+        store.save_dataset(people_dataset)
+        store.save_gold_standard("people", people_gold)
+        loaded = store.load_gold_standard("people", "people-gold")
+        assert loaded.pairs() == people_gold.pairs()
+
+    def test_names(self, store, people_dataset, people_gold):
+        store.save_dataset(people_dataset)
+        store.save_gold_standard("people", people_gold)
+        assert store.gold_standard_names("people") == ["people-gold"]
+
+    def test_unknown_record_rejected(self, store, people_dataset):
+        from repro.core import GoldStandard
+
+        store.save_dataset(people_dataset)
+        bad = GoldStandard.from_pairs([("p1", "ghost")], name="bad")
+        with pytest.raises(StorageError, match="unknown record"):
+            store.save_gold_standard("people", bad)
+
+
+class TestPersistence:
+    def test_survives_reopen(self, tmp_path, people_dataset, people_experiment):
+        path = tmp_path / "frost.db"
+        with FrostStore(path) as store:
+            store.save_dataset(people_dataset)
+            store.save_experiment("people", people_experiment)
+        with FrostStore(path) as reopened:
+            assert reopened.dataset_names() == ["people"]
+            loaded = reopened.load_experiment("people", "people-run")
+            assert loaded.pairs() == people_experiment.pairs()

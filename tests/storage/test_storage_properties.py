@@ -1,0 +1,128 @@
+"""Property-based round trips through the SQLite store."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Dataset, Experiment, GoldStandard, Match, Record
+from repro.core.pairs import make_pair
+from repro.storage.database import FrostStore
+
+# SQLite stores any text; exercise quotes, unicode, and newlines.
+# Surrogates are excluded (not encodable), as is NUL.
+attr_text = st.text(
+    alphabet=st.characters(blacklist_characters="\x00", blacklist_categories=("Cs",)),
+    max_size=16,
+)
+
+record_ids = st.lists(
+    st.text(
+        alphabet=st.characters(
+            blacklist_characters="\x00", blacklist_categories=("Cs",)
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    min_size=2,
+    max_size=8,
+    unique=True,
+)
+
+
+@st.composite
+def dataset_with_artifacts(draw):
+    ids = draw(record_ids)
+    records = [
+        Record(record_id, {"name": draw(st.one_of(st.none(), attr_text))})
+        for record_id in ids
+    ]
+    dataset = Dataset(records, name="prop-store")
+
+    pair_budget = draw(st.integers(min_value=0, max_value=5))
+    matches = []
+    seen = set()
+    for _ in range(pair_budget):
+        indexes = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(ids) - 1),
+                min_size=2,
+                max_size=2,
+                unique=True,
+            )
+        )
+        pair = make_pair(ids[indexes[0]], ids[indexes[1]])
+        if pair in seen:
+            continue
+        seen.add(pair)
+        score = draw(
+            st.one_of(
+                st.none(),
+                st.floats(min_value=0, max_value=1, allow_nan=False),
+            )
+        )
+        from_clustering = draw(st.booleans())
+        matches.append(
+            Match(pair=pair, score=score, from_clustering=from_clustering)
+        )
+    experiment = Experiment(matches, name="prop-run", solution="prop")
+    gold = GoldStandard.from_pairs(
+        [tuple(match.pair) for match in matches[: len(matches) // 2]],
+        name="prop-gold",
+    )
+    return dataset, experiment, gold
+
+
+class TestStoreRoundTripProperties:
+    @given(dataset_with_artifacts())
+    @settings(max_examples=25, deadline=None)
+    def test_everything_survives(self, artifacts):
+        dataset, experiment, gold = artifacts
+        with FrostStore() as store:
+            store.save_dataset(dataset)
+            store.save_experiment(dataset.name, experiment)
+            store.save_gold_standard(dataset.name, gold)
+
+            reloaded_dataset = store.load_dataset(dataset.name)
+            assert reloaded_dataset.record_ids == dataset.record_ids
+            for record in dataset:
+                assert reloaded_dataset[record.record_id].value(
+                    "name"
+                ) == record.value("name")
+
+            reloaded_experiment = store.load_experiment(
+                dataset.name, experiment.name
+            )
+            assert reloaded_experiment.pairs() == experiment.pairs()
+            for match in experiment.matches:
+                clone = next(
+                    m for m in reloaded_experiment.matches if m.pair == match.pair
+                )
+                assert clone.from_clustering == match.from_clustering
+                if match.score is None:
+                    assert clone.score is None
+                else:
+                    assert clone.score is not None
+                    assert abs(clone.score - match.score) < 1e-12
+
+            reloaded_gold = store.load_gold_standard(dataset.name, gold.name)
+            assert reloaded_gold.pairs() == gold.pairs()
+
+    @given(dataset_with_artifacts())
+    @settings(max_examples=10, deadline=None)
+    def test_confusion_matrix_invariant_under_storage(self, artifacts):
+        """Evaluating reloaded artifacts gives identical matrices."""
+        from repro.core.confusion import ConfusionMatrix
+
+        dataset, experiment, gold = artifacts
+        original = ConfusionMatrix.from_clusterings(
+            experiment.clustering(), gold.clustering, dataset.total_pairs()
+        )
+        with FrostStore() as store:
+            store.save_dataset(dataset)
+            store.save_experiment(dataset.name, experiment)
+            store.save_gold_standard(dataset.name, gold)
+            reloaded = ConfusionMatrix.from_clusterings(
+                store.load_experiment(dataset.name, experiment.name).clustering(),
+                store.load_gold_standard(dataset.name, gold.name).clustering,
+                store.load_dataset(dataset.name).total_pairs(),
+            )
+        assert reloaded == original

@@ -1,0 +1,196 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+DATASET = """id,name,city
+r1,john smith,springfield
+r2,jon smith,springfield
+r3,mary jones,riverside
+r4,mary jones,riverside
+r5,alice brown,salem
+"""
+
+GOLD_PAIRS = """p1,p2
+r1,r2
+r3,r4
+"""
+
+GOLD_CLUSTERS = """id,cluster
+r1,c1
+r2,c1
+r3,c2
+r4,c2
+r5,c3
+"""
+
+EXPERIMENT = """p1,p2,score
+r1,r2,0.95
+r3,r4,0.85
+r1,r5,0.55
+"""
+
+
+@pytest.fixture
+def files(tmp_path):
+    (tmp_path / "d.csv").write_text(DATASET)
+    (tmp_path / "g.csv").write_text(GOLD_PAIRS)
+    (tmp_path / "gc.csv").write_text(GOLD_CLUSTERS)
+    (tmp_path / "e.csv").write_text(EXPERIMENT)
+    return tmp_path
+
+
+def run(capsys, *argv):
+    code = main([str(part) for part in argv])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+
+class TestMetrics:
+    def test_default_metrics(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "metrics",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+        )
+        assert code == 0
+        assert "precision" in out
+        # 2 TP, 1 FP, 0 FN -> precision 2/3, recall 1
+        assert "0.6667" in out
+        assert "1.0000" in out
+
+    def test_cluster_format_gold(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "metrics",
+            "--dataset", files / "d.csv",
+            "--gold", files / "gc.csv",
+            "--gold-format", "clusters",
+            "--experiment", files / "e.csv",
+        )
+        assert code == 0
+        assert "0.6667" in out
+
+    def test_custom_metric_selection(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "metrics",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--metric", "matthews_correlation",
+        )
+        assert code == 0
+        assert "matthews_correlation" in out
+
+    def test_unknown_metric_fails_cleanly(self, files, capsys):
+        code, _, err = run(
+            capsys,
+            "metrics",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--metric", "nonsense",
+        )
+        assert code == 1
+        assert "error:" in err
+
+    def test_missing_file_fails_cleanly(self, files, capsys):
+        code, _, err = run(
+            capsys,
+            "metrics",
+            "--dataset", files / "missing.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+        )
+        assert code == 1
+        assert "error:" in err
+
+
+class TestDiagram:
+    def test_prints_threshold_rows(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "diagram",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--samples", "4",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("threshold")
+        assert len(lines) == 5  # header + 4 samples
+        assert lines[1].startswith("inf")
+
+
+class TestVenn:
+    def test_region_sizes(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "venn",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+        )
+        assert code == 0
+        assert "gold ∩ e: 2" in out
+        assert "e \\ gold: 1" in out
+
+
+class TestProfile:
+    def test_single_dataset(self, files, capsys):
+        code, out, _ = run(capsys, "profile", "--dataset", files / "d.csv")
+        assert code == 0
+        assert "records=5" in out
+
+    def test_two_datasets_report_vocabulary(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "profile",
+            "--dataset", files / "d.csv",
+            "--dataset", files / "d.csv",
+        )
+        assert code == 0
+        assert "vocabulary similarity: 1.000" in out
+
+
+class TestCategorize:
+    def test_report_printed(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "categorize",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+        )
+        assert code == 0
+        assert "Error categorization" in out
+
+    def test_separator_option(self, tmp_path, capsys):
+        (tmp_path / "d.csv").write_text("id;name\nr1;a\nr2;b\n")
+        (tmp_path / "g.csv").write_text("p1;p2\nr1;r2\n")
+        (tmp_path / "e.csv").write_text("p1;p2;score\nr1;r2;0.9\n")
+        code, out, _ = run(
+            capsys,
+            "--separator", ";",
+            "metrics",
+            "--dataset", tmp_path / "d.csv",
+            "--gold", tmp_path / "g.csv",
+            "--experiment", tmp_path / "e.csv",
+        )
+        assert code == 0
+        assert "1.0000" in out

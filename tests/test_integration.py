@@ -1,0 +1,230 @@
+"""End-to-end integration tests across the whole platform.
+
+Generate a benchmark -> run two real matching pipelines -> import into
+the platform and the store -> evaluate metrics, diagrams, exploration,
+and KPIs — the complete Frost workflow of Figure 4.
+"""
+
+import pytest
+
+from repro.core import ConfusionMatrix, compute_diagram_optimized
+from repro.core.platform import FrostPlatform
+from repro.datagen import make_person_benchmark
+from repro.exploration.attributes import null_ratios
+from repro.exploration.selection import misclassified_outliers
+from repro.exploration.setops import SetComparison
+from repro.matching import (
+    AttributeComparator,
+    LogisticRegressionModel,
+    MatchingPipeline,
+    WeightedAverageModel,
+    best_threshold,
+    sorted_neighborhood,
+    first_token_key,
+    token_blocking,
+)
+from repro.metrics.pairwise import f1_score, precision, recall
+from repro.metrics.registry import default_registry
+from repro.storage import FrostStore
+
+
+@pytest.fixture(scope="module")
+def bench_data():
+    return make_person_benchmark(400, seed=33)
+
+
+@pytest.fixture(scope="module")
+def rule_run(bench_data):
+    comparator = AttributeComparator(
+        {
+            "first_name": "jaro_winkler",
+            "last_name": "jaro_winkler",
+            "city": "levenshtein",
+            "zip": "exact",
+            "phone": "exact",
+        }
+    )
+    pipeline = MatchingPipeline(
+        candidate_generator=lambda d: token_blocking(
+            d, attributes=["last_name", "city"], max_block_size=100
+        ),
+        comparator=comparator,
+        decision_model=WeightedAverageModel(
+            {"first_name": 2, "last_name": 3, "city": 1, "zip": 2, "phone": 2}
+        ),
+        threshold=0.82,
+        name="rule-run",
+        solution="weighted-average",
+    )
+    return pipeline.run(bench_data.dataset)
+
+
+@pytest.fixture(scope="module")
+def ml_run(bench_data):
+    attributes = ["first_name", "last_name", "city", "zip", "phone"]
+    comparator = AttributeComparator(
+        {a: "jaro_winkler" for a in attributes}
+    )
+    # label candidate pairs from the gold standard (the paper's §1:
+    # 'trained by domain experts who label example pairs')
+    candidates = sorted_neighborhood(
+        bench_data.dataset, first_token_key("last_name"), window=10
+    )
+    vectors = [
+        comparator.compare(bench_data.dataset[a], bench_data.dataset[b])
+        for a, b in sorted(candidates)
+    ]
+    labels = [
+        bench_data.gold.is_duplicate(*vector.pair) for vector in vectors
+    ]
+    model = LogisticRegressionModel(attributes, iterations=300).fit(
+        vectors, labels
+    )
+    pipeline = MatchingPipeline(
+        candidate_generator=lambda d: sorted_neighborhood(
+            d, first_token_key("last_name"), window=10
+        ),
+        comparator=comparator,
+        decision_model=model.score,
+        threshold=0.5,
+        name="ml-run",
+        solution="logistic-regression",
+    )
+    return pipeline.run(bench_data.dataset)
+
+
+class TestPipelineQuality:
+    def test_both_solutions_perform_reasonably(self, bench_data, rule_run, ml_run):
+        total = bench_data.dataset.total_pairs()
+        for run in (rule_run, ml_run):
+            matrix = ConfusionMatrix.from_clusterings(
+                run.experiment.clustering(),
+                bench_data.gold.clustering,
+                total,
+            )
+            assert f1_score(matrix) > 0.5, run.experiment.name
+
+    def test_blocking_stage_measurable(self, bench_data, rule_run):
+        """Inter-stage evaluation (§1.2): candidate-generation quality."""
+        total = bench_data.dataset.total_pairs()
+        matrix = ConfusionMatrix.from_pair_sets(
+            rule_run.candidates, bench_data.gold.pairs(), total
+        )
+        assert recall(matrix) > 0.5  # pairs completeness
+        assert matrix.predicted_positives < total * 0.3  # real reduction
+
+
+class TestPlatformWorkflow:
+    @pytest.fixture(scope="class")
+    def platform(self, bench_data, rule_run, ml_run):
+        platform = FrostPlatform()
+        platform.add_dataset(bench_data.dataset)
+        platform.add_gold(bench_data.dataset.name, bench_data.gold)
+        platform.add_experiment(bench_data.dataset.name, rule_run.experiment)
+        platform.add_experiment(bench_data.dataset.name, ml_run.experiment)
+        return platform
+
+    def test_n_metrics_viewer(self, platform, bench_data):
+        table = platform.metrics_table(
+            bench_data.dataset.name,
+            bench_data.gold.name,
+            metric_names=["precision", "recall", "f1"],
+        )
+        assert set(table) == {"rule-run", "ml-run"}
+        for row in table.values():
+            assert 0.0 <= row["f1"] <= 1.0
+
+    def test_set_comparison_finds_disagreements(self, platform, bench_data):
+        comparison = platform.compare_sets(
+            bench_data.dataset.name, ["rule-run", "ml-run", bench_data.gold.name]
+        )
+        regions = comparison.region_sizes()
+        assert sum(regions.values()) > 0
+
+    def test_diagram_and_threshold_tuning(self, bench_data, rule_run):
+        """§5.4 workflow: check whether the chosen threshold was optimal."""
+        comparator = AttributeComparator(
+            {"first_name": "jaro_winkler", "last_name": "jaro_winkler"}
+        )
+        pipeline = MatchingPipeline(
+            candidate_generator=lambda d: token_blocking(
+                d, attributes=["last_name"], max_block_size=100
+            ),
+            comparator=comparator,
+            decision_model=WeightedAverageModel(
+                {"first_name": 1, "last_name": 1}
+            ),
+            threshold=0.99,  # deliberately bad
+            name="scored",
+        )
+        scored = pipeline.scored_experiment(bench_data.dataset)
+        points = compute_diagram_optimized(
+            bench_data.dataset, scored, bench_data.gold, samples=50
+        )
+        threshold, value = best_threshold(points, f1_score)
+        assert threshold < 0.99
+        assert value > 0.3
+
+
+class TestExplorationWorkflow:
+    def test_misclassified_outliers_on_real_run(self, bench_data, rule_run):
+        outliers = misclassified_outliers(
+            rule_run.scored_pairs, 0.82, bench_data.gold, k=5
+        )
+        assert len(outliers) <= 5
+
+    def test_null_ratio_analysis(self, bench_data, rule_run):
+        ratios = null_ratios(
+            bench_data.dataset, rule_run.experiment, bench_data.gold
+        )
+        assert {r.attribute for r in ratios} == set(bench_data.dataset.attributes)
+        assert all(0.0 <= r.ratio <= 1.0 for r in ratios)
+
+    def test_figure1_style_comparison(self, bench_data, rule_run, ml_run):
+        comparison = SetComparison(
+            bench_data.dataset,
+            {
+                "run-1": rule_run.experiment,
+                "run-2": ml_run.experiment,
+                "gold": bench_data.gold,
+            },
+        )
+        found_by_2_not_1 = comparison.select(
+            include=["gold", "run-2"], exclude=["run-1"]
+        )
+        enriched = comparison.enriched(found_by_2_not_1)
+        for record_a, record_b in enriched:
+            assert bench_data.gold.is_duplicate(
+                record_a.record_id, record_b.record_id
+            )
+
+
+class TestStorageWorkflow:
+    def test_full_round_trip_preserves_metrics(self, bench_data, rule_run, tmp_path):
+        registry = default_registry()
+        total = bench_data.dataset.total_pairs()
+        before = registry.evaluate(
+            ConfusionMatrix.from_clusterings(
+                rule_run.experiment.clustering(),
+                bench_data.gold.clustering,
+                total,
+            )
+        )
+        with FrostStore(tmp_path / "frost.db") as store:
+            store.save_dataset(bench_data.dataset)
+            store.save_experiment(bench_data.dataset.name, rule_run.experiment)
+            store.save_gold_standard(bench_data.dataset.name, bench_data.gold)
+        with FrostStore(tmp_path / "frost.db") as store:
+            dataset = store.load_dataset(bench_data.dataset.name)
+            experiment = store.load_experiment(
+                bench_data.dataset.name, rule_run.experiment.name
+            )
+            gold = store.load_gold_standard(
+                bench_data.dataset.name, bench_data.gold.name
+            )
+        after = registry.evaluate(
+            ConfusionMatrix.from_clusterings(
+                experiment.clustering(), gold.clustering, dataset.total_pairs()
+            )
+        )
+        assert after == before
