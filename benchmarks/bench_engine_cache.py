@@ -1,0 +1,160 @@
+"""Engine result cache — cold vs. cached evaluation latency.
+
+The execution engine content-addresses every metrics/diagram job by the
+dataset + configuration + gold-standard contents, so re-running an
+identical job while exploring results costs a hash lookup instead of a
+recomputation.  This benchmark quantifies that: it runs the same
+metrics-table and diagram jobs cold (fresh platform, empty cache) and
+cached, and asserts the cached path is at least 5× faster — the
+headline claim of the engine subsystem.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_cache.py -s
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from benchmarks.conftest import print_table
+from repro.core.platform import FrostPlatform
+from repro.datagen import scored_benchmark_experiment
+from repro.engine import ExperimentEngine, JobSpec
+
+SAMPLES = 100  # diagram thresholds, as in Table 1
+CACHED_ROUNDS = 5
+MIN_SPEEDUP = 5.0
+
+
+def _platform_for(benchmark_data, matches: int):
+    experiment = scored_benchmark_experiment(
+        benchmark_data, target_matches=matches, seed=17, name="engine-run"
+    )
+    platform = FrostPlatform()
+    platform.add_dataset(benchmark_data.dataset)
+    platform.add_gold(benchmark_data.dataset.name, benchmark_data.gold)
+    platform.add_experiment(benchmark_data.dataset.name, experiment)
+    return platform
+
+
+def _time_job(engine: ExperimentEngine, spec: JobSpec) -> tuple[float, object]:
+    started = time.perf_counter()
+    result = engine.run([spec])[spec.job_id]
+    elapsed = time.perf_counter() - started
+    assert result.state.value == "succeeded", result.error
+    return elapsed, result
+
+
+def _measure(platform: FrostPlatform, kind: str, params: dict) -> dict:
+    engine = ExperimentEngine(platform, max_workers=2)
+    cold_seconds, cold = _time_job(
+        engine, JobSpec(kind, params, job_id=f"{kind}-cold")
+    )
+    assert cold.cached is False
+    cached_runs = []
+    for round_index in range(CACHED_ROUNDS):
+        seconds, cached = _time_job(
+            engine, JobSpec(kind, params, job_id=f"{kind}-warm-{round_index}")
+        )
+        assert cached.cached is True, "identical re-run must hit the cache"
+        assert cached.value == cold.value, "cache must reproduce the payload"
+        cached_runs.append(seconds)
+    cached_seconds = statistics.median(cached_runs)
+    return {
+        "kind": kind,
+        "cold": cold_seconds,
+        "cached": cached_seconds,
+        "speedup": cold_seconds / max(cached_seconds, 1e-9),
+    }
+
+
+def test_engine_cache_report(cora_benchmark):
+    """Cold vs. cached latency for metrics tables and diagrams.
+
+    Claims under test:
+
+    1. identical re-runs are served from the cache with identical
+       payloads;
+    2. the cached path is ≥5× faster than recomputation for both the
+       N-metrics table and the 100-threshold diagram.
+    """
+    platform = _platform_for(cora_benchmark, matches=5_067)
+    dataset_name = cora_benchmark.dataset.name
+    gold_name = cora_benchmark.gold.name
+
+    rows = []
+    measurements = [
+        _measure(
+            platform,
+            "metrics",
+            {"dataset": dataset_name, "gold": gold_name},  # full registry
+        ),
+        _measure(
+            platform,
+            "diagram",
+            {
+                "dataset": dataset_name,
+                "gold": gold_name,
+                "experiment": "engine-run",
+                "samples": SAMPLES,
+            },
+        ),
+    ]
+    for entry in measurements:
+        rows.append(
+            [
+                entry["kind"],
+                f"{entry['cold'] * 1000:.1f}ms",
+                f"{entry['cached'] * 1000:.2f}ms",
+                f"{entry['speedup']:.1f}x",
+            ]
+        )
+    print_table(
+        "Engine result cache: cold vs. cached evaluation latency",
+        ["Job", "Cold", "Cached (median)", "Speedup"],
+        rows,
+    )
+    for entry in measurements:
+        assert entry["speedup"] >= MIN_SPEEDUP, (
+            f"{entry['kind']}: cached path only {entry['speedup']:.1f}x faster "
+            f"(cold {entry['cold'] * 1000:.1f}ms, "
+            f"cached {entry['cached'] * 1000:.2f}ms)"
+        )
+
+
+def test_sweep_rerun_is_fully_cached(cora_benchmark):
+    """A repeated batch sweep performs zero recomputation."""
+    platform = _platform_for(cora_benchmark, matches=5_067)
+    engine = ExperimentEngine(platform, max_workers=4)
+    thresholds = [0.5, 0.6, 0.7, 0.8, 0.9]
+
+    def sweep(sweep_id: str) -> float:
+        base = JobSpec(
+            "metrics",
+            {
+                "dataset": cora_benchmark.dataset.name,
+                "gold": cora_benchmark.gold.name,
+                "metrics": ["precision", "recall", "f1"],
+            },
+            job_id=sweep_id,
+        )
+        started = time.perf_counter()
+        job_ids = engine.sweep(base, "threshold", thresholds)
+        engine.start()
+        assert engine.join(job_ids, timeout=120)
+        return time.perf_counter() - started
+
+    cold_seconds = sweep("cold")
+    computed_after_cold = engine.computed_jobs
+    cached_seconds = sweep("warm")
+    assert engine.computed_jobs == computed_after_cold, (
+        "re-running an identical sweep must not recompute any job"
+    )
+    assert engine.cached_jobs == len(thresholds)
+    print(
+        f"\nsweep of {len(thresholds)} thresholds: "
+        f"cold {cold_seconds * 1000:.1f}ms, "
+        f"cached {cached_seconds * 1000:.1f}ms"
+    )

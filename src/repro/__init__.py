@@ -34,16 +34,19 @@ from repro.core import (
     metric_metric_series,
 )
 from repro.core.platform import FrostPlatform
+from repro.engine import ExperimentEngine, JobSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Clustering",
     "ConfusionMatrix",
     "Dataset",
     "Experiment",
+    "ExperimentEngine",
     "FrostPlatform",
     "GoldStandard",
+    "JobSpec",
     "Match",
     "Record",
     "__version__",

@@ -11,6 +11,14 @@ file-based import formats::
     python -m repro profile  --dataset d.csv [--dataset other.csv]
     python -m repro categorize --dataset d.csv --gold g.csv --experiment e.csv
 
+The ``engine`` commands route the same evaluations through the parallel
+job engine (:mod:`repro.engine`) with its content-addressed result
+cache; ``--store cache.db`` persists cached results across invocations::
+
+    python -m repro engine run    --dataset d.csv --gold g.csv --experiment e.csv --job metrics
+    python -m repro engine sweep  --dataset d.csv --gold g.csv --experiment e.csv --thresholds 0.5:0.9:5
+    python -m repro engine status --store cache.db
+
 Every command reads CSV files (``--separator`` configures the dialect)
 and prints plain text to stdout.
 """
@@ -102,6 +110,61 @@ def build_parser() -> argparse.ArgumentParser:
     add_io_arguments(categorize, experiments="one")
     categorize.add_argument(
         "--limit", type=int, default=None, help="categorize at most N FNs and FPs"
+    )
+
+    engine = commands.add_parser(
+        "engine", help="run evaluations through the cached parallel job engine"
+    )
+    engine_commands = engine.add_subparsers(dest="engine_command", required=True)
+
+    def add_engine_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            default=None,
+            help="SQLite path persisting the result cache across invocations",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=4, help="worker pool width (default 4)"
+        )
+
+    engine_run = engine_commands.add_parser(
+        "run", help="run metrics/diagram jobs for each experiment"
+    )
+    add_io_arguments(engine_run, experiments="many")
+    engine_run.add_argument(
+        "--job", choices=("metrics", "diagram"), default="metrics"
+    )
+    engine_run.add_argument(
+        "--metric", action="append", help="metric name (repeatable)"
+    )
+    engine_run.add_argument("--samples", type=int, default=20)
+    engine_run.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="submit the same jobs N times (re-runs are served from cache)",
+    )
+    add_engine_arguments(engine_run)
+
+    engine_sweep = engine_commands.add_parser(
+        "sweep", help="batch threshold sweep of the metrics of one experiment"
+    )
+    add_io_arguments(engine_sweep, experiments="one")
+    engine_sweep.add_argument(
+        "--thresholds",
+        default="0.5:0.9:5",
+        help="LOW:HIGH:STEPS threshold grid (default 0.5:0.9:5)",
+    )
+    engine_sweep.add_argument(
+        "--metric", action="append", help="metric name (repeatable)"
+    )
+    add_engine_arguments(engine_sweep)
+
+    engine_status = engine_commands.add_parser(
+        "status", help="inspect a persisted result cache"
+    )
+    engine_status.add_argument(
+        "--store", required=True, help="SQLite path of the result cache"
     )
     return parser
 
@@ -212,23 +275,179 @@ def _command_categorize(args: argparse.Namespace, fmt: CsvFormat) -> int:
     return 0
 
 
+def _engine_platform(args: argparse.Namespace, fmt: CsvFormat):
+    """Platform + engine over the CLI's file-based inputs."""
+    from repro.core.platform import FrostPlatform
+    from repro.engine.runner import ExperimentEngine
+
+    platform = FrostPlatform()
+    dataset = _load_dataset(args.dataset, args.id_column, fmt)
+    platform.add_dataset(dataset)
+    gold = _load_gold(args.gold, args.gold_format, fmt)
+    platform.add_gold(dataset.name, gold)
+    paths = args.experiment if isinstance(args.experiment, list) else [args.experiment]
+    experiment_names = []
+    for path in paths:
+        experiment = _load_experiment(path, fmt)
+        platform.add_experiment(dataset.name, experiment)
+        experiment_names.append(experiment.name)
+    store = None
+    if args.store:
+        from repro.storage.database import FrostStore
+
+        store = FrostStore(args.store)
+    engine = ExperimentEngine(platform, store=store, max_workers=args.workers)
+    return engine, dataset.name, gold.name, experiment_names
+
+
+def _print_engine_summary(engine) -> None:
+    stats = engine.cache.stats()
+    print(
+        f"engine: {engine.computed_jobs} computed, {engine.cached_jobs} cached "
+        f"(cache hits={stats['hits']} misses={stats['misses']})"
+    )
+
+
+def _command_engine_run(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.engine.jobs import JobSpec
+
+    engine, dataset_name, gold_name, experiment_names = _engine_platform(args, fmt)
+    metric_names = args.metric or ["precision", "recall", "f1"]
+    for round_index in range(max(1, args.repeat)):
+        specs = []
+        for name in experiment_names:
+            if args.job == "metrics":
+                params = {
+                    "dataset": dataset_name,
+                    "gold": gold_name,
+                    "experiments": [name],
+                    "metrics": metric_names,
+                }
+            else:
+                params = {
+                    "dataset": dataset_name,
+                    "gold": gold_name,
+                    "experiment": name,
+                    "samples": args.samples,
+                }
+            specs.append(
+                JobSpec(args.job, params, job_id=f"{args.job}:{name}#{round_index}")
+            )
+        results = engine.run(specs)
+        for job_id, result in results.items():
+            if result.state.value != "succeeded":
+                print(f"{job_id}: {result.state.value} ({result.error})")
+                continue
+            tag = "cached" if result.cached else "computed"
+            if args.job == "metrics":
+                for name, row in result.value["metrics"].items():
+                    cells = "  ".join(
+                        f"{metric}={row[metric]:.4f}" for metric in metric_names
+                    )
+                    print(f"{name}  {cells}  [{tag}]")
+            else:
+                print(
+                    f"{result.value['experiment']}: "
+                    f"{len(result.value['points'])} diagram points  [{tag}]"
+                )
+    _print_engine_summary(engine)
+    return 0
+
+
+def _parse_threshold_grid(grid: str) -> list[float]:
+    try:
+        low_text, high_text, steps_text = grid.split(":")
+        low, high, steps = float(low_text), float(high_text), int(steps_text)
+    except ValueError:
+        raise ValueError(
+            f"--thresholds must be LOW:HIGH:STEPS, got {grid!r}"
+        ) from None
+    if steps < 1:
+        raise ValueError("--thresholds needs at least one step")
+    if steps == 1:
+        return [round(low, 6)]
+    width = (high - low) / (steps - 1)
+    grid = [round(low + index * width, 6) for index in range(steps)]
+    # A degenerate grid (low == high) would fan out duplicate job ids.
+    return list(dict.fromkeys(grid))
+
+
+def _command_engine_sweep(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.engine.jobs import JobSpec
+
+    engine, dataset_name, gold_name, experiment_names = _engine_platform(args, fmt)
+    metric_names = args.metric or ["precision", "recall", "f1"]
+    thresholds = _parse_threshold_grid(args.thresholds)
+    base = JobSpec(
+        "metrics",
+        {
+            "dataset": dataset_name,
+            "gold": gold_name,
+            "experiments": experiment_names,
+            "metrics": metric_names,
+        },
+        job_id="sweep",
+    )
+    job_ids = engine.sweep(base, "threshold", thresholds)
+    engine.start()
+    engine.join(job_ids)
+    print("threshold  " + "  ".join(metric_names))
+    for job_id, threshold in zip(job_ids, thresholds):
+        result = engine.result(job_id)
+        if result.state.value != "succeeded":
+            print(f"{threshold:.4f}  {result.state.value} ({result.error})")
+            continue
+        row = result.value["metrics"][experiment_names[0]]
+        cells = "  ".join(f"{row[metric]:.4f}" for metric in metric_names)
+        suffix = "  [cached]" if result.cached else ""
+        print(f"{threshold:.4f}  {cells}{suffix}")
+    _print_engine_summary(engine)
+    return 0
+
+
+def _command_engine_status(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.storage.database import FrostStore
+
+    with FrostStore(args.store) as store:
+        entries = store.cache_entries()
+        by_kind: dict[str, int] = {}
+        for _, kind in entries:
+            by_kind[kind] = by_kind.get(kind, 0) + 1
+        print(f"cached results: {len(entries)}")
+        for kind in sorted(by_kind):
+            print(f"  {kind}: {by_kind[kind]}")
+    return 0
+
+
+def _command_engine(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    handlers = {
+        "run": _command_engine_run,
+        "sweep": _command_engine_sweep,
+        "status": _command_engine_status,
+    }
+    return handlers[args.engine_command](args, fmt)
+
+
 _COMMANDS = {
     "metrics": _command_metrics,
     "diagram": _command_diagram,
     "venn": _command_venn,
     "profile": _command_profile,
     "categorize": _command_categorize,
+    "engine": _command_engine,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
+    from repro.engine.runner import EngineError
+
     parser = build_parser()
     args = parser.parse_args(argv)
     fmt = CsvFormat(separator=args.separator)
     try:
         return _COMMANDS[args.command](args, fmt)
-    except (OSError, ValueError, KeyError) as error:
+    except (OSError, ValueError, KeyError, EngineError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

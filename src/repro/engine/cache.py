@@ -1,0 +1,113 @@
+"""Content-addressed result cache: in-process LRU over SQLite.
+
+The engine's hot path — re-running an identical metrics or diagram job
+while exploring results — is served from here instead of being
+recomputed.  Lookups go memory first (an LRU of recently used
+payloads), then the persistent ``result_cache`` table of a
+:class:`~repro.storage.database.FrostStore` when one is attached, so
+cached results survive process restarts and can be shared between CLI
+invocations and the HTTP server.
+
+Keys are the digests produced by :func:`repro.engine.jobs.job_cache_key`
+(dataset + config + gold-standard content), values are JSON documents.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.storage.database import FrostStore
+
+__all__ = ["ResultCache", "MISS"]
+
+# Unique sentinel distinguishing "not cached" from any payload.
+MISS: object = object()
+
+
+class ResultCache:
+    """Two-tier (LRU memory + optional SQLite) result cache.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity of the in-memory tier; least recently used payloads
+        are evicted first.  The persistent tier is unbounded.
+    store:
+        Optional :class:`FrostStore` backing the persistent tier.
+    """
+
+    def __init__(
+        self, max_entries: int = 512, store: FrostStore | None = None
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.store = store
+        self._memory: OrderedDict[str, object] = OrderedDict()
+        self._lock = threading.Lock()
+        self.memory_hits = 0
+        self.store_hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+
+    def get(self, key: str) -> object:
+        """The payload under ``key``, or the :data:`MISS` sentinel."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.memory_hits += 1
+                return self._memory[key]
+        if self.store is not None:
+            payload = self.store.cache_get(key)
+            if payload is not None:
+                with self._lock:
+                    self.store_hits += 1
+                    self._remember(key, payload)
+                return payload
+        with self._lock:
+            self.misses += 1
+        return MISS
+
+    def put(self, key: str, kind: str, payload: object) -> None:
+        """Cache ``payload`` (a JSON document) in both tiers."""
+        with self._lock:
+            self.puts += 1
+            self._remember(key, payload)
+        if self.store is not None:
+            self.store.cache_put(key, kind, payload)
+
+    def _remember(self, key: str, payload: object) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_entries:
+            self._memory.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop both tiers (counters are kept)."""
+        with self._lock:
+            self._memory.clear()
+        if self.store is not None:
+            self.store.cache_clear()
+
+    @property
+    def hits(self) -> int:
+        """Total hits across both tiers."""
+        return self.memory_hits + self.store_hits
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def stats(self) -> dict[str, int]:
+        """Counters as a JSON-serializable dictionary."""
+        return {
+            "entries": len(self._memory),
+            "memory_hits": self.memory_hits,
+            "store_hits": self.store_hits,
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+        }

@@ -126,41 +126,44 @@ class MatchingPipeline:
         self.name = name
         self.solution = solution
 
-    def run(self, dataset: Dataset) -> PipelineRun:
-        """Execute all pipeline steps on ``dataset``."""
-        stage_seconds: dict[str, float] = {}
+    # -- stages (each one is a node of the job graph) ---------------------------
 
-        started = time.perf_counter()
+    def prepare(self, dataset: Dataset) -> Dataset:
+        """Step 1 — apply the record-level preparers in order."""
         prepared_records = []
         for record in dataset:
             for preparer in self.preparers:
                 record = preparer(record)
             prepared_records.append(record)
-        prepared = Dataset(
+        return Dataset(
             prepared_records, name=f"{dataset.name}-prepared",
             attributes=dataset.attributes,
         )
-        stage_seconds["preparation"] = time.perf_counter() - started
 
-        started = time.perf_counter()
-        candidates = self.candidate_generator(prepared)
-        stage_seconds["candidates"] = time.perf_counter() - started
+    def generate_candidates(self, prepared: Dataset) -> set[Pair]:
+        """Step 2 — candidate pairs of the prepared dataset."""
+        return self.candidate_generator(prepared)
 
-        started = time.perf_counter()
-        vectors = [
+    def compare_candidates(
+        self, prepared: Dataset, candidates: set[Pair]
+    ) -> list[SimilarityVector]:
+        """Step 3 — similarity vectors of the candidate pairs."""
+        return [
             self.comparator.compare(prepared[a], prepared[b])
             for a, b in sorted(candidates)
         ]
-        stage_seconds["similarity"] = time.perf_counter() - started
 
-        started = time.perf_counter()
-        scored_pairs = [
+    def score_vectors(
+        self, vectors: Sequence[SimilarityVector]
+    ) -> list[ScoredPair]:
+        """Step 4 — decision-model scores of the similarity vectors."""
+        return [
             ScoredPair(score=self.decision_model(vector), pair=vector.pair)
             for vector in vectors
         ]
-        stage_seconds["decision"] = time.perf_counter() - started
 
-        started = time.perf_counter()
+    def _cluster(self, scored_pairs: Sequence[ScoredPair]):
+        """Step 5 — threshold, cluster, and assemble the experiment."""
         accepted = [sp for sp in scored_pairs if sp.score >= self.threshold]
         clustering = self.clustering(accepted)
         accepted_set = {sp.pair for sp in accepted}
@@ -174,14 +177,42 @@ class MatchingPipeline:
                     from_clustering=pair not in accepted_set,
                 )
             )
-        stage_seconds["clustering"] = time.perf_counter() - started
-
         experiment = Experiment(
             matches,
             name=self.name,
             solution=self.solution,
             metadata={"threshold": self.threshold},
         )
+        return clustering, experiment
+
+    def cluster_matches(self, scored_pairs: Sequence[ScoredPair]) -> Experiment:
+        """Step 5 as a job-graph stage: scored pairs to experiment."""
+        _, experiment = self._cluster(scored_pairs)
+        return experiment
+
+    def run(self, dataset: Dataset) -> PipelineRun:
+        """Execute all pipeline steps on ``dataset``."""
+        stage_seconds: dict[str, float] = {}
+
+        started = time.perf_counter()
+        prepared = self.prepare(dataset)
+        stage_seconds["preparation"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        candidates = self.generate_candidates(prepared)
+        stage_seconds["candidates"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        vectors = self.compare_candidates(prepared, candidates)
+        stage_seconds["similarity"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        scored_pairs = self.score_vectors(vectors)
+        stage_seconds["decision"] = time.perf_counter() - started
+
+        started = time.perf_counter()
+        clustering, experiment = self._cluster(scored_pairs)
+        stage_seconds["clustering"] = time.perf_counter() - started
 
         fused = None
         if self.fuse:
@@ -202,6 +233,80 @@ class MatchingPipeline:
             fused=fused,
             stage_seconds=stage_seconds,
         )
+
+    # -- engine integration -----------------------------------------------------
+
+    def config_fingerprint(self) -> dict[str, object]:
+        """Content token of this pipeline's configuration.
+
+        Used by :mod:`repro.engine` to content-address pipeline job
+        results.  Callables are tokenized by qualified name, so custom
+        steps should be module-level functions (not lambdas closing
+        over differing constants).
+        """
+        from repro.engine.jobs import content_fingerprint
+
+        comparator_config = getattr(self.comparator, "_config", None)
+        if isinstance(comparator_config, Mapping):
+            comparator_token: object = {
+                attribute: content_fingerprint(function)
+                for attribute, function in comparator_config.items()
+            }
+        else:  # duck-typed comparators without AttributeComparator's layout
+            comparator_token = content_fingerprint(self.comparator)
+        return {
+            "candidate_generator": content_fingerprint(self.candidate_generator),
+            "comparator": comparator_token,
+            "decision_model": content_fingerprint(self.decision_model),
+            "threshold": self.threshold,
+            "preparers": [content_fingerprint(p) for p in self.preparers],
+            "clustering": content_fingerprint(self.clustering),
+            "fuse": self.fuse,
+            "name": self.name,
+            "solution": self.solution,
+        }
+
+    def as_job_graph(
+        self,
+        dataset_name: str,
+        prefix: str | None = None,
+        register: bool = True,
+    ) -> list["JobSpec"]:
+        """This pipeline run as a five-stage dependency-ordered job graph.
+
+        Each stage becomes one :class:`~repro.engine.jobs.JobSpec`
+        whose inputs are the outputs of its dependencies, so an
+        :class:`~repro.engine.runner.ExperimentEngine` can interleave
+        stages of several pipelines on its worker pool and per-stage
+        timings/failures stay observable per job.  The final
+        ``clustering`` stage yields the experiment (and registers it on
+        the platform when ``register`` is set).
+        """
+        from repro.engine.jobs import JobSpec
+
+        prefix = prefix or self.name
+
+        def stage(name: str, *depends_on: str, **extra: object) -> JobSpec:
+            return JobSpec(
+                kind="pipeline_stage",
+                params={
+                    "pipeline": self,
+                    "stage": name,
+                    "dataset": dataset_name,
+                    **extra,
+                },
+                job_id=f"{prefix}:{name}",
+                depends_on=tuple(f"{prefix}:{dep}" for dep in depends_on),
+                cacheable=False,
+            )
+
+        return [
+            stage("prepare"),
+            stage("candidates", "prepare"),
+            stage("similarity", "prepare", "candidates"),
+            stage("decision", "similarity"),
+            stage("clustering", "decision", register=register),
+        ]
 
     def scored_experiment(self, dataset: Dataset, keep_all: bool = True) -> Experiment:
         """An experiment carrying *all* scored candidate pairs.

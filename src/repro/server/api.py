@@ -23,17 +23,29 @@ Routes (all return JSON-serializable dictionaries):
 ``GET /datasets/{d}/profile``                  profiling metrics (§3.1.3)
 ``GET /datasets/{d}/categorize?exp=&gold=``    error categorization (§7)
 ``GET /datasets/{d}/timeline?exp=&gold=&high=&low=``  new TP/FP in a threshold range
+``POST /jobs``                                 submit engine jobs (optionally a sweep)
+``GET /jobs``                                  all job statuses + cache stats
+``GET /jobs/{id}``                             one job's status and result
 =============================================  =====================================
+
+The ``/jobs`` routes are served by the execution engine
+(:mod:`repro.engine`): submitted jobs run on a worker pool and identical
+re-submissions are answered from the content-addressed result cache.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from collections.abc import Mapping
 
 from repro.core.platform import FrostPlatform
 
 __all__ = ["ApiError", "FrostApi"]
+
+# Job kinds accepted over the wire; pipeline jobs carry Python objects
+# and are only available through the Python/CLI surface.
+_API_JOB_KINDS = frozenset({"metrics", "diagram"})
 
 
 class ApiError(Exception):
@@ -46,27 +58,69 @@ class ApiError(Exception):
 
 
 class FrostApi:
-    """Transport-agnostic request dispatcher over a platform instance."""
+    """Transport-agnostic request dispatcher over a platform instance.
 
-    def __init__(self, platform: FrostPlatform) -> None:
+    Parameters
+    ----------
+    platform:
+        The registry the evaluations read from.
+    engine:
+        Optional pre-configured
+        :class:`~repro.engine.runner.ExperimentEngine` serving the
+        ``/jobs`` routes; created lazily (in-memory cache only) when
+        omitted.
+    """
+
+    def __init__(self, platform: FrostPlatform, engine=None) -> None:
         self.platform = platform
+        self._engine = engine
+        self._engine_lock = threading.Lock()
 
-    def handle(self, path: str, query: Mapping[str, str] | None = None) -> object:
-        """Dispatch a GET request path to the matching evaluation.
+    @property
+    def engine(self):
+        """The job engine behind ``/jobs`` (created on first use).
 
-        Raises :class:`ApiError` with status 404 for unknown routes or
-        names and 400 for bad parameters.
+        Guarded by a lock: the threaded HTTP server may race two first
+        requests, and jobs submitted to one engine must stay visible to
+        every later request.
+        """
+        with self._engine_lock:
+            if self._engine is None:
+                from repro.engine.runner import ExperimentEngine
+
+                self._engine = ExperimentEngine(self.platform)
+            return self._engine
+
+    def handle(
+        self,
+        path: str,
+        query: Mapping[str, str] | None = None,
+        method: str = "GET",
+        body: object = None,
+    ) -> object:
+        """Dispatch a request path to the matching evaluation.
+
+        ``method`` and ``body`` (a parsed JSON document) matter only
+        for the ``POST /jobs`` route; everything else is GET.  Raises
+        :class:`ApiError` with status 404 for unknown routes or names
+        and 400 for bad parameters.
         """
         query = dict(query or {})
         parts = [part for part in path.split("/") if part]
         try:
-            return self._dispatch(parts, query)
+            return self._dispatch(parts, query, method.upper(), body)
         except KeyError as missing:
             raise ApiError(404, str(missing)) from None
         except ValueError as bad:
             raise ApiError(400, str(bad)) from None
 
-    def _dispatch(self, parts: list[str], query: dict[str, str]) -> object:
+    def _dispatch(
+        self, parts: list[str], query: dict[str, str], method: str, body: object
+    ) -> object:
+        if parts and parts[0] == "jobs":
+            return self._jobs(parts[1:], query, method, body)
+        if method != "GET":
+            raise ApiError(405, f"{method} not allowed on /{'/'.join(parts)}")
         if parts == ["datasets"]:
             return {"datasets": self.platform.dataset_names()}
         if len(parts) >= 2 and parts[0] == "datasets":
@@ -253,3 +307,72 @@ class FrostApi:
             "size": len(pairs),
             "pairs": [list(pair) for pair in sorted(pairs)[:1000]],
         }
+
+    # -- engine jobs --------------------------------------------------------------
+
+    def _jobs(
+        self, rest: list[str], query: dict[str, str], method: str, body: object
+    ) -> object:
+        from repro.engine.runner import EngineError
+
+        try:
+            if method == "POST" and not rest:
+                return self._submit_jobs(query, body)
+            if method == "GET" and not rest:
+                return {
+                    "jobs": self.engine.status(),
+                    "progress": self.engine.progress(),
+                }
+            if method == "GET" and len(rest) == 1:
+                return self._job_detail(rest[0])
+        except EngineError as error:
+            raise ApiError(404, str(error)) from None
+        raise ApiError(405 if not rest else 404, "unsupported /jobs route")
+
+    def _submit_jobs(self, query: dict[str, str], body: object) -> dict:
+        from repro.engine.jobs import JobSpec, expand_sweep
+
+        if not isinstance(body, Mapping):
+            raise ValueError("POST /jobs needs a JSON object body")
+        kind = body.get("kind")
+        if kind not in _API_JOB_KINDS:
+            allowed = ", ".join(sorted(_API_JOB_KINDS))
+            raise ValueError(f"job kind must be one of: {allowed}")
+        params = body.get("params") or {}
+        if not isinstance(params, Mapping):
+            raise ValueError("'params' must be a JSON object")
+        base = JobSpec(
+            kind=kind, params=params, job_id=str(body.get("id", "") or "")
+        )
+        sweep = body.get("sweep")
+        if sweep is not None:
+            if not isinstance(sweep, Mapping) or not sweep.get("parameter"):
+                raise ValueError("'sweep' needs 'parameter' and 'values'")
+            values = sweep.get("values")
+            if not isinstance(values, list) or not values:
+                raise ValueError("'sweep.values' must be a non-empty list")
+            specs = expand_sweep(base, str(sweep["parameter"]), values)
+        else:
+            specs = [base]
+        from repro.engine.runner import EngineError
+
+        try:
+            # atomic: a bad spec mid-batch must not enqueue earlier ones
+            job_ids = self.engine.submit_all(specs)
+        except EngineError as error:
+            # duplicate ids / bad dependencies are client errors, not 404s
+            raise ValueError(str(error)) from None
+        self.engine.start()
+        if query.get("wait") in ("1", "true", "yes"):
+            self.engine.join(job_ids)
+        return {
+            "submitted": job_ids,
+            "jobs": [self.engine.result(job_id).as_dict() for job_id in job_ids],
+        }
+
+    def _job_detail(self, job_id: str) -> dict:
+        result = self.engine.result(job_id)
+        detail = result.as_dict()
+        if result.state.value == "succeeded":
+            detail["result"] = result.value
+        return detail

@@ -23,17 +23,32 @@ def _make_handler(api: FrostApi) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
             """Serve one API GET request as JSON."""
+            self._serve("GET", None)
+
+        def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
+            """Serve one API POST request (JSON body) — job submission."""
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            try:
+                body = json.loads(raw) if raw else None
+            except json.JSONDecodeError:
+                self._respond(400, {"error": "invalid JSON body", "status": 400})
+                return
+            self._serve("POST", body)
+
+        def _serve(self, method: str, body: object) -> None:
             parsed = urlparse(self.path)
             query = dict(parse_qsl(parsed.query))
             try:
-                payload = api.handle(parsed.path, query)
-                body = json.dumps(payload).encode("utf-8")
+                payload = api.handle(parsed.path, query, method=method, body=body)
                 status = 200
             except ApiError as error:
-                body = json.dumps(
-                    {"error": error.message, "status": error.status}
-                ).encode("utf-8")
+                payload = {"error": error.message, "status": error.status}
                 status = error.status
+            self._respond(status, payload)
+
+        def _respond(self, status: int, payload: object) -> None:
+            body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))

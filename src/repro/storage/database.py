@@ -13,6 +13,8 @@ from __future__ import annotations
 
 import json
 import sqlite3
+import threading
+import time
 from pathlib import Path
 
 from repro.core.clustering import Clustering
@@ -71,6 +73,12 @@ CREATE TABLE IF NOT EXISTS gold_assignments (
     cluster_index INTEGER NOT NULL,
     PRIMARY KEY (gold_id, numeric_id)
 );
+CREATE TABLE IF NOT EXISTS result_cache (
+    cache_key TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
 """
 
 
@@ -82,13 +90,21 @@ class FrostStore:
     path:
         SQLite file path, or ``":memory:"`` (default) for an ephemeral
         store.  A single connection is used — Snowman's back-end is
-        likewise single-threaded (Appendix A.6).
+        likewise single-threaded (Appendix A.6) — but writes are
+        serialized behind a lock so the store can back the execution
+        engine's worker pool (:mod:`repro.engine`).
+
+    Multi-statement writes run inside explicit transactions with
+    foreign keys enforced, so a failed import never leaves partial
+    rows behind.
     """
 
     def __init__(self, path: str | Path = ":memory:") -> None:
-        self._connection = sqlite3.connect(str(path))
+        self._connection = sqlite3.connect(str(path), check_same_thread=False)
+        self._connection.execute("PRAGMA foreign_keys=ON")
         self._connection.executescript(_SCHEMA)
         self._connection.commit()
+        self._lock = threading.Lock()
 
     def close(self) -> None:
         """Close the underlying SQLite connection."""
@@ -103,30 +119,41 @@ class FrostStore:
     # -- datasets ---------------------------------------------------------------
 
     def save_dataset(self, dataset: Dataset) -> int:
-        """Persist a dataset; numeric ids are assigned by import order."""
-        cursor = self._connection.cursor()
-        try:
-            cursor.execute(
-                "INSERT INTO datasets (name, attributes, record_count) VALUES (?, ?, ?)",
-                (dataset.name, json.dumps(list(dataset.attributes)), len(dataset)),
-            )
-        except sqlite3.IntegrityError:
-            raise StorageError(f"dataset {dataset.name!r} already stored") from None
-        dataset_id = cursor.lastrowid
-        cursor.executemany(
-            "INSERT INTO records (dataset_id, numeric_id, native_id, payload) "
-            "VALUES (?, ?, ?, ?)",
-            (
-                (
-                    dataset_id,
-                    numeric_id,
-                    record.record_id,
-                    json.dumps(dict(record.values)),
+        """Persist a dataset; numeric ids are assigned by import order.
+
+        Runs as one transaction: either the dataset row and all record
+        rows land, or none do.
+        """
+        with self._lock, self._connection:
+            cursor = self._connection.cursor()
+            try:
+                cursor.execute(
+                    "INSERT INTO datasets (name, attributes, record_count) "
+                    "VALUES (?, ?, ?)",
+                    (
+                        dataset.name,
+                        json.dumps(list(dataset.attributes)),
+                        len(dataset),
+                    ),
                 )
-                for numeric_id, record in enumerate(dataset)
-            ),
-        )
-        self._connection.commit()
+            except sqlite3.IntegrityError:
+                raise StorageError(
+                    f"dataset {dataset.name!r} already stored"
+                ) from None
+            dataset_id = cursor.lastrowid
+            cursor.executemany(
+                "INSERT INTO records (dataset_id, numeric_id, native_id, payload) "
+                "VALUES (?, ?, ?, ?)",
+                (
+                    (
+                        dataset_id,
+                        numeric_id,
+                        record.record_id,
+                        json.dumps(dict(record.values)),
+                    )
+                    for numeric_id, record in enumerate(dataset)
+                ),
+            )
         return dataset_id
 
     def load_dataset(self, name: str) -> Dataset:
@@ -193,24 +220,6 @@ class FrostStore:
         """
         dataset_id = self._dataset_id(dataset_name)
         numeric = self._numeric_ids(dataset_id)
-        cursor = self._connection.cursor()
-        try:
-            cursor.execute(
-                "INSERT INTO experiments (dataset_id, name, solution, metadata) "
-                "VALUES (?, ?, ?, ?)",
-                (
-                    dataset_id,
-                    experiment.name,
-                    experiment.solution,
-                    json.dumps(experiment.metadata, default=str),
-                ),
-            )
-        except sqlite3.IntegrityError:
-            raise StorageError(
-                f"experiment {experiment.name!r} already stored for "
-                f"dataset {dataset_name!r}"
-            ) from None
-        experiment_id = cursor.lastrowid
 
         def numeric_pair(match: Match) -> tuple[int, int]:
             try:
@@ -223,20 +232,38 @@ class FrostStore:
                 ) from None
             return (first, second) if first < second else (second, first)
 
-        cursor.executemany(
-            "INSERT INTO matches (experiment_id, first_numeric, second_numeric, "
-            "score, from_clustering) VALUES (?, ?, ?, ?, ?)",
-            (
-                (
-                    experiment_id,
-                    *numeric_pair(match),
-                    match.score,
-                    int(match.from_clustering),
+        with self._lock, self._connection:
+            cursor = self._connection.cursor()
+            try:
+                cursor.execute(
+                    "INSERT INTO experiments (dataset_id, name, solution, metadata) "
+                    "VALUES (?, ?, ?, ?)",
+                    (
+                        dataset_id,
+                        experiment.name,
+                        experiment.solution,
+                        json.dumps(experiment.metadata, default=str),
+                    ),
                 )
-                for match in experiment.matches
-            ),
-        )
-        self._connection.commit()
+            except sqlite3.IntegrityError:
+                raise StorageError(
+                    f"experiment {experiment.name!r} already stored for "
+                    f"dataset {dataset_name!r}"
+                ) from None
+            experiment_id = cursor.lastrowid
+            cursor.executemany(
+                "INSERT INTO matches (experiment_id, first_numeric, second_numeric, "
+                "score, from_clustering) VALUES (?, ?, ?, ?, ?)",
+                (
+                    (
+                        experiment_id,
+                        *numeric_pair(match),
+                        match.score,
+                        int(match.from_clustering),
+                    )
+                    for match in experiment.matches
+                ),
+            )
         return experiment_id
 
     def load_experiment(self, dataset_name: str, experiment_name: str) -> Experiment:
@@ -294,13 +321,13 @@ class FrostStore:
             raise StorageError(
                 f"no experiment {experiment_name!r} for dataset {dataset_name!r}"
             )
-        self._connection.execute(
-            "DELETE FROM matches WHERE experiment_id = ?", (row[0],)
-        )
-        self._connection.execute(
-            "DELETE FROM experiments WHERE experiment_id = ?", (row[0],)
-        )
-        self._connection.commit()
+        with self._lock, self._connection:
+            self._connection.execute(
+                "DELETE FROM matches WHERE experiment_id = ?", (row[0],)
+            )
+            self._connection.execute(
+                "DELETE FROM experiments WHERE experiment_id = ?", (row[0],)
+            )
 
     # -- gold standards --------------------------------------------------------------
 
@@ -308,18 +335,6 @@ class FrostStore:
         """Persist a gold standard over the dataset's numeric ids."""
         dataset_id = self._dataset_id(dataset_name)
         numeric = self._numeric_ids(dataset_id)
-        cursor = self._connection.cursor()
-        try:
-            cursor.execute(
-                "INSERT INTO gold_standards (dataset_id, name) VALUES (?, ?)",
-                (dataset_id, gold.name),
-            )
-        except sqlite3.IntegrityError:
-            raise StorageError(
-                f"gold standard {gold.name!r} already stored for "
-                f"dataset {dataset_name!r}"
-            ) from None
-        gold_id = cursor.lastrowid
         rows = []
         for cluster_index, cluster in enumerate(gold.clustering.clusters):
             for record_id in cluster:
@@ -328,13 +343,25 @@ class FrostStore:
                         f"gold {gold.name!r} references unknown record "
                         f"{record_id!r} of dataset {dataset_name!r}"
                     )
-                rows.append((gold_id, numeric[record_id], cluster_index))
-        cursor.executemany(
-            "INSERT INTO gold_assignments (gold_id, numeric_id, cluster_index) "
-            "VALUES (?, ?, ?)",
-            rows,
-        )
-        self._connection.commit()
+                rows.append((numeric[record_id], cluster_index))
+        with self._lock, self._connection:
+            cursor = self._connection.cursor()
+            try:
+                cursor.execute(
+                    "INSERT INTO gold_standards (dataset_id, name) VALUES (?, ?)",
+                    (dataset_id, gold.name),
+                )
+            except sqlite3.IntegrityError:
+                raise StorageError(
+                    f"gold standard {gold.name!r} already stored for "
+                    f"dataset {dataset_name!r}"
+                ) from None
+            gold_id = cursor.lastrowid
+            cursor.executemany(
+                "INSERT INTO gold_assignments (gold_id, numeric_id, cluster_index) "
+                "VALUES (?, ?, ?)",
+                ((gold_id, numeric_id, index) for numeric_id, index in rows),
+            )
         return gold_id
 
     def load_gold_standard(self, dataset_name: str, gold_name: str) -> GoldStandard:
@@ -367,3 +394,44 @@ class FrostStore:
                 (dataset_id,),
             )
         ]
+
+    # -- result cache -------------------------------------------------------------
+
+    def cache_get(self, cache_key: str) -> object | None:
+        """The cached payload under ``cache_key``, or ``None`` on a miss.
+
+        Backs the engine's content-addressed result cache
+        (:mod:`repro.engine.cache`): keys are digests of dataset +
+        config + gold-standard content, payloads are JSON documents.
+        """
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT payload FROM result_cache WHERE cache_key = ?",
+                (cache_key,),
+            ).fetchone()
+        return None if row is None else json.loads(row[0])
+
+    def cache_put(self, cache_key: str, kind: str, payload: object) -> None:
+        """Persist ``payload`` (JSON-serializable) under ``cache_key``."""
+        document = json.dumps(payload)
+        with self._lock, self._connection:
+            self._connection.execute(
+                "INSERT OR REPLACE INTO result_cache "
+                "(cache_key, kind, payload, created_at) VALUES (?, ?, ?, ?)",
+                (cache_key, kind, document, time.time()),
+            )
+
+    def cache_entries(self) -> list[tuple[str, str]]:
+        """All ``(cache_key, kind)`` rows, oldest first."""
+        with self._lock:
+            return list(
+                self._connection.execute(
+                    "SELECT cache_key, kind FROM result_cache ORDER BY created_at"
+                )
+            )
+
+    def cache_clear(self) -> int:
+        """Drop all cached results; returns the number of rows deleted."""
+        with self._lock, self._connection:
+            cursor = self._connection.execute("DELETE FROM result_cache")
+            return cursor.rowcount

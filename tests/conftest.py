@@ -2,9 +2,28 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 from repro.core import Dataset, Experiment, GoldStandard, Record
+
+
+def _purge_stale_pycache() -> None:
+    """Drop compiled test modules whose source file no longer exists.
+
+    Stale ``__pycache__`` entries (left behind by renames or by runs
+    without package ``__init__.py`` files) make pytest's import system
+    report "import file mismatch" collection errors.
+    """
+    for pycache in Path(__file__).resolve().parent.rglob("__pycache__"):
+        for compiled in pycache.glob("*.pyc"):
+            source = pycache.parent / (compiled.name.split(".")[0] + ".py")
+            if not source.exists():
+                compiled.unlink(missing_ok=True)
+
+
+_purge_stale_pycache()
 
 
 @pytest.fixture

@@ -1,0 +1,22 @@
+"""Engine fixtures: a populated platform and an engine over it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import FrostPlatform
+from repro.engine import ExperimentEngine
+
+
+@pytest.fixture
+def platform(people_dataset, people_gold, people_experiment) -> FrostPlatform:
+    registry = FrostPlatform()
+    registry.add_dataset(people_dataset)
+    registry.add_gold(people_dataset.name, people_gold)
+    registry.add_experiment(people_dataset.name, people_experiment)
+    return registry
+
+
+@pytest.fixture
+def engine(platform) -> ExperimentEngine:
+    return ExperimentEngine(platform, max_workers=2)

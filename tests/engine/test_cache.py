@@ -1,0 +1,65 @@
+"""Tests for the two-tier content-addressed result cache."""
+
+import pytest
+
+from repro.engine.cache import MISS, ResultCache
+from repro.storage.database import FrostStore
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k") is MISS
+        cache.put("k", "metrics", {"f1": 1.0})
+        assert cache.get("k") == {"f1": 1.0}
+        assert cache.stats()["memory_hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_drops_least_recently_used(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", "metrics", 1)
+        cache.put("b", "metrics", 2)
+        cache.get("a")  # refresh a; b becomes LRU
+        cache.put("c", "metrics", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.evictions == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_entries=0)
+
+
+class TestPersistentTier:
+    def test_store_hit_survives_memory_eviction(self):
+        with FrostStore() as store:
+            cache = ResultCache(max_entries=1, store=store)
+            cache.put("a", "metrics", {"x": 1})
+            cache.put("b", "metrics", {"y": 2})  # evicts a from memory
+            assert cache.get("a") == {"x": 1}
+            assert cache.stats()["store_hits"] == 1
+
+    def test_cache_survives_reopen(self, tmp_path):
+        path = tmp_path / "cache.db"
+        with FrostStore(path) as store:
+            ResultCache(store=store).put("k", "diagram", {"points": []})
+        with FrostStore(path) as store:
+            fresh = ResultCache(store=store)
+            assert fresh.get("k") == {"points": []}
+
+    def test_clear_drops_both_tiers(self):
+        with FrostStore() as store:
+            cache = ResultCache(store=store)
+            cache.put("k", "metrics", 1)
+            cache.clear()
+            assert cache.get("k") is MISS
+            assert store.cache_entries() == []
+
+    def test_store_entries_record_kind(self):
+        with FrostStore() as store:
+            cache = ResultCache(store=store)
+            cache.put("k1", "metrics", 1)
+            cache.put("k2", "diagram", 2)
+            kinds = {kind for _, kind in store.cache_entries()}
+            assert kinds == {"metrics", "diagram"}

@@ -1,0 +1,1 @@
+"""Test package (unique basenames via package-qualified module names)."""

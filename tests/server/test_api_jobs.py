@@ -1,0 +1,186 @@
+"""End-to-end tests for the engine-backed ``/jobs`` API routes."""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.core.platform import FrostPlatform
+from repro.server.api import ApiError, FrostApi
+from repro.server.http import FrostHttpServer
+
+
+@pytest.fixture
+def api(people_dataset, people_gold, people_experiment):
+    platform = FrostPlatform()
+    platform.add_dataset(people_dataset)
+    platform.add_gold(people_dataset.name, people_gold)
+    platform.add_experiment(people_dataset.name, people_experiment)
+    return FrostApi(platform)
+
+
+class TestJobRoutes:
+    def test_submit_and_fetch_single_job(self, api):
+        submitted = api.handle(
+            "/jobs",
+            {"wait": "1"},
+            method="POST",
+            body={
+                "kind": "metrics",
+                "id": "m1",
+                "params": {
+                    "dataset": "people",
+                    "gold": "people-gold",
+                    "metrics": ["precision", "recall"],
+                },
+            },
+        )
+        assert submitted["submitted"] == ["m1"]
+        assert submitted["jobs"][0]["state"] == "succeeded"
+        detail = api.handle("/jobs/m1")
+        assert detail["state"] == "succeeded"
+        assert detail["result"]["metrics"]["people-run"] == {
+            "precision": 0.5,
+            "recall": 0.5,
+        }
+
+    def test_sweep_through_api_routes(self, api):
+        """The ISSUE's e2e scenario: a threshold sweep over /jobs."""
+        submitted = api.handle(
+            "/jobs",
+            {"wait": "1"},
+            method="POST",
+            body={
+                "kind": "metrics",
+                "id": "sweep",
+                "params": {
+                    "dataset": "people",
+                    "gold": "people-gold",
+                    "metrics": ["recall"],
+                },
+                "sweep": {"parameter": "threshold", "values": [0.5, 0.8, 0.99]},
+            },
+        )
+        assert submitted["submitted"] == ["sweep@0.5", "sweep@0.8", "sweep@0.99"]
+        assert all(job["state"] == "succeeded" for job in submitted["jobs"])
+        recalls = [
+            api.handle(f"/jobs/{job_id}")["result"]["metrics"]["people-run"][
+                "recall"
+            ]
+            for job_id in submitted["submitted"]
+        ]
+        assert recalls == sorted(recalls, reverse=True)
+        listing = api.handle("/jobs")
+        assert listing["progress"]["succeeded"] == 3
+        # identical re-submission is served from the content-addressed cache
+        rerun = api.handle(
+            "/jobs",
+            {"wait": "1"},
+            method="POST",
+            body={
+                "kind": "metrics",
+                "id": "again",
+                "params": {
+                    "dataset": "people",
+                    "gold": "people-gold",
+                    "metrics": ["recall"],
+                },
+                "sweep": {"parameter": "threshold", "values": [0.5, 0.8, 0.99]},
+            },
+        )
+        assert all(job["cached"] for job in rerun["jobs"])
+
+    def test_job_listing_reports_cache_stats(self, api):
+        api.handle(
+            "/jobs",
+            {"wait": "1"},
+            method="POST",
+            body={
+                "kind": "diagram",
+                "params": {
+                    "dataset": "people",
+                    "gold": "people-gold",
+                    "experiment": "people-run",
+                    "samples": 3,
+                },
+            },
+        )
+        listing = api.handle("/jobs")
+        assert listing["progress"]["cache"]["puts"] == 1
+
+    def test_bad_sweep_submission_is_atomic(self, api):
+        """A duplicate id mid-batch must not poison later retries."""
+        body = {
+            "kind": "metrics",
+            "id": "atomic",
+            "params": {"dataset": "people", "gold": "people-gold"},
+            "sweep": {"parameter": "threshold", "values": [0.5, 0.5, 0.7]},
+        }
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/jobs", method="POST", body=body)
+        assert excinfo.value.status == 400
+        listing = api.handle("/jobs")
+        assert listing["jobs"] == [], "failed batch must enqueue nothing"
+        body["sweep"]["values"] = [0.5, 0.7]
+        retry = api.handle("/jobs", {"wait": "1"}, method="POST", body=body)
+        assert [job["state"] for job in retry["jobs"]] == ["succeeded"] * 2
+
+    def test_unknown_job_404(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/jobs/ghost")
+        assert excinfo.value.status == 404
+
+    def test_bad_kind_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/jobs", method="POST", body={"kind": "pipeline"})
+        assert excinfo.value.status == 400
+
+    def test_missing_body_400(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/jobs", method="POST", body=None)
+        assert excinfo.value.status == 400
+
+    def test_post_not_allowed_elsewhere(self, api):
+        with pytest.raises(ApiError) as excinfo:
+            api.handle("/datasets", method="POST", body={})
+        assert excinfo.value.status == 405
+
+
+class TestJobsOverHttp:
+    def test_post_jobs_over_http(self, api):
+        with FrostHttpServer(api, port=0) as server:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/jobs?wait=1",
+                data=json.dumps(
+                    {
+                        "kind": "metrics",
+                        "id": "http-job",
+                        "params": {
+                            "dataset": "people",
+                            "gold": "people-gold",
+                            "metrics": ["f1"],
+                        },
+                    }
+                ).encode("utf-8"),
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(request, timeout=30) as response:
+                payload = json.loads(response.read())
+            assert payload["jobs"][0]["state"] == "succeeded"
+            with urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/jobs/http-job", timeout=30
+            ) as response:
+                detail = json.loads(response.read())
+            assert detail["result"]["metrics"]["people-run"]["f1"] > 0
+
+    def test_invalid_json_body_http_400(self, api):
+        with FrostHttpServer(api, port=0) as server:
+            request = urllib.request.Request(
+                f"http://127.0.0.1:{server.port}/jobs",
+                data=b"{not json",
+                method="POST",
+            )
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=30)
+            assert excinfo.value.code == 400

@@ -194,3 +194,90 @@ class TestCategorize:
         )
         assert code == 0
         assert "1.0000" in out
+
+
+class TestEngine:
+    def test_run_repeat_serves_from_cache(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "engine", "run",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--repeat", "2",
+        )
+        assert code == 0
+        assert "[computed]" in out
+        assert "[cached]" in out
+        assert "1 computed, 1 cached" in out
+
+    def test_run_diagram_job(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "engine", "run",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--job", "diagram",
+            "--samples", "4",
+        )
+        assert code == 0
+        assert "4 diagram points" in out
+
+    def test_sweep_prints_threshold_table(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "engine", "sweep",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--thresholds", "0.5:0.9:3",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert lines[0].startswith("threshold")
+        assert any(line.startswith("0.5000") for line in lines)
+        assert any(line.startswith("0.9000") for line in lines)
+
+    def test_store_persists_cache_between_invocations(self, files, capsys):
+        store = files / "cache.db"
+        argv = [
+            "engine", "run",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--store", store,
+        ]
+        code, out, _ = run(capsys, *argv)
+        assert code == 0 and "[computed]" in out
+        code, out, _ = run(capsys, *argv)
+        assert code == 0 and "[cached]" in out
+        code, out, _ = run(capsys, "engine", "status", "--store", store)
+        assert code == 0
+        assert "cached results: 1" in out
+        assert "metrics: 1" in out
+
+    def test_degenerate_threshold_grid_deduplicates(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "engine", "sweep",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--thresholds", "0.7:0.7:3",
+        )
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert sum(line.startswith("0.7000") for line in lines) == 1
+
+    def test_bad_threshold_grid_fails_cleanly(self, files, capsys):
+        code, _, err = run(
+            capsys,
+            "engine", "sweep",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--experiment", files / "e.csv",
+            "--thresholds", "nope",
+        )
+        assert code == 1
+        assert "error:" in err

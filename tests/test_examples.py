@@ -15,7 +15,7 @@ import pytest
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
-FAST_EXAMPLES = ["quickstart.py", "custom_importer.py"]
+FAST_EXAMPLES = ["quickstart.py", "custom_importer.py", "engine_sweep.py"]
 
 
 def test_examples_directory_is_populated():
