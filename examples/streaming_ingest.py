@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Continuous entity resolution with the streaming subsystem.
+
+The batch pipeline recomputes everything whenever a record arrives; a
+:class:`~repro.streaming.StreamingMatcher` instead keeps the blocking
+index and the clustering alive between batches and performs only the
+*delta* work.  This example:
+
+1. creates a durable streaming session (config + state in SQLite);
+2. ingests three daily record batches, showing the versioned snapshot
+   (delta candidates, accepted matches, cluster counts) after each;
+3. simulates a process restart by resuming the session from the store
+   and ingesting one more batch;
+4. verifies the incremental clustering equals a full batch recompute
+   over all records — the subsystem's core guarantee.
+
+Run with::
+
+    python examples/streaming_ingest.py
+"""
+
+from __future__ import annotations
+
+from repro.core.records import Dataset
+from repro.datagen import make_person_benchmark
+from repro.storage.database import FrostStore
+from repro.streaming import build_pipeline_and_index, build_session, open_session
+
+# The stream config is plain JSON: the same document drives the CLI
+# (`repro stream init ...`), the API (`POST /streams`), and — because it
+# is persisted with the session — resume after a restart.
+CONFIG = {
+    "key": {"kind": "first_token", "attribute": "last_name"},
+    "similarities": {
+        "first_name": "jaro_winkler",
+        "last_name": "jaro_winkler",
+        "street": "monge_elkan",
+        "city": "jaro_winkler",
+        "zip": "exact",
+    },
+    "threshold": 0.82,
+}
+
+
+def main() -> None:
+    benchmark = make_person_benchmark(400, seed=11)
+    records = list(benchmark.dataset)
+    batches = [records[:250], records[250:300], records[300:350]]
+    final_batch = records[350:]
+
+    store = FrostStore(":memory:")
+    session = build_session(CONFIG, store=store, name="customers")
+
+    print("== ingesting daily batches ==")
+    for batch in batches:
+        snapshot = session.ingest(batch)
+        print(
+            f"v{snapshot.version}: +{len(batch)} records "
+            f"({snapshot.record_count} total), "
+            f"{snapshot.delta_candidates} delta candidates, "
+            f"{snapshot.accepted_matches} accepted, "
+            f"{snapshot.cluster_count} clusters"
+        )
+
+    print("\n== resuming the session (simulated restart) ==")
+    resumed = open_session(store, "customers")
+    print(
+        f"resumed at v{resumed.version} with {resumed.record_count} records"
+    )
+    snapshot = resumed.ingest(final_batch)
+    print(
+        f"v{snapshot.version}: +{len(final_batch)} records, "
+        f"{snapshot.accepted_matches} accepted"
+    )
+
+    print("\n== equivalence against a full batch recompute ==")
+    pipeline, _ = build_pipeline_and_index(CONFIG)
+    full_run = pipeline.run(Dataset(records, name="union"))
+    stream_clusters = set(resumed.clusters().clusters)
+    batch_clusters = set(full_run.experiment.clustering().clusters)
+    assert stream_clusters == batch_clusters, "clusterings must be identical"
+    compared = sum(s.delta_candidates for s in resumed.snapshots)
+    print(
+        f"identical clusters: {len(stream_clusters)} duplicate groups\n"
+        f"streaming compared {compared} pairs across "
+        f"{resumed.version} ingests; every full re-run would have "
+        f"compared {len(full_run.candidates)} pairs *per batch*"
+    )
+
+    print("\n== snapshot lineage ==")
+    for entry in store.stream_snapshot_lineage("customers"):
+        print(
+            f"v{entry['version']} (parent "
+            f"{entry['parent_version']}): records={entry['record_count']} "
+            f"clusters={entry['cluster_count']} "
+            f"pairs={entry['pair_count']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

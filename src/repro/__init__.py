@@ -35,8 +35,9 @@ from repro.core import (
 )
 from repro.core.platform import FrostPlatform
 from repro.engine import ExperimentEngine, JobSpec
+from repro.streaming import StreamingMatcher, build_session, open_session
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Clustering",
@@ -49,8 +50,11 @@ __all__ = [
     "JobSpec",
     "Match",
     "Record",
+    "StreamingMatcher",
     "__version__",
+    "build_session",
     "compute_diagram_naive_clustering",
     "compute_diagram_optimized",
     "metric_metric_series",
+    "open_session",
 ]

@@ -19,6 +19,17 @@ cache; ``--store cache.db`` persists cached results across invocations::
     python -m repro engine sweep  --dataset d.csv --gold g.csv --experiment e.csv --thresholds 0.5:0.9:5
     python -m repro engine status --store cache.db
 
+The ``stream`` commands manage durable incremental matching sessions
+(:mod:`repro.streaming`): ``init`` registers a session in a store,
+``ingest`` folds a CSV batch in (delta blocking + incremental
+clustering), ``snapshot`` prints the current duplicate clusters, and
+``status`` shows the snapshot lineage::
+
+    python -m repro stream init    --store s.db --name crm --key-attribute last_name --similarity first_name=jaro_winkler --similarity last_name=jaro_winkler
+    python -m repro stream ingest  --store s.db --name crm --dataset day1.csv
+    python -m repro stream snapshot --store s.db --name crm
+    python -m repro stream status  --store s.db
+
 Every command reads CSV files (``--separator`` configures the dialect)
 and prints plain text to stdout.
 """
@@ -165,6 +176,86 @@ def build_parser() -> argparse.ArgumentParser:
     )
     engine_status.add_argument(
         "--store", required=True, help="SQLite path of the result cache"
+    )
+
+    stream = commands.add_parser(
+        "stream", help="incremental streaming matching sessions"
+    )
+    stream_commands = stream.add_subparsers(dest="stream_command", required=True)
+
+    stream_init = stream_commands.add_parser(
+        "init", help="create a durable streaming session"
+    )
+    stream_init.add_argument(
+        "--store", required=True, help="SQLite path holding the session state"
+    )
+    stream_init.add_argument("--name", required=True, help="stream name")
+    stream_init.add_argument(
+        "--key-kind",
+        choices=("first_token", "prefix", "soundex", "token"),
+        default="first_token",
+        help="delta blocking scheme (default first_token)",
+    )
+    stream_init.add_argument(
+        "--key-attribute", help="blocking attribute (key-based kinds)"
+    )
+    stream_init.add_argument(
+        "--prefix-length", type=int, default=3, help="prefix key length"
+    )
+    stream_init.add_argument(
+        "--token-attributes",
+        help="comma-separated attributes for token blocking (default: all)",
+    )
+    stream_init.add_argument(
+        "--min-token-length", type=int, default=3, help="token blocking minimum"
+    )
+    stream_init.add_argument(
+        "--max-block-size",
+        type=int,
+        default=None,
+        help="stop emitting pairs once a block reaches this size",
+    )
+    stream_init.add_argument(
+        "--similarity",
+        action="append",
+        required=True,
+        metavar="ATTR=MEASURE",
+        help="per-attribute similarity, e.g. name=jaro_winkler (repeatable)",
+    )
+    stream_init.add_argument(
+        "--threshold", type=float, default=0.5, help="match threshold"
+    )
+    stream_init.add_argument(
+        "--lowercase",
+        action="store_true",
+        help="also lowercase values during preparation",
+    )
+
+    stream_ingest = stream_commands.add_parser(
+        "ingest", help="fold one CSV record batch into a session"
+    )
+    stream_ingest.add_argument("--store", required=True)
+    stream_ingest.add_argument("--name", required=True)
+    stream_ingest.add_argument(
+        "--dataset", required=True, help="batch CSV path"
+    )
+    stream_ingest.add_argument("--id-column", default="id")
+
+    stream_snapshot = stream_commands.add_parser(
+        "snapshot", help="print the clusters of the latest snapshot"
+    )
+    stream_snapshot.add_argument("--store", required=True)
+    stream_snapshot.add_argument("--name", required=True)
+    stream_snapshot.add_argument(
+        "--limit", type=int, default=None, help="print at most N clusters"
+    )
+
+    stream_status = stream_commands.add_parser(
+        "status", help="list sessions and their snapshot lineage"
+    )
+    stream_status.add_argument("--store", required=True)
+    stream_status.add_argument(
+        "--name", default=None, help="show one stream's full lineage"
     )
     return parser
 
@@ -428,6 +519,138 @@ def _command_engine(args: argparse.Namespace, fmt: CsvFormat) -> int:
     return handlers[args.engine_command](args, fmt)
 
 
+def _stream_config_from_args(args: argparse.Namespace) -> dict:
+    """The JSON stream config described by the ``stream init`` flags."""
+    key: dict[str, object] = {"kind": args.key_kind}
+    if args.key_kind == "token":
+        if args.token_attributes:
+            key["attributes"] = [
+                name for name in args.token_attributes.split(",") if name
+            ]
+        key["min_token_length"] = args.min_token_length
+    else:
+        if not args.key_attribute:
+            raise ValueError(
+                f"--key-kind {args.key_kind} needs --key-attribute"
+            )
+        key["attribute"] = args.key_attribute
+        if args.key_kind == "prefix":
+            key["length"] = args.prefix_length
+    if args.max_block_size is not None:
+        key["max_block_size"] = args.max_block_size
+    similarities: dict[str, str] = {}
+    for entry in args.similarity:
+        attribute, separator, measure = entry.partition("=")
+        if not separator or not attribute or not measure:
+            raise ValueError(
+                f"--similarity must be ATTR=MEASURE, got {entry!r}"
+            )
+        similarities[attribute] = measure
+    preparers = ["normalize_whitespace"]
+    if args.lowercase:
+        preparers.append("lowercase_values")
+    return {
+        "key": key,
+        "similarities": similarities,
+        "threshold": args.threshold,
+        "preparers": preparers,
+    }
+
+
+def _command_stream_init(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.storage.database import FrostStore
+    from repro.streaming import build_session
+
+    config = _stream_config_from_args(args)
+    with FrostStore(args.store) as store:
+        session = build_session(config, store=store, name=args.name)
+        print(
+            f"stream {session.name!r} created "
+            f"(key={config['key']['kind']}, threshold={config['threshold']})"
+        )
+    return 0
+
+
+def _command_stream_ingest(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.storage.database import FrostStore
+    from repro.streaming import open_session
+
+    with FrostStore(args.store) as store:
+        session = open_session(store, args.name)
+        batch = _load_dataset(args.dataset, args.id_column, fmt)
+        snapshot = session.ingest(batch)
+        print(
+            f"stream {args.name!r} v{snapshot.version}: "
+            f"+{len(batch)} records ({snapshot.record_count} total), "
+            f"{snapshot.delta_candidates} delta candidates, "
+            f"{snapshot.accepted_matches} accepted, "
+            f"{snapshot.cluster_count} clusters"
+        )
+    return 0
+
+
+def _command_stream_snapshot(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.storage.database import FrostStore
+    from repro.streaming import open_session
+
+    with FrostStore(args.store) as store:
+        session = open_session(store, args.name)
+        clusters = sorted(session.clusters().clusters)
+        print(
+            f"stream {args.name!r} v{session.version}: "
+            f"{session.record_count} records, "
+            f"{len(clusters)} duplicate clusters"
+        )
+        shown = clusters if args.limit is None else clusters[: args.limit]
+        for members in shown:
+            print("  " + " ".join(members))
+        if len(shown) < len(clusters):
+            print(f"  ... {len(clusters) - len(shown)} more")
+    return 0
+
+
+def _command_stream_status(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.storage.database import FrostStore
+
+    with FrostStore(args.store) as store:
+        names = [args.name] if args.name else store.stream_names()
+        if not names:
+            print("no streams stored")
+            return 0
+        for name in names:
+            lineage = store.stream_snapshot_lineage(name)
+            if not lineage:
+                print(f"{name}: empty (no batches ingested)")
+                continue
+            latest = lineage[-1]
+            print(
+                f"{name}: v{latest['version']}, "
+                f"{latest['record_count']} records, "
+                f"{latest['cluster_count']} clusters, "
+                f"{latest['pair_count']} intra-cluster pairs"
+            )
+            if args.name:
+                for snapshot in lineage:
+                    print(
+                        f"  v{snapshot['version']}: "
+                        f"records={snapshot['record_count']} "
+                        f"delta_candidates={snapshot['delta_candidates']} "
+                        f"accepted={snapshot['accepted_matches']} "
+                        f"clusters={snapshot['cluster_count']}"
+                    )
+    return 0
+
+
+def _command_stream(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    handlers = {
+        "init": _command_stream_init,
+        "ingest": _command_stream_ingest,
+        "snapshot": _command_stream_snapshot,
+        "status": _command_stream_status,
+    }
+    return handlers[args.stream_command](args, fmt)
+
+
 _COMMANDS = {
     "metrics": _command_metrics,
     "diagram": _command_diagram,
@@ -435,19 +658,24 @@ _COMMANDS = {
     "profile": _command_profile,
     "categorize": _command_categorize,
     "engine": _command_engine,
+    "stream": _command_stream,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     from repro.engine.runner import EngineError
+    from repro.storage.database import StorageError
+    from repro.streaming import StreamError
 
     parser = build_parser()
     args = parser.parse_args(argv)
     fmt = CsvFormat(separator=args.separator)
     try:
         return _COMMANDS[args.command](args, fmt)
-    except (OSError, ValueError, KeyError, EngineError) as error:
+    except (
+        OSError, ValueError, KeyError, EngineError, StorageError, StreamError
+    ) as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
 

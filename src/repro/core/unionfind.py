@@ -171,6 +171,27 @@ class PairCountingUnionFind:
             for target, sources in batch_sources.items()
         ]
 
+    def grow(self, count: int = 1) -> range:
+        """Append ``count`` fresh singleton elements; returns their indices.
+
+        New elements receive *fresh* generation ids (from the same
+        counter the merges mint from), so cluster ids stay unique even
+        when growth interleaves with unions.  This is what lets a
+        streaming session keep one union-find alive while records keep
+        arriving (:mod:`repro.streaming`).
+        """
+        if count < 0:
+            raise ValueError(f"growth count must be non-negative, got {count}")
+        start = self._n
+        for index in range(start, start + count):
+            self._parent.append(index)
+            self._size.append(1)
+            self._cluster_id.append(self._next_cluster_id)
+            self._next_cluster_id += 1
+        self._n += count
+        self._cluster_count += count
+        return range(start, self._n)
+
     def copy(self) -> "PairCountingUnionFind":
         """An independent deep copy of the structure."""
         clone = PairCountingUnionFind(0)

@@ -35,6 +35,14 @@ Built-in job kinds:
     One stage of a pipeline expressed as a job graph (see
     :meth:`MatchingPipeline.as_job_graph`); not cacheable because the
     intermediates are in-memory objects.
+``stream_ingest``
+    Fold one record batch into a live
+    :class:`~repro.streaming.StreamingMatcher`.  Params: ``session``,
+    ``records`` (a sequence of :class:`Record` objects or JSON rows
+    with an ``"id"`` key).  Returns the new snapshot summary.  Never
+    cached — an ingest mutates session state, so serving it from cache
+    would silently drop the batch; chain batches with ``depends_on``
+    when their ingest order matters.
 """
 
 from __future__ import annotations
@@ -182,6 +190,8 @@ class ExperimentEngine:
                 after=self._register_pipeline_result,
             ),
             "pipeline_stage": JobHandler(compute=self._compute_pipeline_stage),
+            # no token: stateful, must never be served from cache
+            "stream_ingest": JobHandler(compute=self._compute_stream_ingest),
         }
 
     # -- registration -------------------------------------------------------------
@@ -625,6 +635,16 @@ class ExperimentEngine:
         if experiment.name in self.platform.experiment_names(dataset_name):
             return  # idempotent re-runs: first registration wins
         self.platform.add_experiment(dataset_name, experiment)
+
+    def _compute_stream_ingest(
+        self, params: Mapping[str, object], inputs: Sequence[object]
+    ) -> dict[str, object]:
+        from repro.streaming.session import coerce_records
+
+        session = params["session"]
+        records = coerce_records(params["records"])
+        snapshot = session.ingest(records)
+        return {"stream": session.name, **snapshot.as_dict()}
 
     def _compute_pipeline_stage(
         self, params: Mapping[str, object], inputs: Sequence[object]

@@ -7,6 +7,14 @@ key-based blocking, the sorted-neighborhood method (windowing), and
 token blocking.  All blockers return canonical pairs, so their output
 can be evaluated directly with pair-based metrics (pairs completeness /
 reduction ratio).
+
+Blockers visit blocks in sorted order, so any order-sensitive
+instrumentation of the emission (tracing, progress sampling) is
+reproducible.  The candidate *sets* they return are content-identical
+regardless of ``PYTHONHASHSEED`` either way; byte-identical stored
+experiments and cache digests are guaranteed downstream, where the
+pipeline scores candidates in sorted order
+(:meth:`~repro.matching.pipeline.MatchingPipeline.compare_candidates`).
 """
 
 from __future__ import annotations
@@ -49,8 +57,10 @@ def standard_blocking(dataset: Dataset, key: BlockingKey) -> set[Pair]:
         if value is not None:
             blocks.setdefault(value, []).append(record.record_id)
     candidates: set[Pair] = set()
-    for members in blocks.values():
-        candidates.update(make_pair(a, b) for a, b in combinations(members, 2))
+    for value in sorted(blocks):
+        candidates.update(
+            make_pair(a, b) for a, b in combinations(blocks[value], 2)
+        )
     return candidates
 
 
@@ -100,10 +110,11 @@ def token_blocking(
             for token in tokenize(value):
                 if len(token) >= min_token_length:
                     seen.add(token)
-        for token in seen:
+        for token in sorted(seen):
             blocks.setdefault(token, []).append(record.record_id)
     candidates: set[Pair] = set()
-    for members in blocks.values():
+    for token in sorted(blocks):
+        members = blocks[token]
         if max_block_size is not None and len(members) > max_block_size:
             continue
         candidates.update(make_pair(a, b) for a, b in combinations(members, 2))

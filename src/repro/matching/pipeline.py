@@ -147,7 +147,15 @@ class MatchingPipeline:
     def compare_candidates(
         self, prepared: Dataset, candidates: set[Pair]
     ) -> list[SimilarityVector]:
-        """Step 3 — similarity vectors of the candidate pairs."""
+        """Step 3 — similarity vectors of the candidate pairs.
+
+        Candidates are visited in sorted order, so vector/score lists —
+        and everything derived from them (stored experiments, cache
+        digests) — are byte-identical across runs and hash seeds.
+        ``prepared`` only needs item access by record id, which lets
+        the streaming subsystem reuse this stage over its live record
+        registry without materializing a :class:`Dataset`.
+        """
         return [
             self.comparator.compare(prepared[a], prepared[b])
             for a, b in sorted(candidates)

@@ -16,6 +16,7 @@ import math
 import re
 from collections import Counter
 from collections.abc import Callable, Iterable, Sequence
+from functools import lru_cache
 
 __all__ = [
     "exact",
@@ -133,10 +134,33 @@ def tokenize(value: str) -> list[str]:
     return _TOKEN_PATTERN.findall(value.lower())
 
 
+# Token/n-gram derivations dominate the comparison hot path, and the
+# same attribute value is compared against every other member of its
+# blocks — memoizing the derived (immutable) sets means each distinct
+# value is tokenized once per process instead of once per pair.
+
+@lru_cache(maxsize=131072)
+def _token_tuple(value: str) -> tuple[str, ...]:
+    """Memoized :func:`tokenize` result as an immutable tuple."""
+    return tuple(tokenize(value))
+
+
+@lru_cache(maxsize=131072)
+def _token_set(value: str) -> frozenset[str]:
+    """Memoized word-token set of ``value``."""
+    return frozenset(_token_tuple(value))
+
+
+@lru_cache(maxsize=131072)
+def _ngram_set(value: str, n: int) -> frozenset[str]:
+    """Memoized character n-gram set of ``value``."""
+    return frozenset(ngrams(value, n))
+
+
 def token_jaccard(first: str, second: str) -> float:
     """Jaccard similarity of the word-token sets."""
-    tokens_a = set(tokenize(first))
-    tokens_b = set(tokenize(second))
+    tokens_a = _token_set(first)
+    tokens_b = _token_set(second)
     if not tokens_a and not tokens_b:
         return 1.0
     union = tokens_a | tokens_b
@@ -147,8 +171,8 @@ def token_jaccard(first: str, second: str) -> float:
 
 def overlap_coefficient(first: str, second: str) -> float:
     """Szymkiewicz–Simpson overlap of the word-token sets."""
-    tokens_a = set(tokenize(first))
-    tokens_b = set(tokenize(second))
+    tokens_a = _token_set(first)
+    tokens_b = _token_set(second)
     if not tokens_a or not tokens_b:
         return 1.0 if tokens_a == tokens_b else 0.0
     return len(tokens_a & tokens_b) / min(len(tokens_a), len(tokens_b))
@@ -166,8 +190,8 @@ def ngrams(value: str, n: int = 2) -> set[str]:
 
 def ngram_jaccard(first: str, second: str, n: int = 2) -> float:
     """Jaccard similarity of character n-gram sets (bigram default)."""
-    grams_a = ngrams(first, n)
-    grams_b = ngrams(second, n)
+    grams_a = _ngram_set(first, n)
+    grams_b = _ngram_set(second, n)
     if not grams_a and not grams_b:
         return 1.0
     union = grams_a | grams_b
@@ -193,8 +217,8 @@ def monge_elkan(
             for token_a in tokens_a
         ) / len(tokens_a)
 
-    tokens_a = tokenize(first)
-    tokens_b = tokenize(second)
+    tokens_a = _token_tuple(first)
+    tokens_b = _token_tuple(second)
     return (one_way(tokens_a, tokens_b) + one_way(tokens_b, tokens_a)) / 2.0
 
 
@@ -210,7 +234,7 @@ _SOUNDEX_CODES = {
 
 def soundex(value: str) -> str:
     """American Soundex code (letter + three digits) of the first word."""
-    word = next(iter(tokenize(value)), "")
+    word = next(iter(_token_tuple(value)), "")
     if not word or not word[0].isalpha():
         return "0000"
     head = word[0].upper()
@@ -265,36 +289,50 @@ class TfIdfCosine:
     def __init__(self, corpus: Iterable[str] = ()) -> None:
         self._document_frequency: Counter[str] = Counter()
         self._documents = 0
+        # value -> (vector, norm); every add() shifts the idf weights,
+        # so the cache is only valid between corpus mutations
+        self._vector_cache: dict[str, tuple[dict[str, float], float]] = {}
         for value in corpus:
             self.add(value)
 
     def add(self, value: str) -> None:
         """Add one document to the corpus statistics."""
         self._documents += 1
-        self._document_frequency.update(set(tokenize(value)))
+        self._document_frequency.update(_token_set(value))
+        self._vector_cache.clear()
 
     def _weight(self, token: str) -> float:
         df = self._document_frequency.get(token, 0)
         return math.log((1 + self._documents) / (1 + df)) + 1.0
 
     def vector(self, value: str) -> dict[str, float]:
-        counts = Counter(tokenize(value))
-        return {
-            token: count * self._weight(token) for token, count in counts.items()
-        }
+        """The TF-IDF vector of ``value`` under the current corpus."""
+        return dict(self._cached_vector(value)[0])
+
+    def _cached_vector(self, value: str) -> tuple[dict[str, float], float]:
+        cached = self._vector_cache.get(value)
+        if cached is None:
+            counts = Counter(_token_tuple(value))
+            vector = {
+                token: count * self._weight(token)
+                for token, count in counts.items()
+            }
+            norm = math.sqrt(sum(w * w for w in vector.values()))
+            cached = (vector, norm)
+            if len(self._vector_cache) < 131072:
+                self._vector_cache[value] = cached
+        return cached
 
     def __call__(self, first: str, second: str) -> float:
-        vector_a = self.vector(first)
-        vector_b = self.vector(second)
+        vector_a, norm_a = self._cached_vector(first)
+        vector_b, norm_b = self._cached_vector(second)
         if not vector_a and not vector_b:
             return 1.0
+        if norm_a == 0.0 or norm_b == 0.0:
+            return 0.0
         dot = sum(
             weight * vector_b.get(token, 0.0) for token, weight in vector_a.items()
         )
-        norm_a = math.sqrt(sum(w * w for w in vector_a.values()))
-        norm_b = math.sqrt(sum(w * w for w in vector_b.values()))
-        if norm_a == 0.0 or norm_b == 0.0:
-            return 0.0
         return dot / (norm_a * norm_b)
 
 

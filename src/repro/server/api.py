@@ -26,11 +26,18 @@ Routes (all return JSON-serializable dictionaries):
 ``POST /jobs``                                 submit engine jobs (optionally a sweep)
 ``GET /jobs``                                  all job statuses + cache stats
 ``GET /jobs/{id}``                             one job's status and result
+``POST /streams``                              create a streaming matching session
+``POST /streams/{s}/batches``                  ingest a record batch (delta matching)
+``GET /streams``                               stream names
+``GET /streams/{s}``                           session status + snapshot lineage
 =============================================  =====================================
 
 The ``/jobs`` routes are served by the execution engine
 (:mod:`repro.engine`): submitted jobs run on a worker pool and identical
 re-submissions are answered from the content-addressed result cache.
+The ``/streams`` routes front the incremental streaming subsystem
+(:mod:`repro.streaming`): each batch POST runs as a ``stream_ingest``
+engine job and returns the new versioned clustering snapshot.
 """
 
 from __future__ import annotations
@@ -69,12 +76,20 @@ class FrostApi:
         :class:`~repro.engine.runner.ExperimentEngine` serving the
         ``/jobs`` routes; created lazily (in-memory cache only) when
         omitted.
+    store:
+        Optional :class:`~repro.storage.database.FrostStore`.  When
+        given, streams created via ``POST /streams`` are durable (their
+        state persists and can be resumed in later processes);
+        otherwise sessions live only in this API instance.
     """
 
-    def __init__(self, platform: FrostPlatform, engine=None) -> None:
+    def __init__(self, platform: FrostPlatform, engine=None, store=None) -> None:
         self.platform = platform
         self._engine = engine
         self._engine_lock = threading.Lock()
+        self._store = store
+        self._streams: dict[str, object] = {}
+        self._streams_lock = threading.Lock()
 
     @property
     def engine(self):
@@ -119,6 +134,8 @@ class FrostApi:
     ) -> object:
         if parts and parts[0] == "jobs":
             return self._jobs(parts[1:], query, method, body)
+        if parts and parts[0] == "streams":
+            return self._streams_route(parts[1:], query, method, body)
         if method != "GET":
             raise ApiError(405, f"{method} not allowed on /{'/'.join(parts)}")
         if parts == ["datasets"]:
@@ -376,3 +393,108 @@ class FrostApi:
         if result.state.value == "succeeded":
             detail["result"] = result.value
         return detail
+
+    # -- streaming sessions -------------------------------------------------------
+
+    def _stream(self, name: str):
+        with self._streams_lock:
+            session = self._streams.get(name)
+        if session is None and self._store is not None:
+            # A durable stream created by an earlier process: resume it
+            # *outside* the lock (a resume replays the full stream and
+            # must not stall requests to other, already-loaded streams),
+            # then publish double-checked — the first resume wins.
+            from repro.storage.database import StorageError
+            from repro.streaming import open_session
+
+            try:
+                resumed = open_session(self._store, name)
+            except StorageError:
+                resumed = None
+            if resumed is not None:
+                with self._streams_lock:
+                    session = self._streams.setdefault(name, resumed)
+        if session is None:
+            raise ApiError(404, f"no stream named {name!r}")
+        return session
+
+    def _streams_route(
+        self, rest: list[str], query: dict[str, str], method: str, body: object
+    ) -> object:
+        if method == "POST" and not rest:
+            return self._create_stream(body)
+        if method == "POST" and len(rest) == 2 and rest[1] == "batches":
+            return self._ingest_batch(rest[0], query, body)
+        if method == "GET" and not rest:
+            with self._streams_lock:
+                names = set(self._streams)
+            if self._store is not None:
+                names.update(self._store.stream_names())
+            return {"streams": sorted(names)}
+        if method == "GET" and len(rest) == 1:
+            return self._stream(rest[0]).status()
+        raise ApiError(405 if not rest else 404, "unsupported /streams route")
+
+    def _create_stream(self, body: object) -> dict:
+        from repro.streaming import StreamError, build_session
+
+        if not isinstance(body, Mapping):
+            raise ValueError("POST /streams needs a JSON object body")
+        name = str(body.get("name") or "")
+        if not name or "/" in name:
+            raise ValueError("'name' is required and must not contain '/'")
+        config = body.get("config")
+        with self._streams_lock:
+            if name in self._streams:
+                raise ValueError(f"stream {name!r} already exists")
+            try:
+                session = build_session(config, store=self._store, name=name)
+            except StreamError as exists:
+                raise ValueError(str(exists)) from None
+            self._streams[name] = session
+        return session.status()
+
+    def _ingest_batch(
+        self, name: str, query: dict[str, str], body: object
+    ) -> dict:
+        from repro.engine.jobs import JobSpec
+        from repro.engine.runner import EngineError
+
+        from repro.streaming import coerce_records
+
+        session = self._stream(name)
+        if not isinstance(body, Mapping) or not isinstance(
+            body.get("records"), list
+        ):
+            raise ValueError(
+                "POST /streams/{id}/batches needs a JSON body with a "
+                "'records' list"
+            )
+        # validate the rows before they enter the worker pool, so a
+        # malformed request is a 400 here instead of a failed job
+        records = coerce_records(body["records"])
+        spec = JobSpec(
+            "stream_ingest",
+            {"session": session, "records": records},
+            job_id=str(body.get("job_id", "") or ""),
+            cacheable=False,
+        )
+        try:
+            job_id = self.engine.submit(spec)
+        except EngineError as error:
+            raise ValueError(str(error)) from None
+        self.engine.start()
+        self.engine.join([job_id])
+        result = self.engine.result(job_id)
+        if result.state.value != "succeeded":
+            error = result.error or "stream ingest failed"
+            # client-input failures (duplicate ids, malformed batches)
+            # are 400s; anything else is a genuine server-side error
+            client_errors = (
+                "StreamError:", "ValueError:", "DatasetError:",
+                "StorageError:",
+            )
+            if error.startswith(client_errors):
+                raise ValueError(error)
+            raise ApiError(500, error)
+        return {"job": job_id, "snapshot": result.value}

@@ -79,6 +79,49 @@ CREATE TABLE IF NOT EXISTS result_cache (
     payload TEXT NOT NULL,
     created_at REAL NOT NULL
 );
+CREATE TABLE IF NOT EXISTS streams (
+    stream_id INTEGER PRIMARY KEY,
+    name TEXT UNIQUE NOT NULL,
+    config TEXT NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS stream_records (
+    stream_id INTEGER NOT NULL REFERENCES streams(stream_id),
+    numeric_id INTEGER NOT NULL,
+    native_id TEXT NOT NULL,
+    payload TEXT NOT NULL,
+    batch_index INTEGER NOT NULL,
+    PRIMARY KEY (stream_id, numeric_id)
+);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_stream_records_native
+    ON stream_records(stream_id, native_id);
+CREATE TABLE IF NOT EXISTS stream_blocks (
+    stream_id INTEGER NOT NULL REFERENCES streams(stream_id),
+    block_key TEXT NOT NULL,
+    numeric_id INTEGER NOT NULL,
+    PRIMARY KEY (stream_id, block_key, numeric_id)
+);
+CREATE TABLE IF NOT EXISTS stream_merges (
+    stream_id INTEGER NOT NULL REFERENCES streams(stream_id),
+    batch_index INTEGER NOT NULL,
+    merge_index INTEGER NOT NULL,
+    first_numeric INTEGER NOT NULL,
+    second_numeric INTEGER NOT NULL,
+    score REAL,
+    PRIMARY KEY (stream_id, batch_index, merge_index)
+);
+CREATE TABLE IF NOT EXISTS stream_snapshots (
+    stream_id INTEGER NOT NULL REFERENCES streams(stream_id),
+    version INTEGER NOT NULL,
+    parent_version INTEGER,
+    created_at REAL NOT NULL,
+    record_count INTEGER NOT NULL,
+    cluster_count INTEGER NOT NULL,
+    pair_count INTEGER NOT NULL,
+    delta_candidates INTEGER NOT NULL,
+    accepted_matches INTEGER NOT NULL,
+    PRIMARY KEY (stream_id, version)
+);
 """
 
 
@@ -435,3 +478,188 @@ class FrostStore:
         with self._lock, self._connection:
             cursor = self._connection.execute("DELETE FROM result_cache")
             return cursor.rowcount
+
+    # -- streaming sessions --------------------------------------------------------
+
+    def create_stream(self, name: str, config: object) -> int:
+        """Register a durable streaming session under ``name``.
+
+        ``config`` is the JSON document a
+        :class:`~repro.streaming.StreamingMatcher` can be rebuilt from
+        (see :mod:`repro.streaming.config`).
+        """
+        with self._lock, self._connection:
+            try:
+                cursor = self._connection.execute(
+                    "INSERT INTO streams (name, config, created_at) "
+                    "VALUES (?, ?, ?)",
+                    (name, json.dumps(config), time.time()),
+                )
+            except sqlite3.IntegrityError:
+                raise StorageError(f"stream {name!r} already stored") from None
+            return cursor.lastrowid
+
+    def stream_names(self) -> list[str]:
+        """Names of all stored streams, sorted."""
+        return [
+            name
+            for (name,) in self._connection.execute(
+                "SELECT name FROM streams ORDER BY name"
+            )
+        ]
+
+    def _stream_id(self, name: str) -> int:
+        row = self._connection.execute(
+            "SELECT stream_id FROM streams WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no stream named {name!r}")
+        return row[0]
+
+    def stream_config(self, name: str) -> dict:
+        """The stored session config of stream ``name``."""
+        row = self._connection.execute(
+            "SELECT config FROM streams WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no stream named {name!r}")
+        return json.loads(row[0])
+
+    def append_stream_batch(
+        self,
+        name: str,
+        batch_index: int,
+        records: list[tuple[int, str, dict]],
+        blocks: list[tuple[str, int]],
+        merges: list[tuple[int, int, float | None]],
+        snapshot: dict,
+    ) -> None:
+        """Persist one ingest atomically: records, blocks, merges, snapshot.
+
+        ``records`` rows are ``(numeric_id, native_id, payload)``,
+        ``blocks`` rows ``(block_key, numeric_id)`` (only the *delta*
+        memberships of this batch), ``merges`` rows
+        ``(first_numeric, second_numeric, score)`` — the accepted-match
+        merge log — and ``snapshot`` the versioned summary produced by
+        the session.  Either the whole batch lands or none of it, so a
+        crashed ingest never leaves a stream half-written.
+        """
+        with self._lock, self._connection:
+            stream_id = self._stream_id(name)
+            try:
+                self._connection.executemany(
+                    "INSERT INTO stream_records "
+                    "(stream_id, numeric_id, native_id, payload, batch_index) "
+                    "VALUES (?, ?, ?, ?, ?)",
+                    (
+                        (stream_id, numeric_id, native_id, json.dumps(payload),
+                         batch_index)
+                        for numeric_id, native_id, payload in records
+                    ),
+                )
+                self._connection.executemany(
+                    "INSERT INTO stream_blocks "
+                    "(stream_id, block_key, numeric_id) VALUES (?, ?, ?)",
+                    (
+                        (stream_id, block_key, numeric_id)
+                        for block_key, numeric_id in blocks
+                    ),
+                )
+                self._connection.executemany(
+                    "INSERT INTO stream_merges (stream_id, batch_index, "
+                    "merge_index, first_numeric, second_numeric, score) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        (stream_id, batch_index, merge_index, first, second,
+                         score)
+                        for merge_index, (first, second, score)
+                        in enumerate(merges)
+                    ),
+                )
+                self._connection.execute(
+                    "INSERT INTO stream_snapshots (stream_id, version, "
+                    "parent_version, created_at, record_count, cluster_count, "
+                    "pair_count, delta_candidates, accepted_matches) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        stream_id,
+                        snapshot["version"],
+                        snapshot["parent_version"],
+                        time.time(),
+                        snapshot["record_count"],
+                        snapshot["cluster_count"],
+                        snapshot["pair_count"],
+                        snapshot["delta_candidates"],
+                        snapshot["accepted_matches"],
+                    ),
+                )
+            except sqlite3.IntegrityError as collision:
+                raise StorageError(
+                    f"stream {name!r}: batch {batch_index} collides with "
+                    f"stored state ({collision})"
+                ) from None
+
+    def load_stream(self, name: str) -> dict:
+        """Everything needed to resume stream ``name`` as one document.
+
+        Returns ``config``, ``records`` rows
+        ``(numeric_id, native_id, payload)`` ordered by numeric id,
+        ``blocks`` rows ``(block_key, numeric_id)``, ``merges`` rows
+        ``(batch_index, first_numeric, second_numeric, score)`` in
+        ingest order, and ``snapshots`` as keyword-ready dictionaries,
+        oldest first.
+        """
+        stream_id = self._stream_id(name)
+        records = [
+            (numeric_id, native_id, json.loads(payload))
+            for numeric_id, native_id, payload in self._connection.execute(
+                "SELECT numeric_id, native_id, payload FROM stream_records "
+                "WHERE stream_id = ? ORDER BY numeric_id",
+                (stream_id,),
+            )
+        ]
+        blocks = list(
+            self._connection.execute(
+                "SELECT block_key, numeric_id FROM stream_blocks "
+                "WHERE stream_id = ? ORDER BY block_key, numeric_id",
+                (stream_id,),
+            )
+        )
+        merges = list(
+            self._connection.execute(
+                "SELECT batch_index, first_numeric, second_numeric, score "
+                "FROM stream_merges WHERE stream_id = ? "
+                "ORDER BY batch_index, merge_index",
+                (stream_id,),
+            )
+        )
+        return {
+            "config": self.stream_config(name),
+            "records": records,
+            "blocks": blocks,
+            "merges": merges,
+            "snapshots": self.stream_snapshot_lineage(name),
+        }
+
+    def stream_snapshot_lineage(self, name: str) -> list[dict]:
+        """The snapshot lineage of stream ``name``, oldest first."""
+        stream_id = self._stream_id(name)
+        return [
+            {
+                "version": version,
+                "parent_version": parent_version,
+                "record_count": record_count,
+                "cluster_count": cluster_count,
+                "pair_count": pair_count,
+                "delta_candidates": delta_candidates,
+                "accepted_matches": accepted_matches,
+            }
+            for version, parent_version, record_count, cluster_count,
+            pair_count, delta_candidates, accepted_matches
+            in self._connection.execute(
+                "SELECT version, parent_version, record_count, cluster_count, "
+                "pair_count, delta_candidates, accepted_matches "
+                "FROM stream_snapshots WHERE stream_id = ? ORDER BY version",
+                (stream_id,),
+            )
+        ]

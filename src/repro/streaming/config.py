@@ -1,0 +1,190 @@
+"""JSON-configurable streaming sessions (shared by CLI and API).
+
+A stream's matching behaviour is described by a plain JSON document so
+that sessions can be created over the wire (``POST /streams``), from
+CLI flags (``repro stream init``), and — crucially — *rebuilt* from the
+store when a durable session is resumed.  Schema::
+
+    {
+      "key": {                      # delta blocking scheme
+        "kind": "first_token" | "prefix" | "soundex" | "token",
+        "attribute": "name",        # key-based kinds
+        "length": 3,                # prefix only
+        "attributes": ["name"],     # token only (optional: all)
+        "min_token_length": 3,      # token only
+        "max_block_size": null      # optional emission cap
+      },
+      "similarities": {"name": "jaro_winkler", "zip": "exact"},
+      "threshold": 0.6,
+      "preparers": ["normalize_whitespace"]
+    }
+
+The same config also yields the *batch-equivalent* pipeline (via
+``candidate_generator``), which the benchmarks use to verify that the
+incremental clustering matches a full recompute.  The equivalence is
+exact only while ``key.max_block_size`` is unset: a cap makes the
+incremental index stop *emitting* once a block fills up (an
+order-dependent effect no batch blocker reproduces — token blocking
+purges oversized blocks retroactively, standard blocking has no cap at
+all), so capped streams trade exactness for bounded ingest cost.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.matching.attribute_matching import AttributeComparator
+from repro.matching.blocking import (
+    first_token_key,
+    prefix_key,
+    soundex_key,
+    standard_blocking,
+    token_blocking,
+)
+from repro.matching.pipeline import (
+    MatchingPipeline,
+    lowercase_values,
+    normalize_whitespace,
+)
+from repro.matching.similarity import SIMILARITY_FUNCTIONS
+from repro.streaming.delta_blocking import (
+    IncrementalBlockingIndex,
+    single_key,
+    token_keys,
+)
+from repro.streaming.session import StreamingMatcher, mean_similarity
+
+__all__ = [
+    "build_pipeline_and_index",
+    "build_session",
+    "open_session",
+    "validate_config",
+]
+
+PREPARERS = {
+    "normalize_whitespace": normalize_whitespace,
+    "lowercase_values": lowercase_values,
+}
+
+_KEY_KINDS = ("first_token", "prefix", "soundex", "token")
+
+
+def validate_config(config: Mapping[str, object]) -> dict[str, object]:
+    """Normalize and validate a stream config; raises ``ValueError``."""
+    if not isinstance(config, Mapping):
+        raise ValueError("stream config must be a JSON object")
+    key = config.get("key")
+    if not isinstance(key, Mapping) or key.get("kind") not in _KEY_KINDS:
+        kinds = ", ".join(_KEY_KINDS)
+        raise ValueError(f"config.key.kind must be one of: {kinds}")
+    if key["kind"] != "token" and not key.get("attribute"):
+        raise ValueError(f"key kind {key['kind']!r} needs an 'attribute'")
+    similarities = config.get("similarities")
+    if not isinstance(similarities, Mapping) or not similarities:
+        raise ValueError("config.similarities must map attributes to measures")
+    for attribute, measure in similarities.items():
+        if measure not in SIMILARITY_FUNCTIONS:
+            known = ", ".join(sorted(SIMILARITY_FUNCTIONS))
+            raise ValueError(
+                f"unknown similarity {measure!r} for {attribute!r}; "
+                f"known: {known}"
+            )
+    threshold = float(config.get("threshold", 0.5))
+    preparers = config.get("preparers", ["normalize_whitespace"])
+    if not isinstance(preparers, (list, tuple)):
+        raise ValueError("config.preparers must be a list of names")
+    for name in preparers:
+        if name not in PREPARERS:
+            known = ", ".join(sorted(PREPARERS))
+            raise ValueError(f"unknown preparer {name!r}; known: {known}")
+    return {
+        "key": dict(key),
+        "similarities": dict(similarities),
+        "threshold": threshold,
+        "preparers": list(preparers),
+    }
+
+
+def _blocking_key(key: Mapping[str, object]):
+    kind = key["kind"]
+    attribute = key.get("attribute")
+    if kind == "first_token":
+        return first_token_key(attribute)
+    if kind == "prefix":
+        return prefix_key(attribute, length=int(key.get("length", 3)))
+    if kind == "soundex":
+        return soundex_key(attribute)
+    raise ValueError(f"unknown key kind {kind!r}")
+
+
+class _BatchBlocking:
+    """Batch candidate generator equivalent to a stream's delta blocking.
+
+    A named class (not a lambda) keeps pipelines built from configs
+    content-fingerprintable by the engine.  Equivalent *without* a
+    ``max_block_size`` cap — see the module docstring for why a capped
+    stream has no exact batch counterpart.
+    """
+
+    def __init__(self, key_config: Mapping[str, object]) -> None:
+        self._config = dict(key_config)
+
+    def __call__(self, dataset):
+        config = self._config
+        if config["kind"] == "token":
+            return token_blocking(
+                dataset,
+                attributes=config.get("attributes"),
+                min_token_length=int(config.get("min_token_length", 3)),
+                max_block_size=config.get("max_block_size"),
+            )
+        return standard_blocking(dataset, _blocking_key(config))
+
+    def config_fingerprint(self) -> dict[str, object]:
+        """Content token for the engine's cache keys."""
+        return {"batch_blocking": self._config}
+
+
+def build_pipeline_and_index(
+    config: Mapping[str, object],
+) -> tuple[MatchingPipeline, IncrementalBlockingIndex]:
+    """The pipeline + fresh delta index described by ``config``."""
+    config = validate_config(config)
+    key = config["key"]
+    if key["kind"] == "token":
+        emitter = token_keys(
+            attributes=key.get("attributes"),
+            min_token_length=int(key.get("min_token_length", 3)),
+        )
+    else:
+        emitter = single_key(_blocking_key(key))
+    index = IncrementalBlockingIndex(
+        emitter, max_block_size=key.get("max_block_size")
+    )
+    pipeline = MatchingPipeline(
+        candidate_generator=_BatchBlocking(key),
+        comparator=AttributeComparator(config["similarities"]),
+        decision_model=mean_similarity,
+        threshold=config["threshold"],
+        preparers=[PREPARERS[name] for name in config["preparers"]],
+        clustering="connected_components",
+        name="streaming-config",
+        solution="streaming",
+    )
+    return pipeline, index
+
+
+def build_session(
+    config: Mapping[str, object], store=None, name: str = "stream"
+) -> StreamingMatcher:
+    """A new streaming session from a JSON config (durable iff ``store``)."""
+    config = validate_config(config)
+    pipeline, index = build_pipeline_and_index(config)
+    return StreamingMatcher(
+        pipeline, index, store=store, name=name, config=config
+    )
+
+
+def open_session(store, name: str) -> StreamingMatcher:
+    """Resume the durable session ``name`` from ``store``."""
+    return StreamingMatcher.resume(store, name)

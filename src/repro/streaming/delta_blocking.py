@@ -1,0 +1,209 @@
+"""Incremental candidate generation: delta blocking.
+
+Batch blockers (:mod:`repro.matching.blocking`) recompute the entire
+candidate set on every run.  An :class:`IncrementalBlockingIndex`
+instead keeps the block membership lists alive between ingests and, for
+a batch of new records, emits only the *delta* candidate pairs — the
+new-vs-existing and new-vs-new pairs inside each block.  For key-based
+blocking schemes this decomposition is exact: the union of the deltas
+over all ingests equals the batch candidate set over the union of the
+records, which is what makes incremental clustering maintenance
+(:mod:`repro.streaming.session`) equivalent to a full recompute.
+
+The sorted-neighborhood method is deliberately *not* supported — its
+windowed candidates depend on the global sort order, so a new record
+can both add and remove pairs, breaking the append-only delta model.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.pairs import Pair, make_pair
+from repro.core.records import Record
+from repro.matching.blocking import BlockingKey
+from repro.matching.similarity import tokenize
+
+__all__ = ["DeltaIngest", "IncrementalBlockingIndex", "single_key", "token_keys"]
+
+KeyEmitter = Callable[[Record], Sequence[str]]
+
+
+@dataclass(frozen=True)
+class DeltaIngest:
+    """What one index ingest produced.
+
+    ``pairs`` are the sorted delta candidate pairs; ``memberships`` the
+    ``(block_key, record_id)`` rows this ingest added — exactly what a
+    durable session must persist (and retract on a failed persist),
+    without rescanning the whole index.
+    """
+
+    pairs: list[Pair]
+    memberships: list[tuple[str, str]]
+    record_ids: list[str]
+
+
+def single_key(key: BlockingKey) -> KeyEmitter:
+    """Adapt a standard blocking key into a key emitter.
+
+    Records whose key is ``None`` emit no keys (they never become
+    candidates), mirroring
+    :func:`~repro.matching.blocking.standard_blocking`.
+    """
+
+    def keys(record: Record) -> Sequence[str]:
+        value = key(record)
+        return () if value is None else (value,)
+
+    return keys
+
+
+def token_keys(
+    attributes: Iterable[str] | None = None, min_token_length: int = 3
+) -> KeyEmitter:
+    """Key emitter reproducing token blocking: one key per (long) token.
+
+    Mirrors :func:`~repro.matching.blocking.token_blocking`: every
+    token of at least ``min_token_length`` characters across the given
+    attributes (default: all) becomes a block key.  Keys are emitted in
+    sorted order for deterministic pair emission.
+    """
+
+    def keys(record: Record) -> Sequence[str]:
+        names = attributes if attributes is not None else record.values.keys()
+        seen: set[str] = set()
+        for attribute in names:
+            value = record.value(attribute)
+            if not value:
+                continue
+            for token in tokenize(value):
+                if len(token) >= min_token_length:
+                    seen.add(token)
+        return sorted(seen)
+
+    return keys
+
+
+class IncrementalBlockingIndex:
+    """Live block index that emits only delta candidate pairs on ingest.
+
+    Parameters
+    ----------
+    keys_for:
+        Maps a record to its block keys (see :func:`single_key` and
+        :func:`token_keys`).  A record may land in several blocks; the
+        emitted pair set is deduplicated.
+    max_block_size:
+        Optional emission cap per block.  Once a block holds this many
+        records, later arrivals still *join* the block but no longer
+        emit pairs against it — the incremental analogue of batch block
+        purging.  Note the semantics differ from the batch purge, which
+        drops the entire oversized block retroactively; an incremental
+        index cannot retract pairs it already emitted.
+    """
+
+    def __init__(
+        self, keys_for: KeyEmitter, max_block_size: int | None = None
+    ) -> None:
+        if max_block_size is not None and max_block_size < 1:
+            raise ValueError(
+                f"max_block_size must be positive, got {max_block_size}"
+            )
+        self._keys_for = keys_for
+        self.max_block_size = max_block_size
+        self._blocks: dict[str, list[str]] = {}
+        self._records: set[str] = set()
+
+    # -- queries ----------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, record_id: object) -> bool:
+        return record_id in self._records
+
+    @property
+    def block_count(self) -> int:
+        """Number of non-empty blocks currently indexed."""
+        return len(self._blocks)
+
+    def block_items(self) -> list[tuple[str, str]]:
+        """All ``(block_key, record_id)`` memberships, sorted (durable form)."""
+        return sorted(
+            (key, record_id)
+            for key, members in self._blocks.items()
+            for record_id in members
+        )
+
+    # -- mutation ---------------------------------------------------------------
+
+    def ingest(self, records: Iterable[Record]) -> list[Pair]:
+        """Index ``records`` and return the sorted delta candidate pairs.
+
+        The delta contains every new-vs-existing and new-vs-new pair
+        that shares a block key — exactly the candidates a batch blocker
+        would add for these records.  Pairs are returned sorted so that
+        downstream scoring is deterministic.
+        """
+        return self.ingest_delta(records).pairs
+
+    def ingest_delta(self, records: Iterable[Record]) -> DeltaIngest:
+        """Like :meth:`ingest`, also reporting the added memberships."""
+        emitted: set[Pair] = set()
+        memberships: list[tuple[str, str]] = []
+        record_ids: list[str] = []
+        for record in records:
+            record_id = record.record_id
+            if record_id in self._records:
+                raise ValueError(
+                    f"record {record_id!r} is already indexed"
+                )
+            self._records.add(record_id)
+            record_ids.append(record_id)
+            for key in self._keys_for(record):
+                members = self._blocks.setdefault(key, [])
+                if (
+                    self.max_block_size is None
+                    or len(members) < self.max_block_size
+                ):
+                    emitted.update(
+                        make_pair(member, record_id) for member in members
+                    )
+                members.append(record_id)
+                memberships.append((key, record_id))
+        return DeltaIngest(
+            pairs=sorted(emitted),
+            memberships=memberships,
+            record_ids=record_ids,
+        )
+
+    def retract(self, delta: DeltaIngest) -> None:
+        """Undo one :meth:`ingest_delta` (used when durable persistence
+        fails and the session must roll back to its pre-batch state).
+
+        Only the *latest* ingest may be retracted — memberships were
+        appended, so they sit at the tail of their block lists.
+        """
+        for key, record_id in reversed(delta.memberships):
+            members = self._blocks.get(key)
+            if members and members[-1] == record_id:
+                members.pop()
+            elif members is not None:  # defensive: not the latest ingest
+                members.remove(record_id)
+            if not members and members is not None:
+                del self._blocks[key]
+        self._records.difference_update(delta.record_ids)
+
+    def restore(self, memberships: Iterable[tuple[str, str]]) -> None:
+        """Rebuild the index from persisted ``(block_key, record_id)`` rows.
+
+        Used when resuming a durable session; emits nothing.  Must be
+        called on an empty index.
+        """
+        if self._records:
+            raise ValueError("restore() requires an empty index")
+        for key, record_id in memberships:
+            self._blocks.setdefault(key, []).append(record_id)
+            self._records.add(record_id)

@@ -71,6 +71,94 @@ class TestBasics:
         assert clone.pair_count == 3
 
 
+class TestEdgeCases:
+    def test_empty_structure(self):
+        uf = PairCountingUnionFind(0)
+        assert len(uf) == 0
+        assert uf.cluster_count == 0
+        assert uf.pair_count == 0
+        assert uf.clusters() == {}
+        assert uf.tracked_union([]) == []
+
+    def test_self_pair_union_is_a_no_op(self):
+        uf = PairCountingUnionFind(2)
+        kept = uf.union(1, 1)
+        assert kept == uf.cluster_id_of(1)
+        assert uf.cluster_count == 2
+        assert uf.pair_count == 0
+
+    def test_self_pairs_in_tracked_union_are_ignored(self):
+        uf = PairCountingUnionFind(3)
+        merges = uf.tracked_union([(0, 0), (1, 1)])
+        assert merges == []
+        assert uf.cluster_count == 3
+
+    def test_duplicate_pairs_count_once(self):
+        uf = PairCountingUnionFind(3)
+        merges = uf.tracked_union([(0, 1), (0, 1), (1, 0)])
+        assert len(merges) == 1
+        assert uf.pair_count == 1
+        assert uf.cluster_count == 2
+
+    def test_copy_stays_independent_after_further_unions(self):
+        """Mutating either side after copy() never leaks to the other."""
+        uf = PairCountingUnionFind(4)
+        uf.union(0, 1)
+        clone = uf.copy()
+        uf.union(2, 3)      # original moves on
+        clone.union(0, 2)   # clone diverges
+        assert uf.pair_count == 2
+        assert clone.pair_count == 3
+        assert not clone.connected(2, 3)
+        assert not uf.connected(0, 2)
+        # fresh ids minted after the copy must not collide
+        assert uf.cluster_id_of(2) == clone.cluster_id_of(0) == 5
+
+    def test_copy_of_empty_structure(self):
+        clone = PairCountingUnionFind(0).copy()
+        assert len(clone) == 0
+        indices = clone.grow(2)
+        assert list(indices) == [0, 1]
+        assert clone.cluster_count == 2
+
+
+class TestGrow:
+    def test_grow_appends_singletons(self):
+        uf = PairCountingUnionFind(2)
+        indices = uf.grow(3)
+        assert list(indices) == [2, 3, 4]
+        assert len(uf) == 5
+        assert uf.cluster_count == 5
+        assert uf.pair_count == 0
+
+    def test_grow_zero_is_a_no_op(self):
+        uf = PairCountingUnionFind(2)
+        assert list(uf.grow(0)) == []
+        assert len(uf) == 2
+
+    def test_negative_growth_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            PairCountingUnionFind(2).grow(-1)
+
+    def test_grown_elements_get_fresh_cluster_ids(self):
+        """Growth interleaved with merges never reuses a cluster id."""
+        uf = PairCountingUnionFind(2)
+        merged_id = uf.union(0, 1)  # mints id 2
+        (new_element,) = uf.grow(1)
+        assert uf.cluster_id_of(new_element) != merged_id
+        assert uf.cluster_id_of(new_element) == 3
+        later = uf.union(0, new_element)
+        assert later == 4
+
+    def test_grown_elements_participate_in_unions(self):
+        uf = PairCountingUnionFind(1)
+        uf.grow(2)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.cluster_size(0) == 3
+        assert uf.pair_count == 3
+
+
 class TestTrackedUnion:
     def test_paper_example(self):
         """Appendix D.1: {{a},{b},{c,d}} + pairs {a,b},{b,c} -> one entry."""

@@ -33,6 +33,41 @@ class TestConnectedComponents:
     def test_empty(self):
         assert len(connected_components([])) == 0
 
+    def test_empty_clustering_has_no_pairs(self):
+        clustering = connected_components([])
+        assert clustering.pairs() == set()
+        assert list(clustering.clusters) == []
+
+    def test_duplicate_pairs_collapse(self):
+        """The same match reported twice must not distort the clusters."""
+        clustering = connected_components(
+            scored(("a", "b", 0.9), ("a", "b", 0.7), ("b", "a", 0.8))
+        )
+        assert len(clustering) == 1
+        assert clustering.pairs() == {("a", "b")}
+
+    def test_self_pairs_become_singletons(self):
+        """A degenerate self-link yields a singleton, not a crash.
+
+        ``ScoredPair.of`` rejects self-pairs, but clusterings are also
+        built from imported experiments where such rows can slip in —
+        ``Clustering.from_pairs`` must tolerate them.
+        """
+        from repro.core.clustering import Clustering
+
+        clustering = Clustering.from_pairs([("a", "a"), ("b", "c")])
+        assert clustering.same_cluster("b", "c")
+        assert not clustering.same_cluster("a", "b")
+        assert ("a",) in set(clustering.clusters)
+
+    def test_order_invariance(self):
+        """Pair order never changes the resulting partition."""
+        shuffled = list(CHAIN)
+        random.Random(7).shuffle(shuffled)
+        assert set(connected_components(shuffled).clusters) == set(
+            connected_components(CHAIN).clusters
+        )
+
 
 class TestCenterClustering:
     def test_triangle_single_cluster(self):

@@ -1,0 +1,78 @@
+"""Cross-process determinism of the matching pipeline.
+
+Runs with identical inputs must produce byte-identical stored
+experiments and cache digests, regardless of Python's randomized string
+hashing — the blockers emit pairs in sorted order and the pipeline
+scores candidates sorted, so nothing downstream depends on set
+iteration order.  These tests execute the same tiny pipeline in
+subprocesses under different ``PYTHONHASHSEED`` values and compare the
+content fingerprints.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parents[2] / "src"
+
+_SCRIPT = """
+import json
+from repro.core.records import Dataset, Record
+from repro.engine.jobs import experiment_fingerprint, job_cache_key
+from repro.matching.attribute_matching import AttributeComparator
+from repro.matching.blocking import standard_blocking, token_blocking, first_token_key
+from repro.matching.pipeline import MatchingPipeline
+
+rows = [
+    ("r1", "alpha centauri system", "12"),
+    ("r2", "alpha centauri systm", "12"),
+    ("r3", "beta pictoris", "99"),
+    ("r4", "beta pictoris b", "99"),
+    ("r5", "gamma draconis", "50"),
+    ("r6", "alpha draconis", "50"),
+]
+dataset = Dataset(
+    [Record(r, {"name": n, "zip": z}) for r, n, z in rows], name="stars"
+)
+
+def block(ds):
+    return token_blocking(ds, min_token_length=3) | standard_blocking(
+        ds, first_token_key("name")
+    )
+
+pipeline = MatchingPipeline(
+    candidate_generator=block,
+    comparator=AttributeComparator({"name": "token_jaccard", "zip": "exact"}),
+    decision_model=lambda v: v.mean(),
+    threshold=0.6,
+)
+run = pipeline.run(dataset)
+print(json.dumps({
+    "experiment": experiment_fingerprint(run.experiment),
+    "cache_key": job_cache_key("candidates", sorted(run.candidates)),
+    "matches": [[m.pair[0], m.pair[1], m.score] for m in run.experiment],
+}))
+"""
+
+
+def _run_with_hash_seed(seed: str) -> str:
+    environment = dict(os.environ)
+    environment["PYTHONHASHSEED"] = seed
+    environment["PYTHONPATH"] = str(SRC)
+    completed = subprocess.run(
+        [sys.executable, "-c", _SCRIPT],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=environment,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return completed.stdout
+
+
+def test_pipeline_output_is_hash_seed_independent():
+    """Two runs under different hash seeds agree byte for byte."""
+    first = _run_with_hash_seed("0")
+    second = _run_with_hash_seed("424242")
+    assert first == second

@@ -1,0 +1,285 @@
+"""Cross-layer integration: engine jobs, API routes, CLI commands."""
+
+import pytest
+
+from repro.core.platform import FrostPlatform
+from repro.engine import ExperimentEngine, JobSpec
+from repro.server.api import ApiError, FrostApi
+from repro.storage.database import FrostStore
+from repro.streaming import build_session
+
+CONFIG = {
+    "key": {"kind": "first_token", "attribute": "last"},
+    "similarities": {"first": "jaro_winkler", "last": "jaro_winkler"},
+    "threshold": 0.8,
+}
+
+ROWS_ONE = [
+    {"id": "p1", "first": "john", "last": "smith"},
+    {"id": "p2", "first": "jon", "last": "smith"},
+    {"id": "p3", "first": "mary", "last": "jones"},
+]
+ROWS_TWO = [
+    {"id": "p4", "first": "maria", "last": "jones"},
+    {"id": "p5", "first": "johnny", "last": "smith"},
+]
+
+
+class TestStreamIngestJob:
+    def test_ingest_runs_as_engine_job(self):
+        engine = ExperimentEngine(FrostPlatform())
+        session = build_session(CONFIG, name="crm")
+        results = engine.run(
+            [
+                JobSpec(
+                    "stream_ingest",
+                    {"session": session, "records": ROWS_ONE},
+                    job_id="b1",
+                    cacheable=False,
+                )
+            ]
+        )
+        assert results["b1"].state.value == "succeeded"
+        assert results["b1"].value["version"] == 1
+        assert results["b1"].value["stream"] == "crm"
+        assert session.record_count == 3
+
+    def test_chained_batches_respect_dependencies(self):
+        engine = ExperimentEngine(FrostPlatform())
+        session = build_session(CONFIG, name="crm")
+        results = engine.run(
+            [
+                JobSpec(
+                    "stream_ingest",
+                    {"session": session, "records": ROWS_ONE},
+                    job_id="b1",
+                    cacheable=False,
+                ),
+                JobSpec(
+                    "stream_ingest",
+                    {"session": session, "records": ROWS_TWO},
+                    job_id="b2",
+                    depends_on=("b1",),
+                    cacheable=False,
+                ),
+            ]
+        )
+        assert results["b2"].value["version"] == 2
+        assert results["b2"].value["record_count"] == 5
+
+    def test_ingest_jobs_are_never_cached(self):
+        """Identical batches into different streams must both execute."""
+        engine = ExperimentEngine(FrostPlatform())
+        first = build_session(CONFIG, name="one")
+        second = build_session(CONFIG, name="two")
+        results = engine.run(
+            [
+                JobSpec("stream_ingest",
+                        {"session": first, "records": ROWS_ONE}, job_id="j1"),
+                JobSpec("stream_ingest",
+                        {"session": second, "records": ROWS_ONE}, job_id="j2",
+                        depends_on=("j1",)),
+            ]
+        )
+        assert not results["j1"].cached and not results["j2"].cached
+        assert first.record_count == second.record_count == 3
+
+    def test_failed_ingest_fails_job_only(self):
+        engine = ExperimentEngine(FrostPlatform())
+        session = build_session(CONFIG, name="crm")
+        session.ingest(ROWS_ONE)
+        results = engine.run(
+            [
+                JobSpec(
+                    "stream_ingest",
+                    {"session": session, "records": ROWS_ONE},
+                    job_id="dup",
+                    cacheable=False,
+                )
+            ]
+        )
+        assert results["dup"].state.value == "failed"
+        assert "already ingested" in results["dup"].error
+        assert session.version == 1
+
+
+@pytest.fixture
+def api():
+    return FrostApi(FrostPlatform())
+
+
+class TestStreamApiRoutes:
+    def test_create_ingest_status_roundtrip(self, api):
+        created = api.handle(
+            "/streams", method="POST",
+            body={"name": "crm", "config": CONFIG},
+        )
+        assert created["name"] == "crm"
+        assert created["version"] == 0
+        first = api.handle(
+            "/streams/crm/batches", method="POST", body={"records": ROWS_ONE}
+        )
+        assert first["snapshot"]["version"] == 1
+        second = api.handle(
+            "/streams/crm/batches", method="POST", body={"records": ROWS_TWO}
+        )
+        assert second["snapshot"]["version"] == 2
+        assert second["snapshot"]["record_count"] == 5
+        status = api.handle("/streams/crm")
+        assert status["version"] == 2
+        assert len(status["snapshots"]) == 2
+        listing = api.handle("/streams")
+        assert listing == {"streams": ["crm"]}
+
+    def test_unknown_stream_is_404(self, api):
+        with pytest.raises(ApiError) as missing:
+            api.handle("/streams/nope")
+        assert missing.value.status == 404
+
+    def test_bad_config_is_400(self, api):
+        with pytest.raises(ApiError) as bad:
+            api.handle(
+                "/streams", method="POST",
+                body={"name": "x", "config": {"key": {"kind": "nope"}}},
+            )
+        assert bad.value.status == 400
+
+    def test_duplicate_name_is_400(self, api):
+        api.handle(
+            "/streams", method="POST", body={"name": "crm", "config": CONFIG}
+        )
+        with pytest.raises(ApiError) as dup:
+            api.handle(
+                "/streams", method="POST",
+                body={"name": "crm", "config": CONFIG},
+            )
+        assert dup.value.status == 400
+
+    def test_malformed_records_are_400(self, api):
+        api.handle(
+            "/streams", method="POST", body={"name": "crm", "config": CONFIG}
+        )
+        with pytest.raises(ApiError) as no_id:
+            api.handle(
+                "/streams/crm/batches", method="POST",
+                body={"records": [{"first": "alice"}]},
+            )
+        assert no_id.value.status == 400
+        with pytest.raises(ApiError) as dup_in_batch:
+            api.handle(
+                "/streams/crm/batches", method="POST",
+                body={"records": [ROWS_ONE[0], ROWS_ONE[0]]},
+            )
+        assert dup_in_batch.value.status == 400
+        assert api.handle("/streams/crm")["records"] == 0
+
+    def test_duplicate_record_is_400(self, api):
+        api.handle(
+            "/streams", method="POST", body={"name": "crm", "config": CONFIG}
+        )
+        api.handle(
+            "/streams/crm/batches", method="POST", body={"records": ROWS_ONE}
+        )
+        with pytest.raises(ApiError) as dup:
+            api.handle(
+                "/streams/crm/batches", method="POST",
+                body={"records": ROWS_ONE},
+            )
+        assert dup.value.status == 400
+
+    def test_durable_streams_resume_across_api_instances(self, tmp_path):
+        path = tmp_path / "streams.db"
+        with FrostStore(path) as store:
+            first_api = FrostApi(FrostPlatform(), store=store)
+            first_api.handle(
+                "/streams", method="POST",
+                body={"name": "crm", "config": CONFIG},
+            )
+            first_api.handle(
+                "/streams/crm/batches", method="POST",
+                body={"records": ROWS_ONE},
+            )
+        with FrostStore(path) as store:
+            second_api = FrostApi(FrostPlatform(), store=store)
+            status = second_api.handle("/streams/crm")
+            assert status["version"] == 1
+            assert status["records"] == 3
+            second_api.handle(
+                "/streams/crm/batches", method="POST",
+                body={"records": ROWS_TWO},
+            )
+            assert second_api.handle("/streams/crm")["records"] == 5
+
+
+class TestStreamCli:
+    def _write_csv(self, path, rows):
+        lines = ["id,first,last"]
+        lines += [f"{r['id']},{r['first']},{r['last']}" for r in rows]
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_full_cli_lifecycle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = str(tmp_path / "s.db")
+        day1 = tmp_path / "day1.csv"
+        day2 = tmp_path / "day2.csv"
+        self._write_csv(day1, ROWS_ONE)
+        self._write_csv(day2, ROWS_TWO)
+
+        assert main([
+            "stream", "init", "--store", store, "--name", "crm",
+            "--key-attribute", "last",
+            "--similarity", "first=jaro_winkler",
+            "--similarity", "last=jaro_winkler",
+            "--threshold", "0.8",
+        ]) == 0
+        assert main([
+            "stream", "ingest", "--store", store, "--name", "crm",
+            "--dataset", str(day1),
+        ]) == 0
+        assert main([
+            "stream", "ingest", "--store", store, "--name", "crm",
+            "--dataset", str(day2),
+        ]) == 0
+        assert main([
+            "stream", "snapshot", "--store", store, "--name", "crm",
+        ]) == 0
+        assert main(["stream", "status", "--store", store]) == 0
+        output = capsys.readouterr().out
+        assert "v1" in output and "v2" in output
+        assert "p1 p2 p5" in output
+        assert "p3 p4" in output
+
+    def test_init_requires_key_attribute(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "stream", "init", "--store", str(tmp_path / "s.db"),
+            "--name", "crm", "--similarity", "a=exact",
+        ])
+        assert code == 1
+        assert "key-attribute" in capsys.readouterr().err
+
+    def test_ingest_unknown_stream_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        day = tmp_path / "day.csv"
+        self._write_csv(day, ROWS_ONE)
+        store = str(tmp_path / "s.db")
+        code = main([
+            "stream", "ingest", "--store", store, "--name", "nope",
+            "--dataset", str(day),
+        ])
+        assert code == 1
+        assert "no stream named" in capsys.readouterr().err
+
+    def test_bad_similarity_flag_fails_cleanly(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "stream", "init", "--store", str(tmp_path / "s.db"),
+            "--name", "crm", "--key-attribute", "last",
+            "--similarity", "broken",
+        ])
+        assert code == 1
+        assert "ATTR=MEASURE" in capsys.readouterr().err

@@ -15,7 +15,12 @@ import pytest
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 ALL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
 
-FAST_EXAMPLES = ["quickstart.py", "custom_importer.py", "engine_sweep.py"]
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "custom_importer.py",
+    "engine_sweep.py",
+    "streaming_ingest.py",
+]
 
 
 def test_examples_directory_is_populated():
