@@ -30,6 +30,10 @@ clustering), ``snapshot`` prints the current duplicate clusters, and
     python -m repro stream snapshot --store s.db --name crm
     python -m repro stream status  --store s.db
 
+``--workers``/``--shards`` (on ``stream init`` and ``stream ingest``)
+shard the comparison stage over a process pool
+(:mod:`repro.matching.parallel`); output is byte-identical to serial.
+
 Every command reads CSV files (``--separator`` configures the dialect)
 and prints plain text to stdout.
 """
@@ -230,6 +234,19 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also lowercase values during preparation",
     )
+    stream_init.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for sharded delta scoring (0 = all cores, default serial)",
+    )
+    stream_init.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="comparison shard count (default: 4 x workers; implies "
+             "--workers 0 when given alone)",
+    )
 
     stream_ingest = stream_commands.add_parser(
         "ingest", help="fold one CSV record batch into a session"
@@ -240,6 +257,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--dataset", required=True, help="batch CSV path"
     )
     stream_ingest.add_argument("--id-column", default="id")
+    stream_ingest.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="override the stream's scoring workers for this ingest",
+    )
+    stream_ingest.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="override the stream's comparison shard count for this ingest",
+    )
 
     stream_snapshot = stream_commands.add_parser(
         "snapshot", help="print the clusters of the latest snapshot"
@@ -549,12 +578,23 @@ def _stream_config_from_args(args: argparse.Namespace) -> dict:
     preparers = ["normalize_whitespace"]
     if args.lowercase:
         preparers.append("lowercase_values")
-    return {
+    config: dict = {
         "key": key,
         "similarities": similarities,
         "threshold": args.threshold,
         "preparers": preparers,
     }
+    # Only the flags actually given land in the config;
+    # ParallelConfig.from_dict turns a bare shard count into
+    # "all cores" so --shards alone engages.
+    parallelism = {}
+    if args.workers is not None:
+        parallelism["workers"] = args.workers
+    if args.shards is not None:
+        parallelism["shards"] = args.shards
+    if parallelism:
+        config["parallelism"] = parallelism
+    return config
 
 
 def _command_stream_init(args: argparse.Namespace, fmt: CsvFormat) -> int:
@@ -577,6 +617,11 @@ def _command_stream_ingest(args: argparse.Namespace, fmt: CsvFormat) -> int:
 
     with FrostStore(args.store) as store:
         session = open_session(store, args.name)
+        if args.workers is not None or args.shards is not None:
+            # with_parallelism handles a bare --shards (engages all cores)
+            session.pipeline = session.pipeline.with_parallelism(
+                workers=args.workers, shards=args.shards
+            )
         batch = _load_dataset(args.dataset, args.id_column, fmt)
         snapshot = session.ingest(batch)
         print(

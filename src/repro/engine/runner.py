@@ -30,11 +30,16 @@ Built-in job kinds:
 ``pipeline``
     Run a :class:`~repro.matching.pipeline.MatchingPipeline` on a
     registered dataset and register the resulting experiment.  Params:
-    ``pipeline``, ``dataset``, optional ``register`` / ``register_as``.
+    ``pipeline``, ``dataset``, optional ``register`` / ``register_as``,
+    optional ``workers`` / ``shards`` (sharded parallel comparison;
+    deliberately absent from the cache token because parallel output is
+    byte-identical to serial, so a cached serial result serves a
+    parallel request and vice versa).
 ``pipeline_stage``
     One stage of a pipeline expressed as a job graph (see
     :meth:`MatchingPipeline.as_job_graph`); not cacheable because the
-    intermediates are in-memory objects.
+    intermediates are in-memory objects.  The ``similarity`` stage
+    honours the same optional ``workers`` / ``shards`` params.
 ``stream_ingest``
     Fold one record batch into a live
     :class:`~repro.streaming.StreamingMatcher`.  Params: ``session``,
@@ -613,10 +618,22 @@ class ExperimentEngine:
             "register_as": params.get("register_as"),
         }
 
+    @staticmethod
+    def _configured_pipeline(params: Mapping[str, object]):
+        """The job's pipeline with any ``workers``/``shards`` override."""
+        pipeline = params["pipeline"]
+        workers = params.get("workers")
+        shards = params.get("shards")
+        if workers is None and shards is None:
+            return pipeline
+        # with_parallelism handles a shards-only override (engages all
+        # cores rather than silently staying serial).
+        return pipeline.with_parallelism(workers=workers, shards=shards)
+
     def _compute_pipeline(
         self, params: Mapping[str, object], inputs: Sequence[object]
     ) -> dict[str, object]:
-        pipeline = params["pipeline"]
+        pipeline = self._configured_pipeline(params)
         run = pipeline.run(self.platform.dataset(params["dataset"]))
         payload = serialize_experiment(run.experiment)
         payload["stage_seconds"] = dict(run.stage_seconds)
@@ -658,7 +675,9 @@ class ExperimentEngine:
             return pipeline.generate_candidates(prepared)
         if stage == "similarity":
             prepared, candidates = inputs
-            return pipeline.compare_candidates(prepared, candidates)
+            return self._configured_pipeline(params).compare_candidates(
+                prepared, candidates
+            )
         if stage == "decision":
             (vectors,) = inputs
             return pipeline.score_vectors(vectors)

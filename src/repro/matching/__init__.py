@@ -24,6 +24,11 @@ from repro.matching.blocking import (
 from repro.matching.clustering_algorithms import CLUSTERING_ALGORITHMS
 from repro.matching.fusion import FUSION_STRATEGIES, fuse_cluster, fuse_dataset
 from repro.matching.ml import LogisticRegressionModel, NaiveBayesModel
+from repro.matching.parallel import (
+    ParallelConfig,
+    compare_pairs_sharded,
+    partition_pairs,
+)
 from repro.matching.pipeline import (
     MatchingPipeline,
     PipelineRun,
@@ -46,6 +51,7 @@ __all__ = [
     "LogisticRegressionModel",
     "MatchingPipeline",
     "NaiveBayesModel",
+    "ParallelConfig",
     "PipelineRun",
     "Rule",
     "RuleSet",
@@ -55,12 +61,14 @@ __all__ = [
     "attribute_threshold_rule",
     "best_threshold",
     "compare_pairs",
+    "compare_pairs_sharded",
     "first_token_key",
     "full_pairs",
     "fuse_cluster",
     "fuse_dataset",
     "lowercase_values",
     "normalize_whitespace",
+    "partition_pairs",
     "prefix_key",
     "sorted_neighborhood",
     "soundex_key",

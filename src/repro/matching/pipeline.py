@@ -13,6 +13,8 @@ steps [...] helps to find bottlenecks of matching performance").
 
 from __future__ import annotations
 
+import copy
+import logging
 import time
 from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
@@ -23,6 +25,9 @@ from repro.core.records import Dataset, Record
 from repro.matching.attribute_matching import AttributeComparator, SimilarityVector
 from repro.matching.clustering_algorithms import CLUSTERING_ALGORITHMS
 from repro.matching.fusion import fuse_dataset
+from repro.matching.parallel import ParallelConfig, compare_pairs_sharded
+
+_LOGGER = logging.getLogger(__name__)
 
 __all__ = ["PipelineRun", "MatchingPipeline", "normalize_whitespace", "lowercase_values"]
 
@@ -47,6 +52,19 @@ def lowercase_values(record: Record) -> Record:
         for attribute, value in record.values.items()
     }
     return Record(record_id=record.record_id, values=lowered)
+
+
+def _coerce_parallelism(
+    parallelism: ParallelConfig | Mapping[str, object] | int | None,
+) -> ParallelConfig:
+    """Normalize the ``parallelism`` knob's accepted forms."""
+    if parallelism is None:
+        return ParallelConfig()
+    if isinstance(parallelism, ParallelConfig):
+        return parallelism
+    if isinstance(parallelism, int):
+        return ParallelConfig(workers=parallelism)
+    return ParallelConfig.from_dict(dict(parallelism))
 
 
 @dataclass
@@ -92,6 +110,15 @@ class MatchingPipeline:
         dataset.
     name / solution:
         Labels attached to the resulting experiment.
+    parallelism:
+        Sharded execution of the comparison stage: a
+        :class:`~repro.matching.parallel.ParallelConfig`, a plain
+        ``workers`` integer, or a ``{"workers": ..., "shards": ...}``
+        mapping (the JSON-config form).  The default keeps the serial
+        path.  Parallel output is byte-identical to serial, so this
+        knob is deliberately absent from :meth:`config_fingerprint` —
+        the engine's result cache must not distinguish runs that
+        cannot differ.
     """
 
     def __init__(
@@ -106,6 +133,7 @@ class MatchingPipeline:
         fusion_strategies: Mapping[str, object] | None = None,
         name: str = "pipeline-run",
         solution: str = "pipeline",
+        parallelism: ParallelConfig | Mapping[str, object] | int | None = None,
     ) -> None:
         self.candidate_generator = candidate_generator
         self.comparator = comparator
@@ -125,6 +153,7 @@ class MatchingPipeline:
         self.fusion_strategies = fusion_strategies
         self.name = name
         self.solution = solution
+        self.parallelism = _coerce_parallelism(parallelism)
 
     # -- stages (each one is a node of the job graph) ---------------------------
 
@@ -155,11 +184,25 @@ class MatchingPipeline:
         ``prepared`` only needs item access by record id, which lets
         the streaming subsystem reuse this stage over its live record
         registry without materializing a :class:`Dataset`.
+
+        With :attr:`parallelism` configured, large candidate sets are
+        partitioned into deterministic shards and scored on a process
+        pool (:mod:`repro.matching.parallel`); the merged output is
+        byte-identical to the serial loop.  Pairs whose records were
+        deleted between blocking and scoring are skipped with a
+        warning instead of raising ``KeyError``.
         """
-        return [
-            self.comparator.compare(prepared[a], prepared[b])
-            for a, b in sorted(candidates)
-        ]
+        vectors, missing = compare_pairs_sharded(
+            prepared, candidates, self.comparator, config=self.parallelism
+        )
+        if missing:
+            _LOGGER.warning(
+                "skipped candidate pairs of %d record(s) deleted between "
+                "blocking and scoring: %s",
+                len(missing),
+                ", ".join(missing[:10]) + ("…" if len(missing) > 10 else ""),
+            )
+        return vectors
 
     def score_vectors(
         self, vectors: Sequence[SimilarityVector]
@@ -244,13 +287,46 @@ class MatchingPipeline:
 
     # -- engine integration -----------------------------------------------------
 
+    def with_parallelism(
+        self,
+        workers: int | None = None,
+        shards: int | None = None,
+        min_pairs: int | None = None,
+    ) -> "MatchingPipeline":
+        """A shallow copy with the given sharded-execution settings.
+
+        Shares every stage object (comparator, decision model, …) with
+        the original — only the execution strategy differs, never the
+        output.  Used by the engine and CLI to apply per-invocation
+        ``--workers``/``--shards`` overrides without mutating a shared
+        pipeline.
+
+        A ``shards`` override against a serial base still means "go
+        parallel": the worker count defaults to all cores (``0``) so
+        the requested sharding is not a silent no-op — the same rule
+        :meth:`ParallelConfig.from_dict` applies to JSON configs.
+        """
+        base = self.parallelism
+        if workers is None and shards is not None and base.resolved_workers() == 1:
+            workers = 0
+        clone = copy.copy(self)
+        clone.parallelism = ParallelConfig(
+            workers=base.workers if workers is None else workers,
+            shards=base.shards if shards is None else shards,
+            min_pairs=base.min_pairs if min_pairs is None else min_pairs,
+        )
+        return clone
+
     def config_fingerprint(self) -> dict[str, object]:
         """Content token of this pipeline's configuration.
 
         Used by :mod:`repro.engine` to content-address pipeline job
         results.  Callables are tokenized by qualified name, so custom
         steps should be module-level functions (not lambdas closing
-        over differing constants).
+        over differing constants).  :attr:`parallelism` is deliberately
+        excluded: sharded execution is byte-identical to serial, and a
+        fingerprint that varied with it would split the cache across
+        entries that hold the same result.
         """
         from repro.engine.jobs import content_fingerprint
 

@@ -323,6 +323,35 @@ class TfIdfCosine:
                 self._vector_cache[value] = cached
         return cached
 
+    def __getstate__(self) -> dict[str, object]:
+        """Pickle without the vector cache.
+
+        Sharded parallel comparison ships comparators to worker
+        processes; the cache is derived state that every worker can
+        rebuild for exactly the values it touches, so serializing it
+        would only bloat the per-shard payload.
+        """
+        state = dict(self.__dict__)
+        state["_vector_cache"] = {}
+        return state
+
+    def config_fingerprint(self) -> dict[str, object]:
+        """Content token for the engine's cache keys.
+
+        Covers the corpus statistics (which determine every similarity
+        this instance can return) but not the vector cache, so a
+        fitted measure hashes identically before and after it has been
+        used.
+        """
+        return {
+            "tfidf_cosine": {
+                "documents": self._documents,
+                "document_frequency": sorted(
+                    self._document_frequency.items()
+                ),
+            }
+        }
+
     def __call__(self, first: str, second: str) -> float:
         vector_a, norm_a = self._cached_vector(first)
         vector_b, norm_b = self._cached_vector(second)

@@ -16,7 +16,12 @@ store when a durable session is resumed.  Schema::
       },
       "similarities": {"name": "jaro_winkler", "zip": "exact"},
       "threshold": 0.6,
-      "preparers": ["normalize_whitespace"]
+      "preparers": ["normalize_whitespace"],
+      "parallelism": {                # optional sharded delta scoring
+        "workers": 4,                 # 0/null = all cores, 1 = serial
+        "shards": 16,                 # default: 4 x workers
+        "min_pairs": 2048             # serial below this delta size
+      }
     }
 
 The same config also yields the *batch-equivalent* pipeline (via
@@ -46,6 +51,7 @@ from repro.matching.pipeline import (
     lowercase_values,
     normalize_whitespace,
 )
+from repro.matching.parallel import ParallelConfig
 from repro.matching.similarity import SIMILARITY_FUNCTIONS
 from repro.streaming.delta_blocking import (
     IncrementalBlockingIndex,
@@ -97,12 +103,18 @@ def validate_config(config: Mapping[str, object]) -> dict[str, object]:
         if name not in PREPARERS:
             known = ", ".join(sorted(PREPARERS))
             raise ValueError(f"unknown preparer {name!r}; known: {known}")
-    return {
+    # from_dict validates shape and key names; round-tripping through
+    # ParallelConfig normalizes the stored document.
+    parallelism = ParallelConfig.from_dict(config.get("parallelism"))
+    normalized = {
         "key": dict(key),
         "similarities": dict(similarities),
         "threshold": threshold,
         "preparers": list(preparers),
     }
+    if config.get("parallelism") is not None:
+        normalized["parallelism"] = parallelism.as_dict()
+    return normalized
 
 
 def _blocking_key(key: Mapping[str, object]):
@@ -170,6 +182,7 @@ def build_pipeline_and_index(
         clustering="connected_components",
         name="streaming-config",
         solution="streaming",
+        parallelism=ParallelConfig.from_dict(config.get("parallelism")),
     )
     return pipeline, index
 

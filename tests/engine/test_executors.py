@@ -1,0 +1,146 @@
+"""Tests for the shard execution backends."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.engine.executors import (
+    ProcessExecutor,
+    SerialExecutor,
+    executor_for,
+)
+
+
+def _square(value: int) -> int:
+    """Module-level so process pools can pickle it by reference."""
+    return value * value
+
+
+def _identify(value: int) -> tuple[int, int]:
+    return value, os.getpid()
+
+
+def test_serial_executor_preserves_order():
+    assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+    assert SerialExecutor().map(_square, []) == []
+
+
+def test_process_executor_matches_serial():
+    tasks = list(range(20))
+    expected = SerialExecutor().map(_square, tasks)
+    assert ProcessExecutor(workers=4).map(_square, tasks) == expected
+
+
+def test_process_executor_runs_outside_the_calling_process():
+    results = ProcessExecutor(workers=2).map(_identify, list(range(6)))
+    assert [value for value, _ in results] == list(range(6))
+    worker_pids = {pid for _, pid in results}
+    assert os.getpid() not in worker_pids
+
+
+def test_process_executor_single_task_stays_inline():
+    """One task never justifies a pool: width collapses to serial."""
+    results = ProcessExecutor(workers=4).map(_identify, [7])
+    assert results == [(7, os.getpid())]
+
+
+def test_process_executor_empty_tasks():
+    assert ProcessExecutor(workers=4).map(_square, []) == []
+
+
+def test_process_executor_rejects_bad_width():
+    with pytest.raises(ValueError):
+        ProcessExecutor(workers=0)
+
+
+def test_shared_state_reaches_workers():
+    """`shared` ships once per worker and is readable from tasks."""
+    from repro.engine import executors
+
+    def read_shared(_):
+        return executors.shared_state()
+
+    results = SerialExecutor().map(read_shared, [1, 2], shared="token")
+    assert results == ["token", "token"]
+    assert executors.shared_state() is None  # restored after the loop
+
+
+def _read_shared_in_worker(_):
+    from repro.engine.executors import shared_state
+
+    return shared_state()
+
+
+def test_shared_state_reaches_process_workers():
+    results = ProcessExecutor(workers=2).map(
+        _read_shared_in_worker, list(range(6)), shared={"k": 1}
+    )
+    assert results == [{"k": 1}] * 6
+
+
+def test_shared_state_is_thread_isolated():
+    """Concurrent inline stages (engine worker threads) must each see
+    their own shared value — a bleed would mean scoring one pipeline's
+    pairs with another pipeline's comparator."""
+    import threading
+
+    from repro.engine import executors
+
+    barrier = threading.Barrier(2)
+    observed = {}
+
+    def read_shared_slowly(task):
+        barrier.wait(timeout=5)  # both threads inside their map loops
+        return executors.shared_state()
+
+    def run(name):
+        observed[name] = SerialExecutor().map(
+            read_shared_slowly, [0], shared=name
+        )
+
+    threads = [
+        threading.Thread(target=run, args=(name,)) for name in ("a", "b")
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert observed == {"a": ["a"], "b": ["b"]}
+    assert executors.shared_state() is None  # main thread untouched
+
+
+def test_pool_failure_falls_back_to_serial(monkeypatch, caplog):
+    """Any pool-level failure degrades to the serial path with a
+    warning instead of failing the caller."""
+    import concurrent.futures
+    import logging
+
+    class ExplodingPool:
+        def __init__(self, *args, **kwargs):
+            raise OSError("no semaphores in this sandbox")
+
+    monkeypatch.setattr(
+        concurrent.futures, "ProcessPoolExecutor", ExplodingPool
+    )
+    with caplog.at_level(logging.WARNING, logger="repro.engine.executors"):
+        results = ProcessExecutor(workers=4).map(
+            _square, [1, 2, 3], shared=None
+        )
+    assert results == [1, 4, 9]
+    assert any("serially" in message for message in caplog.messages)
+
+
+def test_executor_for_dispatch():
+    assert isinstance(executor_for(1), SerialExecutor)
+    pool = executor_for(3)
+    assert isinstance(pool, ProcessExecutor)
+    assert pool.workers == 3
+    all_cores = executor_for(None)
+    if (os.cpu_count() or 1) == 1:
+        assert isinstance(all_cores, SerialExecutor)
+    else:
+        assert isinstance(all_cores, ProcessExecutor)
+        assert all_cores.workers == os.cpu_count()
+    assert type(executor_for(0)) is type(all_cores)

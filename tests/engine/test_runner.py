@@ -329,6 +329,40 @@ class TestPipelineJobs:
         assert result.state is JobState.SUCCEEDED, result.error
         assert "comparator" in duck.config_fingerprint()
 
+    def test_workers_override_hits_serial_cache(self, engine, pipeline):
+        """Parallelism cannot change the output, so it must not change
+        the cache key: a serial run's cached result serves a
+        4-worker re-submission of the same pipeline."""
+        serial = engine.run(
+            [JobSpec("pipeline", {"pipeline": pipeline, "dataset": "people"},
+                     job_id="serial")]
+        )["serial"]
+        assert serial.state is JobState.SUCCEEDED and not serial.cached
+        parallel = engine.run(
+            [JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": "people",
+                 "workers": 4, "shards": 8},
+                job_id="parallel",
+            )]
+        )["parallel"]
+        assert parallel.state is JobState.SUCCEEDED, parallel.error
+        assert parallel.cached is True
+        assert parallel.cache_key == serial.cache_key
+        assert parallel.value == serial.value
+
+    def test_stage_graph_with_workers_matches_serial(self, engine, pipeline):
+        graph = pipeline.as_job_graph("people", prefix="par", register=False)
+        for spec in graph:
+            if spec.job_id == "par:similarity":
+                spec.params.update(workers=2, shards=3)
+        results = engine.run(graph)
+        assert all(
+            result.state is JobState.SUCCEEDED for result in results.values()
+        ), {k: r.error for k, r in results.items()}
+        direct = pipeline.run(engine.platform.dataset("people")).experiment
+        assert results["par:clustering"].value.pairs() == direct.pairs()
+
     def test_job_graph_stage_order_is_dependency_driven(self, engine, pipeline):
         graph = pipeline.as_job_graph("people", prefix="g2", register=False)
         assert [spec.job_id for spec in graph] == [

@@ -1,0 +1,45 @@
+"""Regenerate the golden regression fixture (deliberate changes only).
+
+Run from the repository root::
+
+    PYTHONPATH=src:tests python tests/fixtures/golden/regenerate.py
+
+Writes ``dataset.csv``, ``gold.csv``, and ``metrics.json`` next to this
+script.  The test (``tests/test_golden_regression.py``) recomputes the
+pipeline from the checked-in CSVs and diffs against ``metrics.json`` —
+regenerating is how an *intentional* scoring change is blessed; review
+the resulting diff before committing it.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+
+def main() -> int:
+    if "pytest" in sys.modules:
+        raise RuntimeError(
+            "regenerate.py must not run under pytest — the golden test "
+            "would be comparing the pipeline against itself"
+        )
+    from repro.datagen import make_person_benchmark
+    from repro.io.exporters import export_dataset, export_gold_standard
+
+    from test_golden_regression import run_golden_pipeline, summarize
+
+    benchmark = make_person_benchmark(150, seed=11)
+    export_dataset(benchmark.dataset, HERE / "dataset.csv")
+    export_gold_standard(benchmark.gold, HERE / "gold.csv", format_="clusters")
+
+    summary = summarize(*run_golden_pipeline())
+    (HERE / "metrics.json").write_text(json.dumps(summary, indent=2) + "\n")
+    print(json.dumps(summary, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""Serial-vs-parallel equivalence of the comparison stage.
+
+The sharded parallel path (:mod:`repro.matching.parallel`) promises
+output *byte-identical* to the serial loop.  These tests pin that
+promise across decision models (rule-based, learned, TF-IDF-backed
+comparators), worker counts, shard counts, and the streaming ingest
+path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.confusion import ConfusionMatrix
+from repro.core.records import Dataset
+from repro.datagen import make_person_benchmark
+from repro.matching import (
+    AttributeComparator,
+    MatchingPipeline,
+    RuleSet,
+    SimilarityVector,
+    attribute_threshold_rule,
+    standard_blocking,
+    weighted_average_rule,
+)
+from repro.matching.blocking import first_token_key
+from repro.matching.ml import LogisticRegressionModel
+from repro.matching.parallel import ParallelConfig
+from repro.matching.similarity import TfIdfCosine
+from repro.metrics.registry import default_registry
+from repro.streaming import build_session
+
+# Small enough to keep process-pool round trips fast, large enough to
+# produce a few thousand candidate pairs and non-trivial clusters.
+BENCHMARK = make_person_benchmark(300, seed=17)
+
+# Engage sharding regardless of candidate volume (min_pairs=0); cover
+# one worker (serial fast path), workers > shards, shards > workers,
+# and a prime shard count that exercises uneven partitions.
+PARALLEL_VARIANTS = [
+    ParallelConfig(workers=1),
+    ParallelConfig(workers=2, shards=1, min_pairs=0),
+    ParallelConfig(workers=2, shards=7, min_pairs=0),
+    ParallelConfig(workers=4, shards=13, min_pairs=0),
+]
+
+
+def _candidates(prepared):
+    return standard_blocking(prepared, first_token_key("last_name"))
+
+
+def _comparator() -> AttributeComparator:
+    return AttributeComparator(
+        {
+            "first_name": "jaro_winkler",
+            "last_name": "jaro_winkler",
+            "street": "monge_elkan",
+            "city": "jaro_winkler",
+            "zip": "exact",
+        }
+    )
+
+
+def _tfidf_comparator(dataset: Dataset) -> AttributeComparator:
+    street = TfIdfCosine(
+        record.value("street") or "" for record in dataset
+    )
+    return AttributeComparator(
+        {
+            "first_name": "jaro_winkler",
+            "last_name": "jaro_winkler",
+            "street": street,
+            "zip": "exact",
+        }
+    )
+
+
+def _rule_model() -> RuleSet:
+    return RuleSet(
+        [
+            attribute_threshold_rule("last_name", 0.92),
+            weighted_average_rule(
+                {"first_name": 2.0, "last_name": 3.0, "city": 1.0},
+                threshold=0.85,
+            ),
+        ]
+    )
+
+
+def _pipeline(comparator, decision_model, parallelism=None) -> MatchingPipeline:
+    return MatchingPipeline(
+        candidate_generator=_candidates,
+        comparator=comparator,
+        decision_model=decision_model,
+        threshold=0.5,
+        parallelism=parallelism,
+        name="equivalence",
+    )
+
+
+def _fitted_logistic(dataset: Dataset) -> LogisticRegressionModel:
+    comparator = _comparator()
+    serial = _pipeline(comparator, lambda v: v.mean())
+    prepared = serial.prepare(dataset)
+    vectors = serial.compare_candidates(prepared, _candidates(prepared))
+    gold_pairs = BENCHMARK.gold.pairs()
+    labels = [vector.pair in gold_pairs for vector in vectors]
+    model = LogisticRegressionModel(
+        attributes=comparator.attributes, iterations=60, seed=5
+    )
+    model.fit(vectors, labels)
+    return model
+
+
+def _metrics(experiment):
+    matrix = ConfusionMatrix.from_clusterings(
+        experiment.clustering(),
+        BENCHMARK.gold.clustering,
+        BENCHMARK.dataset.total_pairs(),
+    )
+    return default_registry().evaluate(matrix, ["precision", "recall", "f1"])
+
+
+def _assert_runs_identical(serial_run, parallel_run):
+    assert parallel_run.vectors == serial_run.vectors
+    assert parallel_run.scored_pairs == serial_run.scored_pairs
+    assert set(parallel_run.experiment.clustering().clusters) == set(
+        serial_run.experiment.clustering().clusters
+    )
+    assert _metrics(parallel_run.experiment) == _metrics(serial_run.experiment)
+
+
+@pytest.mark.parametrize("parallelism", PARALLEL_VARIANTS[1:])
+def test_rule_based_pipeline_equivalence(parallelism):
+    comparator = _comparator()
+    model = _rule_model()
+    serial_run = _pipeline(comparator, model.score).run(BENCHMARK.dataset)
+    parallel_run = _pipeline(comparator, model.score, parallelism).run(
+        BENCHMARK.dataset
+    )
+    _assert_runs_identical(serial_run, parallel_run)
+
+
+def test_ml_pipeline_equivalence():
+    model = _fitted_logistic(BENCHMARK.dataset)
+    comparator = _comparator()
+    serial_run = _pipeline(comparator, model.score).run(BENCHMARK.dataset)
+    parallel_run = _pipeline(
+        comparator, model.score, ParallelConfig(workers=4, shards=9, min_pairs=0)
+    ).run(BENCHMARK.dataset)
+    _assert_runs_identical(serial_run, parallel_run)
+
+
+def test_tfidf_comparator_equivalence():
+    """A fitted (stateful, corpus-carrying) comparator survives the
+    worker round-trip and scores identically."""
+    comparator = _tfidf_comparator(BENCHMARK.dataset)
+    serial_run = _pipeline(comparator, lambda v: v.mean()).run(BENCHMARK.dataset)
+    parallel_run = _pipeline(
+        comparator,
+        lambda v: v.mean(),
+        ParallelConfig(workers=2, shards=5, min_pairs=0),
+    ).run(BENCHMARK.dataset)
+    _assert_runs_identical(serial_run, parallel_run)
+
+
+class _UnpicklableComparator:
+    """Duck-typed comparator holding a closure — works serially, cannot
+    cross a process boundary."""
+
+    def __init__(self):
+        self._measure = lambda a, b: 1.0 if a == b else 0.0
+
+    def compare(self, first, second):
+        from repro.core.pairs import make_pair
+        from repro.matching.attribute_matching import SimilarityVector
+
+        return SimilarityVector(
+            pair=make_pair(first.record_id, second.record_id),
+            values={
+                "last_name": self._measure(
+                    first.value("last_name"), second.value("last_name")
+                )
+            },
+        )
+
+
+def test_unpicklable_comparator_still_matches_serial():
+    """A closure-carrying duck comparator must not fail a parallel run.
+
+    When the comparator cannot be pickled to pool workers the executor
+    degrades to its serial fallback (with a warning) instead of
+    raising.  Either way: same output as ``workers=1``.
+    """
+    comparator = _UnpicklableComparator()
+    serial_run = _pipeline(comparator, lambda v: v.mean()).run(BENCHMARK.dataset)
+    parallel_run = _pipeline(
+        comparator,
+        lambda v: v.mean(),
+        ParallelConfig(workers=2, shards=4, min_pairs=0),
+    ).run(BENCHMARK.dataset)
+    _assert_runs_identical(serial_run, parallel_run)
+
+
+class _TaggedVector(SimilarityVector):
+    """A SimilarityVector subclass a duck comparator might return."""
+
+
+class _TaggingComparator:
+    def compare(self, first, second):
+        from repro.core.pairs import make_pair
+
+        return _TaggedVector(
+            pair=make_pair(first.record_id, second.record_id),
+            values={"last_name": 1.0 if first.value("last_name")
+                    == second.value("last_name") else 0.0},
+        )
+
+
+def test_packed_wire_format_preserves_vector_subclasses():
+    """The compact shard wire format must never rebuild a duck
+    comparator's vector subclass as the plain base class."""
+    from repro.engine.executors import SerialExecutor
+    from repro.matching.parallel import compare_pairs_sharded
+
+    records = {r.record_id: r for r in BENCHMARK.dataset}
+    pairs = [("p0-0", "p0-1"), ("p1-0", "p2-0"), ("p3-0", "p4-0")]
+    pairs = [p for p in pairs if p[0] in records and p[1] in records]
+    assert pairs, "fixture ids moved; update the test pairs"
+    serial, _ = compare_pairs_sharded(records, pairs, _TaggingComparator())
+    sharded, _ = compare_pairs_sharded(
+        records,
+        pairs,
+        _TaggingComparator(),
+        config=ParallelConfig(workers=2, shards=2, min_pairs=0),
+        executor=SerialExecutor(),
+    )
+    assert sharded == serial
+    assert all(type(v) is _TaggedVector for v in sharded)
+
+
+def test_fingerprint_ignores_parallelism():
+    """The engine cache must serve one result to all worker settings."""
+    comparator = _comparator()
+    model = _rule_model()
+    fingerprints = {
+        str(
+            _pipeline(comparator, model.score, parallelism).config_fingerprint()
+        )
+        for parallelism in PARALLEL_VARIANTS
+    }
+    assert len(fingerprints) == 1
+
+
+STREAM_CONFIG = {
+    "key": {"kind": "first_token", "attribute": "last_name"},
+    "similarities": {
+        "first_name": "jaro_winkler",
+        "last_name": "jaro_winkler",
+        "street": "monge_elkan",
+        "zip": "exact",
+    },
+    "threshold": 0.8,
+}
+
+
+@pytest.mark.parametrize(
+    "parallelism",
+    [
+        {"workers": 2, "shards": 3, "min_pairs": 0},
+        {"workers": 4, "min_pairs": 0},
+    ],
+)
+def test_streaming_ingest_equivalence(parallelism):
+    """Delta-pair scoring through the sharded path folds the same
+    matches into the same clusters, batch by batch."""
+    records = list(BENCHMARK.dataset)
+    batches = [records[:120], records[120:200], records[200:]]
+
+    serial = build_session(STREAM_CONFIG, name="serial")
+    parallel = build_session(
+        {**STREAM_CONFIG, "parallelism": parallelism}, name="parallel"
+    )
+    assert (
+        parallel.status()["parallelism"]["workers"] == parallelism["workers"]
+    )
+    for batch in batches:
+        serial_snapshot = serial.ingest(batch)
+        parallel_snapshot = parallel.ingest(batch)
+        assert parallel_snapshot == serial_snapshot
+    assert set(parallel.clusters().clusters) == set(serial.clusters().clusters)
+    serial_experiment = serial.experiment(name="stream")
+    parallel_experiment = parallel.experiment(name="stream")
+    assert parallel_experiment.matches == serial_experiment.matches
+    assert _metrics(parallel_experiment) == _metrics(serial_experiment)

@@ -1,0 +1,105 @@
+"""Golden end-to-end regression fixture.
+
+A small checked-in dataset + gold clustering + stored metrics guard the
+whole pipeline against *silent scoring drift*: any change to
+preparation, blocking, similarity measures, decision scoring, or
+clustering that shifts a single match will change the stored experiment
+digest and surface here — even if every unit test still passes.
+
+The fixture files live in ``tests/fixtures/golden/`` and were produced
+by ``python tests/fixtures/golden/regenerate.py`` (run it after an
+*intentional* behaviour change and commit the diff; the script refuses
+to run under pytest so the test can never "fix" itself).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.confusion import ConfusionMatrix
+from repro.engine.jobs import experiment_fingerprint
+from repro.io.csvio import CsvFormat
+from repro.io.importers import import_dataset, import_gold_standard
+from repro.metrics.registry import default_registry
+
+FIXTURES = Path(__file__).parent / "fixtures" / "golden"
+
+# The full pipeline under guard, in the JSON form shared by CLI/API.
+GOLDEN_CONFIG = {
+    "key": {"kind": "first_token", "attribute": "last_name"},
+    "similarities": {
+        "first_name": "jaro_winkler",
+        "last_name": "jaro_winkler",
+        "street": "monge_elkan",
+        "city": "jaro_winkler",
+        "zip": "exact",
+    },
+    "threshold": 0.8,
+    "preparers": ["normalize_whitespace", "lowercase_values"],
+}
+GOLDEN_METRICS = ["precision", "recall", "f1", "accuracy"]
+
+
+def run_golden_pipeline():
+    """Load the checked-in dataset and run the golden pipeline on it."""
+    from repro.streaming import build_pipeline_and_index
+
+    dataset = import_dataset(
+        FIXTURES / "dataset.csv", id_column="id", name="golden"
+    )
+    gold = import_gold_standard(
+        FIXTURES / "gold.csv", format_="clusters", fmt=CsvFormat()
+    )
+    pipeline, _ = build_pipeline_and_index(GOLDEN_CONFIG)
+    run = pipeline.run(dataset)
+    return dataset, gold, run
+
+
+def summarize(dataset, gold, run) -> dict[str, object]:
+    """The facts the fixture freezes (must stay JSON-stable)."""
+    matrix = ConfusionMatrix.from_clusterings(
+        run.experiment.clustering(), gold.clustering, dataset.total_pairs()
+    )
+    metrics = default_registry().evaluate(matrix, GOLDEN_METRICS)
+    return {
+        "records": len(dataset),
+        "candidates": len(run.candidates),
+        "scored_pairs": len(run.scored_pairs),
+        "accepted_matches": len(run.experiment.matches),
+        "clusters": len(run.experiment.clustering().clusters),
+        "experiment_sha256": experiment_fingerprint(run.experiment),
+        "metrics": {name: metrics[name] for name in GOLDEN_METRICS},
+    }
+
+
+def test_pipeline_matches_golden_fixture():
+    stored = json.loads((FIXTURES / "metrics.json").read_text())
+    recomputed = summarize(*run_golden_pipeline())
+
+    # The digest covers every match and score bit-for-bit: it failing
+    # alone would be hard to debug, so compare the readable facts first.
+    for key in ("records", "candidates", "scored_pairs",
+                "accepted_matches", "clusters"):
+        assert recomputed[key] == stored[key], f"{key} drifted"
+    for name in GOLDEN_METRICS:
+        assert recomputed["metrics"][name] == pytest.approx(
+            stored["metrics"][name], abs=1e-12
+        ), f"metric {name} drifted"
+    assert recomputed["experiment_sha256"] == stored["experiment_sha256"], (
+        "scored matches drifted from the golden fixture; if the change "
+        "is intentional, regenerate with "
+        "`PYTHONPATH=src:tests python tests/fixtures/golden/regenerate.py`"
+    )
+
+
+def test_golden_fixture_is_nontrivial():
+    """Guard the guard: an empty or degenerate fixture protects nothing."""
+    stored = json.loads((FIXTURES / "metrics.json").read_text())
+    assert stored["records"] >= 100
+    assert stored["accepted_matches"] > 10
+    assert stored["clusters"] > 5
+    assert 0.0 < stored["metrics"]["precision"] <= 1.0
+    assert 0.0 < stored["metrics"]["recall"] <= 1.0
