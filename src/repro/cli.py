@@ -33,6 +33,10 @@ clustering), ``snapshot`` prints the current duplicate clusters, and
 ``--workers``/``--shards`` (on ``stream init`` and ``stream ingest``)
 shard the comparison stage over a process pool
 (:mod:`repro.matching.parallel`); output is byte-identical to serial.
+``--blocker lsh --num-perm 128 --bands 32`` (on ``stream init``)
+selects approximate MinHash-LSH blocking (:mod:`repro.matching.lsh`)
+instead of an exact key scheme — typo-robust candidate generation whose
+banding stays exactly delta-decomposable.
 
 Every command reads CSV files (``--separator`` configures the dialect)
 and prints plain text to stdout.
@@ -195,23 +199,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream_init.add_argument("--name", required=True, help="stream name")
     stream_init.add_argument(
+        "--blocker",
+        choices=("key", "lsh"),
+        default="key",
+        help="candidate generation family: exact key-based blocking "
+             "(--key-kind) or approximate MinHash-LSH (default key)",
+    )
+    stream_init.add_argument(
         "--key-kind",
         choices=("first_token", "prefix", "soundex", "token"),
-        default="first_token",
-        help="delta blocking scheme (default first_token)",
+        default=None,
+        help="key-based delta blocking scheme "
+             "(default first_token; needs --blocker key)",
+    )
+    stream_init.add_argument(
+        "--num-perm",
+        type=int,
+        default=None,
+        help="LSH signature length (default 128; needs --blocker lsh)",
+    )
+    stream_init.add_argument(
+        "--bands",
+        type=int,
+        default=None,
+        help="LSH band count; rows = num-perm / bands "
+             "(default 32; needs --blocker lsh)",
+    )
+    stream_init.add_argument(
+        "--lsh-seed",
+        type=int,
+        default=None,
+        help="seed of the MinHash permutations (default 1; needs --blocker lsh)",
     )
     stream_init.add_argument(
         "--key-attribute", help="blocking attribute (key-based kinds)"
     )
     stream_init.add_argument(
-        "--prefix-length", type=int, default=3, help="prefix key length"
+        "--prefix-length",
+        type=int,
+        default=None,
+        help="prefix key length (default 3; needs --key-kind prefix)",
     )
     stream_init.add_argument(
         "--token-attributes",
-        help="comma-separated attributes for token blocking (default: all)",
+        help="comma-separated attributes considered by token and lsh "
+             "blocking (default: all)",
     )
     stream_init.add_argument(
-        "--min-token-length", type=int, default=3, help="token blocking minimum"
+        "--min-token-length",
+        type=int,
+        default=None,
+        help="shortest token considered by token/lsh blocking "
+             "(defaults: 3 for token, 2 for lsh)",
     )
     stream_init.add_argument(
         "--max-block-size",
@@ -549,22 +588,79 @@ def _command_engine(args: argparse.Namespace, fmt: CsvFormat) -> int:
 
 
 def _stream_config_from_args(args: argparse.Namespace) -> dict:
-    """The JSON stream config described by the ``stream init`` flags."""
-    key: dict[str, object] = {"kind": args.key_kind}
-    if args.key_kind == "token":
+    """The JSON stream config described by the ``stream init`` flags.
+
+    Flags of the family that was *not* selected fail loudly instead of
+    being dropped — a silently ignored blocking flag yields a very
+    different candidate set with nothing to point at the mistake.
+    """
+    if args.blocker == "lsh":
+        if args.key_attribute:
+            raise ValueError(
+                "--key-attribute does not apply to --blocker lsh "
+                "(it hashes whole records); restrict attributes with "
+                "--token-attributes instead"
+            )
+        for flag, value in (("--key-kind", args.key_kind),
+                            ("--prefix-length", args.prefix_length)):
+            if value is not None:
+                raise ValueError(f"{flag} needs --blocker key")
+        key: dict[str, object] = {"kind": "lsh"}
+        if args.num_perm is not None:
+            key["num_perm"] = args.num_perm
+        if args.bands is not None:
+            key["bands"] = args.bands
+        if args.lsh_seed is not None:
+            key["seed"] = args.lsh_seed
         if args.token_attributes:
             key["attributes"] = [
                 name for name in args.token_attributes.split(",") if name
             ]
-        key["min_token_length"] = args.min_token_length
+        if args.min_token_length is not None:
+            key["min_token_length"] = args.min_token_length
     else:
-        if not args.key_attribute:
-            raise ValueError(
-                f"--key-kind {args.key_kind} needs --key-attribute"
+        for flag, value in (("--num-perm", args.num_perm),
+                            ("--bands", args.bands),
+                            ("--lsh-seed", args.lsh_seed)):
+            if value is not None:
+                raise ValueError(f"{flag} needs --blocker lsh")
+        kind = args.key_kind or "first_token"
+        if args.prefix_length is not None and kind != "prefix":
+            raise ValueError("--prefix-length needs --key-kind prefix")
+        key = {"kind": kind}
+        if kind == "token":
+            if args.key_attribute:
+                raise ValueError(
+                    "--key-attribute does not apply to --key-kind token; "
+                    "restrict attributes with --token-attributes instead"
+                )
+            if args.token_attributes:
+                key["attributes"] = [
+                    name for name in args.token_attributes.split(",") if name
+                ]
+            key["min_token_length"] = (
+                3 if args.min_token_length is None else args.min_token_length
             )
-        key["attribute"] = args.key_attribute
-        if args.key_kind == "prefix":
-            key["length"] = args.prefix_length
+        else:
+            if args.token_attributes:
+                raise ValueError(
+                    "--token-attributes needs --key-kind token or "
+                    "--blocker lsh"
+                )
+            if args.min_token_length is not None:
+                raise ValueError(
+                    "--min-token-length needs --key-kind token or "
+                    "--blocker lsh"
+                )
+            if not args.key_attribute:
+                raise ValueError(
+                    f"--key-kind {kind} needs --key-attribute"
+                )
+            key["attribute"] = args.key_attribute
+            if kind == "prefix":
+                key["length"] = (
+                    3 if args.prefix_length is None else args.prefix_length
+                )
     if args.max_block_size is not None:
         key["max_block_size"] = args.max_block_size
     similarities: dict[str, str] = {}

@@ -31,15 +31,19 @@ Built-in job kinds:
     Run a :class:`~repro.matching.pipeline.MatchingPipeline` on a
     registered dataset and register the resulting experiment.  Params:
     ``pipeline``, ``dataset``, optional ``register`` / ``register_as``,
-    optional ``workers`` / ``shards`` (sharded parallel comparison;
-    deliberately absent from the cache token because parallel output is
-    byte-identical to serial, so a cached serial result serves a
-    parallel request and vice versa).
+    optional ``blocker`` (a JSON key config such as ``{"kind": "lsh",
+    "bands": 16}`` swapping the candidate generator per job — part of
+    the cache token, because different blockers produce different
+    results), optional ``workers`` / ``shards`` (sharded parallel
+    comparison; deliberately absent from the cache token because
+    parallel output is byte-identical to serial, so a cached serial
+    result serves a parallel request and vice versa).
 ``pipeline_stage``
     One stage of a pipeline expressed as a job graph (see
     :meth:`MatchingPipeline.as_job_graph`); not cacheable because the
-    intermediates are in-memory objects.  The ``similarity`` stage
-    honours the same optional ``workers`` / ``shards`` params.
+    intermediates are in-memory objects.  The ``candidates`` stage
+    honours the optional ``blocker`` param, the ``similarity`` stage
+    the same optional ``workers`` / ``shards`` params.
 ``stream_ingest``
     Fold one record batch into a live
     :class:`~repro.streaming.StreamingMatcher`.  Params: ``session``,
@@ -612,16 +616,38 @@ class ExperimentEngine:
         }
 
     def _pipeline_token(self, params: Mapping[str, object]) -> object:
+        # The blocker override is part of the fingerprinted pipeline
+        # (with_blocker changes the candidate_generator token), so the
+        # cache distinguishes runs with different blocker configs —
+        # while workers/shards overrides, which cannot change output,
+        # share one cache entry.
         return {
             "dataset": self.platform.dataset(params["dataset"]),
-            "pipeline": params["pipeline"].config_fingerprint(),
+            "pipeline": self._selected_pipeline(params).config_fingerprint(),
             "register_as": params.get("register_as"),
         }
 
     @staticmethod
-    def _configured_pipeline(params: Mapping[str, object]):
-        """The job's pipeline with any ``workers``/``shards`` override."""
+    def _selected_pipeline(params: Mapping[str, object]):
+        """The job's pipeline with any ``blocker`` config applied.
+
+        ``blocker`` is a JSON key config (``{"kind": "lsh", "bands":
+        16, ...}``, see :mod:`repro.streaming.config`) — the wire-safe
+        way to vary candidate generation per job without shipping
+        Python objects.
+        """
         pipeline = params["pipeline"]
+        blocker = params.get("blocker")
+        if blocker is None:
+            return pipeline
+        from repro.streaming.config import candidate_generator_from_key
+
+        return pipeline.with_blocker(candidate_generator_from_key(blocker))
+
+    @classmethod
+    def _configured_pipeline(cls, params: Mapping[str, object]):
+        """The job's pipeline with ``blocker``/``workers``/``shards`` applied."""
+        pipeline = cls._selected_pipeline(params)
         workers = params.get("workers")
         shards = params.get("shards")
         if workers is None and shards is None:
@@ -672,7 +698,7 @@ class ExperimentEngine:
             return pipeline.prepare(self.platform.dataset(params["dataset"]))
         if stage == "candidates":
             (prepared,) = inputs
-            return pipeline.generate_candidates(prepared)
+            return self._selected_pipeline(params).generate_candidates(prepared)
         if stage == "similarity":
             prepared, candidates = inputs
             return self._configured_pipeline(params).compare_candidates(

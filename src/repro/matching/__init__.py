@@ -23,6 +23,7 @@ from repro.matching.blocking import (
 )
 from repro.matching.clustering_algorithms import CLUSTERING_ALGORITHMS
 from repro.matching.fusion import FUSION_STRATEGIES, fuse_cluster, fuse_dataset
+from repro.matching.lsh import LshBlocking, LshConfig, MinHasher, lsh_blocking
 from repro.matching.ml import LogisticRegressionModel, NaiveBayesModel
 from repro.matching.parallel import (
     ParallelConfig,
@@ -49,7 +50,10 @@ __all__ = [
     "CLUSTERING_ALGORITHMS",
     "FUSION_STRATEGIES",
     "LogisticRegressionModel",
+    "LshBlocking",
+    "LshConfig",
     "MatchingPipeline",
+    "MinHasher",
     "NaiveBayesModel",
     "ParallelConfig",
     "PipelineRun",
@@ -67,6 +71,7 @@ __all__ = [
     "fuse_cluster",
     "fuse_dataset",
     "lowercase_values",
+    "lsh_blocking",
     "normalize_whitespace",
     "partition_pairs",
     "prefix_key",

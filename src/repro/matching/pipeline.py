@@ -317,6 +317,22 @@ class MatchingPipeline:
         )
         return clone
 
+    def with_blocker(self, candidate_generator: CandidateGenerator) -> "MatchingPipeline":
+        """A shallow copy running a different candidate generator.
+
+        Unlike :meth:`with_parallelism` this **changes the output**, so
+        it also changes :meth:`config_fingerprint` (the generator is
+        part of the token): the engine's result cache distinguishes a
+        token-blocked run from an LSH-blocked run of the same pipeline,
+        and two LSH configs from each other — provided the generator
+        exposes a ``config_fingerprint`` (as
+        :class:`~repro.matching.lsh.LshBlocking` does) or is a named
+        module-level function.
+        """
+        clone = copy.copy(self)
+        clone.candidate_generator = candidate_generator
+        return clone
+
     def config_fingerprint(self) -> dict[str, object]:
         """Content token of this pipeline's configuration.
 

@@ -1,13 +1,22 @@
-"""Quality metrics: pair-based, cluster-based, and ground-truth-free."""
+"""Quality metrics: pair-based, cluster-based, blocking, ground-truth-free."""
 
-from repro.metrics import clusterwise, noground, pairwise
+from repro.metrics import blocking_quality, clusterwise, noground, pairwise
+from repro.metrics.blocking_quality import (
+    BlockingQuality,
+    evaluate_blocker,
+    evaluate_blocking,
+)
 from repro.metrics.pairwise import f1_score, precision, recall
 from repro.metrics.registry import MetricRegistry, default_registry
 
 __all__ = [
+    "BlockingQuality",
     "MetricRegistry",
+    "blocking_quality",
     "clusterwise",
     "default_registry",
+    "evaluate_blocker",
+    "evaluate_blocking",
     "f1_score",
     "noground",
     "pairwise",

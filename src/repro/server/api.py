@@ -42,7 +42,13 @@ stream's JSON config may carry a ``"parallelism"`` object
 (``{"workers": 4, "shards": 16}``, see
 :mod:`repro.streaming.config`) to score delta batches on a sharded
 process pool; ``GET /streams/{s}`` reports it, and the scored output
-is byte-identical to a serial session's.
+is byte-identical to a serial session's.  The config's ``"key"`` may
+select approximate MinHash-LSH blocking (``{"kind": "lsh",
+"num_perm": 128, "bands": 32}``, see :mod:`repro.matching.lsh`);
+malformed blocker configs — unknown keys, non-integer values, bands
+that do not divide the permutation count, windowed schemes with no
+delta decomposition — are rejected as 400s at creation time, never as
+failed ingests later.
 """
 
 from __future__ import annotations

@@ -19,11 +19,15 @@ with a clustering identical to the batch result on the record union.
 from repro.streaming.config import (
     build_pipeline_and_index,
     build_session,
+    candidate_generator_from_key,
+    delta_index_from_key,
     open_session,
     validate_config,
+    validate_key_config,
 )
 from repro.streaming.delta_blocking import (
     IncrementalBlockingIndex,
+    IncrementalLshIndex,
     single_key,
     token_keys,
 )
@@ -37,15 +41,19 @@ from repro.streaming.session import (
 
 __all__ = [
     "IncrementalBlockingIndex",
+    "IncrementalLshIndex",
     "StreamError",
     "StreamSnapshot",
     "StreamingMatcher",
     "build_pipeline_and_index",
     "build_session",
+    "candidate_generator_from_key",
     "coerce_records",
+    "delta_index_from_key",
     "mean_similarity",
     "open_session",
     "single_key",
     "token_keys",
     "validate_config",
+    "validate_key_config",
 ]

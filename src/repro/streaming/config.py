@@ -7,11 +7,15 @@ store when a durable session is resumed.  Schema::
 
     {
       "key": {                      # delta blocking scheme
-        "kind": "first_token" | "prefix" | "soundex" | "token",
+        "kind": "first_token" | "prefix" | "soundex" | "token" | "lsh",
         "attribute": "name",        # key-based kinds
         "length": 3,                # prefix only
-        "attributes": ["name"],     # token only (optional: all)
-        "min_token_length": 3,      # token only
+        "attributes": ["name"],     # token + lsh (optional: all)
+        "min_token_length": 3,      # token + lsh
+        "num_perm": 128,            # lsh only: signature length
+        "bands": 32,                # lsh only: bands (rows derived)
+        "seed": 1,                  # lsh only: permutation seed
+        "shingle_size": 3,          # lsh only: null = word tokens
         "max_block_size": null      # optional emission cap
       },
       "similarities": {"name": "jaro_winkler", "zip": "exact"},
@@ -32,6 +36,13 @@ incremental index stop *emitting* once a block fills up (an
 order-dependent effect no batch blocker reproduces — token blocking
 purges oversized blocks retroactively, standard blocking has no cap at
 all), so capped streams trade exactness for bounded ingest cost.
+
+The ``"lsh"`` kind selects approximate MinHash-LSH blocking
+(:mod:`repro.matching.lsh`): band buckets act as block keys, and —
+banding being append-only — the delta/batch equivalence holds exactly
+like for the key-based schemes.  Windowed schemes (sorted neighborhood)
+are rejected with an explicit error: their candidates depend on the
+global sort order, so no append-only delta decomposition exists.
 """
 
 from __future__ import annotations
@@ -46,6 +57,7 @@ from repro.matching.blocking import (
     standard_blocking,
     token_blocking,
 )
+from repro.matching.lsh import LshBlocking, LshConfig
 from repro.matching.pipeline import (
     MatchingPipeline,
     lowercase_values,
@@ -55,6 +67,7 @@ from repro.matching.parallel import ParallelConfig
 from repro.matching.similarity import SIMILARITY_FUNCTIONS
 from repro.streaming.delta_blocking import (
     IncrementalBlockingIndex,
+    IncrementalLshIndex,
     single_key,
     token_keys,
 )
@@ -63,8 +76,11 @@ from repro.streaming.session import StreamingMatcher, mean_similarity
 __all__ = [
     "build_pipeline_and_index",
     "build_session",
+    "candidate_generator_from_key",
+    "delta_index_from_key",
     "open_session",
     "validate_config",
+    "validate_key_config",
 ]
 
 PREPARERS = {
@@ -72,19 +88,55 @@ PREPARERS = {
     "lowercase_values": lowercase_values,
 }
 
-_KEY_KINDS = ("first_token", "prefix", "soundex", "token")
+_KEY_KINDS = ("first_token", "prefix", "soundex", "token", "lsh")
+
+# Recognized batch blockers that have no append-only delta model:
+# windowed candidates depend on the global sort order, so ingesting a
+# record can both add and remove pairs.  Named here so the error says
+# *why* instead of pretending the scheme does not exist.
+_WINDOWED_KINDS = ("sorted_neighborhood",)
+
+
+def _lsh_config(key: Mapping[str, object]) -> LshConfig:
+    """Parse the lsh fields of a key config (everything but ``kind``)."""
+    return LshConfig.from_dict(
+        {name: value for name, value in key.items() if name != "kind"}
+    )
+
+
+def validate_key_config(key: object) -> dict[str, object]:
+    """Normalize and validate a delta blocking scheme; raises ``ValueError``.
+
+    Windowed schemes are rejected with an explicit explanation — they
+    are real batch blockers, just unusable in delta mode — while truly
+    unknown kinds get the list of supported ones.
+    """
+    if not isinstance(key, Mapping) or not key.get("kind"):
+        kinds = ", ".join(_KEY_KINDS)
+        raise ValueError(f"config.key.kind must be one of: {kinds}")
+    kind = key["kind"]
+    if kind in _WINDOWED_KINDS:
+        raise ValueError(
+            f"blocker {kind!r} cannot run in delta mode: its windowed "
+            "candidates depend on the global sort order, so a new record "
+            "can both add and remove pairs — no append-only delta "
+            f"decomposition exists; use one of: {', '.join(_KEY_KINDS)}"
+        )
+    if kind not in _KEY_KINDS:
+        kinds = ", ".join(_KEY_KINDS)
+        raise ValueError(f"config.key.kind must be one of: {kinds}")
+    if kind == "lsh":
+        return {"kind": "lsh", **_lsh_config(key).as_dict()}
+    if kind != "token" and not key.get("attribute"):
+        raise ValueError(f"key kind {kind!r} needs an 'attribute'")
+    return dict(key)
 
 
 def validate_config(config: Mapping[str, object]) -> dict[str, object]:
     """Normalize and validate a stream config; raises ``ValueError``."""
     if not isinstance(config, Mapping):
         raise ValueError("stream config must be a JSON object")
-    key = config.get("key")
-    if not isinstance(key, Mapping) or key.get("kind") not in _KEY_KINDS:
-        kinds = ", ".join(_KEY_KINDS)
-        raise ValueError(f"config.key.kind must be one of: {kinds}")
-    if key["kind"] != "token" and not key.get("attribute"):
-        raise ValueError(f"key kind {key['kind']!r} needs an 'attribute'")
+    key = validate_key_config(config.get("key"))
     similarities = config.get("similarities")
     if not isinstance(similarities, Mapping) or not similarities:
         raise ValueError("config.similarities must map attributes to measures")
@@ -157,12 +209,34 @@ class _BatchBlocking:
         return {"batch_blocking": self._config}
 
 
-def build_pipeline_and_index(
-    config: Mapping[str, object],
-) -> tuple[MatchingPipeline, IncrementalBlockingIndex]:
-    """The pipeline + fresh delta index described by ``config``."""
-    config = validate_config(config)
-    key = config["key"]
+def candidate_generator_from_key(key: object):
+    """The *batch* candidate generator described by a key config.
+
+    The blocker-selection entry point shared by stream configs, the
+    engine's pipeline-job ``blocker`` param, and the benchmarks.  The
+    returned object carries a ``config_fingerprint``, so pipelines
+    built from different blocker configs content-address to different
+    cache keys.
+    """
+    return _candidate_generator(validate_key_config(key))
+
+
+def _candidate_generator(key: Mapping[str, object]):
+    """:func:`candidate_generator_from_key` for pre-validated keys."""
+    if key["kind"] == "lsh":
+        return LshBlocking(_lsh_config(key))
+    return _BatchBlocking(key)
+
+
+def delta_index_from_key(key: object) -> IncrementalBlockingIndex:
+    """A fresh incremental delta index for a key config."""
+    return _delta_index(validate_key_config(key))
+
+
+def _delta_index(key: Mapping[str, object]) -> IncrementalBlockingIndex:
+    """:func:`delta_index_from_key` for pre-validated keys."""
+    if key["kind"] == "lsh":
+        return IncrementalLshIndex(_lsh_config(key))
     if key["kind"] == "token":
         emitter = token_keys(
             attributes=key.get("attributes"),
@@ -170,11 +244,25 @@ def build_pipeline_and_index(
         )
     else:
         emitter = single_key(_blocking_key(key))
-    index = IncrementalBlockingIndex(
+    return IncrementalBlockingIndex(
         emitter, max_block_size=key.get("max_block_size")
     )
+
+
+def build_pipeline_and_index(
+    config: Mapping[str, object],
+) -> tuple[MatchingPipeline, IncrementalBlockingIndex]:
+    """The pipeline + fresh delta index described by ``config``."""
+    return _build_pipeline_and_index(validate_config(config))
+
+
+def _build_pipeline_and_index(
+    config: Mapping[str, object],
+) -> tuple[MatchingPipeline, IncrementalBlockingIndex]:
+    """:func:`build_pipeline_and_index` for pre-validated configs."""
+    key = config["key"]
     pipeline = MatchingPipeline(
-        candidate_generator=_BatchBlocking(key),
+        candidate_generator=_candidate_generator(key),
         comparator=AttributeComparator(config["similarities"]),
         decision_model=mean_similarity,
         threshold=config["threshold"],
@@ -184,7 +272,7 @@ def build_pipeline_and_index(
         solution="streaming",
         parallelism=ParallelConfig.from_dict(config.get("parallelism")),
     )
-    return pipeline, index
+    return pipeline, _delta_index(key)
 
 
 def build_session(
@@ -192,7 +280,7 @@ def build_session(
 ) -> StreamingMatcher:
     """A new streaming session from a JSON config (durable iff ``store``)."""
     config = validate_config(config)
-    pipeline, index = build_pipeline_and_index(config)
+    pipeline, index = _build_pipeline_and_index(config)
     return StreamingMatcher(
         pipeline, index, store=store, name=name, config=config
     )

@@ -10,9 +10,18 @@ over all ingests equals the batch candidate set over the union of the
 records, which is what makes incremental clustering maintenance
 (:mod:`repro.streaming.session`) equivalent to a full recompute.
 
-The sorted-neighborhood method is deliberately *not* supported — its
-windowed candidates depend on the global sort order, so a new record
-can both add and remove pairs, breaking the append-only delta model.
+The same decomposition covers approximate blocking:
+:class:`IncrementalLshIndex` treats a record's MinHash-LSH band buckets
+(:mod:`repro.matching.lsh`) as its block keys — banding is append-only
+(a new record joins buckets, never reshuffles them), so the exact
+delta/batch equivalence holds for LSH too.
+
+The sorted-neighborhood method (and any windowed blocker) is
+deliberately *not* supported — its windowed candidates depend on the
+global sort order, so a new record can both add and remove pairs,
+breaking the append-only delta model.  :func:`repro.streaming.config`
+rejects such schemes with an explicit error instead of silently
+misusing them.
 """
 
 from __future__ import annotations
@@ -23,9 +32,16 @@ from dataclasses import dataclass
 from repro.core.pairs import Pair, make_pair
 from repro.core.records import Record
 from repro.matching.blocking import BlockingKey
+from repro.matching.lsh import LshConfig, MinHasher
 from repro.matching.similarity import tokenize
 
-__all__ = ["DeltaIngest", "IncrementalBlockingIndex", "single_key", "token_keys"]
+__all__ = [
+    "DeltaIngest",
+    "IncrementalBlockingIndex",
+    "IncrementalLshIndex",
+    "single_key",
+    "token_keys",
+]
 
 KeyEmitter = Callable[[Record], Sequence[str]]
 
@@ -207,3 +223,39 @@ class IncrementalBlockingIndex:
         for key, record_id in memberships:
             self._blocks.setdefault(key, []).append(record_id)
             self._records.add(record_id)
+
+
+class IncrementalLshIndex(IncrementalBlockingIndex):
+    """Approximate delta blocking over MinHash-LSH band buckets.
+
+    Each ingested record is MinHashed (seeded, ``PYTHONHASHSEED``- and
+    process-independent — see :mod:`repro.matching.lsh`) and joins one
+    bucket per LSH band; the delta pairs are the new-vs-existing and
+    new-vs-new pairs within those buckets.  Because banding is
+    append-only, the union of the deltas over all ingests equals the
+    batch :func:`~repro.matching.lsh.lsh_blocking` candidate set over
+    the union of the records — the same exactness guarantee the
+    key-based index gives, now for approximate blocking.
+
+    The equivalence requires ``config.max_block_size`` to be unset: a
+    cap makes this index stop *emitting* once a bucket fills up, while
+    the batch blocker purges the oversized bucket retroactively (the
+    usual capped-stream trade-off, see :mod:`repro.streaming.config`).
+
+    Durable sessions persist the emitted ``(bucket_key, record_id)``
+    memberships like any other block rows; :meth:`restore` rebuilds the
+    bucket lists without re-hashing, so resuming does not depend on
+    signatures being recomputed (though with the same ``config`` they
+    would come out identical).
+    """
+
+    def __init__(self, config: LshConfig | None = None) -> None:
+        self.config = config or LshConfig()
+        hasher = MinHasher(self.config)
+        super().__init__(
+            hasher.keys_for, max_block_size=self.config.max_block_size
+        )
+
+    def config_fingerprint(self) -> dict[str, object]:
+        """Content token mirroring the batch blocker's fingerprint."""
+        return {"lsh_blocking": self.config.as_dict()}

@@ -162,6 +162,7 @@ class StreamingMatcher:
         self.pipeline = pipeline
         self.index = index
         self.name = name
+        self.config = dict(config) if config is not None else None
         self._store = store
         self._numeric: dict[str, int] = {}
         self._native: list[str] = []
@@ -211,6 +212,7 @@ class StreamingMatcher:
                 "clusters": self._unionfind.cluster_count,
                 "intra_cluster_pairs": self._unionfind.pair_count,
                 "durable": self._store is not None,
+                "blocking": (self.config or {}).get("key"),
                 "parallelism": self.pipeline.parallelism.as_dict(),
                 "latest": latest,
                 "snapshots": [s.as_dict() for s in self._snapshots],

@@ -370,3 +370,110 @@ class TestPipelineJobs:
             "g2:decision", "g2:clustering",
         ]
         assert graph[2].depends_on == ("g2:prepare", "g2:candidates")
+
+
+class TestBlockerJobParam:
+    """The ``blocker`` pipeline-job param: per-job candidate generation."""
+
+    LSH = {"kind": "lsh", "num_perm": 16, "bands": 8, "seed": 3}
+
+    @pytest.fixture
+    def pipeline(self):
+        return MatchingPipeline(
+            candidate_generator=full_pairs,
+            comparator=AttributeComparator({"first": "jaro_winkler",
+                                            "last": "jaro_winkler"}),
+            decision_model=_mean_decision,
+            threshold=0.9,
+            name="blocker-pipe",
+        )
+
+    def test_blocker_override_changes_the_cache_key(self, engine, pipeline):
+        """Unlike workers/shards, a blocker override changes the output
+        — so it must split the cache, never share an entry."""
+        base = engine.run(
+            [JobSpec("pipeline", {"pipeline": pipeline, "dataset": "people"},
+                     job_id="base")]
+        )["base"]
+        lsh = engine.run(
+            [JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": "people",
+                 "blocker": self.LSH, "register": False},
+                job_id="lsh",
+            )]
+        )["lsh"]
+        assert base.state is JobState.SUCCEEDED, base.error
+        assert lsh.state is JobState.SUCCEEDED, lsh.error
+        assert lsh.cache_key != base.cache_key
+        assert not lsh.cached
+        other = engine.run(
+            [JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": "people",
+                 "blocker": {**self.LSH, "bands": 4}, "register": False},
+                job_id="lsh4",
+            )]
+        )["lsh4"]
+        assert other.state is JobState.SUCCEEDED, other.error
+        assert other.cache_key != lsh.cache_key
+
+    def test_identical_blocker_jobs_share_the_cache(self, engine, pipeline):
+        params = {"pipeline": pipeline, "dataset": "people",
+                  "blocker": self.LSH, "register": False}
+        first = engine.run(
+            [JobSpec("pipeline", dict(params), job_id="one")]
+        )["one"]
+        rerun = engine.run(
+            [JobSpec("pipeline", dict(params), job_id="two")]
+        )["two"]
+        assert first.state is JobState.SUCCEEDED, first.error
+        assert rerun.cached is True
+        assert rerun.cache_key == first.cache_key
+
+    def test_blocker_matches_with_blocker_direct_run(self, engine, pipeline):
+        from repro.streaming import candidate_generator_from_key
+
+        direct = pipeline.with_blocker(
+            candidate_generator_from_key(self.LSH)
+        ).run(engine.platform.dataset("people")).experiment
+        result = engine.run(
+            [JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": "people",
+                 "blocker": self.LSH, "register": False},
+                job_id="direct-check",
+            )]
+        )["direct-check"]
+        assert result.state is JobState.SUCCEEDED, result.error
+        assert sorted(
+            (first, second) for first, second, _, _ in result.value["matches"]
+        ) == sorted(tuple(match.pair) for match in direct)
+
+    def test_candidates_stage_honours_blocker(self, engine, pipeline):
+        from repro.streaming import candidate_generator_from_key
+
+        graph = pipeline.as_job_graph("people", prefix="lsh", register=False)
+        for spec in graph:
+            if spec.job_id == "lsh:candidates":
+                spec.params.update(blocker=self.LSH)
+        results = engine.run(graph)
+        assert all(
+            result.state is JobState.SUCCEEDED for result in results.values()
+        ), {k: r.error for k, r in results.items()}
+        direct = pipeline.with_blocker(
+            candidate_generator_from_key(self.LSH)
+        ).run(engine.platform.dataset("people")).experiment
+        assert results["lsh:clustering"].value.pairs() == direct.pairs()
+
+    def test_malformed_blocker_fails_the_job_cleanly(self, engine, pipeline):
+        result = engine.run(
+            [JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": "people",
+                 "blocker": {"kind": "lsh", "bands": 33}},
+                job_id="broken",
+            )]
+        )["broken"]
+        assert result.state is JobState.FAILED
+        assert "divide" in result.error

@@ -29,15 +29,21 @@ def main() -> int:
     from repro.datagen import make_person_benchmark
     from repro.io.exporters import export_dataset, export_gold_standard
 
-    from test_golden_regression import run_golden_pipeline, summarize
+    from test_golden_regression import (
+        GOLDEN_FIXTURES,
+        run_golden_pipeline,
+        summarize,
+    )
 
     benchmark = make_person_benchmark(150, seed=11)
     export_dataset(benchmark.dataset, HERE / "dataset.csv")
     export_gold_standard(benchmark.gold, HERE / "gold.csv", format_="clusters")
 
-    summary = summarize(*run_golden_pipeline())
-    (HERE / "metrics.json").write_text(json.dumps(summary, indent=2) + "\n")
-    print(json.dumps(summary, indent=2))
+    for fixture_name, config in sorted(GOLDEN_FIXTURES.items()):
+        summary = summarize(*run_golden_pipeline(config))
+        (HERE / fixture_name).write_text(json.dumps(summary, indent=2) + "\n")
+        print(fixture_name)
+        print(json.dumps(summary, indent=2))
     return 0
 
 

@@ -1,0 +1,160 @@
+"""Edge cases of the pair- and cluster-based metrics.
+
+Degenerate inputs the evaluation surfaces must not crash or mis-score
+on: empty candidate sets (a blocker that emitted nothing), clusterings
+made of singletons only, and gold standards mentioning records that are
+absent from the dataset under evaluation.
+"""
+
+import pytest
+
+from repro.core.clustering import Clustering
+from repro.core.confusion import ConfusionMatrix
+from repro.metrics.blocking_quality import evaluate_blocking
+from repro.metrics.clusterwise import (
+    adjusted_rand_index,
+    basic_merge_distance,
+    closest_cluster_f1,
+    closest_cluster_precision,
+    closest_cluster_recall,
+    cluster_f1,
+    cluster_precision,
+    cluster_recall,
+    variation_of_information,
+)
+from repro.metrics.pairwise import (
+    f1_score,
+    pairs_completeness,
+    pairs_quality,
+    precision,
+    recall,
+    reduction_ratio,
+)
+
+
+class TestEmptyCandidateSet:
+    """A blocker (or decision model) that emitted nothing at all."""
+
+    def matrix(self):
+        return ConfusionMatrix.from_pair_sets(
+            [], [("a", "b"), ("c", "d")], total_pairs=10
+        )
+
+    def test_precision_is_vacuously_perfect(self):
+        assert precision(self.matrix()) == 1.0
+        assert pairs_quality(self.matrix()) == 1.0
+
+    def test_recall_and_completeness_are_zero(self):
+        assert recall(self.matrix()) == 0.0
+        assert pairs_completeness(self.matrix()) == 0.0
+        assert f1_score(self.matrix()) == 0.0
+
+    def test_reduction_ratio_is_total(self):
+        assert reduction_ratio(self.matrix()) == 1.0
+
+    def test_blocking_quality_mirrors_the_conventions(self):
+        quality = evaluate_blocking([], [("a", "b")], total_pairs=6)
+        assert quality.pairs_completeness == 0.0
+        assert quality.reduction_ratio == 1.0
+        assert quality.pairs_quality == 1.0
+
+    def test_empty_gold_too_is_all_perfect(self):
+        matrix = ConfusionMatrix.from_pair_sets([], [], total_pairs=3)
+        assert precision(matrix) == recall(matrix) == 1.0
+        quality = evaluate_blocking([], [], total_pairs=0)
+        assert quality.pairs_completeness == 1.0
+        assert quality.reduction_ratio == 0.0  # nothing to prune
+
+
+class TestSingletonClusters:
+    """Clusterings whose explicit clusters are all singletons behave
+    like the empty clustering (singletons are representation-dependent)."""
+
+    def test_identical_singleton_clusterings_agree_perfectly(self):
+        experiment = Clustering([["a"], ["b"], ["c"]])
+        truth = Clustering([])
+        records = ["a", "b", "c"]
+        assert variation_of_information(experiment, truth, records) == 0.0
+        assert adjusted_rand_index(experiment, truth, records) == 1.0
+        assert basic_merge_distance(experiment, truth, records) == 0.0
+
+    def test_exact_cluster_metrics_ignore_singletons(self):
+        experiment = Clustering([["a"], ["b"]])
+        truth = Clustering([["a", "b"]])
+        assert cluster_precision(experiment, truth) == 1.0  # nothing nontrivial
+        assert cluster_recall(experiment, truth) == 0.0
+        assert cluster_f1(experiment, truth) == 0.0
+
+    def test_closest_cluster_scores_stay_in_range(self):
+        experiment = Clustering([["a"], ["b"], ["c"]])
+        truth = Clustering([["a", "b"]])
+        records = ["a", "b", "c"]
+        p = closest_cluster_precision(experiment, truth, records)
+        r = closest_cluster_recall(experiment, truth, records)
+        assert 0.0 <= p <= 1.0 and 0.0 <= r <= 1.0
+        assert 0.0 <= closest_cluster_f1(experiment, truth, records) <= 1.0
+
+    def test_both_empty_clusterings_are_perfect(self):
+        empty = Clustering([])
+        assert closest_cluster_f1(empty, empty) == 1.0
+        assert variation_of_information(empty, empty) == 0.0
+        assert cluster_f1(empty, empty) == 1.0
+
+
+class TestGoldRecordsAbsentFromDataset:
+    """A gold standard may mention records the dataset slice lacks."""
+
+    def test_pairwise_counts_unreachable_gold_pairs_as_misses(self):
+        # dataset has 3 records (3 pairs); gold clusters records x, y
+        # that are not among them
+        matrix = ConfusionMatrix.from_pair_sets(
+            [("a", "b")], [("x", "y")], total_pairs=3
+        )
+        assert matrix.true_positives == 0
+        assert matrix.false_negatives == 1
+        assert recall(matrix) == 0.0
+        assert precision(matrix) == 0.0
+
+    def test_blocking_quality_via_evaluate_blocker_excludes_them(self):
+        from repro.core.experiment import GoldStandard
+        from repro.core.records import Dataset, Record
+
+        dataset = Dataset(
+            [Record("a", {"n": "x"}), Record("b", {"n": "x"})], name="d"
+        )
+        gold = GoldStandard(
+            Clustering([["a", "b"], ["ghost1", "ghost2"]]), name="g"
+        )
+        from repro.metrics.blocking_quality import evaluate_blocker
+
+        quality = evaluate_blocker(
+            dataset, gold, lambda ds: {("a", "b")}
+        )
+        # the ghost pair is unreachable: completeness must still be 1.0
+        assert quality.gold_pair_count == 1
+        assert quality.pairs_completeness == 1.0
+
+    def test_cluster_metrics_with_restricted_universe(self):
+        experiment = Clustering([["a", "b"]])
+        truth = Clustering([["a", "x"], ["b", "y"]])
+        records = ["a", "b"]  # the dataset's records only
+        vi = variation_of_information(experiment, truth, records)
+        assert vi >= 0.0
+        assert 0.0 <= closest_cluster_recall(experiment, truth, records) <= 1.0
+        assert 0.0 <= adjusted_rand_index(experiment, truth, records) <= 1.0
+
+
+class TestBlockingQualityValidation:
+    def test_negative_total_pairs_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            evaluate_blocking([], [], total_pairs=-1)
+
+    def test_as_dict_is_json_ready(self):
+        import json
+
+        quality = evaluate_blocking(
+            [("a", "b"), ("a", "c")], [("a", "b")], total_pairs=3
+        )
+        payload = json.loads(json.dumps(quality.as_dict()))
+        assert payload["true_positives"] == 1
+        assert payload["pairs_quality"] == 0.5

@@ -371,3 +371,140 @@ class TestStreamCli:
         ])
         assert code == 1
         assert "ATTR=MEASURE" in capsys.readouterr().err
+
+
+LSH_CONFIG = {
+    "key": {"kind": "lsh", "num_perm": 64, "bands": 16, "seed": 2},
+    "similarities": {"first": "jaro_winkler", "last": "jaro_winkler"},
+    "threshold": 0.8,
+}
+
+
+class TestLshStreamApi:
+    def test_create_ingest_status_roundtrip(self, api):
+        created = api.handle(
+            "/streams", method="POST",
+            body={"name": "lsh-crm", "config": LSH_CONFIG},
+        )
+        assert created["blocking"]["kind"] == "lsh"
+        assert created["blocking"]["rows"] == 4  # normalized (64 / 16)
+        first = api.handle(
+            "/streams/lsh-crm/batches", method="POST",
+            body={"records": ROWS_ONE},
+        )
+        assert first["snapshot"]["version"] == 1
+        status = api.handle("/streams/lsh-crm")
+        assert status["blocking"]["num_perm"] == 64
+        assert status["records"] == 3
+
+    @pytest.mark.parametrize(
+        "key",
+        [
+            {"kind": "lsh", "num_perm": 100, "bands": 33},  # not divisible
+            {"kind": "lsh", "num_perm": "128"},
+            {"kind": "lsh", "bands": 0},
+            {"kind": "lsh", "rows": 5},
+            {"kind": "lsh", "typo": 1},
+            {"kind": "sorted_neighborhood", "attribute": "last"},
+        ],
+    )
+    def test_malformed_lsh_config_is_400(self, api, key):
+        with pytest.raises(ApiError) as bad:
+            api.handle(
+                "/streams", method="POST",
+                body={"name": "x", "config": {**LSH_CONFIG, "key": key}},
+            )
+        assert bad.value.status == 400
+
+    def test_durable_lsh_stream_resumes(self, tmp_path):
+        store_path = tmp_path / "lsh.db"
+        with FrostStore(str(store_path)) as store:
+            first_api = FrostApi(FrostPlatform(), store=store)
+            first_api.handle(
+                "/streams", method="POST",
+                body={"name": "durable", "config": LSH_CONFIG},
+            )
+            first_api.handle(
+                "/streams/durable/batches", method="POST",
+                body={"records": ROWS_ONE},
+            )
+        with FrostStore(str(store_path)) as store:
+            resumed_api = FrostApi(FrostPlatform(), store=store)
+            status = resumed_api.handle("/streams/durable")
+            assert status["version"] == 1
+            assert status["blocking"]["kind"] == "lsh"
+            second = resumed_api.handle(
+                "/streams/durable/batches", method="POST",
+                body={"records": ROWS_TWO},
+            )
+            assert second["snapshot"]["version"] == 2
+            assert second["snapshot"]["record_count"] == 5
+
+
+class TestLshStreamCli:
+    def _write_csv(self, path, rows):
+        lines = ["id,first,last"]
+        lines += [f"{r['id']},{r['first']},{r['last']}" for r in rows]
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_lsh_lifecycle(self, tmp_path, capsys):
+        from repro.cli import main
+
+        store = str(tmp_path / "s.db")
+        day1 = tmp_path / "day1.csv"
+        day2 = tmp_path / "day2.csv"
+        self._write_csv(day1, ROWS_ONE)
+        self._write_csv(day2, ROWS_TWO)
+
+        assert main([
+            "stream", "init", "--store", store, "--name", "crm",
+            "--blocker", "lsh", "--num-perm", "64", "--bands", "16",
+            "--lsh-seed", "2",
+            "--similarity", "first=jaro_winkler",
+            "--similarity", "last=jaro_winkler",
+            "--threshold", "0.8",
+        ]) == 0
+        assert "key=lsh" in capsys.readouterr().out
+        assert main([
+            "stream", "ingest", "--store", store, "--name", "crm",
+            "--dataset", str(day1),
+        ]) == 0
+        assert main([
+            "stream", "ingest", "--store", store, "--name", "crm",
+            "--dataset", str(day2),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "v2" in out and "5 total" in out
+        assert main(["stream", "status", "--store", store, "--name", "crm"]) == 0
+        assert "v2" in capsys.readouterr().out
+
+    def test_lsh_flags_reject_bad_banding(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main([
+            "stream", "init", "--store", str(tmp_path / "s.db"),
+            "--name", "crm", "--blocker", "lsh",
+            "--num-perm", "100", "--bands", "33",
+            "--similarity", "last=jaro_winkler",
+        ])
+        assert code == 1
+        assert "divide" in capsys.readouterr().err
+
+    def test_cross_family_flags_fail_loudly(self, tmp_path, capsys):
+        """A blocking flag of the unselected family must error, not be
+        silently dropped into a very different candidate set."""
+        from repro.cli import main
+
+        store = str(tmp_path / "s.db")
+        assert main([
+            "stream", "init", "--store", store, "--name", "a",
+            "--blocker", "lsh", "--key-attribute", "last",
+            "--similarity", "last=exact",
+        ]) == 1
+        assert "--token-attributes" in capsys.readouterr().err
+        assert main([
+            "stream", "init", "--store", store, "--name", "b",
+            "--bands", "16", "--key-attribute", "last",
+            "--similarity", "last=exact",
+        ]) == 1
+        assert "--blocker lsh" in capsys.readouterr().err

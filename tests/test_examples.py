@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "custom_importer.py",
     "engine_sweep.py",
     "streaming_ingest.py",
+    "lsh_blocking.py",
 ]
 
 

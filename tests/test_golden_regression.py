@@ -40,11 +40,24 @@ GOLDEN_CONFIG = {
     "threshold": 0.8,
     "preparers": ["normalize_whitespace", "lowercase_values"],
 }
+# A second guard over the approximate path: identical scoring, but
+# candidate generation through seeded MinHash-LSH — any drift in the
+# signature scheme (token hashing, permutation drawing, banding) moves
+# the stored digest even if the exact-blocking fixture stays green.
+GOLDEN_LSH_CONFIG = {
+    **GOLDEN_CONFIG,
+    "key": {"kind": "lsh", "num_perm": 128, "bands": 32, "seed": 7},
+}
+# fixture file -> the config whose outputs it freezes
+GOLDEN_FIXTURES = {
+    "metrics.json": GOLDEN_CONFIG,
+    "metrics_lsh.json": GOLDEN_LSH_CONFIG,
+}
 GOLDEN_METRICS = ["precision", "recall", "f1", "accuracy"]
 
 
-def run_golden_pipeline():
-    """Load the checked-in dataset and run the golden pipeline on it."""
+def run_golden_pipeline(config=GOLDEN_CONFIG):
+    """Load the checked-in dataset and run one golden pipeline on it."""
     from repro.streaming import build_pipeline_and_index
 
     dataset = import_dataset(
@@ -53,7 +66,7 @@ def run_golden_pipeline():
     gold = import_gold_standard(
         FIXTURES / "gold.csv", format_="clusters", fmt=CsvFormat()
     )
-    pipeline, _ = build_pipeline_and_index(GOLDEN_CONFIG)
+    pipeline, _ = build_pipeline_and_index(config)
     run = pipeline.run(dataset)
     return dataset, gold, run
 
@@ -75,9 +88,12 @@ def summarize(dataset, gold, run) -> dict[str, object]:
     }
 
 
-def test_pipeline_matches_golden_fixture():
-    stored = json.loads((FIXTURES / "metrics.json").read_text())
-    recomputed = summarize(*run_golden_pipeline())
+@pytest.mark.parametrize("fixture_name", sorted(GOLDEN_FIXTURES))
+def test_pipeline_matches_golden_fixture(fixture_name):
+    stored = json.loads((FIXTURES / fixture_name).read_text())
+    recomputed = summarize(
+        *run_golden_pipeline(GOLDEN_FIXTURES[fixture_name])
+    )
 
     # The digest covers every match and score bit-for-bit: it failing
     # alone would be hard to debug, so compare the readable facts first.
@@ -95,9 +111,10 @@ def test_pipeline_matches_golden_fixture():
     )
 
 
-def test_golden_fixture_is_nontrivial():
+@pytest.mark.parametrize("fixture_name", sorted(GOLDEN_FIXTURES))
+def test_golden_fixture_is_nontrivial(fixture_name):
     """Guard the guard: an empty or degenerate fixture protects nothing."""
-    stored = json.loads((FIXTURES / "metrics.json").read_text())
+    stored = json.loads((FIXTURES / fixture_name).read_text())
     assert stored["records"] >= 100
     assert stored["accepted_matches"] > 10
     assert stored["clusters"] > 5
