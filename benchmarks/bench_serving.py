@@ -1,0 +1,294 @@
+"""Serving subsystem — closed-loop latency/throughput load harness.
+
+Drives N concurrent HTTP clients against a seeded platform behind the
+concurrent front-end (:mod:`repro.server.http` + :mod:`repro.serving`)
+and validates the subsystem's three headline claims:
+
+1. **correctness under concurrency** — every response of the
+   8-client run is byte-identical to the serial single-client
+   reference run (and zero requests are dropped);
+2. **cache-warm speedup** — warm reads (read-through payload cache)
+   beat cold recomputation by at least 5×;
+3. **request coalescing** — concurrent identical requests on a cold
+   key share one engine computation, asserted via ``/stats``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_serving.py -s
+
+``REPRO_BENCH_SMOKE=1`` shrinks the corpus for CI.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import threading
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.core.platform import FrostPlatform
+from repro.datagen import (
+    make_cora_like_benchmark,
+    make_person_benchmark,
+    scored_benchmark_experiment,
+)
+from repro.server.api import FrostApi
+from repro.server.http import FrostHttpServer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "0") == "1"
+
+CLIENTS = 8
+WARM_ROUNDS = 4 if SMOKE else 10
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _benchmark_platform() -> tuple[FrostPlatform, str, str, list[str]]:
+    """A seeded platform plus the request paths the clients replay."""
+    if SMOKE:
+        benchmark = make_person_benchmark(500, seed=7)
+        matches = 400
+        samples = 50
+    else:
+        benchmark = make_cora_like_benchmark()
+        matches = 5_067
+        samples = 100
+    platform = FrostPlatform()
+    platform.add_dataset(benchmark.dataset)
+    platform.add_gold(benchmark.dataset.name, benchmark.gold)
+    experiment_names = []
+    for index in range(2):
+        experiment = scored_benchmark_experiment(
+            benchmark,
+            target_matches=matches,
+            seed=20 + index,
+            name=f"serving-run-{index}",
+        )
+        platform.add_experiment(benchmark.dataset.name, experiment)
+        experiment_names.append(experiment.name)
+    dataset = benchmark.dataset.name
+    gold = benchmark.gold.name
+    paths = [
+        f"/datasets/{dataset}/metrics?gold={gold}",
+        f"/datasets/{dataset}/metrics?gold={gold}&metrics=precision,recall,f1",
+        f"/datasets/{dataset}/diagram?exp={experiment_names[0]}&gold={gold}&n={samples}",
+        f"/datasets/{dataset}/diagram?exp={experiment_names[1]}&gold={gold}&n={samples}",
+        f"/datasets/{dataset}/categorize?exp={experiment_names[0]}&gold={gold}",
+        f"/datasets/{dataset}/profile",
+    ]
+    return platform, dataset, gold, paths
+
+
+def _get(connection: http.client.HTTPConnection, path: str) -> tuple[int, bytes]:
+    connection.request("GET", path)
+    response = connection.getresponse()
+    return response.status, response.read()
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(round(fraction * (len(ordered) - 1))))
+    return ordered[index]
+
+
+class _Client:
+    """One closed-loop load client with a keep-alive connection."""
+
+    def __init__(self, port: int, paths: list[str], rounds: int,
+                 barrier: threading.Barrier) -> None:
+        self.port = port
+        self.paths = paths
+        self.rounds = rounds
+        self.barrier = barrier
+        self.latencies: list[float] = []
+        self.bodies: dict[str, bytes] = {}
+        self.errors: list[str] = []
+        self.thread = threading.Thread(target=self._run)
+
+    def _run(self) -> None:
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=60)
+        try:
+            # Establish the keep-alive connection before the barrier so
+            # the measured section is pure request serving.
+            connection.connect()
+            self.barrier.wait(timeout=60)
+            for _ in range(self.rounds):
+                for path in self.paths:
+                    started = time.perf_counter()
+                    status, body = _get(connection, path)
+                    self.latencies.append(time.perf_counter() - started)
+                    if status != 200:
+                        self.errors.append(f"{path}: HTTP {status}")
+                        continue
+                    previous = self.bodies.setdefault(path, body)
+                    if previous != body:
+                        self.errors.append(f"{path}: response bytes changed")
+        except Exception as error:  # noqa: BLE001 - reported as dropped
+            self.errors.append(f"{type(error).__name__}: {error}")
+        finally:
+            connection.close()
+
+
+def test_serving_load_report():
+    """Throughput + tail latency of the serving layer under 8 clients.
+
+    Asserts byte-identical responses vs. the serial run, zero dropped
+    requests, and ≥5× cache-warm speedup over cold recomputation.
+    """
+    platform, _, _, paths = _benchmark_platform()
+    with FrostHttpServer(FrostApi(platform), port=0) as server:
+        # serial single-client reference: every path once, cold cache
+        reference: dict[str, bytes] = {}
+        cold_latencies: dict[str, float] = {}
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=300)
+        for path in paths:
+            started = time.perf_counter()
+            status, body = _get(connection, path)
+            cold_latencies[path] = time.perf_counter() - started
+            assert status == 200, f"cold {path}: HTTP {status}"
+            reference[path] = body
+        connection.close()
+
+        barrier = threading.Barrier(CLIENTS)
+        clients = [
+            _Client(server.port, paths, WARM_ROUNDS, barrier)
+            for _ in range(CLIENTS)
+        ]
+        started = time.perf_counter()
+        for client in clients:
+            client.thread.start()
+        for client in clients:
+            client.thread.join(timeout=600)
+        wall = time.perf_counter() - started
+
+        stats_connection = http.client.HTTPConnection(
+            "127.0.0.1", server.port, timeout=60
+        )
+        status, stats_body = _get(stats_connection, "/stats")
+        stats_connection.close()
+        assert status == 200
+        serving_stats = json.loads(stats_body)["serving"]
+
+    dropped = [error for client in clients for error in client.errors]
+    assert not dropped, f"dropped/failed requests: {dropped[:5]}"
+    total_requests = CLIENTS * WARM_ROUNDS * len(paths)
+    latencies = [second for client in clients for second in client.latencies]
+    assert len(latencies) == total_requests
+
+    for client in clients:
+        for path in paths:
+            assert client.bodies[path] == reference[path], (
+                f"{path}: concurrent response differs from the serial run"
+            )
+
+    cold_total = sum(cold_latencies.values())
+    cold_throughput = len(paths) / cold_total
+    warm_throughput = total_requests / wall
+    speedup = warm_throughput / cold_throughput
+
+    print_table(
+        "Serving layer: closed-loop load (8 clients, keep-alive)",
+        ["Metric", "Value"],
+        [
+            ["requests", total_requests],
+            ["wall time", f"{wall:.3f}s"],
+            ["throughput (warm)", f"{warm_throughput:,.0f} req/s"],
+            ["throughput (cold serial)", f"{cold_throughput:,.0f} req/s"],
+            ["warm/cold speedup", f"{speedup:.1f}x"],
+            ["p50 latency", f"{_percentile(latencies, 0.50) * 1000:.2f}ms"],
+            ["p95 latency", f"{_percentile(latencies, 0.95) * 1000:.2f}ms"],
+            ["p99 latency", f"{_percentile(latencies, 0.99) * 1000:.2f}ms"],
+            ["cache hits", serving_stats["cache"]["hits"]],
+            ["computations", serving_stats["computations"]],
+        ],
+    )
+    rows = [
+        [
+            path.split("/")[-1][:40],
+            f"{cold_latencies[path] * 1000:.1f}ms",
+        ]
+        for path in paths
+    ]
+    print_table("Cold (compute) latency per request", ["Request", "Cold"], rows)
+
+    # every path computed exactly once; all warm traffic was served
+    assert serving_stats["computations"] == len(paths)
+    assert serving_stats["requests"] == total_requests + len(paths)
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"cache-warm serving only {speedup:.1f}x cold recomputation "
+        f"(warm {warm_throughput:,.0f} req/s, cold {cold_throughput:,.0f} req/s)"
+    )
+
+
+def test_coalescing_holds_concurrent_duplicates_to_one_computation():
+    """8 concurrent identical cold requests -> exactly one computation.
+
+    The assertion is deterministic: any client that arrives while the
+    leader computes joins its flight; any client that arrives after it
+    lands hits the cache.  Either way the engine computes once, which
+    ``/stats`` exposes as ``computations == 1``.
+    """
+    platform, dataset, gold, _ = _benchmark_platform()
+    samples = 60 if SMOKE else 150
+    path = (
+        f"/datasets/{dataset}/diagram?exp=serving-run-0&gold={gold}&n={samples}"
+    )
+    bodies: list[bytes] = []
+    errors: list[str] = []
+    bodies_lock = threading.Lock()
+    barrier = threading.Barrier(CLIENTS)
+
+    with FrostHttpServer(FrostApi(platform), port=0) as server:
+
+        def client() -> None:
+            connection = http.client.HTTPConnection(
+                "127.0.0.1", server.port, timeout=300
+            )
+            try:
+                barrier.wait(timeout=60)
+                status, body = _get(connection, path)
+                with bodies_lock:
+                    if status != 200:
+                        errors.append(f"HTTP {status}")
+                    bodies.append(body)
+            except Exception as error:  # noqa: BLE001
+                with bodies_lock:
+                    errors.append(f"{type(error).__name__}: {error}")
+            finally:
+                connection.close()
+
+        threads = [threading.Thread(target=client) for _ in range(CLIENTS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+
+        connection = http.client.HTTPConnection("127.0.0.1", server.port, timeout=60)
+        _, stats_body = _get(connection, "/stats")
+        connection.close()
+
+    assert not errors, errors
+    assert len(bodies) == CLIENTS
+    assert len(set(bodies)) == 1, "coalesced responses must be identical"
+    serving_stats = json.loads(stats_body)["serving"]
+    coalescer = serving_stats["coalescer"]
+    print(
+        f"\ncoalescing: {CLIENTS} concurrent duplicates -> "
+        f"{serving_stats['computations']} computation(s) "
+        f"({coalescer['followers']} follower(s), "
+        f"{serving_stats['cache']['hits']} late cache hit(s))"
+    )
+    assert serving_stats["requests"] == CLIENTS
+    assert serving_stats["computations"] == 1, (
+        "concurrent duplicate requests stampeded the engine: "
+        f"{serving_stats['computations']} computations for one key"
+    )
+    # the other 7 either joined the flight or hit the cache just after
+    assert coalescer["followers"] + serving_stats["cache"]["hits"] == CLIENTS - 1
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-s"])

@@ -38,6 +38,15 @@ selects approximate MinHash-LSH blocking (:mod:`repro.matching.lsh`)
 instead of an exact key scheme — typo-robust candidate generation whose
 banding stays exactly delta-decomposable.
 
+The ``serve`` command exposes a store over the concurrent HTTP
+front-end (:mod:`repro.server.http` + :mod:`repro.serving`): every
+dataset/experiment/gold in the store is loaded into a platform and
+served with read-through payload caching and request coalescing.
+``--port 0`` binds an ephemeral port (announced on stdout) and SIGINT/
+SIGTERM shut the server down gracefully::
+
+    python -m repro serve --store results.db --port 0 --workers 8 --cache-size 2048
+
 Every command reads CSV files (``--separator`` configures the dialect)
 and prints plain text to stdout.
 """
@@ -324,6 +333,34 @@ def build_parser() -> argparse.ArgumentParser:
     stream_status.add_argument("--store", required=True)
     stream_status.add_argument(
         "--name", default=None, help="show one stream's full lineage"
+    )
+
+    serve = commands.add_parser(
+        "serve", help="serve a store over the concurrent HTTP front-end"
+    )
+    serve.add_argument(
+        "--store",
+        required=True,
+        help="SQLite path holding the datasets/experiments/golds to serve",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="TCP port; 0 binds an ephemeral port (announced on stdout)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="engine worker-pool width behind /jobs (default 4)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=1024,
+        help="serving-layer payload cache capacity (default 1024)",
     )
     return parser
 
@@ -782,6 +819,39 @@ def _command_stream_status(args: argparse.Namespace, fmt: CsvFormat) -> int:
     return 0
 
 
+def _command_serve(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.engine.runner import ExperimentEngine
+    from repro.server.api import FrostApi
+    from repro.server.http import serve
+    from repro.serving import ServingLayer, platform_from_store
+    from repro.storage.database import FrostStore
+
+    def announce(message: str) -> None:
+        # Flushed eagerly: integration tests read the bound port from a
+        # pipe before the first request, and the process blocks next.
+        print(message, flush=True)
+
+    # serve is a read surface: opening a mistyped path would silently
+    # create and serve a brand-new empty database.
+    if not Path(args.store).exists():
+        raise ValueError(f"store {args.store!r} does not exist")
+    with FrostStore(args.store) as store:
+        platform = platform_from_store(store)
+        engine = ExperimentEngine(
+            platform, store=store, max_workers=args.workers
+        )
+        serving = ServingLayer(platform, max_entries=args.cache_size)
+        api = FrostApi(platform, engine=engine, store=store, serving=serving)
+        announce(
+            f"serving {len(platform.dataset_names())} dataset(s) from "
+            f"{args.store} (workers={args.workers}, "
+            f"cache_size={args.cache_size})"
+        )
+        serve(api, host=args.host, port=args.port, announce=announce)
+        announce("shut down cleanly")
+    return 0
+
+
 def _command_stream(args: argparse.Namespace, fmt: CsvFormat) -> int:
     handlers = {
         "init": _command_stream_init,
@@ -800,6 +870,7 @@ _COMMANDS = {
     "categorize": _command_categorize,
     "engine": _command_engine,
     "stream": _command_stream,
+    "serve": _command_serve,
 }
 
 

@@ -10,6 +10,8 @@ API of :mod:`repro.server`.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
@@ -41,37 +43,92 @@ class FrostPlatform:
 
     def __init__(self) -> None:
         self._entries: dict[str, BenchmarkEntry] = {}
+        self._listeners: list = []
+        # Guards registry *mutation* and dict-iterating reads (the
+        # sorted name listings): the threaded HTTP server reads while
+        # engine workers register pipeline results, and a dict that
+        # grows mid-iteration raises RuntimeError.  Plain key lookups
+        # are atomic under the GIL and stay lock-free.
+        self._registry_lock = threading.RLock()
 
     # -- registry -------------------------------------------------------------------
 
+    def subscribe(self, listener) -> None:
+        """Call ``listener(dataset_name)`` after every registry write.
+
+        This is how read-through caches above the platform (the serving
+        layer's :class:`~repro.serving.cache.MetricResultCache`) stay
+        correct: *any* write path — direct Python calls, the HTTP API,
+        or the engine registering a pipeline result — notifies every
+        subscriber, which invalidates the dataset's cached payloads.
+
+        Bound-method listeners are held through weak references, so an
+        abandoned subscriber (a dropped serving layer) detaches itself
+        instead of being pinned by the platform forever.
+        """
+        try:
+            reference = weakref.WeakMethod(listener)
+        except TypeError:
+            # plain functions/lambdas: keep a strong reference
+            def reference(listener=listener):
+                return listener
+        with self._registry_lock:
+            self._listeners.append(reference)
+
+    def _notify(self, dataset_name: str) -> None:
+        with self._registry_lock:
+            references = list(self._listeners)
+        stale = []
+        for reference in references:
+            listener = reference()
+            if listener is None:
+                stale.append(reference)
+            else:
+                listener(dataset_name)
+        if stale:
+            with self._registry_lock:
+                for reference in stale:
+                    if reference in self._listeners:
+                        self._listeners.remove(reference)
+
     def add_dataset(self, dataset: Dataset) -> None:
         """Register a dataset under its name."""
-        if dataset.name in self._entries:
-            raise ValueError(f"dataset {dataset.name!r} is already registered")
-        self._entries[dataset.name] = BenchmarkEntry(dataset=dataset)
+        with self._registry_lock:
+            if dataset.name in self._entries:
+                raise ValueError(
+                    f"dataset {dataset.name!r} is already registered"
+                )
+            self._entries[dataset.name] = BenchmarkEntry(dataset=dataset)
+        self._notify(dataset.name)
 
     def add_gold(self, dataset_name: str, gold: GoldStandard) -> None:
         """Register a gold standard for a dataset."""
-        entry = self._entry(dataset_name)
-        if gold.name in entry.golds:
-            raise ValueError(
-                f"gold {gold.name!r} already registered for {dataset_name!r}"
-            )
-        entry.golds[gold.name] = gold
+        with self._registry_lock:
+            entry = self._entry(dataset_name)
+            if gold.name in entry.golds:
+                raise ValueError(
+                    f"gold {gold.name!r} already registered for "
+                    f"{dataset_name!r}"
+                )
+            entry.golds[gold.name] = gold
+        self._notify(dataset_name)
 
     def add_experiment(self, dataset_name: str, experiment: Experiment) -> None:
         """Register an experiment (a matching result) for a dataset."""
-        entry = self._entry(dataset_name)
-        if experiment.name in entry.experiments:
-            raise ValueError(
-                f"experiment {experiment.name!r} already registered for "
-                f"{dataset_name!r}"
-            )
-        entry.experiments[experiment.name] = experiment
+        with self._registry_lock:
+            entry = self._entry(dataset_name)
+            if experiment.name in entry.experiments:
+                raise ValueError(
+                    f"experiment {experiment.name!r} already registered for "
+                    f"{dataset_name!r}"
+                )
+            entry.experiments[experiment.name] = experiment
+        self._notify(dataset_name)
 
     def dataset_names(self) -> list[str]:
         """Names of all registered datasets, sorted."""
-        return sorted(self._entries)
+        with self._registry_lock:
+            return sorted(self._entries)
 
     def dataset(self, name: str) -> Dataset:
         """The registered dataset named ``name``."""
@@ -102,11 +159,13 @@ class FrostPlatform:
 
     def experiment_names(self, dataset_name: str) -> list[str]:
         """Names of a dataset's experiments, sorted."""
-        return sorted(self._entry(dataset_name).experiments)
+        with self._registry_lock:
+            return sorted(self._entry(dataset_name).experiments)
 
     def gold_names(self, dataset_name: str) -> list[str]:
         """Names of a dataset's gold standards, sorted."""
-        return sorted(self._entry(dataset_name).golds)
+        with self._registry_lock:
+            return sorted(self._entry(dataset_name).golds)
 
     def _entry(self, dataset_name: str) -> BenchmarkEntry:
         try:

@@ -10,6 +10,11 @@ invocations and the HTTP server.
 
 Keys are the digests produced by :func:`repro.engine.jobs.job_cache_key`
 (dataset + config + gold-standard content), values are JSON documents.
+
+The in-memory tier is factored out as :class:`LruTier` so other caches
+— notably the serving layer's
+:class:`~repro.serving.cache.MetricResultCache` — share one audited
+eviction implementation instead of re-growing their own.
 """
 
 from __future__ import annotations
@@ -19,10 +24,58 @@ from collections import OrderedDict
 
 from repro.storage.database import FrostStore
 
-__all__ = ["ResultCache", "MISS"]
+__all__ = ["ResultCache", "LruTier", "MISS"]
 
 # Unique sentinel distinguishing "not cached" from any payload.
 MISS: object = object()
+
+
+class LruTier:
+    """A bounded mapping with least-recently-used eviction.
+
+    Not thread-safe by itself — callers hold their own lock around
+    every method, which lets them update adjacent bookkeeping (counters,
+    tag indexes) atomically with the tier.
+    """
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, object] = OrderedDict()
+
+    def get(self, key: str) -> object:
+        """The value under ``key`` (marked recently used), or :data:`MISS`."""
+        if key not in self._entries:
+            return MISS
+        self._entries.move_to_end(key)
+        return self._entries[key]
+
+    def put(self, key: str, value: object) -> list[tuple[str, object]]:
+        """Store ``value`` under ``key``; returns the evicted entries.
+
+        The evicted ``(key, value)`` pairs (oldest first) let callers
+        clean up side indexes keyed by the same keys.
+        """
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        evicted: list[tuple[str, object]] = []
+        while len(self._entries) > self.max_entries:
+            evicted.append(self._entries.popitem(last=False))
+        return evicted
+
+    def pop(self, key: str) -> object:
+        """Remove and return the value under ``key``, or :data:`MISS`."""
+        return self._entries.pop(key, MISS)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
 
 
 class ResultCache:
@@ -40,11 +93,9 @@ class ResultCache:
     def __init__(
         self, max_entries: int = 512, store: FrostStore | None = None
     ) -> None:
-        if max_entries < 1:
-            raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.store = store
-        self._memory: OrderedDict[str, object] = OrderedDict()
+        self._memory = LruTier(max_entries)
         self._lock = threading.Lock()
         self.memory_hits = 0
         self.store_hits = 0
@@ -55,10 +106,10 @@ class ResultCache:
     def get(self, key: str) -> object:
         """The payload under ``key``, or the :data:`MISS` sentinel."""
         with self._lock:
-            if key in self._memory:
-                self._memory.move_to_end(key)
+            payload = self._memory.get(key)
+            if payload is not MISS:
                 self.memory_hits += 1
-                return self._memory[key]
+                return payload
         if self.store is not None:
             payload = self.store.cache_get(key)
             if payload is not None:
@@ -79,11 +130,7 @@ class ResultCache:
             self.store.cache_put(key, kind, payload)
 
     def _remember(self, key: str, payload: object) -> None:
-        self._memory[key] = payload
-        self._memory.move_to_end(key)
-        while len(self._memory) > self.max_entries:
-            self._memory.popitem(last=False)
-            self.evictions += 1
+        self.evictions += len(self._memory.put(key, payload))
 
     def clear(self) -> None:
         """Drop both tiers (counters are kept)."""

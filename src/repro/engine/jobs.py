@@ -206,14 +206,25 @@ def experiment_fingerprint(experiment: Experiment) -> str:
 
 
 def gold_fingerprint(gold: GoldStandard) -> str:
-    """Digest of a gold standard's duplicate clusters.
+    """Digest of a gold standard's duplicate clusters (memoized).
 
-    Not memoized: :class:`GoldStandard` is an ``eq``-dataclass and thus
-    unhashable, and the cluster walk is linear in the record count.
+    :class:`GoldStandard` is an ``eq``-dataclass and thus unhashable,
+    so the digest is cached on the instance instead of in a
+    ``WeakKeyDictionary`` — without it, every cache-key computation on
+    the serving hot path would re-sort and re-hash the full clustering.
+    The cache attribute is not a dataclass field, so equality and repr
+    are unaffected.
     """
-    return _digest(
-        sorted(sorted(cluster) for cluster in gold.clustering.nontrivial_clusters())
-    )
+    cached = gold.__dict__.get("_content_fingerprint")
+    if cached is None:
+        cached = _digest(
+            sorted(
+                sorted(cluster)
+                for cluster in gold.clustering.nontrivial_clusters()
+            )
+        )
+        gold.__dict__["_content_fingerprint"] = cached
+    return cached
 
 
 def content_fingerprint(value: object) -> object:

@@ -23,6 +23,7 @@ Routes (all return JSON-serializable dictionaries):
 ``GET /datasets/{d}/profile``                  profiling metrics (§3.1.3)
 ``GET /datasets/{d}/categorize?exp=&gold=``    error categorization (§7)
 ``GET /datasets/{d}/timeline?exp=&gold=&high=&low=``  new TP/FP in a threshold range
+``GET /stats``                                 serving-layer cache/coalescing counters
 ``POST /jobs``                                 submit engine jobs (optionally a sweep)
 ``GET /jobs``                                  all job statuses + cache stats
 ``GET /jobs/{id}``                             one job's status and result
@@ -49,15 +50,22 @@ malformed blocker configs — unknown keys, non-integer values, bands
 that do not divide the permutation count, windowed schemes with no
 delta decomposition — are rejected as 400s at creation time, never as
 failed ingests later.
+
+Expensive GET evaluations (metrics, diagram, profile, categorize,
+timeline, intersection) are served through the concurrent serving
+layer (:mod:`repro.serving`): payloads are cached read-through under
+content fingerprints, concurrent identical requests coalesce into one
+computation, and registry writes invalidate the touched dataset's
+entries.  ``GET /stats`` exposes the cache and coalescing counters.
 """
 
 from __future__ import annotations
 
-import math
 import threading
 from collections.abc import Mapping
 
 from repro.core.platform import FrostPlatform
+from repro.serving.service import ServingLayer
 
 __all__ = ["ApiError", "FrostApi"]
 
@@ -92,15 +100,35 @@ class FrostApi:
         given, streams created via ``POST /streams`` are durable (their
         state persists and can be resumed in later processes);
         otherwise sessions live only in this API instance.
+    serving:
+        Optional pre-configured
+        :class:`~repro.serving.service.ServingLayer`; created over
+        ``platform`` (with ``cache_entries`` payload slots) when
+        omitted.  All expensive GET evaluations route through it.
+    cache_entries:
+        LRU capacity of the serving-layer payload cache created when
+        ``serving`` is omitted.
     """
 
-    def __init__(self, platform: FrostPlatform, engine=None, store=None) -> None:
+    def __init__(
+        self,
+        platform: FrostPlatform,
+        engine=None,
+        store=None,
+        serving: ServingLayer | None = None,
+        cache_entries: int = 1024,
+    ) -> None:
         self.platform = platform
         self._engine = engine
         self._engine_lock = threading.Lock()
         self._store = store
         self._streams: dict[str, object] = {}
         self._streams_lock = threading.Lock()
+        self.serving = (
+            serving
+            if serving is not None
+            else ServingLayer(platform, max_entries=cache_entries)
+        )
 
     @property
     def engine(self):
@@ -149,6 +177,8 @@ class FrostApi:
             return self._streams_route(parts[1:], query, method, body)
         if method != "GET":
             raise ApiError(405, f"{method} not allowed on /{'/'.join(parts)}")
+        if parts == ["stats"]:
+            return self._stats()
         if parts == ["datasets"]:
             return {"datasets": self.platform.dataset_names()}
         if len(parts) >= 2 and parts[0] == "datasets":
@@ -220,12 +250,9 @@ class FrostApi:
             query["exps"].split(",") if query.get("exps") else None
         )
         metrics = query["metrics"].split(",") if query.get("metrics") else None
-        return {
-            "gold": gold_name,
-            "metrics": self.platform.metrics_table(
-                dataset_name, gold_name, experiments, metrics
-            ),
-        }
+        return self.serving.metrics_payload(
+            dataset_name, gold_name, experiments, metrics
+        )
 
     def _diagram(self, dataset_name: str, query: dict[str, str]) -> dict:
         experiment_name = query.get("exp")
@@ -233,70 +260,24 @@ class FrostApi:
         if not experiment_name or not gold_name:
             raise ValueError("diagram needs 'exp' and 'gold' query parameters")
         samples = int(query.get("n", "100"))
-        points = self.platform.diagram(
-            dataset_name, experiment_name, gold_name, samples=samples
+        return self.serving.diagram_payload(
+            dataset_name, experiment_name, gold_name, samples
         )
-        return {
-            "experiment": experiment_name,
-            "gold": gold_name,
-            "points": [
-                {
-                    "threshold": (
-                        None if math.isinf(point.threshold) else point.threshold
-                    ),
-                    "matches": point.matches_applied,
-                    **point.matrix.as_dict(),
-                }
-                for point in points
-            ],
-        }
 
     def _profile(self, dataset_name: str) -> dict:
-        from repro.profiling import profile_dataset
-
-        profile = profile_dataset(self.platform.dataset(dataset_name))
-        return {
-            "name": profile.name,
-            "tuple_count": profile.tuple_count,
-            "sparsity": profile.sparsity,
-            "textuality": profile.textuality,
-            "schema_complexity": profile.schema_complexity,
-        }
+        return self.serving.profile_payload(dataset_name)
 
     def _categorize(self, dataset_name: str, query: dict[str, str]) -> dict:
-        from repro.exploration.error_categories import categorize_errors
-
         experiment_name = query.get("exp")
         gold_name = query.get("gold")
         if not experiment_name or not gold_name:
             raise ValueError("categorize needs 'exp' and 'gold' query parameters")
         limit = int(query["limit"]) if query.get("limit") else None
-        categorization = categorize_errors(
-            self.platform.dataset(dataset_name),
-            self.platform.experiment(dataset_name, experiment_name),
-            self.platform.gold(dataset_name, gold_name),
-            limit=limit,
+        return self.serving.categorize_payload(
+            dataset_name, experiment_name, gold_name, limit
         )
-        weakness = categorization.dominant_weakness()
-        return {
-            "false_negatives": len(categorization.false_negatives),
-            "false_positives": len(categorization.false_positives),
-            "fn_relations": {
-                relation.value: count
-                for relation, count in
-                categorization.false_negative_relations.items()
-            },
-            "fp_relations": {
-                relation.value: count
-                for relation, count in
-                categorization.false_positive_relations.items()
-            },
-            "dominant_weakness": weakness.value if weakness else None,
-        }
 
     def _timeline(self, dataset_name: str, query: dict[str, str]) -> dict:
-        from repro.core.timeline import DiagramTimeline
-
         experiment_name = query.get("exp")
         gold_name = query.get("gold")
         if not experiment_name or not gold_name:
@@ -305,35 +286,26 @@ class FrostApi:
             raise ValueError("timeline needs 'high' and 'low' query parameters")
         high = float(query["high"])
         low = float(query["low"])
-        timeline = DiagramTimeline(
-            self.platform.dataset(dataset_name),
-            self.platform.experiment(dataset_name, experiment_name),
-            self.platform.gold(dataset_name, gold_name),
+        return self.serving.timeline_payload(
+            dataset_name, experiment_name, gold_name, high, low
         )
-        segment = timeline.segment(high, low)
-        return {
-            "high": high,
-            "low": low,
-            "new_true_positives": [
-                list(pair) for pair in sorted(segment.new_true_positives)[:1000]
-            ],
-            "new_false_positives": [
-                list(pair) for pair in sorted(segment.new_false_positives)[:1000]
-            ],
-        }
 
     def _intersection(self, dataset_name: str, query: dict[str, str]) -> dict:
         include = [name for name in query.get("include", "").split(",") if name]
         exclude = [name for name in query.get("exclude", "").split(",") if name]
         if not include:
             raise ValueError("intersection needs an 'include' query parameter")
-        comparison = self.platform.compare_sets(dataset_name, include + exclude)
-        pairs = comparison.select(include=include, exclude=exclude)
+        return self.serving.intersection_payload(dataset_name, include, exclude)
+
+    def _stats(self) -> dict:
+        """Serving/engine observability for load harnesses and operators."""
+        with self._engine_lock:
+            engine = self._engine
         return {
-            "include": include,
-            "exclude": exclude,
-            "size": len(pairs),
-            "pairs": [list(pair) for pair in sorted(pairs)[:1000]],
+            "serving": self.serving.stats(),
+            "engine": None if engine is None else engine.progress(),
+            "datasets": len(self.platform.dataset_names()),
+            "durable": self._store is not None,
         }
 
     # -- engine jobs --------------------------------------------------------------

@@ -1,15 +1,26 @@
-"""Minimal HTTP server exposing the Frost API (Appendix A.4–A.5).
+"""Multi-threaded HTTP front-end for the Frost API (Appendix A.4–A.5).
 
 Built on the stdlib ``http.server`` so that, like Snowman, the platform
 "requires no installation or external dependencies" and can be deployed
-"both on local computers and in shared cloud environments".  GET-only:
-the evaluations are read operations; imports happen through the Python
-API or the store.
+"both on local computers and in shared cloud environments".  The server
+is concurrent: ``ThreadingHTTPServer`` handles each connection on its
+own daemon thread, HTTP/1.1 keep-alive lets load clients reuse
+connections, and the expensive GET evaluations behind the API are
+cached and coalesced by the serving layer (:mod:`repro.serving`), so
+many clients asking the same question cost one computation.
+
+:func:`serve` is the foreground entry point used by
+``python -m repro serve``: it supports ephemeral ``--port 0`` binding
+(announcing the bound port on stdout, so integration tests never race
+for a free port) and shuts down gracefully — finishing in-flight
+requests and releasing the socket — on SIGINT or SIGTERM.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
+import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlparse
@@ -19,11 +30,51 @@ from repro.server.api import ApiError, FrostApi
 __all__ = ["serve", "FrostHttpServer"]
 
 
+class _FrontendServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for bursts of concurrent clients.
+
+    The socketserver default listen backlog of 5 drops SYNs when more
+    clients connect at once than that, and a dropped SYN is retried
+    after a full second — a silent 1s latency cliff under exactly the
+    load this subsystem exists for.
+
+    Handler threads are non-daemon so ``server_close()`` joins them:
+    graceful shutdown really does wait for in-flight requests instead
+    of abandoning them mid-computation.  The handler's idle timeout
+    (below) bounds how long a silent keep-alive connection can delay
+    that join.
+    """
+
+    request_queue_size = 128
+    daemon_threads = False
+
+
 def _make_handler(api: FrostApi) -> type[BaseHTTPRequestHandler]:
     class Handler(BaseHTTPRequestHandler):
+        # Keep-alive: clients (and the load harness) reuse connections
+        # instead of paying a TCP handshake per request.  Safe because
+        # every response carries an explicit Content-Length.
+        protocol_version = "HTTP/1.1"
+        # Without these, headers and body leave in separate TCP
+        # segments and Nagle + delayed-ACK stall every cached keep-alive
+        # response by ~40ms — dwarfing the cache's microseconds.
+        disable_nagle_algorithm = True
+        wbufsize = -1  # fully buffered; flushed once per response
+        # Idle keep-alive connections release their handler thread
+        # after this many seconds, bounding graceful-shutdown joins.
+        timeout = 10
+
         def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
             """Serve one API GET request as JSON."""
             self._serve("GET", None)
+
+        def do_PUT(self) -> None:  # noqa: N802 (stdlib naming)
+            """Answer 405 as a JSON document (the API has no PUT routes)."""
+            self._serve("PUT", None)
+
+        def do_DELETE(self) -> None:  # noqa: N802 (stdlib naming)
+            """Answer 405 as a JSON document (the API has no DELETE routes)."""
+            self._serve("DELETE", None)
 
         def do_POST(self) -> None:  # noqa: N802 (stdlib naming)
             """Serve one API POST request (JSON body) — job submission."""
@@ -45,6 +96,15 @@ def _make_handler(api: FrostApi) -> type[BaseHTTPRequestHandler]:
             except ApiError as error:
                 payload = {"error": error.message, "status": error.status}
                 status = error.status
+            except Exception as error:  # noqa: BLE001 - wire boundary
+                # Anything unexpected (storage contention, a bug) must
+                # still answer: an unanswered keep-alive request kills
+                # the connection and every request queued behind it.
+                payload = {
+                    "error": f"{type(error).__name__}: {error}",
+                    "status": 500,
+                }
+                status = 500
             self._respond(status, payload)
 
         def _respond(self, status: int, payload: object) -> None:
@@ -68,10 +128,16 @@ class FrostHttpServer:
     >>> server = FrostHttpServer(api, port=0)   # doctest: +SKIP
     >>> server.start()                          # doctest: +SKIP
     >>> server.port                             # doctest: +SKIP
+
+    Requests are handled concurrently (one daemon thread per
+    connection); ``port=0`` binds an ephemeral port, read back through
+    :attr:`port` — the pattern every integration test and the load
+    harness use so parallel runs never collide on a socket.
     """
 
     def __init__(self, api: FrostApi, host: str = "127.0.0.1", port: int = 0) -> None:
-        self._server = ThreadingHTTPServer((host, port), _make_handler(api))
+        self.api = api
+        self._server = _FrontendServer((host, port), _make_handler(api))
         self._thread: threading.Thread | None = None
 
     @property
@@ -101,10 +167,46 @@ class FrostHttpServer:
         self.stop()
 
 
-def serve(api: FrostApi, host: str = "127.0.0.1", port: int = 8080) -> None:
-    """Serve the API in the foreground until interrupted."""
-    server = ThreadingHTTPServer((host, port), _make_handler(api))
+def serve(
+    api: FrostApi,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    announce=print,
+    on_bound=None,
+) -> int:
+    """Serve the API in the foreground until SIGINT/SIGTERM.
+
+    Binds first (``port=0`` picks an ephemeral port), then announces
+    ``serving on http://{host}:{port}`` through ``announce`` so callers
+    — and the integration tests driving this as a subprocess — learn
+    the bound port before the first request.  SIGINT and SIGTERM
+    trigger a graceful shutdown: in-flight requests finish, the socket
+    is closed and released, and the previous signal handlers are
+    restored.  Returns the bound port.
+
+    ``on_bound`` (optional) receives the bound ``ThreadingHTTPServer``
+    before serving starts — embedders and in-process tests use it to
+    call ``shutdown()`` without resorting to signals.
+    """
+    server = _FrontendServer((host, port), _make_handler(api))
+    bound_port = server.server_address[1]
+    announce(f"serving on http://{host}:{bound_port}")
+    if on_bound is not None:
+        on_bound(server)
+
+    def request_shutdown(signum: int, frame: object) -> None:
+        # shutdown() blocks until serve_forever() exits, and this
+        # handler runs *inside* serve_forever's thread — hand it off.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(ValueError):  # not the main thread
+            previous[signum] = signal.signal(signum, request_shutdown)
     try:
         server.serve_forever()
     finally:
         server.server_close()
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    return bound_port

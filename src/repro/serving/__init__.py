@@ -1,0 +1,22 @@
+"""Concurrent serving subsystem: cache, coalescing, bootstrap.
+
+The layer between the HTTP API and the engine/store that makes the
+platform *interactive under load*: a thread-safe read-through
+:class:`MetricResultCache` over content-fingerprinted evaluation
+payloads, a :class:`RequestCoalescer` collapsing concurrent identical
+requests into one computation, and the :class:`ServingLayer` facade the
+API routes its expensive GETs through.  See ``benchmarks/bench_serving.py``
+for the latency/throughput harness that validates the design.
+"""
+
+from repro.serving.bootstrap import platform_from_store
+from repro.serving.cache import MetricResultCache
+from repro.serving.coalesce import RequestCoalescer
+from repro.serving.service import ServingLayer
+
+__all__ = [
+    "MetricResultCache",
+    "RequestCoalescer",
+    "ServingLayer",
+    "platform_from_store",
+]

@@ -1,0 +1,37 @@
+"""Build a servable platform from a persistent store.
+
+``python -m repro serve`` points the HTTP front-end at a SQLite store;
+this module loads every dataset with its experiments and gold standards
+into a :class:`~repro.core.platform.FrostPlatform` so the serving layer
+has an in-memory registry to evaluate against, while the store keeps
+backing the engine's persistent result cache and the stream sessions.
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import FrostPlatform
+from repro.storage.database import FrostStore
+
+__all__ = ["platform_from_store"]
+
+
+def platform_from_store(store: FrostStore) -> FrostPlatform:
+    """A platform populated with everything ``store`` holds.
+
+    Loads all datasets and, per dataset, all experiments and gold
+    standards.  Numeric-id mappings are rebuilt by the store loaders,
+    so served evaluations are identical to ones over the original
+    imports.
+    """
+    platform = FrostPlatform()
+    for dataset_name in store.dataset_names():
+        platform.add_dataset(store.load_dataset(dataset_name))
+        for gold_name in store.gold_standard_names(dataset_name):
+            platform.add_gold(
+                dataset_name, store.load_gold_standard(dataset_name, gold_name)
+            )
+        for experiment_name in store.experiment_names(dataset_name):
+            platform.add_experiment(
+                dataset_name, store.load_experiment(dataset_name, experiment_name)
+            )
+    return platform

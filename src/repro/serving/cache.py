@@ -1,0 +1,152 @@
+"""Thread-safe read-through cache for served evaluation payloads.
+
+The serving layer's hot path is a GET for a metrics table, diagram, or
+error categorization that was already computed for another client.
+:class:`MetricResultCache` keeps those JSON payloads in a bounded LRU
+keyed by the content fingerprints of
+:func:`repro.engine.jobs.job_cache_key` — (dataset, gold, experiment,
+metric, config) contents, not registry names — so identical requests
+hit regardless of which client asked first.
+
+Unlike the engine's :class:`~repro.engine.cache.ResultCache`, entries
+here are *tagged* with the dataset they were derived from: a write to
+the platform (new experiment, new gold standard) explicitly invalidates
+every payload of that dataset, so a long-running server never serves a
+table that silently omits the experiment registered a millisecond ago.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.engine.cache import MISS, LruTier
+
+__all__ = ["MetricResultCache"]
+
+
+class MetricResultCache:
+    """Bounded LRU of served payloads with tag-scoped invalidation.
+
+    Parameters
+    ----------
+    max_entries:
+        Capacity; least recently used payloads are evicted first.
+
+    All methods are safe to call from the HTTP server's request
+    threads concurrently.
+    """
+
+    def __init__(self, max_entries: int = 1024) -> None:
+        self._tier = LruTier(max_entries)
+        self._lock = threading.Lock()
+        # tag -> keys cached under it, and the reverse, kept in sync so
+        # both invalidation and eviction stay O(affected entries).
+        self._tag_keys: dict[str, set[str]] = {}
+        self._key_tag: dict[str, str] = {}
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    @property
+    def max_entries(self) -> int:
+        """The configured LRU capacity."""
+        return self._tier.max_entries
+
+    def get(self, key: str) -> object:
+        """The payload under ``key``, or the :data:`MISS` sentinel."""
+        with self._lock:
+            payload = self._tier.get(key)
+            if payload is MISS:
+                self.misses += 1
+            else:
+                self.hits += 1
+            return payload
+
+    def recheck(self, key: str) -> object:
+        """Like :meth:`get`, but a miss is not re-counted.
+
+        For double-checked lookups after a coalesced flight: finding a
+        payload is a genuine hit (another flight landed it), while not
+        finding one is the *same* logical miss that was already counted
+        before the caller queued for the flight.
+        """
+        with self._lock:
+            payload = self._tier.get(key)
+            if payload is not MISS:
+                self.hits += 1
+            return payload
+
+    def put(self, key: str, payload: object, tag: str | None = None) -> None:
+        """Cache ``payload`` under ``key``, optionally tagged.
+
+        ``tag`` names the invalidation scope (the dataset the payload
+        was computed from); :meth:`invalidate` drops every key of a
+        tag at once.
+        """
+        with self._lock:
+            self.puts += 1
+            self._forget_tag(key)
+            if tag is not None:
+                self._key_tag[key] = tag
+                self._tag_keys.setdefault(tag, set()).add(key)
+            for evicted_key, _ in self._tier.put(key, payload):
+                self.evictions += 1
+                self._forget_tag(evicted_key)
+
+    def invalidate(self, tag: str) -> int:
+        """Drop every payload tagged ``tag``; returns how many."""
+        with self._lock:
+            keys = self._tag_keys.pop(tag, set())
+            for key in keys:
+                self._tier.pop(key)
+                self._key_tag.pop(key, None)
+            self.invalidations += len(keys)
+            return len(keys)
+
+    def invalidate_key(self, key: str) -> bool:
+        """Drop one payload by exact key; returns whether it existed."""
+        with self._lock:
+            existed = self._tier.pop(key) is not MISS
+            if existed:
+                self._forget_tag(key)
+                self.invalidations += 1
+            return existed
+
+    def clear(self) -> int:
+        """Drop everything (counters are kept); returns how many."""
+        with self._lock:
+            dropped = len(self._tier)
+            self._tier.clear()
+            self._tag_keys.clear()
+            self._key_tag.clear()
+            self.invalidations += dropped
+            return dropped
+
+    def _forget_tag(self, key: str) -> None:
+        """Drop ``key`` from the tag index (lock held by caller)."""
+        tag = self._key_tag.pop(key, None)
+        if tag is not None:
+            keys = self._tag_keys.get(tag)
+            if keys is not None:
+                keys.discard(key)
+                if not keys:
+                    del self._tag_keys[tag]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tier)
+
+    def stats(self) -> dict[str, int]:
+        """Counters as a JSON-serializable dictionary."""
+        with self._lock:
+            return {
+                "entries": len(self._tier),
+                "max_entries": self._tier.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }

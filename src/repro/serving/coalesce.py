@@ -1,0 +1,104 @@
+"""Request coalescing (single-flight) for identical concurrent work.
+
+When N clients ask for the same uncached evaluation at once, computing
+it N times is a cache *stampede*: the first miss triggers a computation
+and every concurrent duplicate piles a redundant one onto the engine.
+:class:`RequestCoalescer` collapses the stampede — the first request
+for a key becomes the *leader* and runs the computation; concurrent
+duplicates become *followers* that block until the leader finishes and
+then share its result (or its exception).
+
+The coalescer is deliberately independent of any cache: callers decide
+what "identical" means by the key they pass, and what to do with the
+result.  The serving layer keys flights by the same content
+fingerprints as its read-through cache, so a flight's result lands in
+the cache exactly once.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["RequestCoalescer"]
+
+
+class _Flight:
+    """One in-progress computation and its rendezvous point."""
+
+    __slots__ = ("done", "value", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.value: object = None
+        self.error: BaseException | None = None
+
+
+class RequestCoalescer:
+    """Share one in-flight computation among concurrent duplicates.
+
+    >>> coalescer = RequestCoalescer()
+    >>> coalescer.run("answer", lambda: 42)
+    42
+
+    Counters: ``leaders`` is the number of computations actually run,
+    ``followers`` the number of requests that were absorbed into an
+    already-running flight.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self.leaders = 0
+        self.followers = 0
+
+    def run(self, key: str, compute):
+        """Return ``compute()``, sharing in-flight calls under ``key``.
+
+        If another thread is already computing ``key``, block until it
+        finishes and return (or re-raise) its outcome instead of
+        computing again.  Once a flight lands, the next request for the
+        same key starts a fresh one — coalescing only ever merges
+        *concurrent* duplicates, it never serves stale results.
+        """
+        with self._lock:
+            flight = self._flights.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._flights[key] = flight
+                self.leaders += 1
+                lead = True
+            else:
+                self.followers += 1
+                lead = False
+        if not lead:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            return flight.value
+        try:
+            flight.value = compute()
+        except BaseException as error:
+            flight.error = error
+            raise
+        finally:
+            # Unpublish before waking followers: requests arriving after
+            # this point must start a fresh flight (the leader's caller
+            # has already cached the value, or wants the error retried).
+            with self._lock:
+                del self._flights[key]
+            flight.done.set()
+        return flight.value
+
+    def in_flight(self) -> int:
+        """How many computations are currently running."""
+        with self._lock:
+            return len(self._flights)
+
+    def stats(self) -> dict[str, int]:
+        """Counters as a JSON-serializable dictionary."""
+        with self._lock:
+            return {
+                "leaders": self.leaders,
+                "followers": self.followers,
+                "in_flight": len(self._flights),
+            }

@@ -1,0 +1,314 @@
+"""The serving layer: cached, coalesced evaluations for the front-end.
+
+:class:`ServingLayer` sits between the HTTP API
+(:mod:`repro.server.api`) and the platform/engine.  Every expensive
+read — metrics tables, metric/metric diagrams, profiles, error
+categorizations, threshold timelines, set intersections — flows
+through :meth:`_fetch`, which gives it three serving properties:
+
+* **read-through caching** — payloads are cached in a
+  :class:`~repro.serving.cache.MetricResultCache` keyed by *content*
+  fingerprints (:func:`repro.engine.jobs.job_cache_key` over the
+  dataset, gold, experiment, and config contents), so renaming or
+  re-registering identical artifacts still hits;
+* **request coalescing** — concurrent identical requests share one
+  in-flight computation via a
+  :class:`~repro.serving.coalesce.RequestCoalescer` instead of
+  stampeding the engine;
+* **write invalidation** — the layer subscribes to
+  :meth:`FrostPlatform.subscribe`, so any registry write (a new
+  experiment, a new gold standard) drops the touched dataset's cached
+  payloads before the next read.
+
+Payloads returned here are exactly the JSON documents the API used to
+compute inline; moving them behind the cache changes latency, never
+bytes.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+
+from repro.core.platform import FrostPlatform
+from repro.engine.cache import MISS
+from repro.engine.jobs import job_cache_key
+from repro.serving.cache import MetricResultCache
+from repro.serving.coalesce import RequestCoalescer
+
+__all__ = ["ServingLayer"]
+
+
+class ServingLayer:
+    """Read-through, stampede-safe evaluation serving over a platform.
+
+    Parameters
+    ----------
+    platform:
+        The registry the evaluations read from.  The layer subscribes
+        to its write notifications for cache invalidation.
+    max_entries:
+        LRU capacity of the payload cache.
+    """
+
+    def __init__(self, platform: FrostPlatform, max_entries: int = 1024) -> None:
+        self.platform = platform
+        self.cache = MetricResultCache(max_entries=max_entries)
+        self.coalescer = RequestCoalescer()
+        self._counter_lock = threading.Lock()
+        self.requests = 0
+        self.computations = 0
+        platform.subscribe(self.invalidate)
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def invalidate(self, dataset_name: str) -> int:
+        """Drop every cached payload derived from ``dataset_name``."""
+        return self.cache.invalidate(dataset_name)
+
+    def stats(self) -> dict[str, object]:
+        """Serving counters: requests, computations, cache, coalescer."""
+        with self._counter_lock:
+            requests = self.requests
+            computations = self.computations
+        return {
+            "requests": requests,
+            "computations": computations,
+            "cache": self.cache.stats(),
+            "coalescer": self.coalescer.stats(),
+        }
+
+    def _fetch(self, kind: str, dataset_name: str, token: object, compute):
+        """Serve ``compute()`` through the cache and the coalescer.
+
+        ``token`` is hashed with the content fingerprints of any domain
+        objects it carries, so the key identifies the *inputs* of the
+        computation; ``dataset_name`` tags the entry for invalidation.
+        """
+        with self._counter_lock:
+            self.requests += 1
+        key = job_cache_key(kind, token)
+        payload = self.cache.get(key)
+        if payload is not MISS:
+            return payload
+
+        def fill():
+            # Re-check under the flight: a follower of a finished
+            # leader re-entering, or an invalidation race, may have
+            # repopulated the key while this thread queued for it.
+            cached = self.cache.recheck(key)
+            if cached is not MISS:
+                return cached
+            with self._counter_lock:
+                self.computations += 1
+            payload = compute()
+            self.cache.put(key, payload, tag=dataset_name)
+            return payload
+
+        return self.coalescer.run(key, fill)
+
+    # -- served evaluations -------------------------------------------------------
+
+    def metrics_payload(
+        self,
+        dataset_name: str,
+        gold_name: str,
+        experiments: list[str] | None,
+        metrics: list[str] | None,
+    ) -> dict:
+        """The N-metrics table payload of ``GET /datasets/{d}/metrics``."""
+        platform = self.platform
+        names = (
+            list(experiments)
+            if experiments is not None
+            else platform.experiment_names(dataset_name)
+        )
+        token = {
+            "dataset": platform.dataset(dataset_name),
+            "gold": platform.gold(dataset_name, gold_name),
+            "experiments": [
+                [name, platform.experiment(dataset_name, name)] for name in names
+            ],
+            "metrics": metrics,
+        }
+
+        def compute() -> dict:
+            # Evaluate the `names` snapshot the key was built from, not
+            # the raw `experiments` argument: with experiments=None a
+            # concurrent registry write would otherwise be re-listed
+            # here and cached under a key that does not describe it.
+            return {
+                "gold": gold_name,
+                "metrics": platform.metrics_table(
+                    dataset_name, gold_name, names, metrics
+                ),
+            }
+
+        return self._fetch("serving:metrics", dataset_name, token, compute)
+
+    def diagram_payload(
+        self,
+        dataset_name: str,
+        experiment_name: str,
+        gold_name: str,
+        samples: int,
+    ) -> dict:
+        """The diagram payload of ``GET /datasets/{d}/diagram``."""
+        platform = self.platform
+        token = {
+            "dataset": platform.dataset(dataset_name),
+            "experiment": platform.experiment(dataset_name, experiment_name),
+            "gold": platform.gold(dataset_name, gold_name),
+            "samples": samples,
+        }
+
+        def compute() -> dict:
+            points = platform.diagram(
+                dataset_name, experiment_name, gold_name, samples=samples
+            )
+            return {
+                "experiment": experiment_name,
+                "gold": gold_name,
+                "points": [
+                    {
+                        "threshold": (
+                            None
+                            if math.isinf(point.threshold)
+                            else point.threshold
+                        ),
+                        "matches": point.matches_applied,
+                        **point.matrix.as_dict(),
+                    }
+                    for point in points
+                ],
+            }
+
+        return self._fetch("serving:diagram", dataset_name, token, compute)
+
+    def profile_payload(self, dataset_name: str) -> dict:
+        """The profiling payload of ``GET /datasets/{d}/profile``."""
+        dataset = self.platform.dataset(dataset_name)
+        token = {"dataset": dataset}
+
+        def compute() -> dict:
+            from repro.profiling import profile_dataset
+
+            profile = profile_dataset(dataset)
+            return {
+                "name": profile.name,
+                "tuple_count": profile.tuple_count,
+                "sparsity": profile.sparsity,
+                "textuality": profile.textuality,
+                "schema_complexity": profile.schema_complexity,
+            }
+
+        return self._fetch("serving:profile", dataset_name, token, compute)
+
+    def categorize_payload(
+        self,
+        dataset_name: str,
+        experiment_name: str,
+        gold_name: str,
+        limit: int | None,
+    ) -> dict:
+        """The error-category payload of ``GET /datasets/{d}/categorize``."""
+        platform = self.platform
+        token = {
+            "dataset": platform.dataset(dataset_name),
+            "experiment": platform.experiment(dataset_name, experiment_name),
+            "gold": platform.gold(dataset_name, gold_name),
+            "limit": limit,
+        }
+
+        def compute() -> dict:
+            from repro.exploration.error_categories import categorize_errors
+
+            categorization = categorize_errors(
+                platform.dataset(dataset_name),
+                platform.experiment(dataset_name, experiment_name),
+                platform.gold(dataset_name, gold_name),
+                limit=limit,
+            )
+            weakness = categorization.dominant_weakness()
+            return {
+                "false_negatives": len(categorization.false_negatives),
+                "false_positives": len(categorization.false_positives),
+                "fn_relations": {
+                    relation.value: count
+                    for relation, count in
+                    categorization.false_negative_relations.items()
+                },
+                "fp_relations": {
+                    relation.value: count
+                    for relation, count in
+                    categorization.false_positive_relations.items()
+                },
+                "dominant_weakness": weakness.value if weakness else None,
+            }
+
+        return self._fetch("serving:categorize", dataset_name, token, compute)
+
+    def timeline_payload(
+        self,
+        dataset_name: str,
+        experiment_name: str,
+        gold_name: str,
+        high: float,
+        low: float,
+    ) -> dict:
+        """The threshold-segment payload of ``GET /datasets/{d}/timeline``."""
+        platform = self.platform
+        token = {
+            "dataset": platform.dataset(dataset_name),
+            "experiment": platform.experiment(dataset_name, experiment_name),
+            "gold": platform.gold(dataset_name, gold_name),
+            "high": high,
+            "low": low,
+        }
+
+        def compute() -> dict:
+            from repro.core.timeline import DiagramTimeline
+
+            timeline = DiagramTimeline(
+                platform.dataset(dataset_name),
+                platform.experiment(dataset_name, experiment_name),
+                platform.gold(dataset_name, gold_name),
+            )
+            segment = timeline.segment(high, low)
+            return {
+                "high": high,
+                "low": low,
+                "new_true_positives": [
+                    list(pair)
+                    for pair in sorted(segment.new_true_positives)[:1000]
+                ],
+                "new_false_positives": [
+                    list(pair)
+                    for pair in sorted(segment.new_false_positives)[:1000]
+                ],
+            }
+
+        return self._fetch("serving:timeline", dataset_name, token, compute)
+
+    def intersection_payload(
+        self, dataset_name: str, include: list[str], exclude: list[str]
+    ) -> dict:
+        """The set-selection payload of ``GET /datasets/{d}/intersection``."""
+        platform = self.platform
+        token = {
+            "dataset": platform.dataset(dataset_name),
+            "include": include,
+            "exclude": exclude,
+        }
+
+        def compute() -> dict:
+            comparison = platform.compare_sets(dataset_name, include + exclude)
+            pairs = comparison.select(include=include, exclude=exclude)
+            return {
+                "include": include,
+                "exclude": exclude,
+                "size": len(pairs),
+                "pairs": [list(pair) for pair in sorted(pairs)[:1000]],
+            }
+
+        return self._fetch("serving:intersection", dataset_name, token, compute)

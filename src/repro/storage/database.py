@@ -132,26 +132,103 @@ class FrostStore:
     ----------
     path:
         SQLite file path, or ``":memory:"`` (default) for an ephemeral
-        store.  A single connection is used — Snowman's back-end is
-        likewise single-threaded (Appendix A.6) — but writes are
-        serialized behind a lock so the store can back the execution
-        engine's worker pool (:mod:`repro.engine`).
+        store.
 
-    Multi-statement writes run inside explicit transactions with
-    foreign keys enforced, so a failed import never leaves partial
-    rows behind.
+    Thread safety: file-backed stores hand each thread its **own**
+    SQLite connection (created lazily, pooled for :meth:`close`), so
+    the multi-threaded HTTP front-end and the engine's worker pool can
+    read concurrently without sharing cursors, readers are isolated
+    from in-flight write transactions, and writers across connections
+    wait on each other through SQLite's busy handler.  In-memory
+    stores keep one shared connection — separate connections to
+    ``":memory:"`` would each see a private, empty database.  Sharing
+    is crash-safe (CPython's ``sqlite3`` serializes statement
+    execution, ``sqlite3.threadsafety == 3``) but, as in the original
+    single-connection design, same-connection readers are **not**
+    isolated from a concurrent multi-statement write transaction —
+    production serving should use a file-backed store, which is what
+    ``python -m repro serve`` does.  In both modes, multi-statement
+    writes serialize behind :attr:`_lock` and run inside explicit
+    transactions with foreign keys enforced, so a failed import never
+    leaves partial rows behind.
     """
 
+    _BUSY_TIMEOUT_MS = 10_000
+
     def __init__(self, path: str | Path = ":memory:") -> None:
-        self._connection = sqlite3.connect(str(path), check_same_thread=False)
-        self._connection.execute("PRAGMA foreign_keys=ON")
-        self._connection.executescript(_SCHEMA)
-        self._connection.commit()
+        self._path = str(path)
+        self._in_memory = self._path == ":memory:"
         self._lock = threading.Lock()
+        self._local = threading.local()
+        self._pool: list[tuple[threading.Thread, sqlite3.Connection]] = []
+        self._pool_lock = threading.Lock()
+        self._closed = False
+        # The creating thread's connection doubles as the schema
+        # bootstrapper (and, for :memory:, as the one shared handle).
+        connection = self._connect()
+        connection.executescript(_SCHEMA)
+        connection.commit()
+        if self._in_memory:
+            self._shared_connection = connection
+        else:
+            self._local.connection = connection
+
+    def _connect(self) -> sqlite3.Connection:
+        """Open, configure, and pool one SQLite connection."""
+        if self._closed:
+            raise StorageError(f"store {self._path!r} is closed")
+        try:
+            connection = sqlite3.connect(self._path, check_same_thread=False)
+        except sqlite3.Error as error:
+            raise StorageError(
+                f"cannot open store {self._path!r}: {error}"
+            ) from None
+        connection.execute("PRAGMA foreign_keys=ON")
+        # Writers on sibling connections hold the file briefly during
+        # commits; waiting beats surfacing sqlite3.OperationalError to
+        # a concurrent reader thread.
+        connection.execute(f"PRAGMA busy_timeout={self._BUSY_TIMEOUT_MS}")
+        with self._pool_lock:
+            if self._closed:
+                # lost a race with close(): never pool past the drain
+                connection.close()
+                raise StorageError(f"store {self._path!r} is closed")
+            if not self._in_memory:
+                # A thread-per-connection server retires request
+                # threads constantly; without pruning, every retired
+                # thread's connection stays pinned by the pool forever
+                # (EMFILE eventually).  The :memory: store is exempt —
+                # its one shared connection must outlive its creator.
+                alive = []
+                for thread, pooled in self._pool:
+                    if thread.is_alive():
+                        alive.append((thread, pooled))
+                    else:
+                        pooled.close()
+                self._pool = alive
+            self._pool.append((threading.current_thread(), connection))
+        return connection
+
+    @property
+    def _connection(self) -> sqlite3.Connection:
+        """The calling thread's connection (shared one for :memory:)."""
+        if self._closed:
+            raise StorageError(f"store {self._path!r} is closed")
+        if self._in_memory:
+            return self._shared_connection
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = self._connect()
+            self._local.connection = connection
+        return connection
 
     def close(self) -> None:
-        """Close the underlying SQLite connection."""
-        self._connection.close()
+        """Close every pooled connection (all threads' handles)."""
+        self._closed = True
+        with self._pool_lock:
+            entries, self._pool = self._pool, []
+        for _, connection in entries:
+            connection.close()
 
     def __enter__(self) -> "FrostStore":
         return self

@@ -55,3 +55,43 @@ class TestHttpServer:
                 pool.map(lambda _: fetch(server, "/datasets")[0], range(8))
             )
         assert results == [200] * 8
+
+    def test_shutdown_waits_for_in_flight_requests(
+        self, people_dataset, people_gold, people_experiment, monkeypatch
+    ):
+        """stop() joins handler threads: a mid-compute request answers."""
+        import threading
+        import time
+
+        platform = FrostPlatform()
+        platform.add_dataset(people_dataset)
+        platform.add_gold(people_dataset.name, people_gold)
+        platform.add_experiment(people_dataset.name, people_experiment)
+        started = threading.Event()
+        original = platform.metrics_table
+
+        def slow_metrics_table(*args, **kwargs):
+            started.set()
+            time.sleep(0.5)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(platform, "metrics_table", slow_metrics_table)
+        server = FrostHttpServer(FrostApi(platform), port=0)
+        server.start()
+        outcome = {}
+
+        def client() -> None:
+            try:
+                outcome["status"], outcome["payload"] = fetch(
+                    server, "/datasets/people/metrics?gold=people-gold"
+                )
+            except Exception as error:  # pragma: no cover - failure path
+                outcome["error"] = error
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        assert started.wait(timeout=10)  # the compute is in flight
+        server.stop()  # must block until the handler finishes
+        thread.join(timeout=10)
+        assert outcome.get("status") == 200, outcome
+        assert outcome["payload"]["metrics"]["people-run"]

@@ -1,0 +1,203 @@
+"""Integration tests for ``python -m repro serve`` as a real process.
+
+Covers the satellite guarantees: ``--port 0`` ephemeral binding with
+the bound port announced on stdout, and clean SIGINT/SIGTERM shutdown
+(exit code 0, socket released) so test runs never leak sockets.
+"""
+
+import json
+import re
+import signal
+import socket
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.core import Dataset, Experiment, GoldStandard, Record
+from repro.storage.database import FrostStore
+
+SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+
+@pytest.fixture
+def store_path(tmp_path):
+    dataset = Dataset(
+        [Record(f"r{index}", {"name": f"person {index}"}) for index in range(6)],
+        name="people",
+    )
+    with FrostStore(tmp_path / "serve.db") as store:
+        store.save_dataset(dataset)
+        store.save_gold_standard(
+            "people", GoldStandard.from_pairs([("r0", "r1")], name="gold")
+        )
+        store.save_experiment(
+            "people", Experiment([("r0", "r1", 0.9)], name="run")
+        )
+    return tmp_path / "serve.db"
+
+
+def _spawn(store_path, *extra):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(store_path), "--port", "0", *extra,
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def _read_port(process) -> int:
+    deadline = time.monotonic() + 30
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            break
+        match = re.search(r"serving on http://[^:]+:(\d+)", line)
+        if match:
+            return int(match.group(1))
+    pytest.fail(f"server never announced its port: {process.stderr.read()}")
+
+
+def _fetch(port: int, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=5
+    ) as response:
+        return json.loads(response.read())
+
+
+@pytest.mark.parametrize("signum", [signal.SIGTERM, signal.SIGINT])
+def test_ephemeral_port_and_graceful_shutdown(store_path, signum):
+    process = _spawn(store_path)
+    try:
+        port = _read_port(process)
+        assert _fetch(port, "/datasets") == {"datasets": ["people"]}
+        assert _fetch(port, "/datasets/people/metrics?gold=gold")["metrics"]
+        process.send_signal(signum)
+        stdout, stderr = process.communicate(timeout=30)
+        assert process.returncode == 0, stderr
+        assert "shut down cleanly" in stdout
+        # the socket is actually released: the port can be rebound
+        with socket.socket() as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            probe.bind(("127.0.0.1", port))
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup path
+            process.kill()
+            process.communicate(timeout=10)
+
+
+def test_serve_flags_reach_the_serving_layer(store_path):
+    process = _spawn(store_path, "--workers", "2", "--cache-size", "7")
+    try:
+        port = _read_port(process)
+        for _ in range(3):
+            _fetch(port, "/datasets/people/metrics?gold=gold")
+        stats = _fetch(port, "/stats")
+        assert stats["durable"] is True
+        assert stats["serving"]["cache"]["max_entries"] == 7
+        assert stats["serving"]["computations"] == 1
+        assert stats["serving"]["cache"]["hits"] == 2
+        process.send_signal(signal.SIGTERM)
+        _, stderr = process.communicate(timeout=30)
+        assert process.returncode == 0, stderr
+    finally:
+        if process.poll() is None:  # pragma: no cover - cleanup path
+            process.kill()
+            process.communicate(timeout=10)
+
+
+def test_serve_foreground_in_process(store_path):
+    """serve() binds port 0, serves, and stops cleanly via shutdown()."""
+    from repro.serving import platform_from_store
+    from repro.server.api import FrostApi
+    from repro.server.http import serve
+    import threading
+
+    with FrostStore(store_path) as store:
+        api = FrostApi(platform_from_store(store), store=store)
+        announced = []
+        bound = []
+        ready = threading.Event()
+
+        def on_bound(server) -> None:
+            bound.append(server)
+            ready.set()
+
+        returned = []
+        thread = threading.Thread(
+            target=lambda: returned.append(
+                serve(api, port=0, announce=announced.append, on_bound=on_bound)
+            )
+        )
+        thread.start()
+        assert ready.wait(timeout=10)
+        port = bound[0].server_address[1]
+        assert announced == [f"serving on http://127.0.0.1:{port}"]
+        assert _fetch(port, "/datasets") == {"datasets": ["people"]}
+        bound[0].shutdown()
+        thread.join(timeout=10)
+        assert returned == [port]
+
+
+def test_command_serve_wires_the_layers(store_path, monkeypatch, capsys):
+    """The CLI builds store -> platform -> engine -> serving -> server."""
+    import repro.server.http as http_module
+    from repro.cli import main
+
+    captured = {}
+
+    def fake_serve(api, host, port, announce=print, on_bound=None):
+        captured["api"] = api
+        captured["host"] = host
+        captured["port"] = port
+        announce(f"serving on http://{host}:12345")
+        return 12345
+
+    monkeypatch.setattr(http_module, "serve", fake_serve)
+    code = main([
+        "serve", "--store", str(store_path), "--port", "0",
+        "--workers", "2", "--cache-size", "9",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "serving 1 dataset(s)" in out
+    assert "serving on http://127.0.0.1:12345" in out
+    assert "shut down cleanly" in out
+    api = captured["api"]
+    assert captured["port"] == 0
+    assert api.platform.dataset_names() == ["people"]
+    assert api.serving.cache.max_entries == 9
+    assert api.engine.max_workers == 2
+    assert api.handle("/stats")["durable"] is True
+
+
+def test_serve_refuses_to_create_a_missing_store(tmp_path, capsys):
+    """A typo'd --store path must error, not serve a new empty database."""
+    from repro.cli import main
+
+    code = main(["serve", "--store", str(tmp_path / "typo.db"), "--port", "0"])
+    assert code == 1
+    assert "does not exist" in capsys.readouterr().err
+    assert not (tmp_path / "typo.db").exists()
+
+
+def test_serve_with_missing_store_parent_fails_cleanly(tmp_path):
+    completed = subprocess.run(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--store", str(tmp_path / "nope" / "deep.db"), "--port", "0",
+        ],
+        capture_output=True,
+        text=True,
+        timeout=30,
+        env={"PYTHONPATH": SRC, "PATH": "/usr/bin:/bin"},
+    )
+    assert completed.returncode == 1
+    assert "error:" in completed.stderr

@@ -1,0 +1,145 @@
+"""Tests for request coalescing (single-flight computations)."""
+
+import threading
+
+import pytest
+
+from repro.serving.coalesce import RequestCoalescer
+
+
+class TestRequestCoalescer:
+    def test_single_caller_computes(self):
+        coalescer = RequestCoalescer()
+        assert coalescer.run("k", lambda: 42) == 42
+        assert coalescer.stats() == {
+            "leaders": 1,
+            "followers": 0,
+            "in_flight": 0,
+        }
+
+    def test_sequential_calls_each_compute(self):
+        coalescer = RequestCoalescer()
+        calls = []
+        for index in range(3):
+            coalescer.run("k", lambda index=index: calls.append(index))
+        assert calls == [0, 1, 2]
+        assert coalescer.leaders == 3
+        assert coalescer.followers == 0
+
+    def test_concurrent_duplicates_share_one_computation(self):
+        coalescer = RequestCoalescer()
+        release = threading.Event()
+        followers_queued = threading.Event()
+        computations = []
+        results = []
+
+        def compute():
+            computations.append(1)
+            # Hold the flight open until all followers have joined, so
+            # the coalescing is deterministic rather than racy.
+            assert release.wait(timeout=10)
+            return "payload"
+
+        def leader():
+            results.append(coalescer.run("k", compute))
+
+        def follower():
+            results.append(
+                coalescer.run("k", lambda: pytest.fail("follower computed"))
+            )
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        # wait until the leader's flight is published
+        for _ in range(1000):
+            if coalescer.in_flight() == 1:
+                break
+            threading.Event().wait(0.001)
+        follower_threads = [threading.Thread(target=follower) for _ in range(7)]
+        for thread in follower_threads:
+            thread.start()
+        # followers are blocked on the flight, none computed anything
+        for _ in range(1000):
+            if coalescer.stats()["followers"] == 7:
+                break
+            threading.Event().wait(0.001)
+        followers_queued.set()
+        release.set()
+        leader_thread.join(timeout=10)
+        for thread in follower_threads:
+            thread.join(timeout=10)
+        assert results == ["payload"] * 8
+        assert computations == [1]
+        assert coalescer.stats() == {
+            "leaders": 1,
+            "followers": 7,
+            "in_flight": 0,
+        }
+
+    def test_distinct_keys_do_not_coalesce(self):
+        coalescer = RequestCoalescer()
+        first_running = threading.Event()
+        release = threading.Event()
+        results = {}
+
+        def slow():
+            first_running.set()
+            assert release.wait(timeout=10)
+            return "slow"
+
+        def run_slow():
+            results["slow"] = coalescer.run("a", slow)
+
+        thread = threading.Thread(target=run_slow)
+        thread.start()
+        assert first_running.wait(timeout=10)
+        # a different key computes immediately, unaffected by "a"
+        results["fast"] = coalescer.run("b", lambda: "fast")
+        release.set()
+        thread.join(timeout=10)
+        assert results == {"slow": "slow", "fast": "fast"}
+        assert coalescer.leaders == 2
+        assert coalescer.followers == 0
+
+    def test_leader_error_propagates_to_followers(self):
+        coalescer = RequestCoalescer()
+        release = threading.Event()
+        outcomes = []
+
+        def failing():
+            assert release.wait(timeout=10)
+            raise RuntimeError("boom")
+
+        def leader():
+            with pytest.raises(RuntimeError):
+                coalescer.run("k", failing)
+            outcomes.append("leader")
+
+        def follower():
+            with pytest.raises(RuntimeError):
+                coalescer.run("k", lambda: "never")
+            outcomes.append("follower")
+
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        for _ in range(1000):
+            if coalescer.in_flight() == 1:
+                break
+            threading.Event().wait(0.001)
+        follower_thread = threading.Thread(target=follower)
+        follower_thread.start()
+        for _ in range(1000):
+            if coalescer.stats()["followers"] == 1:
+                break
+            threading.Event().wait(0.001)
+        release.set()
+        leader_thread.join(timeout=10)
+        follower_thread.join(timeout=10)
+        assert sorted(outcomes) == ["follower", "leader"]
+
+    def test_failed_flight_does_not_poison_the_key(self):
+        coalescer = RequestCoalescer()
+        with pytest.raises(RuntimeError):
+            coalescer.run("k", lambda: (_ for _ in ()).throw(RuntimeError("x")))
+        assert coalescer.run("k", lambda: "recovered") == "recovered"
+        assert coalescer.in_flight() == 0

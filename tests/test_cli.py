@@ -56,6 +56,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fly"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "x.db"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8080
+        assert args.workers == 4
+        assert args.cache_size == 1024
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--store", "x.db", "--port", "0",
+             "--workers", "8", "--cache-size", "64"]
+        )
+        assert args.port == 0
+        assert args.workers == 8
+        assert args.cache_size == 64
+
+    def test_serve_requires_store(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestMetrics:
     def test_default_metrics(self, files, capsys):

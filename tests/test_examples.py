@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "engine_sweep.py",
     "streaming_ingest.py",
     "lsh_blocking.py",
+    "serving_load.py",
 ]
 
 
