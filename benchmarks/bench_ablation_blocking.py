@@ -9,6 +9,7 @@ implemented blockers on the person benchmark.
 from __future__ import annotations
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core import ConfusionMatrix
 from repro.matching.blocking import (
     first_token_key,
@@ -65,6 +66,13 @@ def test_blocking_comparison(benchmark, person_benchmark):
         "Ablation: blocking strategies (pairs completeness vs reduction ratio)",
         ["strategy", "candidates", "pairs completeness", "reduction ratio"],
         rows,
+    )
+    emit_trajectory(
+        "ablation_blocking",
+        counters={
+            name: values["candidates"] for name, values in stats.items()
+        },
+        context={"records": len(dataset)},
     )
     for name, values in stats.items():
         # every blocker must prune the quadratic space substantially

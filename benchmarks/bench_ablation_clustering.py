@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core import ConfusionMatrix
 from repro.core.pairs import ScoredPair, make_pair
 from repro.matching.clustering_algorithms import CLUSTERING_ALGORITHMS
@@ -81,6 +82,17 @@ def test_clustering_algorithm_comparison(benchmark, person_benchmark):
     )
     agreement = clustering_agreement(list(clusterings.values()))
     print(f"  clustering agreement (no-ground-truth signal): {agreement:.3f}")
+    emit_trajectory(
+        "ablation_clustering",
+        counters={
+            **{
+                name: clustering.pair_count()
+                for name, clustering in clusterings.items()
+            },
+            "agreement": round(agreement, 4),
+        },
+        context={"records": len(person_benchmark.dataset), "noise_links": 60},
+    )
 
     # transitive closure has maximal recall but pays in precision
     assert stats["connected_components"]["recall"] == max(

@@ -13,6 +13,7 @@ from __future__ import annotations
 import random
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core.pairs import ScoredPair, make_pair
 from repro.datagen.synthesize import synthesize_experiment
 from repro.exploration.selection import percentile_partitions
@@ -84,6 +85,13 @@ def test_sampling_strategy_fidelity(benchmark, person_benchmark):
         "representative error rate| per partition (lower is better)",
         ["sampler", "mean deviation"],
         rows,
+    )
+    emit_trajectory(
+        "ablation_sampling",
+        counters={
+            sampler: round(value, 4) for sampler, value in fidelity.items()
+        },
+        context={"records": len(person_benchmark.dataset), "pairs": len(pairs)},
     )
     # class-based sampling mirrors the error profile most faithfully
     assert fidelity["class"] <= min(fidelity["random"], fidelity["quantile"]) + 0.02

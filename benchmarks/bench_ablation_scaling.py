@@ -13,6 +13,7 @@ from __future__ import annotations
 import time
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core.diagrams import (
     compute_diagram_naive_clustering,
     compute_diagram_optimized,
@@ -68,6 +69,18 @@ def test_scaling_report(benchmark):
         "Ablation: scaling of optimized vs naive diagram computation",
         ["records", "optimized", "naive", "speedup"],
         rows,
+    )
+    emit_trajectory(
+        "ablation_scaling",
+        seconds={
+            f"optimized_{size}": seconds
+            for size, seconds in zip(SIZES, optimized_times)
+        },
+        counters={
+            f"speedup_{size}": round(ratio, 2)
+            for size, ratio in zip(SIZES, ratios)
+        },
+        context={"sizes": SIZES, "samples": SAMPLES},
     )
     # (a) near-linear optimized scaling: 8x records < ~24x time
     growth = optimized_times[-1] / max(optimized_times[0], 1e-9)

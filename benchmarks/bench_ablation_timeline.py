@@ -18,6 +18,7 @@ import time
 import pytest
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core.diagrams import compute_diagram_optimized
 from repro.core.timeline import DiagramTimeline
 from repro.datagen import scored_benchmark_experiment
@@ -99,6 +100,17 @@ def test_timeline_report(benchmark, workload):
         "Ablation: timeline zig-zag queries (30 alternating thresholds)",
         ["strategy", "total", "per query"],
         rows,
+    )
+    emit_trajectory(
+        "ablation_timeline",
+        seconds={
+            **{
+                f"timeline_k{interval}": seconds
+                for interval, seconds in timings.items()
+            },
+            "rebuild_baseline": baseline_seconds,
+        },
+        context={"queries": len(ZIGZAG)},
     )
     assert min(timings.values()) < baseline_seconds
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)

@@ -19,6 +19,7 @@ import statistics
 import time
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core.platform import FrostPlatform
 from repro.datagen import scored_benchmark_experiment
 from repro.engine import ExperimentEngine, JobSpec
@@ -115,6 +116,19 @@ def test_engine_cache_report(cora_benchmark):
         "Engine result cache: cold vs. cached evaluation latency",
         ["Job", "Cold", "Cached (median)", "Speedup"],
         rows,
+    )
+    emit_trajectory(
+        "engine_cache",
+        seconds={
+            f"{entry['kind']}_{phase}": entry[phase]
+            for entry in measurements
+            for phase in ("cold", "cached")
+        },
+        counters={
+            f"{entry['kind']}_speedup": round(entry["speedup"], 1)
+            for entry in measurements
+        },
+        context={"samples": SAMPLES, "cached_rounds": CACHED_ROUNDS},
     )
     for entry in measurements:
         assert entry["speedup"] >= MIN_SPEEDUP, (

@@ -11,6 +11,7 @@ the threshold drops, and the curve spans a meaningful trade-off region.
 from __future__ import annotations
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core.diagrams import compute_diagram_optimized, metric_metric_series
 from repro.matching import (
     AttributeComparator,
@@ -78,3 +79,12 @@ def test_figure3_pr_curve(benchmark, x4_benchmark):
     # the curve spans a real trade-off
     best_f1 = max(f1_score(p.matrix) for p in points)
     assert best_f1 > 0.5
+    emit_trajectory(
+        "figure3_pr_curve",
+        counters={
+            "points": len(points),
+            "best_f1": round(best_f1, 4),
+            "final_recall": round(recalls[-1], 4),
+        },
+        context={"records": len(x4_benchmark.dataset), "samples": 150},
+    )

@@ -15,6 +15,7 @@ claims checked: visible breakthrough per solution, a barrier near
 from __future__ import annotations
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.kpis.diagrams import effort_to_reach, render_effort_diagram
 from repro.kpis.effort_study import EffortStudySimulator, SolutionProfile
 
@@ -76,3 +77,11 @@ def test_figure6_effort_curves(benchmark, person_benchmark):
     # solution-specific plateaus: the ML profile ends highest
     finals = {curve.solution: curve.final_value() for curve in curves}
     assert finals["machine-learning"] == max(finals.values())
+    emit_trajectory(
+        "figure6_effort_study",
+        counters={name: round(value, 4) for name, value in finals.items()},
+        context={
+            "records": len(person_benchmark.dataset),
+            "total_hours": 24.0,
+        },
+    )

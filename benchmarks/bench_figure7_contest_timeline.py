@@ -13,6 +13,7 @@ trends upward, and significant declines (trial-and-error dips) occur.
 from __future__ import annotations
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.kpis.effort_study import ContestTimelineSimulator
 
 
@@ -63,3 +64,8 @@ def test_figure7_timeline(benchmark, person_benchmark):
         )
     # trial-and-error character: dips exist across the field
     assert total_declines >= 3
+    emit_trajectory(
+        "figure7_contest_timeline",
+        counters={"teams": len(timelines), "declines": total_declines},
+        context={"records": len(person_benchmark.dataset), "submissions": 25},
+    )

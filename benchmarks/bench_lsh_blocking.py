@@ -30,6 +30,7 @@ import os
 import time
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.datagen import make_person_benchmark
 from repro.matching.blocking import full_pairs, token_blocking
 from repro.matching.lsh import LshConfig, lsh_blocking
@@ -97,6 +98,16 @@ def test_lsh_blocking_quality_sweep():
         f"{dataset.total_pairs()} total pairs)",
         ["Blocker", "Candidates", "PC", "RR", "PQ", "Seconds"],
         rows,
+    )
+    emit_trajectory(
+        "lsh_blocking",
+        seconds={"lsh_default": lsh_seconds, "token_blocking": token_seconds},
+        counters={
+            "default_candidates": default_quality.candidate_count,
+            "pairs_completeness": round(default_quality.pairs_completeness, 4),
+            "reduction_ratio": round(default_quality.reduction_ratio, 4),
+        },
+        context={"smoke": _smoke(), "records": record_count},
     )
 
     # Claim 1 — always asserted, smoke mode included (the CI gate).

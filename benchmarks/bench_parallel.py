@@ -27,6 +27,7 @@ import time
 import pytest
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.datagen import make_person_benchmark
 from repro.streaming import build_pipeline_and_index
 
@@ -96,6 +97,20 @@ def test_parallel_comparison_speedup_and_identity():
             ["parallel", len(candidates), f"{parallel_seconds:.3f}"],
             ["speedup", "", f"{speedup:.2f}x"],
         ],
+    )
+    emit_trajectory(
+        "parallel",
+        seconds={"serial": serial_seconds, "parallel": parallel_seconds},
+        throughput={
+            "pairs_per_second": len(candidates) / max(parallel_seconds, 1e-9)
+        },
+        counters={"pairs": len(candidates), "speedup": round(speedup, 2)},
+        context={
+            "smoke": _smoke(),
+            "records": record_count,
+            "workers": WORKERS,
+            "shards": SHARDS,
+        },
     )
 
     if _smoke():

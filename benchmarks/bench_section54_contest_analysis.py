@@ -22,6 +22,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core import compute_diagram_optimized
 from repro.core.platform import FrostPlatform
 from repro.datagen.synthesize import synthesize_experiment
@@ -174,3 +175,14 @@ def test_hard_pairs_missed_by_most(benchmark, contest_platform, x4_benchmark):
     assert 0 < len(missed) < x4_benchmark.gold.pair_count() * 0.2
     # difficulty concentrates: some record appears in multiple missed pairs
     assert top and top[0][1] >= 2
+    emit_trajectory(
+        "section54_contest",
+        counters={
+            "missed_pairs": len(missed),
+            "max_misses_per_record": top[0][1],
+        },
+        context={
+            "records": len(x4_benchmark.dataset),
+            "teams": len(TEAM_QUALITY),
+        },
+    )

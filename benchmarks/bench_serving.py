@@ -30,6 +30,7 @@ import time
 import pytest
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core.platform import FrostPlatform
 from repro.datagen import (
     make_cora_like_benchmark,
@@ -213,6 +214,25 @@ def test_serving_load_report():
         for path in paths
     ]
     print_table("Cold (compute) latency per request", ["Request", "Cold"], rows)
+    emit_trajectory(
+        "serving",
+        throughput={
+            "warm_requests_per_second": warm_throughput,
+            "cold_requests_per_second": cold_throughput,
+        },
+        latencies=latencies,
+        counters={
+            "requests": total_requests,
+            "cache_hits": serving_stats["cache"]["hits"],
+            "computations": serving_stats["computations"],
+        },
+        context={
+            "smoke": SMOKE,
+            "clients": CLIENTS,
+            "rounds": WARM_ROUNDS,
+            "paths": len(paths),
+        },
+    )
 
     # every path computed exactly once; all warm traffic was served
     assert serving_stats["computations"] == len(paths)

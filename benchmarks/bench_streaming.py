@@ -23,6 +23,7 @@ import os
 import time
 
 from benchmarks.conftest import print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core.records import Dataset
 from repro.datagen import make_person_benchmark
 from repro.streaming import build_pipeline_and_index, build_session
@@ -109,6 +110,19 @@ def test_streaming_ingest_speedup_and_equivalence():
             ],
             ["speedup", "", "", f"{speedup:.1f}x"],
         ],
+    )
+    emit_trajectory(
+        "streaming",
+        seconds={
+            "batch_recompute": batch_seconds,
+            "streaming_delta": streaming_seconds,
+        },
+        counters={
+            "full_candidates": full_candidates,
+            "delta_candidates": snapshot.delta_candidates,
+            "speedup": round(speedup, 1),
+        },
+        context={"smoke": _smoke(), "base_records": base_count},
     )
 
     stream_clusters = set(session.clusters().clusters)

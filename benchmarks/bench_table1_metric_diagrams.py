@@ -28,6 +28,7 @@ import time
 import pytest
 
 from benchmarks.conftest import full_scale, print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.core.diagrams import (
     compute_diagram_naive_clustering,
     compute_diagram_optimized,
@@ -93,6 +94,7 @@ def test_table1_report(benchmark, request):
     """
     rows = []
     speedups = {}
+    optimized_by_label = {}
     for label, fixture_name, matches in ROWS:
         data, experiment = _experiment_for(request, fixture_name, matches)
         started = time.perf_counter()
@@ -108,6 +110,7 @@ def test_table1_report(benchmark, request):
         assert [p.matrix for p in optimized] == [p.matrix for p in naive]
         speedup = naive_seconds / max(optimized_seconds, 1e-9)
         speedups[label] = speedup
+        optimized_by_label[label] = optimized_seconds
         rows.append(
             [
                 label,
@@ -122,6 +125,14 @@ def test_table1_report(benchmark, request):
         "Table 1: Runtime of Metric/Metric Diagrams (100 thresholds)",
         ["Dataset", "Records", "Matched pairs", "Custom", "Naive", "Speedup"],
         rows,
+    )
+    emit_trajectory(
+        "table1_diagrams",
+        seconds=optimized_by_label,
+        counters={
+            label: round(value, 1) for label, value in speedups.items()
+        },
+        context={"samples": SAMPLES, "full_scale": full_scale()},
     )
     # claim 1: optimized always wins
     assert all(value > 1.0 for value in speedups.values()), speedups

@@ -22,6 +22,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import full_scale, print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.datagen.sigmod import make_sigmod_contest
 from repro.profiling import profile_dataset, vocabulary_similarity
 
@@ -99,3 +100,11 @@ def test_table2_profiles(benchmark, contest):
     assert measured["z3"]["PR"] == pytest.approx(PAPER["z3"]["PR"], abs=0.04)
     # vocabulary similarity ordering: D2 splits are more similar
     assert measured["VS"]["d2"] > measured["VS"]["d3"]
+    emit_trajectory(
+        "table2_profiling",
+        counters={
+            f"{name}_tuples": measured[name]["TC"]
+            for name in ("x2", "z2", "x3", "z3")
+        },
+        context={"full_scale": full_scale()},
+    )

@@ -33,6 +33,7 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import full_scale, print_table
+from benchmarks.trajectory import emit_trajectory
 from repro.datagen.sigmod import SigmodSplit, make_sigmod_contest
 from repro.matching import (
     AttributeComparator,
@@ -164,3 +165,12 @@ def test_table3_cross_dataset(benchmark, contest):
     gap_d2 = abs(f1["x2"]["x2"] - f1["x2"]["z2"])
     gap_d3 = abs(f1["x3"]["x3"] - f1["x3"]["z3"])
     assert gap_d3 > gap_d2
+    emit_trajectory(
+        "table3_cross_dataset",
+        counters={
+            f"{home}_on_{split}_f1": round(f1[home][split], 4)
+            for home in ("x2", "x3")
+            for split in ("z2", "z3")
+        },
+        context={"full_scale": full_scale()},
+    )

@@ -1,0 +1,267 @@
+"""Persisted performance trajectory for the benchmark harness.
+
+Every ``bench_*.py`` ends its report by calling :func:`emit_trajectory`
+with the numbers it just measured.  The helper writes them — together
+with ambient measurements like peak RSS — to ``BENCH_<area>.json`` at
+the repository root, so the performance of each subsystem is *versioned
+next to the code that produced it* and drifts show up in review diffs
+instead of being folklore.
+
+Before overwriting, the previous file (the trajectory's last point) is
+compared against the fresh numbers: any throughput drop or duration
+increase beyond :data:`REGRESSION_TOLERANCE` is reported.  Comparison
+is **report-only** by default — benchmark machines differ — and becomes
+enforcing with ``REPRO_TRAJECTORY_ENFORCE=1``.  Runs whose *context*
+(smoke vs. full scale, dataset sizes) differs from the stored point are
+never compared: a smoke run regressing against a full run is noise.
+
+``python -m benchmarks.trajectory`` compares the working tree's
+``BENCH_*.json`` against the committed versions (``git show HEAD:...``)
+and prints one consolidated report — the CI trajectory step.
+
+Environment knobs:
+
+``REPRO_TRAJECTORY_DIR``
+    Directory holding the JSON files (default: the repository root).
+``REPRO_TRAJECTORY_ENFORCE``
+    ``1`` turns >tolerance regressions into failures.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+__all__ = [
+    "REGRESSION_TOLERANCE",
+    "emit_trajectory",
+    "compare_trajectories",
+    "peak_rss_mb",
+    "percentile",
+]
+
+REGRESSION_TOLERANCE = 0.20
+_REPO_ROOT = Path(__file__).resolve().parents[1]
+_SCHEMA_VERSION = 1
+
+
+def _trajectory_dir() -> Path:
+    override = os.environ.get("REPRO_TRAJECTORY_DIR")
+    return Path(override) if override else _REPO_ROOT
+
+
+def _enforcing() -> bool:
+    return os.environ.get("REPRO_TRAJECTORY_ENFORCE", "0") == "1"
+
+
+def peak_rss_mb() -> float:
+    """This process's peak resident set size in MiB.
+
+    ``ru_maxrss`` is KiB on Linux and bytes on macOS — normalized here
+    so trajectory files are comparable across both.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - macOS units
+        return peak / (1024 * 1024)
+    return peak / 1024
+
+
+def percentile(values, fraction: float) -> float:
+    """The ``fraction``-quantile of ``values`` (linear interpolation)."""
+    ordered = sorted(float(value) for value in values)
+    if not ordered:
+        raise ValueError("percentile of an empty sequence")
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    low = math.floor(position)
+    high = math.ceil(position)
+    weight = position - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def compare_trajectories(
+    previous: dict, current: dict, tolerance: float = REGRESSION_TOLERANCE
+) -> list[str]:
+    """Human-readable regression findings between two trajectory points.
+
+    Throughput entries regress by dropping, duration entries
+    (``seconds`` and ``latency``) by growing; ``counters`` and
+    ``peak_rss_mb`` are informational and never flagged.  A context
+    mismatch yields a single "not comparable" note instead of findings.
+    """
+    if previous.get("context") != current.get("context"):
+        return [
+            f"{current.get('area', '?')}: context changed "
+            f"({previous.get('context')} -> {current.get('context')}); "
+            "not comparable"
+        ]
+    findings: list[str] = []
+    area = current.get("area", "?")
+    for name, old in (previous.get("throughput") or {}).items():
+        new = (current.get("throughput") or {}).get(name)
+        if new is None or old <= 0:
+            continue
+        if new < old * (1 - tolerance):
+            findings.append(
+                f"{area}: throughput {name} fell "
+                f"{(1 - new / old) * 100:.1f}% ({old:.2f} -> {new:.2f})"
+            )
+    for section in ("seconds", "latency"):
+        for name, old in (previous.get(section) or {}).items():
+            new = (current.get(section) or {}).get(name)
+            if new is None or old <= 0:
+                continue
+            if new > old * (1 + tolerance):
+                findings.append(
+                    f"{area}: {section} {name} grew "
+                    f"{(new / old - 1) * 100:.1f}% ({old:.4f} -> {new:.4f})"
+                )
+    return findings
+
+
+def emit_trajectory(
+    area: str,
+    *,
+    throughput: dict[str, float] | None = None,
+    seconds: dict[str, float] | None = None,
+    latencies=None,
+    counters: dict[str, object] | None = None,
+    context: dict[str, object] | None = None,
+) -> Path:
+    """Persist one benchmark's numbers as ``BENCH_<area>.json``.
+
+    Parameters
+    ----------
+    area:
+        Short lowercase identifier; becomes the file name suffix.
+    throughput:
+        Named higher-is-better rates (records/s, requests/s, ...).
+    seconds:
+        Named lower-is-better wall times.
+    latencies:
+        Raw per-operation durations in seconds; folded into
+        ``latency.p50_ms`` / ``latency.p95_ms``.
+    counters:
+        Informational counts (pairs compared, cache hits, ...).
+    context:
+        What shaped the numbers (smoke mode, dataset sizes).  Points
+        with different contexts are never compared to each other.
+
+    Compares against the previous point (if any) before overwriting it,
+    printing findings; with ``REPRO_TRAJECTORY_ENFORCE=1`` regressions
+    raise ``AssertionError`` instead.  Returns the written path.
+    """
+    document: dict[str, object] = {
+        "schema": _SCHEMA_VERSION,
+        "area": area,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "context": context or {},
+        "peak_rss_mb": round(peak_rss_mb(), 2),
+    }
+    if throughput:
+        document["throughput"] = {
+            name: round(float(value), 4) for name, value in throughput.items()
+        }
+    if seconds:
+        document["seconds"] = {
+            name: round(float(value), 6) for name, value in seconds.items()
+        }
+    if latencies is not None:
+        values = list(latencies)
+        if values:
+            document["latency"] = {
+                "p50_ms": round(percentile(values, 0.50) * 1000, 4),
+                "p95_ms": round(percentile(values, 0.95) * 1000, 4),
+            }
+    if counters:
+        document["counters"] = dict(counters)
+
+    directory = _trajectory_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{area}.json"
+    findings: list[str] = []
+    if path.exists():
+        try:
+            previous = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            previous = None
+        if isinstance(previous, dict):
+            findings = compare_trajectories(previous, document)
+    for finding in findings:
+        print(f"trajectory: {finding}")
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    regressions = [f for f in findings if "not comparable" not in f]
+    if regressions and _enforcing():
+        raise AssertionError(
+            "performance trajectory regressions:\n  " + "\n  ".join(regressions)
+        )
+    return path
+
+
+def _committed_version(path: Path) -> dict | None:
+    """The HEAD-committed content of ``path``, or ``None``."""
+    try:
+        completed = subprocess.run(
+            ["git", "show", f"HEAD:{path.name}"],
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired):  # pragma: no cover
+        return None
+    if completed.returncode != 0:
+        return None
+    try:
+        document = json.loads(completed.stdout)
+    except json.JSONDecodeError:
+        return None
+    return document if isinstance(document, dict) else None
+
+
+def main(argv=None) -> int:
+    """Compare working-tree ``BENCH_*.json`` against HEAD (report-only).
+
+    Exit code is 0 unless ``REPRO_TRAJECTORY_ENFORCE=1`` and a
+    regression was found.
+    """
+    directory = _trajectory_dir()
+    paths = sorted(directory.glob("BENCH_*.json"))
+    if not paths:
+        print("trajectory: no BENCH_*.json files to compare")
+        return 0
+    all_findings: list[str] = []
+    for path in paths:
+        try:
+            current = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            print(f"trajectory: {path.name} is unreadable; skipped")
+            continue
+        previous = _committed_version(path)
+        if previous is None:
+            print(f"trajectory: {path.name} is new (no committed baseline)")
+            continue
+        findings = compare_trajectories(previous, current)
+        if findings:
+            all_findings.extend(findings)
+            for finding in findings:
+                print(f"trajectory: {finding}")
+        else:
+            print(f"trajectory: {path.name} within tolerance")
+    regressions = [f for f in all_findings if "not comparable" not in f]
+    if regressions:
+        print(f"trajectory: {len(regressions)} regression(s) found")
+        if _enforcing():
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -47,13 +47,25 @@ SIGTERM shut the server down gracefully::
 
     python -m repro serve --store results.db --port 0 --workers 8 --cache-size 2048
 
+The ``trace`` command runs a fully traced matching pipeline through the
+engine (:mod:`repro.telemetry`): the span tree — pipeline stages,
+engine jobs with cache-hit annotations, per-shard process-pool timings
+— prints to stdout together with the Prometheus metric snapshot, and
+``--output DIR`` persists both as ``spans.jsonl``/``metrics.json``::
+
+    python -m repro trace --generate 600 --workers 2 --repeat 2
+    python -m repro trace --dataset d.csv --gold g.csv --similarity name=jaro_winkler
+
 Every command reads CSV files (``--separator`` configures the dialect)
-and prints plain text to stdout.
+and prints plain text to stdout.  Diagnostics go through :mod:`logging`
+(stderr; ``--log-level`` selects verbosity) — the only machine-read
+lines, like ``serve``'s bound-port announcement, stay on stdout.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from collections.abc import Sequence
 from pathlib import Path
@@ -80,6 +92,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--separator", default=",", help="CSV separator (default ',')"
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="logging verbosity on stderr (default info)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -361,6 +379,77 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1024,
         help="serving-layer payload cache capacity (default 1024)",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run a fully traced matching pipeline and print the span tree",
+    )
+    trace.add_argument(
+        "--generate",
+        type=int,
+        default=None,
+        metavar="N",
+        help="generate an N-record synthetic person benchmark "
+             "(alternative to --dataset)",
+    )
+    trace.add_argument(
+        "--seed", type=int, default=42, help="generator seed (default 42)"
+    )
+    trace.add_argument("--dataset", default=None, help="dataset CSV path")
+    trace.add_argument("--id-column", default="id")
+    trace.add_argument(
+        "--gold", default=None, help="gold standard CSV path (enables metrics)"
+    )
+    trace.add_argument(
+        "--gold-format", choices=("pairs", "clusters"), default="pairs"
+    )
+    trace.add_argument(
+        "--similarity",
+        action="append",
+        metavar="ATTR=MEASURE",
+        help="per-attribute similarity, e.g. name=jaro_winkler "
+             "(repeatable; default: person-benchmark measures)",
+    )
+    trace.add_argument(
+        "--key-kind",
+        choices=("first_token", "prefix", "soundex", "token"),
+        default="first_token",
+        help="blocking key scheme (default first_token)",
+    )
+    trace.add_argument(
+        "--key-attribute",
+        default="last_name",
+        help="blocking attribute (default last_name)",
+    )
+    trace.add_argument(
+        "--threshold", type=float, default=0.8, help="match threshold"
+    )
+    trace.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="processes for sharded comparison scoring (traced as "
+             "comparison.shard spans; default serial)",
+    )
+    trace.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="comparison shard count (default: 4 x workers)",
+    )
+    trace.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="submit the pipeline job N times — re-runs are engine "
+             "cache hits and show up as such (default 2)",
+    )
+    trace.add_argument(
+        "--output",
+        default=None,
+        metavar="DIR",
+        help="also write spans.jsonl and metrics.json to this directory",
     )
     return parser
 
@@ -826,7 +915,11 @@ def _command_serve(args: argparse.Namespace, fmt: CsvFormat) -> int:
     from repro.serving import ServingLayer, platform_from_store
     from repro.storage.database import FrostStore
 
+    logger = logging.getLogger("repro.serve")
+
     def announce(message: str) -> None:
+        # The port line is machine-read contract output and stays on
+        # stdout; everything else the server says goes through logging.
         # Flushed eagerly: integration tests read the bound port from a
         # pipe before the first request, and the process blocks next.
         print(message, flush=True)
@@ -842,14 +935,137 @@ def _command_serve(args: argparse.Namespace, fmt: CsvFormat) -> int:
         )
         serving = ServingLayer(platform, max_entries=args.cache_size)
         api = FrostApi(platform, engine=engine, store=store, serving=serving)
-        announce(
-            f"serving {len(platform.dataset_names())} dataset(s) from "
-            f"{args.store} (workers={args.workers}, "
-            f"cache_size={args.cache_size})"
+        logger.info(
+            "serving %d dataset(s) from %s (workers=%d, cache_size=%d)",
+            len(platform.dataset_names()),
+            args.store,
+            args.workers,
+            args.cache_size,
         )
         serve(api, host=args.host, port=args.port, announce=announce)
-        announce("shut down cleanly")
+        logger.info("shut down cleanly")
     return 0
+
+
+def _command_trace(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.core.platform import FrostPlatform
+    from repro.engine.jobs import JobSpec
+    from repro.engine.runner import ExperimentEngine
+    from repro.streaming import build_pipeline_and_index
+    from repro.telemetry import (
+        get_metrics,
+        get_tracer,
+        render_prometheus,
+        render_span_tree,
+        write_metrics_json,
+        write_spans_jsonl,
+    )
+
+    if (args.generate is None) == (args.dataset is None):
+        raise ValueError("trace needs exactly one of --generate N or --dataset")
+
+    tracer = get_tracer()
+    registry = get_metrics()
+    tracer.reset()
+    registry.reset()
+    tracer.enable()
+    try:
+        platform = FrostPlatform()
+        if args.generate is not None:
+            from repro.datagen import make_person_benchmark
+
+            benchmark = make_person_benchmark(args.generate, seed=args.seed)
+            dataset, gold = benchmark.dataset, benchmark.gold
+        else:
+            dataset = _load_dataset(args.dataset, args.id_column, fmt)
+            gold = (
+                _load_gold(args.gold, args.gold_format, fmt)
+                if args.gold
+                else None
+            )
+        platform.add_dataset(dataset)
+        if gold is not None:
+            platform.add_gold(dataset.name, gold)
+
+        similarities: dict[str, str] = {}
+        for entry in args.similarity or []:
+            attribute, separator, measure = entry.partition("=")
+            if not separator or not attribute or not measure:
+                raise ValueError(
+                    f"--similarity must be ATTR=MEASURE, got {entry!r}"
+                )
+            similarities[attribute] = measure
+        if not similarities:
+            # the attributes of the generated person benchmark
+            similarities = {
+                "first_name": "jaro_winkler",
+                "last_name": "jaro_winkler",
+                "city": "jaro_winkler",
+            }
+        pipeline, _ = build_pipeline_and_index({
+            "key": {"kind": args.key_kind, "attribute": args.key_attribute},
+            "similarities": similarities,
+            "threshold": args.threshold,
+        })
+        if args.workers is not None or args.shards is not None:
+            # min_pairs=0: tracing runs exist to show the parallel path,
+            # so the small-batch serial fast path must not swallow it.
+            pipeline = pipeline.with_parallelism(
+                workers=args.workers, shards=args.shards, min_pairs=0
+            )
+
+        engine = ExperimentEngine(platform, max_workers=2)
+        with tracer.span(
+            "trace.run", dataset=dataset.name, records=len(dataset)
+        ):
+            # Chained, not fanned out: each re-run starts after the
+            # previous one finished, so it is a genuine cache hit
+            # instead of a concurrent duplicate computation.
+            pipeline_ids: list[str] = []
+            for index in range(max(1, args.repeat)):
+                pipeline_ids.append(engine.submit(JobSpec(
+                    "pipeline",
+                    {
+                        "pipeline": pipeline,
+                        "dataset": dataset.name,
+                        "register_as": "traced",
+                    },
+                    job_id=f"trace:pipeline#{index}",
+                    depends_on=tuple(pipeline_ids[-1:]),
+                )))
+            if gold is not None:
+                engine.submit(JobSpec(
+                    "metrics",
+                    {
+                        "dataset": dataset.name,
+                        "gold": gold.name,
+                        "experiments": ["traced"],
+                    },
+                    job_id="trace:metrics",
+                    depends_on=(pipeline_ids[0],),
+                ))
+            results = engine.run()
+    finally:
+        tracer.disable()
+
+    failures = 0
+    for job_id, result in results.items():
+        if result.state.value != "succeeded":
+            failures += 1
+            print(f"{job_id}: {result.state.value} ({result.error})")
+    for root in tracer.roots():
+        print(render_span_tree(root))
+    print()
+    print(render_prometheus(registry), end="")
+    if args.output:
+        output = Path(args.output)
+        output.mkdir(parents=True, exist_ok=True)
+        write_spans_jsonl(output / "spans.jsonl", tracer.roots())
+        write_metrics_json(output / "metrics.json", registry)
+        logging.getLogger("repro.trace").info(
+            "telemetry written to %s", output
+        )
+    return 1 if failures else 0
 
 
 def _command_stream(args: argparse.Namespace, fmt: CsvFormat) -> int:
@@ -871,6 +1087,7 @@ _COMMANDS = {
     "engine": _command_engine,
     "stream": _command_stream,
     "serve": _command_serve,
+    "trace": _command_trace,
 }
 
 
@@ -882,6 +1099,14 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     parser = build_parser()
     args = parser.parse_args(argv)
+    # force=True: each CLI invocation (tests call main() repeatedly in
+    # one process) re-binds the handler to the *current* stderr.
+    logging.basicConfig(
+        level=getattr(logging, args.log_level.upper()),
+        stream=sys.stderr,
+        format="%(levelname)s %(name)s: %(message)s",
+        force=True,
+    )
     fmt = CsvFormat(separator=args.separator)
     try:
         return _COMMANDS[args.command](args, fmt)

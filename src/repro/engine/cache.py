@@ -23,8 +23,27 @@ import threading
 from collections import OrderedDict
 
 from repro.storage.database import FrostStore
+from repro.telemetry.metrics import get_metrics
 
 __all__ = ["ResultCache", "LruTier", "MISS"]
+
+# Process-wide mirrors of the per-instance counters below, so the
+# /metrics endpoint sees engine-cache traffic regardless of which
+# engine instance served it.
+_CACHE_HITS = get_metrics().counter(
+    "frost_engine_cache_hits_total",
+    "Engine result-cache hits (memory + store tiers)",
+)
+_CACHE_MISSES = get_metrics().counter(
+    "frost_engine_cache_misses_total", "Engine result-cache misses"
+)
+_CACHE_PUTS = get_metrics().counter(
+    "frost_engine_cache_puts_total", "Engine result-cache inserts"
+)
+_CACHE_EVICTIONS = get_metrics().counter(
+    "frost_engine_cache_evictions_total",
+    "Engine result-cache LRU evictions (memory tier)",
+)
 
 # Unique sentinel distinguishing "not cached" from any payload.
 MISS: object = object()
@@ -109,16 +128,19 @@ class ResultCache:
             payload = self._memory.get(key)
             if payload is not MISS:
                 self.memory_hits += 1
+                _CACHE_HITS.inc()
                 return payload
         if self.store is not None:
             payload = self.store.cache_get(key)
             if payload is not None:
                 with self._lock:
                     self.store_hits += 1
+                    _CACHE_HITS.inc()
                     self._remember(key, payload)
                 return payload
         with self._lock:
             self.misses += 1
+        _CACHE_MISSES.inc()
         return MISS
 
     def put(self, key: str, kind: str, payload: object) -> None:
@@ -126,11 +148,15 @@ class ResultCache:
         with self._lock:
             self.puts += 1
             self._remember(key, payload)
+        _CACHE_PUTS.inc()
         if self.store is not None:
             self.store.cache_put(key, kind, payload)
 
     def _remember(self, key: str, payload: object) -> None:
-        self.evictions += len(self._memory.put(key, payload))
+        evicted = len(self._memory.put(key, payload))
+        self.evictions += evicted
+        if evicted:
+            _CACHE_EVICTIONS.inc(evicted)
 
     def clear(self) -> None:
         """Drop both tiers (counters are kept)."""

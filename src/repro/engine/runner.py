@@ -75,8 +75,24 @@ from repro.engine.jobs import (
     next_job_id,
 )
 from repro.storage.database import FrostStore
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.spans import get_tracer
 
 __all__ = ["ExperimentEngine", "EngineError", "serialize_experiment"]
+
+# Process-wide mirrors of the per-engine counters, feeding GET /metrics.
+_JOBS_COMPUTED = get_metrics().counter(
+    "frost_engine_jobs_computed_total", "Engine jobs executed by a handler"
+)
+_JOBS_CACHED = get_metrics().counter(
+    "frost_engine_jobs_cached_total", "Engine jobs served from the result cache"
+)
+_JOBS_FAILED = get_metrics().counter(
+    "frost_engine_jobs_failed_total", "Engine jobs that raised"
+)
+_JOB_SECONDS = get_metrics().histogram(
+    "frost_engine_job_seconds", "Wall time of executed engine jobs"
+)
 
 _TERMINAL = frozenset(
     {JobState.SUCCEEDED, JobState.FAILED, JobState.SKIPPED, JobState.CANCELLED}
@@ -105,7 +121,7 @@ class JobHandler:
 
 
 class _Entry:
-    __slots__ = ("spec", "result", "done", "scheduled")
+    __slots__ = ("spec", "result", "done", "scheduled", "ctx")
 
     def __init__(self, spec: JobSpec) -> None:
         self.spec = spec
@@ -115,6 +131,9 @@ class _Entry:
         # PENDING until a worker actually starts it, so queued jobs
         # remain cancellable.
         self.scheduled = False
+        # Span context captured at submit time: the worker thread
+        # activates it so the job's span nests under the submitter's.
+        self.ctx = None
 
 
 def serialize_experiment(experiment: Experiment) -> dict[str, object]:
@@ -239,7 +258,11 @@ class ExperimentEngine:
                     depends_on=spec.depends_on,
                     cacheable=spec.cacheable,
                 )
-            self._entries[job_id] = _Entry(spec)
+            entry = _Entry(spec)
+            tracer = get_tracer()
+            if tracer.enabled:
+                entry.ctx = tracer.context()
+            self._entries[job_id] = entry
             self._prune_history()
         return job_id
 
@@ -486,12 +509,17 @@ class ExperimentEngine:
                 result.state = JobState.FAILED
                 result.error = f"{type(error).__name__}: {error}"
                 self.computed_jobs += 1
+                _JOBS_FAILED.inc()
+                _JOB_SECONDS.observe(result.seconds)
             else:
                 result.state = JobState.SUCCEEDED
                 if result.cached:
                     self.cached_jobs += 1
+                    _JOBS_CACHED.inc()
                 else:
                     self.computed_jobs += 1
+                    _JOBS_COMPUTED.inc()
+                _JOB_SECONDS.observe(result.seconds)
         entry.done.set()
 
     def _execute(self, entry: _Entry) -> None:
@@ -506,21 +534,29 @@ class ExperimentEngine:
                 inputs = [
                     self._entries[dep].result.value for dep in spec.depends_on
                 ]
-            value = MISS
-            if spec.cacheable and handler.token is not None:
-                entry.result.cache_key = job_cache_key(
-                    spec.kind, handler.token(spec.params)
-                )
-                value = self.cache.get(entry.result.cache_key)
-            if value is not MISS:
-                entry.result.cached = True
-            else:
-                value = handler.compute(spec.params, inputs)
-                if entry.result.cache_key is not None:
-                    self.cache.put(entry.result.cache_key, spec.kind, value)
-            if handler.after is not None:
-                handler.after(spec.params, value, entry.result.cached)
-            entry.result.value = value
+            tracer = get_tracer()
+            # Activate the context captured at submit time so the job's
+            # span nests under the submitting thread's span tree even
+            # though it runs on a pool worker.
+            with tracer.activate(entry.ctx), tracer.span(
+                "engine.job", job=spec.job_id, kind=spec.kind
+            ) as job_span:
+                value = MISS
+                if spec.cacheable and handler.token is not None:
+                    entry.result.cache_key = job_cache_key(
+                        spec.kind, handler.token(spec.params)
+                    )
+                    value = self.cache.get(entry.result.cache_key)
+                if value is not MISS:
+                    entry.result.cached = True
+                else:
+                    value = handler.compute(spec.params, inputs)
+                    if entry.result.cache_key is not None:
+                        self.cache.put(entry.result.cache_key, spec.kind, value)
+                job_span.annotate(cached=entry.result.cached)
+                if handler.after is not None:
+                    handler.after(spec.params, value, entry.result.cached)
+                entry.result.value = value
         finally:
             entry.result.seconds = time.perf_counter() - started
 

@@ -29,6 +29,7 @@ engine's result cache serves a result computed with ``workers=4`` to a
 
 from __future__ import annotations
 
+import time
 import zlib
 from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
@@ -40,6 +41,13 @@ from repro.matching.attribute_matching import (
     AttributeComparator,
     SimilarityVector,
     compare_pairs,
+)
+from repro.telemetry import metrics as _telemetry_metrics
+from repro.telemetry import spans as _tracing
+
+_PAIRS_COMPARED = _telemetry_metrics.get_metrics().counter(
+    "frost_comparison_pairs_total",
+    "Candidate pairs scored by the similarity comparison stage",
 )
 
 __all__ = [
@@ -255,6 +263,19 @@ def _compare_shard_packed(task: _ShardTask):
     return ("raw", None, vectors)  # schema varies: ship as-is
 
 
+def _compare_shard_timed(task: _ShardTask):
+    """Like :func:`_compare_shard_packed`, prefixed with its wall time.
+
+    Used only while tracing is enabled: a pool worker cannot reach the
+    parent's span tree, so it times itself and the parent folds the
+    measurement back in as one completed child span per shard
+    (:meth:`~repro.telemetry.spans.Tracer.record`).
+    """
+    started = time.perf_counter()
+    payload = _compare_shard_packed(task)
+    return (time.perf_counter() - started, payload)
+
+
 def _unpack_shard(payload) -> list[SimilarityVector]:
     """Rebuild a shard's vectors from the packed wire form."""
     tag, attributes, rows = payload
@@ -304,21 +325,42 @@ def compare_pairs_sharded(
     exercise the sharded code path without forking.
     """
     config = config or ParallelConfig()
+    tracer = _tracing.get_tracer()
     ordered, resolved, missing = resolve_candidates(records, candidates)
+    _PAIRS_COMPARED.inc(len(ordered))
     if executor is None and not config.engaged(len(ordered)):
-        return compare_pairs(resolved, ordered, comparator), missing
+        with tracer.span("comparison.serial", pairs=len(ordered)):
+            return compare_pairs(resolved, ordered, comparator), missing
     if executor is None:
         from repro.engine.executors import executor_for
 
         executor = executor_for(config.resolved_workers())
-    shards = partition_pairs(ordered, config.resolved_shards())
-    tasks = _shard_tasks(shards, resolved)
-    shard_vectors = [
-        _unpack_shard(payload)
-        for payload in executor.map(
-            _compare_shard_packed, tasks, shared=comparator
-        )
-    ]
-    # Each shard is sorted by pair (partitioning preserved the global
-    # sorted order), so a k-way merge reproduces the serial order.
-    return list(merge(*shard_vectors, key=lambda v: v.pair)), missing
+    with tracer.span(
+        "comparison.sharded",
+        pairs=len(ordered),
+        workers=getattr(executor, "workers", None),
+        shards=config.resolved_shards(),
+    ):
+        shards = partition_pairs(ordered, config.resolved_shards())
+        tasks = _shard_tasks(shards, resolved)
+        if tracer.enabled:
+            # Workers time themselves (a pool child cannot reach this
+            # span tree); each measurement becomes one completed child
+            # span, so the trace shows the true per-shard skew.
+            payloads = []
+            for task, (seconds, payload) in zip(
+                tasks,
+                executor.map(_compare_shard_timed, tasks, shared=comparator),
+            ):
+                tracer.record(
+                    "comparison.shard", seconds, pairs=len(task[0])
+                )
+                payloads.append(payload)
+        else:
+            payloads = executor.map(
+                _compare_shard_packed, tasks, shared=comparator
+            )
+        shard_vectors = [_unpack_shard(payload) for payload in payloads]
+        # Each shard is sorted by pair (partitioning preserved the global
+        # sorted order), so a k-way merge reproduces the serial order.
+        return list(merge(*shard_vectors, key=lambda v: v.pair)), missing

@@ -26,8 +26,23 @@ from repro.matching.attribute_matching import AttributeComparator, SimilarityVec
 from repro.matching.clustering_algorithms import CLUSTERING_ALGORITHMS
 from repro.matching.fusion import fuse_dataset
 from repro.matching.parallel import ParallelConfig, compare_pairs_sharded
+from repro.telemetry import metrics as _telemetry_metrics
+from repro.telemetry import spans as _tracing
 
 _LOGGER = logging.getLogger(__name__)
+
+_RECORDS_PREPARED = _telemetry_metrics.get_metrics().counter(
+    "frost_pipeline_records_prepared_total",
+    "Records passed through the data-preparation stage",
+)
+_CANDIDATES_GENERATED = _telemetry_metrics.get_metrics().counter(
+    "frost_blocking_candidates_total",
+    "Candidate pairs produced by blocking / candidate generation",
+)
+_MATCHES_ACCEPTED = _telemetry_metrics.get_metrics().counter(
+    "frost_clustering_matches_total",
+    "Matches emitted by the clustering stage (direct + transitive)",
+)
 
 __all__ = ["PipelineRun", "MatchingPipeline", "normalize_whitespace", "lowercase_values"]
 
@@ -159,19 +174,25 @@ class MatchingPipeline:
 
     def prepare(self, dataset: Dataset) -> Dataset:
         """Step 1 — apply the record-level preparers in order."""
-        prepared_records = []
-        for record in dataset:
-            for preparer in self.preparers:
-                record = preparer(record)
-            prepared_records.append(record)
-        return Dataset(
-            prepared_records, name=f"{dataset.name}-prepared",
-            attributes=dataset.attributes,
-        )
+        with _tracing.span("pipeline.prepare", records=len(dataset)):
+            prepared_records = []
+            for record in dataset:
+                for preparer in self.preparers:
+                    record = preparer(record)
+                prepared_records.append(record)
+            _RECORDS_PREPARED.inc(len(prepared_records))
+            return Dataset(
+                prepared_records, name=f"{dataset.name}-prepared",
+                attributes=dataset.attributes,
+            )
 
     def generate_candidates(self, prepared: Dataset) -> set[Pair]:
         """Step 2 — candidate pairs of the prepared dataset."""
-        return self.candidate_generator(prepared)
+        with _tracing.span("pipeline.candidates", records=len(prepared)) as span:
+            candidates = self.candidate_generator(prepared)
+            span.annotate(pairs=len(candidates))
+            _CANDIDATES_GENERATED.inc(len(candidates))
+            return candidates
 
     def compare_candidates(
         self, prepared: Dataset, candidates: set[Pair]
@@ -192,9 +213,11 @@ class MatchingPipeline:
         deleted between blocking and scoring are skipped with a
         warning instead of raising ``KeyError``.
         """
-        vectors, missing = compare_pairs_sharded(
-            prepared, candidates, self.comparator, config=self.parallelism
-        )
+        with _tracing.span("pipeline.similarity") as span:
+            vectors, missing = compare_pairs_sharded(
+                prepared, candidates, self.comparator, config=self.parallelism
+            )
+            span.annotate(vectors=len(vectors), missing=len(missing))
         if missing:
             _LOGGER.warning(
                 "skipped candidate pairs of %d record(s) deleted between "
@@ -208,33 +231,39 @@ class MatchingPipeline:
         self, vectors: Sequence[SimilarityVector]
     ) -> list[ScoredPair]:
         """Step 4 — decision-model scores of the similarity vectors."""
-        return [
-            ScoredPair(score=self.decision_model(vector), pair=vector.pair)
-            for vector in vectors
-        ]
+        with _tracing.span("pipeline.decision", vectors=len(vectors)):
+            return [
+                ScoredPair(score=self.decision_model(vector), pair=vector.pair)
+                for vector in vectors
+            ]
 
     def _cluster(self, scored_pairs: Sequence[ScoredPair]):
         """Step 5 — threshold, cluster, and assemble the experiment."""
-        accepted = [sp for sp in scored_pairs if sp.score >= self.threshold]
-        clustering = self.clustering(accepted)
-        accepted_set = {sp.pair for sp in accepted}
-        score_of = {sp.pair: sp.score for sp in accepted}
-        matches = []
-        for pair in sorted(clustering.pairs()):
-            matches.append(
-                Match(
-                    pair=pair,
-                    score=score_of.get(pair),
-                    from_clustering=pair not in accepted_set,
+        with _tracing.span(
+            "pipeline.clustering", scored=len(scored_pairs)
+        ) as span:
+            accepted = [sp for sp in scored_pairs if sp.score >= self.threshold]
+            clustering = self.clustering(accepted)
+            accepted_set = {sp.pair for sp in accepted}
+            score_of = {sp.pair: sp.score for sp in accepted}
+            matches = []
+            for pair in sorted(clustering.pairs()):
+                matches.append(
+                    Match(
+                        pair=pair,
+                        score=score_of.get(pair),
+                        from_clustering=pair not in accepted_set,
+                    )
                 )
+            span.annotate(accepted=len(accepted), matches=len(matches))
+            _MATCHES_ACCEPTED.inc(len(matches))
+            experiment = Experiment(
+                matches,
+                name=self.name,
+                solution=self.solution,
+                metadata={"threshold": self.threshold},
             )
-        experiment = Experiment(
-            matches,
-            name=self.name,
-            solution=self.solution,
-            metadata={"threshold": self.threshold},
-        )
-        return clustering, experiment
+            return clustering, experiment
 
     def cluster_matches(self, scored_pairs: Sequence[ScoredPair]) -> Experiment:
         """Step 5 as a job-graph stage: scored pairs to experiment."""
@@ -243,6 +272,12 @@ class MatchingPipeline:
 
     def run(self, dataset: Dataset) -> PipelineRun:
         """Execute all pipeline steps on ``dataset``."""
+        with _tracing.span(
+            "pipeline.run", pipeline=self.name, records=len(dataset)
+        ):
+            return self._run_traced(dataset)
+
+    def _run_traced(self, dataset: Dataset) -> PipelineRun:
         stage_seconds: dict[str, float] = {}
 
         started = time.perf_counter()
@@ -268,9 +303,10 @@ class MatchingPipeline:
         fused = None
         if self.fuse:
             started = time.perf_counter()
-            fused = fuse_dataset(
-                dataset, clustering, strategies=self.fusion_strategies
-            )
+            with _tracing.span("pipeline.fusion"):
+                fused = fuse_dataset(
+                    dataset, clustering, strategies=self.fusion_strategies
+                )
             stage_seconds["fusion"] = time.perf_counter() - started
 
         experiment.metadata["runtime_seconds"] = sum(stage_seconds.values())

@@ -24,6 +24,7 @@ Routes (all return JSON-serializable dictionaries):
 ``GET /datasets/{d}/categorize?exp=&gold=``    error categorization (§7)
 ``GET /datasets/{d}/timeline?exp=&gold=&high=&low=``  new TP/FP in a threshold range
 ``GET /stats``                                 serving-layer cache/coalescing counters
+``GET /metrics``                               Prometheus text (HTTP layer only)
 ``POST /jobs``                                 submit engine jobs (optionally a sweep)
 ``GET /jobs``                                  all job statuses + cache stats
 ``GET /jobs/{id}``                             one job's status and result
@@ -66,6 +67,7 @@ from collections.abc import Mapping
 
 from repro.core.platform import FrostPlatform
 from repro.serving.service import ServingLayer
+from repro.telemetry import get_metrics, render_prometheus
 
 __all__ = ["ApiError", "FrostApi"]
 
@@ -306,7 +308,16 @@ class FrostApi:
             "engine": None if engine is None else engine.progress(),
             "datasets": len(self.platform.dataset_names()),
             "durable": self._store is not None,
+            "metrics": get_metrics().values(),
         }
+
+    def metrics_text(self) -> str:
+        """The process-wide registry in Prometheus text exposition.
+
+        Served by the HTTP layer as ``GET /metrics`` with a text/plain
+        content type — the one route that does not return JSON.
+        """
+        return render_prometheus(get_metrics())
 
     # -- engine jobs --------------------------------------------------------------
 

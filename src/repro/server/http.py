@@ -90,6 +90,11 @@ def _make_handler(api: FrostApi) -> type[BaseHTTPRequestHandler]:
         def _serve(self, method: str, body: object) -> None:
             parsed = urlparse(self.path)
             query = dict(parse_qsl(parsed.query))
+            if method == "GET" and parsed.path.rstrip("/") == "/metrics":
+                # Prometheus exposition is text, not JSON — the one
+                # route served outside the JSON dispatcher.
+                self._respond_text(200, api.metrics_text())
+                return
             try:
                 payload = api.handle(parsed.path, query, method=method, body=body)
                 status = 200
@@ -111,6 +116,16 @@ def _make_handler(api: FrostApi) -> type[BaseHTTPRequestHandler]:
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _respond_text(self, status: int, text: str) -> None:
+            body = text.encode("utf-8")
+            self.send_response(status)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
             self.send_header("Content-Length", str(len(body)))
             self.end_headers()
             self.wfile.write(body)

@@ -20,8 +20,27 @@ from __future__ import annotations
 import threading
 
 from repro.engine.cache import MISS, LruTier
+from repro.telemetry.metrics import get_metrics
 
 __all__ = ["MetricResultCache"]
+
+# Process-wide mirrors of the instance counters, feeding GET /metrics.
+_SERVING_HITS = get_metrics().counter(
+    "frost_serving_cache_hits_total", "Serving payload-cache hits"
+)
+_SERVING_MISSES = get_metrics().counter(
+    "frost_serving_cache_misses_total", "Serving payload-cache misses"
+)
+_SERVING_PUTS = get_metrics().counter(
+    "frost_serving_cache_puts_total", "Serving payload-cache inserts"
+)
+_SERVING_EVICTIONS = get_metrics().counter(
+    "frost_serving_cache_evictions_total", "Serving payload-cache evictions"
+)
+_SERVING_INVALIDATIONS = get_metrics().counter(
+    "frost_serving_cache_invalidations_total",
+    "Serving payloads dropped by write invalidation",
+)
 
 
 class MetricResultCache:
@@ -60,8 +79,10 @@ class MetricResultCache:
             payload = self._tier.get(key)
             if payload is MISS:
                 self.misses += 1
+                _SERVING_MISSES.inc()
             else:
                 self.hits += 1
+                _SERVING_HITS.inc()
             return payload
 
     def recheck(self, key: str) -> object:
@@ -76,6 +97,7 @@ class MetricResultCache:
             payload = self._tier.get(key)
             if payload is not MISS:
                 self.hits += 1
+                _SERVING_HITS.inc()
             return payload
 
     def put(self, key: str, payload: object, tag: str | None = None) -> None:
@@ -87,12 +109,14 @@ class MetricResultCache:
         """
         with self._lock:
             self.puts += 1
+            _SERVING_PUTS.inc()
             self._forget_tag(key)
             if tag is not None:
                 self._key_tag[key] = tag
                 self._tag_keys.setdefault(tag, set()).add(key)
             for evicted_key, _ in self._tier.put(key, payload):
                 self.evictions += 1
+                _SERVING_EVICTIONS.inc()
                 self._forget_tag(evicted_key)
 
     def invalidate(self, tag: str) -> int:
@@ -103,6 +127,7 @@ class MetricResultCache:
                 self._tier.pop(key)
                 self._key_tag.pop(key, None)
             self.invalidations += len(keys)
+            _SERVING_INVALIDATIONS.inc(len(keys))
             return len(keys)
 
     def invalidate_key(self, key: str) -> bool:
@@ -112,6 +137,7 @@ class MetricResultCache:
             if existed:
                 self._forget_tag(key)
                 self.invalidations += 1
+                _SERVING_INVALIDATIONS.inc()
             return existed
 
     def clear(self) -> int:
@@ -122,6 +148,7 @@ class MetricResultCache:
             self._tag_keys.clear()
             self._key_tag.clear()
             self.invalidations += dropped
+            _SERVING_INVALIDATIONS.inc(dropped)
             return dropped
 
     def _forget_tag(self, key: str) -> None:

@@ -19,7 +19,19 @@ from __future__ import annotations
 
 import threading
 
+from repro.telemetry.metrics import get_metrics
+
 __all__ = ["RequestCoalescer"]
+
+# Process-wide mirrors of the instance counters, feeding GET /metrics.
+_COALESCER_LEADERS = get_metrics().counter(
+    "frost_coalescer_leaders_total",
+    "Coalesced computations actually run (flight leaders)",
+)
+_COALESCER_FOLLOWERS = get_metrics().counter(
+    "frost_coalescer_followers_total",
+    "Requests absorbed into an already-running flight",
+)
 
 
 class _Flight:
@@ -66,9 +78,11 @@ class RequestCoalescer:
                 flight = _Flight()
                 self._flights[key] = flight
                 self.leaders += 1
+                _COALESCER_LEADERS.inc()
                 lead = True
             else:
                 self.followers += 1
+                _COALESCER_FOLLOWERS.inc()
                 lead = False
         if not lead:
             flight.done.wait()

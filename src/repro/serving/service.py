@@ -29,14 +29,29 @@ from __future__ import annotations
 
 import math
 import threading
+import time
 
 from repro.core.platform import FrostPlatform
 from repro.engine.cache import MISS
 from repro.engine.jobs import job_cache_key
 from repro.serving.cache import MetricResultCache
 from repro.serving.coalesce import RequestCoalescer
+from repro.telemetry.metrics import get_metrics
 
 __all__ = ["ServingLayer"]
+
+# Process-wide mirrors of the instance counters, feeding GET /metrics.
+_SERVING_REQUESTS = get_metrics().counter(
+    "frost_serving_requests_total", "Evaluations requested from the serving layer"
+)
+_SERVING_COMPUTATIONS = get_metrics().counter(
+    "frost_serving_computations_total",
+    "Evaluations actually computed (cache misses that led a flight)",
+)
+_SERVING_LATENCY = get_metrics().histogram(
+    "frost_serving_request_seconds",
+    "Wall time of serving-layer fetches (cache hits and computations)",
+)
 
 
 class ServingLayer:
@@ -87,9 +102,12 @@ class ServingLayer:
         """
         with self._counter_lock:
             self.requests += 1
+        _SERVING_REQUESTS.inc()
+        started = time.perf_counter()
         key = job_cache_key(kind, token)
         payload = self.cache.get(key)
         if payload is not MISS:
+            _SERVING_LATENCY.observe(time.perf_counter() - started)
             return payload
 
         def fill():
@@ -101,11 +119,15 @@ class ServingLayer:
                 return cached
             with self._counter_lock:
                 self.computations += 1
+            _SERVING_COMPUTATIONS.inc()
             payload = compute()
             self.cache.put(key, payload, tag=dataset_name)
             return payload
 
-        return self.coalescer.run(key, fill)
+        try:
+            return self.coalescer.run(key, fill)
+        finally:
+            _SERVING_LATENCY.observe(time.perf_counter() - started)
 
     # -- served evaluations -------------------------------------------------------
 

@@ -21,8 +21,19 @@ from repro.core.clustering import Clustering
 from repro.core.experiment import Experiment, GoldStandard, Match
 from repro.core.pairs import make_pair
 from repro.core.records import Dataset, Record
+from repro.telemetry.metrics import get_metrics
 
 __all__ = ["FrostStore", "StorageError"]
+
+# Process-wide connection-pool traffic, feeding GET /metrics.
+_CONNECTIONS_OPENED = get_metrics().counter(
+    "frost_store_connections_opened_total",
+    "SQLite connections opened by store connection pools",
+)
+_CONNECTIONS_CLOSED = get_metrics().counter(
+    "frost_store_connections_closed_total",
+    "SQLite connections closed (pruned, drained, or lost races)",
+)
 
 
 class StorageError(RuntimeError):
@@ -188,10 +199,12 @@ class FrostStore:
         # commits; waiting beats surfacing sqlite3.OperationalError to
         # a concurrent reader thread.
         connection.execute(f"PRAGMA busy_timeout={self._BUSY_TIMEOUT_MS}")
+        _CONNECTIONS_OPENED.inc()
         with self._pool_lock:
             if self._closed:
                 # lost a race with close(): never pool past the drain
                 connection.close()
+                _CONNECTIONS_CLOSED.inc()
                 raise StorageError(f"store {self._path!r} is closed")
             if not self._in_memory:
                 # A thread-per-connection server retires request
@@ -205,6 +218,7 @@ class FrostStore:
                         alive.append((thread, pooled))
                     else:
                         pooled.close()
+                        _CONNECTIONS_CLOSED.inc()
                 self._pool = alive
             self._pool.append((threading.current_thread(), connection))
         return connection
@@ -229,6 +243,7 @@ class FrostStore:
             entries, self._pool = self._pool, []
         for _, connection in entries:
             connection.close()
+        _CONNECTIONS_CLOSED.inc(len(entries))
 
     def __enter__(self) -> "FrostStore":
         return self

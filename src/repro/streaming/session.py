@@ -35,6 +35,8 @@ from repro.core.unionfind import PairCountingUnionFind
 from repro.matching.attribute_matching import SimilarityVector
 from repro.matching.pipeline import MatchingPipeline
 from repro.streaming.delta_blocking import IncrementalBlockingIndex
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.spans import get_tracer
 
 __all__ = [
     "StreamSnapshot",
@@ -43,6 +45,15 @@ __all__ = [
     "mean_similarity",
     "coerce_records",
 ]
+
+
+# Process-wide streaming-ingest traffic, feeding GET /metrics.
+_STREAM_BATCHES = get_metrics().counter(
+    "frost_stream_batches_total", "Record batches folded into live streams"
+)
+_STREAM_RECORDS = get_metrics().counter(
+    "frost_stream_records_total", "Records ingested into live streams"
+)
 
 
 class StreamError(RuntimeError):
@@ -289,8 +300,18 @@ class StreamingMatcher:
             if isinstance(records, Dataset)
             else coerce_records(records)
         )
-        with self._lock:
-            return self._ingest_locked(batch)
+        with get_tracer().span(
+            "stream.ingest", stream=self.name, records=len(batch)
+        ) as ingest_span:
+            with self._lock:
+                snapshot = self._ingest_locked(batch)
+            ingest_span.annotate(
+                delta_candidates=snapshot.delta_candidates,
+                accepted=snapshot.accepted_matches,
+            )
+        _STREAM_BATCHES.inc()
+        _STREAM_RECORDS.inc(len(batch))
+        return snapshot
 
     def _ingest_locked(self, batch: Sequence[Record]) -> StreamSnapshot:
         version = self.version + 1

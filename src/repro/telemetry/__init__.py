@@ -1,0 +1,65 @@
+"""End-to-end telemetry: span tracing, a metrics registry, exporters.
+
+The measurement backbone of the platform (production graph/data systems
+treat instrumentation as a first-class layer — every design decision in
+the columnar-graph-DBMS line of work is driven by per-operator timing
+breakdowns, and this package gives the reproduction the same substrate):
+
+:mod:`repro.telemetry.spans`
+    A low-overhead span tracer (context-manager + decorator API,
+    thread-local stack, explicit cross-thread/cross-process context
+    propagation).  Disabled by default; near-free while disabled.
+:mod:`repro.telemetry.metrics`
+    Named counters, gauges, and fixed-bucket histograms with
+    thread-safe mutation and snapshot/reset semantics.  The engine
+    cache, serving cache, request coalescer, storage connection pool,
+    and matching stages all register here.
+:mod:`repro.telemetry.export`
+    JSON-lines span dumps, Prometheus text exposition (``GET
+    /metrics``), and the human-readable span tree behind
+    ``python -m repro trace``.
+"""
+
+from repro.telemetry.export import (
+    render_prometheus,
+    render_span_tree,
+    spans_to_rows,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from repro.telemetry.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+)
+from repro.telemetry.spans import (
+    Span,
+    SpanContext,
+    Tracer,
+    annotate,
+    get_tracer,
+    span,
+    trace,
+)
+
+__all__ = [
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "annotate",
+    "get_tracer",
+    "span",
+    "trace",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "render_prometheus",
+    "render_span_tree",
+    "spans_to_rows",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]

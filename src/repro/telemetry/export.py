@@ -1,0 +1,123 @@
+"""Telemetry exporters: JSON-lines dumps, Prometheus text, span trees.
+
+Three consumers, three formats:
+
+* **run directories** — :func:`write_spans_jsonl` /
+  :func:`write_metrics_json` persist one run's spans and metric
+  snapshot as plain files next to its other outputs;
+* **scrapers** — :func:`render_prometheus` produces the text
+  exposition format (version 0.0.4) served by ``GET /metrics``;
+* **humans** — :func:`render_span_tree` draws the span hierarchy with
+  per-stage timings, which is what ``python -m repro trace`` prints.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.spans import Span
+
+__all__ = [
+    "spans_to_rows",
+    "write_spans_jsonl",
+    "write_metrics_json",
+    "render_prometheus",
+    "render_span_tree",
+]
+
+
+def spans_to_rows(roots: list[Span]) -> list[dict[str, object]]:
+    """Flat depth-first JSON rows of the given span trees."""
+    rows: list[dict[str, object]] = []
+    for root in roots:
+        for span in root.walk():
+            rows.append(span.as_dict())
+    return rows
+
+
+def write_spans_jsonl(path: str | Path, roots: list[Span]) -> Path:
+    """Write one span per line (flat rows, ``parent_id`` links the tree)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for row in spans_to_rows(roots):
+            handle.write(json.dumps(row, default=str) + "\n")
+    return path
+
+
+def write_metrics_json(path: str | Path, registry: MetricsRegistry) -> Path:
+    """Write the registry's full snapshot as one JSON document."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(registry.snapshot(), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def _format_value(value: float) -> str:
+    """Prometheus-style number formatting (integers without the dot)."""
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int) or (isinstance(value, float) and value.is_integer()):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (0.0.4)."""
+    lines: list[str] = []
+    for instrument in registry.instruments():
+        name = instrument.name
+        if instrument.help:
+            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {name} {instrument.kind}")
+        if isinstance(instrument, Histogram):
+            for bound, cumulative in instrument.cumulative_counts():
+                lines.append(
+                    f'{name}_bucket{{le="{_format_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f"{name}_sum {_format_value(instrument.sum)}")
+            lines.append(f"{name}_count {instrument.count}")
+        else:
+            lines.append(f"{name} {_format_value(instrument.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def _annotation_text(span: Span) -> str:
+    if not span.annotations:
+        return ""
+    parts = [f"{key}={value}" for key, value in span.annotations.items()]
+    return "  [" + " ".join(parts) + "]"
+
+
+def _tree_lines(span: Span, prefix: str, is_last: bool, is_root: bool) -> list[str]:
+    if is_root:
+        connector, child_prefix = "", ""
+    else:
+        connector = prefix + ("└─ " if is_last else "├─ ")
+        child_prefix = prefix + ("   " if is_last else "│  ")
+    seconds = "?" if span.seconds is None else f"{span.seconds * 1000:9.2f} ms"
+    lines = [f"{connector}{span.name}  {seconds}{_annotation_text(span)}"]
+    for index, child in enumerate(span.children):
+        lines.extend(
+            _tree_lines(
+                child, child_prefix, index == len(span.children) - 1, False
+            )
+        )
+    return lines
+
+
+def render_span_tree(root: Span) -> str:
+    """An indented, human-readable tree of one trace with timings."""
+    return "\n".join(_tree_lines(root, "", True, True))

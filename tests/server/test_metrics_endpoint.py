@@ -1,0 +1,142 @@
+"""GET /metrics under concurrency: Prometheus text over a live server.
+
+Eight threads hammer ``/stats``, ``/metrics``, and a cached evaluation
+route at once; afterwards the exposition must parse line-by-line, the
+registry totals must be exact, and the engine-cache / serving-cache /
+coalescer counter families must all be present.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import re
+import threading
+
+import pytest
+
+from repro.core.platform import FrostPlatform
+from repro.server.api import FrostApi
+from repro.server.http import FrostHttpServer
+from repro.telemetry import get_metrics
+
+THREADS = 8
+ROUNDS = 5
+
+COUNTER_FAMILIES = [
+    "frost_engine_cache_hits_total",
+    "frost_engine_cache_misses_total",
+    "frost_serving_cache_hits_total",
+    "frost_serving_cache_misses_total",
+    "frost_serving_requests_total",
+    "frost_coalescer_leaders_total",
+    "frost_coalescer_followers_total",
+]
+
+
+@pytest.fixture
+def api(people_dataset, people_gold, people_experiment):
+    platform = FrostPlatform()
+    platform.add_dataset(people_dataset)
+    platform.add_gold(people_dataset.name, people_gold)
+    platform.add_experiment(people_dataset.name, people_experiment)
+    registry = get_metrics()
+    registry.reset()
+    yield FrostApi(platform)
+    registry.reset()
+
+
+def _get(port: int, path: str) -> tuple[int, str, bytes]:
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return (
+            response.status,
+            response.getheader("Content-Type"),
+            response.read(),
+        )
+    finally:
+        connection.close()
+
+
+def test_metrics_endpoint_serves_prometheus_text(api):
+    with FrostHttpServer(api, port=0) as server:
+        api.handle("/datasets/people/metrics", {"gold": "people-gold"})
+        status, content_type, body = _get(server.port, "/metrics")
+    assert status == 200
+    assert content_type == "text/plain; version=0.0.4; charset=utf-8"
+    text = body.decode("utf-8")
+    for family in COUNTER_FAMILIES:
+        assert f"# TYPE {family} counter" in text
+    assert "# TYPE frost_serving_request_seconds histogram" in text
+    assert re.search(r"frost_serving_cache_misses_total [1-9]", text)
+
+
+def test_stats_exposes_the_registry_values(api):
+    api.handle("/datasets/people/metrics", {"gold": "people-gold"})
+    api.handle("/datasets/people/metrics", {"gold": "people-gold"})
+    stats = api.handle("/stats")
+    metrics = stats["metrics"]
+    assert metrics["frost_serving_requests_total"] == 2
+    assert metrics["frost_serving_cache_hits_total"] == 1
+    assert metrics["frost_serving_cache_misses_total"] == 1
+    assert metrics["frost_serving_request_seconds_count"] == 2
+
+
+def test_eight_threads_hammering_metrics_and_stats(api):
+    evaluation = "/datasets/people/metrics?gold=people-gold"
+    errors: list[str] = []
+    expositions: list[str] = []
+    lock = threading.Lock()
+    barrier = threading.Barrier(THREADS)
+
+    with FrostHttpServer(api, port=0) as server:
+
+        def hammer() -> None:
+            try:
+                barrier.wait(timeout=30)
+                for _ in range(ROUNDS):
+                    for path in (evaluation, "/stats", "/metrics"):
+                        status, _, body = _get(server.port, path)
+                        if status != 200:
+                            with lock:
+                                errors.append(f"{path}: HTTP {status}")
+                        elif path == "/metrics":
+                            with lock:
+                                expositions.append(body.decode("utf-8"))
+            except Exception as error:  # noqa: BLE001 - reported below
+                with lock:
+                    errors.append(f"{type(error).__name__}: {error}")
+
+        threads = [threading.Thread(target=hammer) for _ in range(THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+
+        status, _, stats_body = _get(server.port, "/stats")
+
+    assert not errors, errors[:5]
+    assert status == 200
+    assert len(expositions) == THREADS * ROUNDS
+
+    # every concurrent exposition snapshot parses line-by-line
+    sample = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$")
+    for text in expositions:
+        for line in text.strip().splitlines():
+            assert line.startswith("#") or sample.match(line), line
+
+    # exact totals: every evaluation request was counted exactly once
+    metrics = json.loads(stats_body)["metrics"]
+    total = THREADS * ROUNDS
+    assert metrics["frost_serving_requests_total"] == total
+    assert metrics["frost_serving_request_seconds_count"] == total
+    assert (
+        metrics["frost_serving_cache_hits_total"]
+        + metrics["frost_serving_cache_misses_total"]
+        + metrics["frost_coalescer_followers_total"]
+        >= total
+    )
+    # one cold computation; everything else was cache or coalescing
+    assert metrics["frost_serving_computations_total"] == 1

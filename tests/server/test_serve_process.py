@@ -82,7 +82,9 @@ def test_ephemeral_port_and_graceful_shutdown(store_path, signum):
         process.send_signal(signum)
         stdout, stderr = process.communicate(timeout=30)
         assert process.returncode == 0, stderr
-        assert "shut down cleanly" in stdout
+        # diagnostics are logged to stderr; stdout keeps the port line
+        assert "shut down cleanly" in stderr
+        assert "shut down cleanly" not in stdout
         # the socket is actually released: the port can be rebound
         with socket.socket() as probe:
             probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -166,10 +168,12 @@ def test_command_serve_wires_the_layers(store_path, monkeypatch, capsys):
         "--workers", "2", "--cache-size", "9",
     ])
     assert code == 0
-    out = capsys.readouterr().out
-    assert "serving 1 dataset(s)" in out
-    assert "serving on http://127.0.0.1:12345" in out
-    assert "shut down cleanly" in out
+    output = capsys.readouterr()
+    assert "serving on http://127.0.0.1:12345" in output.out
+    # announcements are logged to stderr; only the port line is stdout
+    assert "serving 1 dataset(s)" in output.err
+    assert "shut down cleanly" in output.err
+    assert "shut down cleanly" not in output.out
     api = captured["api"]
     assert captured["port"] == 0
     assert api.platform.dataset_names() == ["people"]

@@ -302,3 +302,82 @@ class TestEngine:
         )
         assert code == 1
         assert "error:" in err
+
+
+class TestTrace:
+    def test_traced_run_prints_span_tree_and_metrics(self, capsys):
+        code, out, _ = run(
+            capsys,
+            "trace", "--generate", "150", "--workers", "2", "--repeat", "2",
+        )
+        assert code == 0
+        # the span tree covers submission, engine jobs, every pipeline
+        # stage, and the process-pool comparison shards
+        for name in (
+            "trace.run",
+            "engine.job",
+            "pipeline.run",
+            "pipeline.candidates",
+            "pipeline.similarity",
+            "comparison.sharded",
+            "comparison.shard",
+            "pipeline.clustering",
+        ):
+            assert name in out, f"span {name!r} missing from trace output"
+        # the chained re-run is served from the engine cache, visible
+        # both as a span annotation and as a registry counter
+        assert "cached=True" in out
+        assert "frost_engine_cache_hits_total 1" in out
+        assert "# TYPE frost_engine_cache_hits_total counter" in out
+
+    def test_traced_csv_run_with_gold_metrics_job(self, files, capsys):
+        code, out, _ = run(
+            capsys,
+            "trace",
+            "--dataset", files / "d.csv",
+            "--gold", files / "g.csv",
+            "--similarity", "name=jaro_winkler",
+            "--key-attribute", "name",
+            "--repeat", "1",
+        )
+        assert code == 0
+        assert "trace.run" in out
+        assert "engine.job" in out
+        assert "job=trace:metrics" in out
+
+    def test_output_directory_receives_spans_and_metrics(self, tmp_path, capsys):
+        import json
+
+        code, out, _ = run(
+            capsys,
+            "trace", "--generate", "80", "--repeat", "1",
+            "--output", tmp_path / "telemetry",
+        )
+        assert code == 0
+        spans = [
+            json.loads(line)
+            for line in (tmp_path / "telemetry" / "spans.jsonl")
+            .read_text().splitlines()
+        ]
+        assert any(row["name"] == "pipeline.run" for row in spans)
+        metrics = json.loads(
+            (tmp_path / "telemetry" / "metrics.json").read_text()
+        )
+        assert metrics["frost_blocking_candidates_total"]["value"] > 0
+
+    def test_trace_leaves_the_tracer_disabled(self, capsys):
+        from repro.telemetry import get_tracer
+
+        code, _, _ = run(capsys, "trace", "--generate", "60", "--repeat", "1")
+        assert code == 0
+        assert get_tracer().enabled is False
+
+    def test_generate_and_dataset_are_mutually_exclusive(self, files, capsys):
+        code, _, err = run(
+            capsys, "trace", "--generate", "50", "--dataset", files / "d.csv"
+        )
+        assert code == 1
+        assert "error:" in err
+        code, _, err = run(capsys, "trace")
+        assert code == 1
+        assert "error:" in err

@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "streaming_ingest.py",
     "lsh_blocking.py",
     "serving_load.py",
+    "tracing_pipeline.py",
 ]
 
 

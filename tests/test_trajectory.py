@@ -1,0 +1,146 @@
+"""Tests for the persisted performance-trajectory harness."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.trajectory import (
+    REGRESSION_TOLERANCE,
+    compare_trajectories,
+    emit_trajectory,
+    main,
+    peak_rss_mb,
+    percentile,
+)
+
+
+@pytest.fixture
+def trajectory_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TRAJECTORY_DIR", str(tmp_path))
+    monkeypatch.delenv("REPRO_TRAJECTORY_ENFORCE", raising=False)
+    return tmp_path
+
+
+class TestPercentile:
+    def test_interpolates(self):
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+        assert percentile([5.0], 0.95) == 5.0
+        assert percentile(range(101), 0.95) == 95.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+
+def test_peak_rss_is_positive():
+    assert peak_rss_mb() > 1.0
+
+
+class TestEmit:
+    def test_writes_schema_document(self, trajectory_dir):
+        path = emit_trajectory(
+            "unit",
+            throughput={"records_per_second": 1000.0},
+            seconds={"total": 2.5},
+            latencies=[0.01, 0.02, 0.03, 0.10],
+            counters={"pairs": 42},
+            context={"smoke": True},
+        )
+        assert path == trajectory_dir / "BENCH_unit.json"
+        document = json.loads(path.read_text())
+        assert document["schema"] == 1
+        assert document["area"] == "unit"
+        assert document["context"] == {"smoke": True}
+        assert document["throughput"] == {"records_per_second": 1000.0}
+        assert document["seconds"] == {"total": 2.5}
+        assert document["latency"]["p50_ms"] == pytest.approx(25.0)
+        assert document["latency"]["p95_ms"] == pytest.approx(89.5)
+        assert document["counters"] == {"pairs": 42}
+        assert document["peak_rss_mb"] > 0
+
+    def test_report_only_by_default(self, trajectory_dir, capsys):
+        emit_trajectory("regress", throughput={"rate": 100.0}, context={})
+        # a 50% throughput drop: far beyond tolerance, still no raise
+        emit_trajectory("regress", throughput={"rate": 50.0}, context={})
+        out = capsys.readouterr().out
+        assert "trajectory: regress: throughput rate fell 50.0%" in out
+        document = json.loads(
+            (trajectory_dir / "BENCH_regress.json").read_text()
+        )
+        assert document["throughput"]["rate"] == 50.0  # newest point wins
+
+    def test_enforcing_raises_on_regression(self, trajectory_dir, monkeypatch):
+        emit_trajectory("hard", seconds={"total": 1.0}, context={})
+        monkeypatch.setenv("REPRO_TRAJECTORY_ENFORCE", "1")
+        with pytest.raises(AssertionError, match="seconds total grew"):
+            emit_trajectory("hard", seconds={"total": 2.0}, context={})
+        # improvements and within-tolerance noise never raise
+        emit_trajectory("hard", seconds={"total": 1.9}, context={})
+        emit_trajectory("hard", seconds={"total": 0.5}, context={})
+
+    def test_context_change_is_never_a_regression(
+        self, trajectory_dir, monkeypatch, capsys
+    ):
+        emit_trajectory("ctx", seconds={"total": 1.0}, context={"smoke": True})
+        monkeypatch.setenv("REPRO_TRAJECTORY_ENFORCE", "1")
+        emit_trajectory("ctx", seconds={"total": 50.0}, context={"smoke": False})
+        assert "not comparable" in capsys.readouterr().out
+
+
+class TestCompare:
+    def test_flags_throughput_drops_and_duration_growth(self):
+        previous = {
+            "area": "x",
+            "context": {},
+            "throughput": {"rate": 100.0},
+            "seconds": {"total": 1.0},
+            "latency": {"p95_ms": 10.0},
+        }
+        current = {
+            "area": "x",
+            "context": {},
+            "throughput": {"rate": 70.0},
+            "seconds": {"total": 1.5},
+            "latency": {"p95_ms": 9.0},
+        }
+        findings = compare_trajectories(previous, current)
+        assert len(findings) == 2
+        assert any("throughput rate fell 30.0%" in f for f in findings)
+        assert any("seconds total grew 50.0%" in f for f in findings)
+
+    def test_within_tolerance_is_silent(self):
+        previous = {"area": "x", "context": {}, "throughput": {"rate": 100.0}}
+        current = {
+            "area": "x",
+            "context": {},
+            "throughput": {"rate": 100.0 * (1 - REGRESSION_TOLERANCE) + 0.1},
+        }
+        assert compare_trajectories(previous, current) == []
+
+    def test_new_and_dropped_series_are_ignored(self):
+        previous = {"area": "x", "context": {}, "seconds": {"gone": 1.0}}
+        current = {"area": "x", "context": {}, "seconds": {"new": 9.0}}
+        assert compare_trajectories(previous, current) == []
+
+    def test_counters_and_rss_are_informational(self):
+        previous = {
+            "area": "x", "context": {}, "counters": {"n": 1}, "peak_rss_mb": 10,
+        }
+        current = {
+            "area": "x", "context": {}, "counters": {"n": 99}, "peak_rss_mb": 999,
+        }
+        assert compare_trajectories(previous, current) == []
+
+
+class TestMain:
+    def test_no_files_is_a_clean_run(self, trajectory_dir, capsys):
+        assert main() == 0
+        assert "no BENCH_*.json" in capsys.readouterr().out
+
+    def test_uncommitted_files_report_as_new(self, trajectory_dir, capsys):
+        emit_trajectory("fresh", seconds={"total": 1.0}, context={})
+        assert main() == 0
+        assert "BENCH_fresh.json is new" in capsys.readouterr().out
