@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Explore a persisted match graph: traversal and evidence paths.
+
+The pipeline's scored pairs form a weighted graph over the records —
+nodes are records, edges carry the similarity score plus its
+per-attribute breakdown, and connected components over the *accepted*
+edges are exactly the duplicate clusters.  ``repro.graph`` persists
+that structure in the store and answers traversal questions:
+
+1. build a graph from a streaming session (updated per batch);
+2. look around a record with a k-hop neighborhood query;
+3. drill into a connected component (size, density, score bounds);
+4. ask "why are these two records in one cluster?" — the evidence
+   path maximises the weakest edge score and carries the
+   attribute-level similarity evidence for every hop.
+
+Run with::
+
+    python examples/graph_explore.py
+"""
+
+from __future__ import annotations
+
+from repro.datagen import make_person_benchmark
+from repro.storage.database import FrostStore
+from repro.streaming import build_session
+
+CONFIG = {
+    "key": {"kind": "first_token", "attribute": "last_name"},
+    "similarities": {
+        "first_name": "jaro_winkler",
+        "last_name": "jaro_winkler",
+        "street": "monge_elkan",
+        "city": "jaro_winkler",
+        "zip": "exact",
+    },
+    "threshold": 0.82,
+    "graph": True,  # maintain the persisted match graph per batch
+}
+
+
+def main() -> None:
+    benchmark = make_person_benchmark(300, seed=23)
+    records = list(benchmark.dataset)
+
+    store = FrostStore(":memory:")
+    session = build_session(CONFIG, store=store, name="customers")
+    print("== ingesting two batches (graph follows each one) ==")
+    for batch in (records[:200], records[200:]):
+        session.ingest(batch)
+        meta = store.graph_meta("customers")
+        print(
+            f"batch {meta['batch_count']}: {meta['node_count']} nodes, "
+            f"{meta['edge_count']} edges"
+        )
+
+    graph = session._graph.graph
+    summary = graph.summary()
+    print(
+        f"\n== graph '{summary['name']}' ==\n"
+        f"{summary['node_count']} records, {summary['edge_count']} scored "
+        f"edges ({summary['accepted_edge_count']} accepted), "
+        f"{summary['cluster_count']} duplicate clusters, largest component "
+        f"{summary['largest_component']}"
+    )
+
+    # pick the biggest cluster to explore
+    biggest = graph.components(limit=1)[0]
+    anchor = biggest["records"][0]
+    partner = biggest["records"][-1]
+
+    print(f"\n== 2-hop neighborhood of {anchor!r} ==")
+    hood = graph.neighbors(anchor, k=2)
+    for row in hood["neighbors"]:
+        print(f"  hop {row['hops']}: {row['record']}")
+
+    print(f"\n== component of {anchor!r} ==")
+    print(
+        f"  {biggest['size']} records, {biggest['edge_count']} edges, "
+        f"density {biggest['density']:.2f}, scores "
+        f"{biggest['min_score']:.3f}..{biggest['max_score']:.3f}"
+    )
+
+    print(f"\n== why are {anchor!r} and {partner!r} one cluster? ==")
+    explained = graph.evidence_path(anchor, partner)
+    print("  " + " -> ".join(explained["path"]))
+    if explained["bottleneck"] is not None:
+        print(f"  weakest link: {explained['bottleneck']:.3f}")
+    for edge in explained["edges"]:
+        print(
+            f"  {edge['first']} --[{edge['score']:.3f}]-- {edge['second']}"
+        )
+        for attribute, value in sorted((edge["evidence"] or {}).items()):
+            rendered = "null" if value is None else f"{value:.3f}"
+            print(f"      {attribute}: {rendered}")
+
+
+if __name__ == "__main__":
+    main()

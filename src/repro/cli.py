@@ -313,6 +313,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="comparison shard count (default: 4 x workers; implies "
              "--workers 0 when given alone)",
     )
+    stream_init.add_argument(
+        "--graph",
+        action="store_true",
+        help="maintain a persisted match graph, updated per batch "
+             "(query it with 'repro graph ...')",
+    )
 
     stream_ingest = stream_commands.add_parser(
         "ingest", help="fold one CSV record batch into a session"
@@ -352,6 +358,77 @@ def build_parser() -> argparse.ArgumentParser:
     stream_status.add_argument(
         "--name", default=None, help="show one stream's full lineage"
     )
+
+    graph = commands.add_parser(
+        "graph", help="query persisted match graphs (traversal, evidence)"
+    )
+    graph_commands = graph.add_subparsers(dest="graph_command", required=True)
+
+    def add_graph_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store", required=True, help="SQLite path holding the graph"
+        )
+        sub.add_argument("--name", required=True, help="graph name")
+
+    graph_build = graph_commands.add_parser(
+        "build", help="build a graph from a stored experiment's matches"
+    )
+    add_graph_arguments(graph_build)
+    graph_build.add_argument(
+        "--dataset", required=True, help="stored dataset name"
+    )
+    graph_build.add_argument(
+        "--experiment", required=True, help="stored experiment name"
+    )
+    graph_build.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="edge acceptance threshold (default: weakest stored match)",
+    )
+
+    graph_neighbors = graph_commands.add_parser(
+        "neighbors", help="k-hop BFS neighborhood of one record"
+    )
+    add_graph_arguments(graph_neighbors)
+    graph_neighbors.add_argument("--record", required=True)
+    graph_neighbors.add_argument("--k", type=int, default=1, help="hop limit")
+    graph_neighbors.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="traverse ALL candidate edges scoring >= this instead of "
+             "only accepted ones",
+    )
+
+    graph_path = graph_commands.add_parser(
+        "path", help="fewest-hops path between two records"
+    )
+    add_graph_arguments(graph_path)
+    graph_path.add_argument("--from", dest="from_record", required=True)
+    graph_path.add_argument("--to", dest="to_record", required=True)
+    graph_path.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="traverse ALL candidate edges scoring >= this instead of "
+             "only accepted ones",
+    )
+
+    graph_component = graph_commands.add_parser(
+        "component", help="one record's connected component with stats"
+    )
+    add_graph_arguments(graph_component)
+    graph_component.add_argument("--record", required=True)
+
+    graph_explain = graph_commands.add_parser(
+        "explain",
+        help="why are two records in one cluster? (max-min-score "
+             "evidence path)",
+    )
+    add_graph_arguments(graph_explain)
+    graph_explain.add_argument("--from", dest="from_record", required=True)
+    graph_explain.add_argument("--to", dest="to_record", required=True)
 
     serve = commands.add_parser(
         "serve", help="serve a store over the concurrent HTTP front-end"
@@ -816,6 +893,8 @@ def _stream_config_from_args(args: argparse.Namespace) -> dict:
         parallelism["shards"] = args.shards
     if parallelism:
         config["parallelism"] = parallelism
+    if getattr(args, "graph", False):
+        config["graph"] = True
     return config
 
 
@@ -1078,6 +1157,131 @@ def _command_stream(args: argparse.Namespace, fmt: CsvFormat) -> int:
     return handlers[args.stream_command](args, fmt)
 
 
+def _command_graph_build(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.graph import build_graph_from_experiment
+    from repro.storage.database import FrostStore
+
+    with FrostStore(args.store) as store:
+        dataset = store.load_dataset(args.dataset)
+        experiment = store.load_experiment(args.dataset, args.experiment)
+        graph = build_graph_from_experiment(
+            store, args.name, dataset, experiment, threshold=args.threshold
+        )
+        summary = graph.summary()
+        print(
+            f"graph {args.name!r} built from {args.experiment!r}: "
+            f"{summary['node_count']} nodes, {summary['edge_count']} edges, "
+            f"{summary['cluster_count']} clusters "
+            f"(threshold {summary['threshold']:g})"
+        )
+    return 0
+
+
+def _format_edge(edge: dict) -> str:
+    mark = "=" if edge["accepted"] else "~"
+    return f"{edge['first']} {mark}[{edge['score']:.3f}]{mark} {edge['second']}"
+
+
+def _command_graph_neighbors(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.graph import load_graph
+    from repro.storage.database import FrostStore
+
+    with FrostStore(args.store) as store:
+        graph = load_graph(store, args.name)
+        result = graph.neighbors(args.record, k=args.k, threshold=args.threshold)
+    print(
+        f"{result['record']}: {len(result['neighbors']) - 1} records "
+        f"within {result['k']} hops"
+    )
+    for row in result["neighbors"]:
+        print(f"  hop {row['hops']}: {row['record']}")
+    for edge in result["edges"]:
+        print(f"  {_format_edge(edge)}")
+    return 0
+
+
+def _command_graph_path(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.graph import load_graph
+    from repro.storage.database import FrostStore
+
+    with FrostStore(args.store) as store:
+        graph = load_graph(store, args.name)
+        result = graph.path(
+            args.from_record, args.to_record, threshold=args.threshold
+        )
+    if not result["found"]:
+        print(
+            f"no path from {args.from_record!r} to {args.to_record!r} "
+            "(different components)"
+        )
+        return 1
+    print(" -> ".join(result["path"]))
+    for edge in result["edges"]:
+        print(f"  {_format_edge(edge)}")
+    return 0
+
+
+def _command_graph_component(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.graph import load_graph
+    from repro.storage.database import FrostStore
+
+    with FrostStore(args.store) as store:
+        graph = load_graph(store, args.name)
+        result = graph.component_of(args.record)
+    bounds = (
+        f", scores {result['min_score']:.3f}..{result['max_score']:.3f}"
+        if result["min_score"] is not None
+        else ""
+    )
+    print(
+        f"component of {args.record!r}: {result['size']} records, "
+        f"{result['edge_count']} edges, density {result['density']:.2f}"
+        f"{bounds}"
+    )
+    print("  " + " ".join(result["records"]))
+    return 0
+
+
+def _command_graph_explain(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.graph import load_graph
+    from repro.storage.database import FrostStore
+
+    with FrostStore(args.store) as store:
+        graph = load_graph(store, args.name)
+        result = graph.evidence_path(args.from_record, args.to_record)
+    if not result["found"]:
+        print(
+            f"{args.from_record!r} and {args.to_record!r} are not in "
+            "the same cluster"
+        )
+        return 1
+    print(
+        " -> ".join(result["path"])
+        + (
+            f"  (weakest link {result['bottleneck']:.3f})"
+            if result["bottleneck"] is not None
+            else ""
+        )
+    )
+    for edge in result["edges"]:
+        print(f"  {_format_edge(edge)}")
+        for attribute, value in sorted((edge.get("evidence") or {}).items()):
+            rendered = "null" if value is None else f"{value:.3f}"
+            print(f"      {attribute}: {rendered}")
+    return 0
+
+
+def _command_graph(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    handlers = {
+        "build": _command_graph_build,
+        "neighbors": _command_graph_neighbors,
+        "path": _command_graph_path,
+        "component": _command_graph_component,
+        "explain": _command_graph_explain,
+    }
+    return handlers[args.graph_command](args, fmt)
+
+
 _COMMANDS = {
     "metrics": _command_metrics,
     "diagram": _command_diagram,
@@ -1086,6 +1290,7 @@ _COMMANDS = {
     "categorize": _command_categorize,
     "engine": _command_engine,
     "stream": _command_stream,
+    "graph": _command_graph,
     "serve": _command_serve,
     "trace": _command_trace,
 }

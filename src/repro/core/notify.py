@@ -1,0 +1,63 @@
+"""Write-notification plumbing shared by registries and stores.
+
+PR 5 introduced the subscribe/notify idiom on
+:class:`~repro.core.platform.FrostPlatform` so read-through caches stay
+correct across registry writes.  The match-graph subsystem needs the
+same mechanism on :class:`~repro.storage.database.FrostStore` (graph
+writes must invalidate cached traversal payloads), so the idiom lives
+here as a reusable :class:`ListenerSet`.
+
+Bound-method listeners are held through weak references: an abandoned
+subscriber (a dropped serving layer) detaches itself instead of being
+pinned by its publisher forever.  Plain functions and lambdas keep a
+strong reference — they carry no owning object whose lifetime could
+end the subscription.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+
+__all__ = ["ListenerSet"]
+
+
+class ListenerSet:
+    """A thread-safe set of ``listener(payload)`` callbacks."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._references: list = []
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._references)
+
+    def subscribe(self, listener) -> None:
+        """Register ``listener`` to be called on every :meth:`notify`."""
+        try:
+            reference = weakref.WeakMethod(listener)
+        except TypeError:
+            # plain functions/lambdas: keep a strong reference
+            def reference(listener=listener):
+                return listener
+
+        with self._lock:
+            self._references.append(reference)
+
+    def notify(self, payload) -> None:
+        """Call every live listener with ``payload``; prune dead ones."""
+        with self._lock:
+            references = list(self._references)
+        stale = []
+        for reference in references:
+            listener = reference()
+            if listener is None:
+                stale.append(reference)
+            else:
+                listener(payload)
+        if stale:
+            with self._lock:
+                for reference in stale:
+                    if reference in self._references:
+                        self._references.remove(reference)

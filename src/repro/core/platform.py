@@ -11,13 +11,13 @@ API of :mod:`repro.server`.
 from __future__ import annotations
 
 import threading
-import weakref
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.confusion import ConfusionMatrix
 from repro.core.diagrams import DiagramPoint, compute_diagram_optimized
 from repro.core.experiment import Experiment, GoldStandard
+from repro.core.notify import ListenerSet
 from repro.core.records import Dataset
 
 __all__ = ["FrostPlatform", "BenchmarkEntry"]
@@ -43,7 +43,7 @@ class FrostPlatform:
 
     def __init__(self) -> None:
         self._entries: dict[str, BenchmarkEntry] = {}
-        self._listeners: list = []
+        self._listeners = ListenerSet()
         # Guards registry *mutation* and dict-iterating reads (the
         # sorted name listings): the threaded HTTP server reads while
         # engine workers register pipeline results, and a dict that
@@ -62,34 +62,15 @@ class FrostPlatform:
         or the engine registering a pipeline result — notifies every
         subscriber, which invalidates the dataset's cached payloads.
 
-        Bound-method listeners are held through weak references, so an
-        abandoned subscriber (a dropped serving layer) detaches itself
-        instead of being pinned by the platform forever.
+        Bound-method listeners are held through weak references
+        (:class:`~repro.core.notify.ListenerSet`), so an abandoned
+        subscriber (a dropped serving layer) detaches itself instead of
+        being pinned by the platform forever.
         """
-        try:
-            reference = weakref.WeakMethod(listener)
-        except TypeError:
-            # plain functions/lambdas: keep a strong reference
-            def reference(listener=listener):
-                return listener
-        with self._registry_lock:
-            self._listeners.append(reference)
+        self._listeners.subscribe(listener)
 
     def _notify(self, dataset_name: str) -> None:
-        with self._registry_lock:
-            references = list(self._listeners)
-        stale = []
-        for reference in references:
-            listener = reference()
-            if listener is None:
-                stale.append(reference)
-            else:
-                listener(dataset_name)
-        if stale:
-            with self._registry_lock:
-                for reference in stale:
-                    if reference in self._listeners:
-                        self._listeners.remove(reference)
+        self._listeners.notify(dataset_name)
 
     def add_dataset(self, dataset: Dataset) -> None:
         """Register a dataset under its name."""

@@ -1,0 +1,24 @@
+"""The persisted match-graph subsystem.
+
+Record nodes, weighted similarity edges with per-attribute evidence,
+and cluster memberships — persisted in indexed SQLite adjacency tables
+and queryable through k-hop traversal, path, component drill-down, and
+max-min-score evidence paths.  See README "Match graph".
+"""
+
+from repro.graph.build import (
+    GraphUpdater,
+    build_graph_from_experiment,
+    build_graph_from_run,
+    load_graph,
+)
+from repro.graph.model import GraphQueryError, MatchGraph
+
+__all__ = [
+    "MatchGraph",
+    "GraphQueryError",
+    "GraphUpdater",
+    "build_graph_from_run",
+    "build_graph_from_experiment",
+    "load_graph",
+]

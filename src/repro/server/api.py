@@ -25,6 +25,13 @@ Routes (all return JSON-serializable dictionaries):
 ``GET /datasets/{d}/timeline?exp=&gold=&high=&low=``  new TP/FP in a threshold range
 ``GET /stats``                                 serving-layer cache/coalescing counters
 ``GET /metrics``                               Prometheus text (HTTP layer only)
+``GET /graph``                                 stored match-graph names
+``GET /graph/{g}``                             graph summary (nodes/edges/components)
+``GET /graph/{g}/neighbors?record=&k=&threshold=``  k-hop BFS neighborhood
+``GET /graph/{g}/path?from=&to=&threshold=``   fewest-hops path (found: false if none)
+``GET /graph/{g}/components?limit=``           components, largest first
+``GET /graph/{g}/component?record=``           one record's component drill-down
+``GET /graph/{g}/explain?from=&to=``           max-min-score evidence path
 ``POST /jobs``                                 submit engine jobs (optionally a sweep)
 ``GET /jobs``                                  all job statuses + cache stats
 ``GET /jobs/{id}``                             one job's status and result
@@ -58,6 +65,13 @@ layer (:mod:`repro.serving`): payloads are cached read-through under
 content fingerprints, concurrent identical requests coalesce into one
 computation, and registry writes invalidate the touched dataset's
 entries.  ``GET /stats`` exposes the cache and coalescing counters.
+
+The ``/graph`` routes front the match-graph subsystem
+(:mod:`repro.graph`): graphs persisted in the store's adjacency tables
+— by pipeline builds or incrementally by streaming sessions with
+``"graph": true`` — are served through the same read-through cache,
+tagged ``graph:{name}`` so every graph write (e.g. a stream batch)
+invalidates the graph's cached traversal payloads.
 """
 
 from __future__ import annotations
@@ -131,6 +145,8 @@ class FrostApi:
             if serving is not None
             else ServingLayer(platform, max_entries=cache_entries)
         )
+        if store is not None:
+            self.serving.attach_store(store)
 
     @property
     def engine(self):
@@ -181,6 +197,8 @@ class FrostApi:
             raise ApiError(405, f"{method} not allowed on /{'/'.join(parts)}")
         if parts == ["stats"]:
             return self._stats()
+        if parts and parts[0] == "graph":
+            return self._graph_routes(parts[1:], query)
         if parts == ["datasets"]:
             return {"datasets": self.platform.dataset_names()}
         if len(parts) >= 2 and parts[0] == "datasets":
@@ -298,6 +316,53 @@ class FrostApi:
         if not include:
             raise ValueError("intersection needs an 'include' query parameter")
         return self.serving.intersection_payload(dataset_name, include, exclude)
+
+    # -- match graphs -------------------------------------------------------------
+
+    def _graph_routes(self, rest: list[str], query: dict[str, str]) -> dict:
+        if not rest:
+            return {"graphs": self.serving.graph_names()}
+        name = rest[0]
+        tail = rest[1:]
+        if not tail:
+            return self.serving.graph_summary_payload(name)
+        if tail == ["neighbors"]:
+            record = query.get("record")
+            if not record:
+                raise ValueError("neighbors needs a 'record' query parameter")
+            k = int(query.get("k", "1"))
+            threshold = (
+                float(query["threshold"]) if query.get("threshold") else None
+            )
+            return self.serving.graph_neighbors_payload(
+                name, record, k, threshold
+            )
+        if tail == ["path"]:
+            source, target = query.get("from"), query.get("to")
+            if not source or not target:
+                raise ValueError("path needs 'from' and 'to' query parameters")
+            threshold = (
+                float(query["threshold"]) if query.get("threshold") else None
+            )
+            return self.serving.graph_path_payload(
+                name, source, target, threshold
+            )
+        if tail == ["components"]:
+            limit = int(query["limit"]) if query.get("limit") else None
+            return self.serving.graph_components_payload(name, limit)
+        if tail == ["component"]:
+            record = query.get("record")
+            if not record:
+                raise ValueError("component needs a 'record' query parameter")
+            return self.serving.graph_component_payload(name, record)
+        if tail == ["explain"]:
+            source, target = query.get("from"), query.get("to")
+            if not source or not target:
+                raise ValueError(
+                    "explain needs 'from' and 'to' query parameters"
+                )
+            return self.serving.graph_explain_payload(name, source, target)
+        raise ApiError(404, f"unknown route /graph/{'/'.join(rest)}")
 
     def _stats(self) -> dict:
         """Serving/engine observability for load harnesses and operators."""

@@ -73,6 +73,11 @@ class ServingLayer:
         self._counter_lock = threading.Lock()
         self.requests = 0
         self.computations = 0
+        self._store = None
+        self._graph_lock = threading.Lock()
+        # name -> (updated_at, batch_count, MatchGraph): rehydrated
+        # graphs kept hot between requests, dropped on any write
+        self._graphs: dict[str, tuple] = {}
         platform.subscribe(self.invalidate)
 
     # -- plumbing -----------------------------------------------------------------
@@ -80,6 +85,22 @@ class ServingLayer:
     def invalidate(self, dataset_name: str) -> int:
         """Drop every cached payload derived from ``dataset_name``."""
         return self.cache.invalidate(dataset_name)
+
+    def attach_store(self, store) -> None:
+        """Serve match graphs out of ``store``.
+
+        Subscribes to the store's graph-write notifications so a
+        streaming ingest (or any other graph write) invalidates the
+        graph's cached traversal payloads — the graph counterpart of
+        the platform subscription above.
+        """
+        self._store = store
+        store.subscribe_graph(self._invalidate_graph)
+
+    def _invalidate_graph(self, graph_name: str) -> None:
+        with self._graph_lock:
+            self._graphs.pop(graph_name, None)
+        self.cache.invalidate(f"graph:{graph_name}")
 
     def stats(self) -> dict[str, object]:
         """Serving counters: requests, computations, cache, coalescer."""
@@ -334,3 +355,102 @@ class ServingLayer:
             }
 
         return self._fetch("serving:intersection", dataset_name, token, compute)
+
+    # -- served graph queries -----------------------------------------------------
+
+    def graph_names(self) -> list[str]:
+        """Stored graph names (empty without a store) — cheap, uncached."""
+        if self._store is None:
+            return []
+        return self._store.graph_names()
+
+    def _graph_meta(self, name: str) -> dict:
+        from repro.storage.database import StorageError
+
+        if self._store is None:
+            raise KeyError("no store attached; no graphs are served")
+        try:
+            return self._store.graph_meta(name)
+        except StorageError as missing:
+            raise KeyError(str(missing)) from None
+
+    def _graph(self, name: str, meta: dict):
+        """The rehydrated graph, kept hot until its store rows change."""
+        from repro.graph.build import load_graph
+
+        stamp = (meta["updated_at"], meta["batch_count"], meta["node_count"])
+        with self._graph_lock:
+            cached = self._graphs.get(name)
+            if cached is not None and cached[0] == stamp:
+                return cached[1]
+        graph = load_graph(self._store, name)
+        with self._graph_lock:
+            self._graphs[name] = (stamp, graph)
+        return graph
+
+    def _fetch_graph(self, kind: str, name: str, params: dict, compute):
+        """:meth:`_fetch` with the graph's meta folded into the key.
+
+        The meta row changes on every graph write, so stale keys die
+        naturally even before the tag invalidation lands.
+        """
+        meta = self._graph_meta(name)
+        token = {"graph": name, "meta": meta, **params}
+        return self._fetch(
+            kind, f"graph:{name}", token, lambda: compute(self._graph(name, meta))
+        )
+
+    def graph_summary_payload(self, name: str) -> dict:
+        """The overview payload of ``GET /graph/{name}``."""
+        return self._fetch_graph(
+            "serving:graph-summary", name, {}, lambda graph: graph.summary()
+        )
+
+    def graph_neighbors_payload(
+        self, name: str, record: str, k: int, threshold: float | None
+    ) -> dict:
+        """The k-hop payload of ``GET /graph/{name}/neighbors``."""
+        return self._fetch_graph(
+            "serving:graph-neighbors",
+            name,
+            {"record": record, "k": k, "threshold": threshold},
+            lambda graph: graph.neighbors(record, k=k, threshold=threshold),
+        )
+
+    def graph_path_payload(
+        self, name: str, source: str, target: str, threshold: float | None
+    ) -> dict:
+        """The fewest-hops payload of ``GET /graph/{name}/path``."""
+        return self._fetch_graph(
+            "serving:graph-path",
+            name,
+            {"from": source, "to": target, "threshold": threshold},
+            lambda graph: graph.path(source, target, threshold=threshold),
+        )
+
+    def graph_components_payload(self, name: str, limit: int | None) -> dict:
+        """The component listing of ``GET /graph/{name}/components``."""
+        return self._fetch_graph(
+            "serving:graph-components",
+            name,
+            {"limit": limit},
+            lambda graph: {"components": graph.components(limit=limit)},
+        )
+
+    def graph_component_payload(self, name: str, record: str) -> dict:
+        """The drill-down payload of ``GET /graph/{name}/component``."""
+        return self._fetch_graph(
+            "serving:graph-component",
+            name,
+            {"record": record},
+            lambda graph: graph.component_of(record),
+        )
+
+    def graph_explain_payload(self, name: str, source: str, target: str) -> dict:
+        """The evidence-path payload of ``GET /graph/{name}/explain``."""
+        return self._fetch_graph(
+            "serving:graph-explain",
+            name,
+            {"from": source, "to": target},
+            lambda graph: graph.evidence_path(source, target),
+        )

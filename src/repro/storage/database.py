@@ -19,11 +19,22 @@ from pathlib import Path
 
 from repro.core.clustering import Clustering
 from repro.core.experiment import Experiment, GoldStandard, Match
+from repro.core.notify import ListenerSet
 from repro.core.pairs import make_pair
 from repro.core.records import Dataset, Record
 from repro.telemetry.metrics import get_metrics
 
-__all__ = ["FrostStore", "StorageError"]
+__all__ = ["FrostStore", "StorageError", "SCHEMA_VERSION"]
+
+# Bumped whenever the schema grows new tables.  Every table is created
+# with IF NOT EXISTS, so opening an older file migrates it in place:
+# the missing tables are added and the version is stamped.  Files
+# written by a *newer* schema than this code knows are refused — the
+# tables may carry semantics this version would silently corrupt.
+#   1: seed .. PR 5 (datasets/experiments/golds/result_cache/streams)
+#   2: PR 7 match-graph adjacency tables (graphs/graph_nodes/
+#      graph_edges/graph_components)
+SCHEMA_VERSION = 2
 
 # Process-wide connection-pool traffic, feeding GET /metrics.
 _CONNECTIONS_OPENED = get_metrics().counter(
@@ -133,6 +144,43 @@ CREATE TABLE IF NOT EXISTS stream_snapshots (
     accepted_matches INTEGER NOT NULL,
     PRIMARY KEY (stream_id, version)
 );
+CREATE TABLE IF NOT EXISTS graphs (
+    graph_id INTEGER PRIMARY KEY,
+    name TEXT UNIQUE NOT NULL,
+    threshold REAL NOT NULL,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL,
+    batch_count INTEGER NOT NULL DEFAULT 0,
+    node_count INTEGER NOT NULL DEFAULT 0,
+    edge_count INTEGER NOT NULL DEFAULT 0
+);
+CREATE TABLE IF NOT EXISTS graph_nodes (
+    graph_id INTEGER NOT NULL REFERENCES graphs(graph_id),
+    node_id INTEGER NOT NULL,
+    native_id TEXT NOT NULL,
+    PRIMARY KEY (graph_id, node_id)
+);
+CREATE UNIQUE INDEX IF NOT EXISTS idx_graph_nodes_native
+    ON graph_nodes(graph_id, native_id);
+CREATE TABLE IF NOT EXISTS graph_edges (
+    graph_id INTEGER NOT NULL REFERENCES graphs(graph_id),
+    first_node INTEGER NOT NULL,
+    second_node INTEGER NOT NULL,
+    score REAL NOT NULL,
+    accepted INTEGER NOT NULL,
+    breakdown TEXT,
+    PRIMARY KEY (graph_id, first_node, second_node)
+);
+CREATE INDEX IF NOT EXISTS idx_graph_edges_second
+    ON graph_edges(graph_id, second_node);
+CREATE TABLE IF NOT EXISTS graph_components (
+    graph_id INTEGER NOT NULL REFERENCES graphs(graph_id),
+    node_id INTEGER NOT NULL,
+    component INTEGER NOT NULL,
+    PRIMARY KEY (graph_id, node_id)
+);
+CREATE INDEX IF NOT EXISTS idx_graph_components_component
+    ON graph_components(graph_id, component);
 """
 
 
@@ -174,10 +222,23 @@ class FrostStore:
         self._pool: list[tuple[threading.Thread, sqlite3.Connection]] = []
         self._pool_lock = threading.Lock()
         self._closed = False
+        self._graph_listeners = ListenerSet()
         # The creating thread's connection doubles as the schema
         # bootstrapper (and, for :memory:, as the one shared handle).
         connection = self._connect()
+        stored_version = connection.execute("PRAGMA user_version").fetchone()[0]
+        if stored_version > SCHEMA_VERSION:
+            connection.close()
+            raise StorageError(
+                f"store {self._path!r} uses schema version {stored_version}, "
+                f"newer than the supported version {SCHEMA_VERSION}"
+            )
+        # Every table is IF NOT EXISTS, so pre-existing files (e.g. a
+        # store written before the graph tables existed) migrate in
+        # place: missing tables are added, present ones are untouched.
         connection.executescript(_SCHEMA)
+        if stored_version < SCHEMA_VERSION:
+            connection.execute(f"PRAGMA user_version={SCHEMA_VERSION:d}")
         connection.commit()
         if self._in_memory:
             self._shared_connection = connection
@@ -731,6 +792,186 @@ class FrostStore:
             "blocks": blocks,
             "merges": merges,
             "snapshots": self.stream_snapshot_lineage(name),
+        }
+
+    # -- match graphs --------------------------------------------------------------
+
+    @property
+    def schema_version(self) -> int:
+        """The schema version stamped into this store file."""
+        return self._connection.execute("PRAGMA user_version").fetchone()[0]
+
+    def subscribe_graph(self, listener) -> None:
+        """Call ``listener(graph_name)`` after every graph write.
+
+        The graph counterpart of :meth:`FrostPlatform.subscribe`: the
+        serving layer subscribes here so a streaming ingest (or any
+        other graph write) invalidates the graph's cached traversal
+        payloads before the next read.  Bound methods are held weakly.
+        """
+        self._graph_listeners.subscribe(listener)
+
+    def create_graph(self, name: str, threshold: float) -> int:
+        """Register an empty match graph under ``name``."""
+        with self._lock, self._connection:
+            try:
+                cursor = self._connection.execute(
+                    "INSERT INTO graphs (name, threshold, created_at, "
+                    "updated_at) VALUES (?, ?, ?, ?)",
+                    (name, float(threshold), time.time(), time.time()),
+                )
+            except sqlite3.IntegrityError:
+                raise StorageError(f"graph {name!r} already stored") from None
+            graph_id = cursor.lastrowid
+        self._graph_listeners.notify(name)
+        return graph_id
+
+    def delete_graph(self, name: str) -> None:
+        """Drop a graph and all its nodes, edges, and components."""
+        with self._lock, self._connection:
+            graph_id = self._graph_id(name)
+            for table in ("graph_components", "graph_edges", "graph_nodes"):
+                self._connection.execute(
+                    f"DELETE FROM {table} WHERE graph_id = ?", (graph_id,)
+                )
+            self._connection.execute(
+                "DELETE FROM graphs WHERE graph_id = ?", (graph_id,)
+            )
+        self._graph_listeners.notify(name)
+
+    def graph_names(self) -> list[str]:
+        """Names of all stored graphs, sorted."""
+        return [
+            name
+            for (name,) in self._connection.execute(
+                "SELECT name FROM graphs ORDER BY name"
+            )
+        ]
+
+    def _graph_id(self, name: str) -> int:
+        row = self._connection.execute(
+            "SELECT graph_id FROM graphs WHERE name = ?", (name,)
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no graph named {name!r}")
+        return row[0]
+
+    def graph_meta(self, name: str) -> dict:
+        """Summary row of graph ``name`` (threshold, counts, timestamps)."""
+        row = self._connection.execute(
+            "SELECT threshold, created_at, updated_at, batch_count, "
+            "node_count, edge_count FROM graphs WHERE name = ?",
+            (name,),
+        ).fetchone()
+        if row is None:
+            raise StorageError(f"no graph named {name!r}")
+        threshold, created_at, updated_at, batches, nodes, edges = row
+        return {
+            "name": name,
+            "threshold": threshold,
+            "created_at": created_at,
+            "updated_at": updated_at,
+            "batch_count": batches,
+            "node_count": nodes,
+            "edge_count": edges,
+        }
+
+    def append_graph_batch(
+        self,
+        name: str,
+        nodes: list[tuple[int, str]],
+        edges: list[tuple[int, int, float, bool, str | None]],
+        components: list[tuple[int, int]],
+    ) -> None:
+        """Persist one graph delta atomically: nodes, edges, relabels.
+
+        ``nodes`` rows are ``(node_id, native_id)``, ``edges`` rows
+        ``(first_node, second_node, score, accepted, breakdown_json)``
+        with ``first_node < second_node``, and ``components`` rows
+        ``(node_id, component)`` — the membership assignments this
+        batch *changed* (new singletons and every node whose component
+        label moved), replacing any previous label.  Either the whole
+        delta lands or none of it.
+        """
+        with self._lock, self._connection:
+            graph_id = self._graph_id(name)
+            try:
+                self._connection.executemany(
+                    "INSERT INTO graph_nodes (graph_id, node_id, native_id) "
+                    "VALUES (?, ?, ?)",
+                    ((graph_id, node_id, native) for node_id, native in nodes),
+                )
+                self._connection.executemany(
+                    "INSERT INTO graph_edges (graph_id, first_node, "
+                    "second_node, score, accepted, breakdown) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (
+                        (graph_id, first, second, score, int(accepted),
+                         breakdown)
+                        for first, second, score, accepted, breakdown in edges
+                    ),
+                )
+            except sqlite3.IntegrityError as collision:
+                raise StorageError(
+                    f"graph {name!r}: batch collides with stored state "
+                    f"({collision})"
+                ) from None
+            self._connection.executemany(
+                "INSERT OR REPLACE INTO graph_components "
+                "(graph_id, node_id, component) VALUES (?, ?, ?)",
+                (
+                    (graph_id, node_id, component)
+                    for node_id, component in components
+                ),
+            )
+            self._connection.execute(
+                "UPDATE graphs SET updated_at = ?, batch_count = batch_count "
+                "+ 1, node_count = node_count + ?, edge_count = edge_count "
+                "+ ? WHERE graph_id = ?",
+                (time.time(), len(nodes), len(edges), graph_id),
+            )
+        self._graph_listeners.notify(name)
+
+    def load_graph(self, name: str) -> dict:
+        """Everything stored for graph ``name`` as one document.
+
+        Returns ``meta`` (see :meth:`graph_meta`), ``nodes`` rows
+        ``(node_id, native_id)`` ordered by node id, ``edges`` rows
+        ``(first_node, second_node, score, accepted, breakdown_json)``
+        in canonical pair order, and ``components`` rows
+        ``(node_id, component)``.
+        """
+        meta = self.graph_meta(name)
+        graph_id = self._graph_id(name)
+        nodes = list(
+            self._connection.execute(
+                "SELECT node_id, native_id FROM graph_nodes "
+                "WHERE graph_id = ? ORDER BY node_id",
+                (graph_id,),
+            )
+        )
+        edges = [
+            (first, second, score, bool(accepted), breakdown)
+            for first, second, score, accepted, breakdown
+            in self._connection.execute(
+                "SELECT first_node, second_node, score, accepted, breakdown "
+                "FROM graph_edges WHERE graph_id = ? "
+                "ORDER BY first_node, second_node",
+                (graph_id,),
+            )
+        ]
+        components = list(
+            self._connection.execute(
+                "SELECT node_id, component FROM graph_components "
+                "WHERE graph_id = ? ORDER BY node_id",
+                (graph_id,),
+            )
+        )
+        return {
+            "meta": meta,
+            "nodes": nodes,
+            "edges": edges,
+            "components": components,
         }
 
     def stream_snapshot_lineage(self, name: str) -> list[dict]:

@@ -25,8 +25,9 @@ store when a durable session is resumed.  Schema::
         "workers": 4,                 # 0/null = all cores, 1 = serial
         "shards": 16,                 # default: 4 x workers
         "min_pairs": 2048             # serial below this delta size
-      }
-    }
+      },
+      "graph": true                   # optional: maintain a persisted
+    }                                 # match graph (durable streams)
 
 The same config also yields the *batch-equivalent* pipeline (via
 ``candidate_generator``), which the benchmarks use to verify that the
@@ -166,6 +167,11 @@ def validate_config(config: Mapping[str, object]) -> dict[str, object]:
     }
     if config.get("parallelism") is not None:
         normalized["parallelism"] = parallelism.as_dict()
+    graph = config.get("graph", False)
+    if not isinstance(graph, bool):
+        raise ValueError("config.graph must be a boolean")
+    if graph:
+        normalized["graph"] = True
     return normalized
 
 
@@ -281,9 +287,21 @@ def build_session(
     """A new streaming session from a JSON config (durable iff ``store``)."""
     config = validate_config(config)
     pipeline, index = _build_pipeline_and_index(config)
-    return StreamingMatcher(
+    if config.get("graph") and store is None:
+        raise ValueError(
+            "config.graph requires a durable session (pass a store): the "
+            "match graph lives in the store's adjacency tables"
+        )
+    session = StreamingMatcher(
         pipeline, index, store=store, name=name, config=config
     )
+    if config.get("graph"):
+        from repro.graph.build import GraphUpdater
+
+        session.attach_graph(
+            GraphUpdater.create(store, name, pipeline.threshold)
+        )
+    return session
 
 
 def open_session(store, name: str) -> StreamingMatcher:

@@ -182,6 +182,7 @@ class StreamingMatcher:
         self._unionfind = PairCountingUnionFind(0)
         self._snapshots: list[StreamSnapshot] = []
         self._accepted: list[ScoredPair] = []
+        self._graph = None
         self._lock = threading.Lock()
         if store is not None and not _resuming:
             from repro.storage.database import StorageError
@@ -193,6 +194,26 @@ class StreamingMatcher:
                     f"stream {name!r} already exists in the store; "
                     "use StreamingMatcher.resume() to reopen it"
                 ) from None
+
+    def attach_graph(self, updater) -> None:
+        """Feed every ingested batch into a persisted match graph.
+
+        ``updater`` is a :class:`~repro.graph.build.GraphUpdater` whose
+        graph must already mirror this session's records (empty for a
+        fresh session, reloaded on resume).  Each batch appends the
+        *full* scored delta — accepted and rejected candidate edges —
+        so the graph keeps the below-threshold evidence the clustering
+        discards.
+        """
+        if updater.graph.node_count != self.record_count:
+            raise StreamError(
+                f"graph {updater.graph.name!r} holds "
+                f"{updater.graph.node_count} nodes but stream "
+                f"{self.name!r} has {self.record_count} records; "
+                "rebuild the graph before attaching it"
+            )
+        with self._lock:
+            self._graph = updater
 
     # -- introspection ---------------------------------------------------------
 
@@ -224,6 +245,9 @@ class StreamingMatcher:
                 "intra_cluster_pairs": self._unionfind.pair_count,
                 "durable": self._store is not None,
                 "blocking": (self.config or {}).get("key"),
+                "graph": (
+                    self._graph.graph.name if self._graph is not None else None
+                ),
                 "parallelism": self.pipeline.parallelism.as_dict(),
                 "latest": latest,
                 "snapshots": [s.as_dict() for s in self._snapshots],
@@ -382,6 +406,17 @@ class StreamingMatcher:
                     del self._prepared[record.record_id]
                 del self._native[len(self._native) - len(batch):]
                 raise
+        if self._graph is not None:
+            # After the stream batch is durable: the graph delta is a
+            # second transaction, so a failure here leaves the graph
+            # one batch behind — attach_graph() detects the node-count
+            # gap on resume and demands a rebuild rather than silently
+            # serving a stale graph.
+            self._graph.apply_batch(
+                list(zip(new_numeric, (r.record_id for r in batch))),
+                scored,
+                vectors,
+            )
         self._snapshots.append(snapshot)
         return snapshot
 
@@ -474,4 +509,8 @@ class StreamingMatcher:
         session._snapshots = [
             StreamSnapshot(**snapshot) for snapshot in state["snapshots"]
         ]
+        if state["config"].get("graph"):
+            from repro.graph.build import GraphUpdater
+
+            session.attach_graph(GraphUpdater.attach(store, name))
         return session

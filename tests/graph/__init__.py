@@ -1,0 +1,1 @@
+"""Tests of the match-graph subsystem (:mod:`repro.graph`)."""

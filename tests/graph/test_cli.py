@@ -1,0 +1,161 @@
+"""CLI coverage for ``repro graph ...`` and ``stream init --graph``.
+
+Follows the tests/test_cli.py conventions: drive ``main()`` with real
+argv lists against CSVs in ``tmp_path`` and assert on printed output
+and exit codes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.records import Dataset
+from repro.storage.database import FrostStore
+from repro.streaming import build_pipeline_and_index
+
+from tests.graph.test_build import CONFIG, PEOPLE, records
+
+BATCH_ONE = "id,name,zip\n" + "\n".join(
+    ",".join(row) for row in PEOPLE[:5]
+) + "\n"
+BATCH_TWO = "id,name,zip\n" + "\n".join(
+    ",".join(row) for row in PEOPLE[5:]
+) + "\n"
+
+
+def run(capsys, *argv):
+    code = main([str(part) for part in argv])
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+@pytest.fixture
+def stream_store(tmp_path, capsys):
+    """A store holding a graph-enabled stream fed two CSV batches."""
+    (tmp_path / "b1.csv").write_text(BATCH_ONE)
+    (tmp_path / "b2.csv").write_text(BATCH_TWO)
+    store = tmp_path / "s.db"
+    code, _, err = run(
+        capsys, "stream", "init", "--store", store, "--name", "s",
+        "--key-kind", "first_token", "--key-attribute", "name",
+        "--similarity", "name=jaro_winkler", "--similarity", "zip=exact",
+        "--threshold", "0.6", "--graph",
+    )
+    assert code == 0, err
+    for batch in ("b1.csv", "b2.csv"):
+        code, _, err = run(
+            capsys, "stream", "ingest", "--store", store, "--name", "s",
+            "--dataset", tmp_path / batch,
+        )
+        assert code == 0, err
+    return store
+
+
+class TestGraphParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["graph"])
+
+    def test_path_maps_from_and_to(self):
+        args = build_parser().parse_args(
+            ["graph", "path", "--store", "x.db", "--name", "g",
+             "--from", "a", "--to", "b"]
+        )
+        assert args.from_record == "a"
+        assert args.to_record == "b"
+        assert args.threshold is None
+
+    def test_neighbors_requires_record(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["graph", "neighbors", "--store", "x.db", "--name", "g"]
+            )
+
+
+class TestGraphCommands:
+    def test_neighbors_lists_hops_and_edges(self, stream_store, capsys):
+        code, out, _ = run(
+            capsys, "graph", "neighbors", "--store", stream_store,
+            "--name", "s", "--record", "p01", "--k", "2",
+        )
+        assert code == 0
+        assert "within 2 hops" in out
+        assert "hop 0: p01" in out
+        assert "hop 1: p02" in out
+        assert "=[0.9" in out  # accepted edge with its score
+
+    def test_path_prints_the_route(self, stream_store, capsys):
+        code, out, _ = run(
+            capsys, "graph", "path", "--store", stream_store,
+            "--name", "s", "--from", "p03", "--to", "p09",
+        )
+        assert code == 0
+        assert out.splitlines()[0].startswith("p03 -> ")
+        assert out.splitlines()[0].endswith("p09")
+
+    def test_cross_component_path_exits_one(self, stream_store, capsys):
+        code, out, _ = run(
+            capsys, "graph", "path", "--store", stream_store,
+            "--name", "s", "--from", "p01", "--to", "p05",
+        )
+        assert code == 1
+        assert "no path" in out
+
+    def test_component_summarises_membership(self, stream_store, capsys):
+        code, out, _ = run(
+            capsys, "graph", "component", "--store", stream_store,
+            "--name", "s", "--record", "p03",
+        )
+        assert code == 0
+        assert "component of 'p03'" in out
+        assert "p03" in out and "p04" in out and "p09" in out
+
+    def test_explain_shows_weakest_link_and_evidence(
+        self, stream_store, capsys
+    ):
+        code, out, _ = run(
+            capsys, "graph", "explain", "--store", stream_store,
+            "--name", "s", "--from", "p03", "--to", "p09",
+        )
+        assert code == 0
+        assert "weakest link" in out
+        assert "name:" in out and "zip:" in out
+
+    def test_explain_different_clusters_exits_one(self, stream_store, capsys):
+        code, out, _ = run(
+            capsys, "graph", "explain", "--store", stream_store,
+            "--name", "s", "--from", "p01", "--to", "p05",
+        )
+        assert code == 1
+        assert "not in" in out
+
+    def test_unknown_graph_is_a_clean_error(self, stream_store, capsys):
+        code, _, err = run(
+            capsys, "graph", "component", "--store", stream_store,
+            "--name", "ghost", "--record", "p01",
+        )
+        assert code == 1
+        assert "no graph named" in err
+
+    def test_build_from_stored_experiment(self, tmp_path, capsys):
+        store_path = tmp_path / "batch.db"
+        with FrostStore(str(store_path)) as store:
+            pipeline, _ = build_pipeline_and_index(CONFIG)
+            dataset = Dataset(records(), name="people")
+            run_result = pipeline.run(dataset)
+            store.save_dataset(dataset)
+            store.save_experiment("people", run_result.experiment)
+            experiment_name = run_result.experiment.name
+        code, out, _ = run(
+            capsys, "graph", "build", "--store", store_path, "--name", "g",
+            "--dataset", "people", "--experiment", experiment_name,
+        )
+        assert code == 0
+        assert f"{len(PEOPLE)} nodes" in out
+        code, out, _ = run(
+            capsys, "graph", "neighbors", "--store", store_path,
+            "--name", "g", "--record", "p03",
+        )
+        assert code == 0
+        assert "hop 1: p04" in out

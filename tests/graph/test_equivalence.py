@@ -1,0 +1,106 @@
+"""Graph-backed exploration equals the direct derivations (satellite).
+
+``ErrorAnalysis`` and ``DynamicIntersection`` can consult a match
+graph instead of re-deriving pair structure from experiments and merge
+logs — these tests pin down that the outputs are identical.
+"""
+
+from __future__ import annotations
+
+from repro.core.experiment import GoldStandard
+from repro.core.intersection import DynamicIntersection
+from repro.core.records import Dataset
+from repro.core.unionfind import PairCountingUnionFind
+from repro.exploration.error_analysis import ErrorAnalysis
+from repro.graph import build_graph_from_run
+from repro.storage.database import FrostStore
+from repro.streaming import build_pipeline_and_index
+
+from tests.graph.test_build import CONFIG, records
+
+
+def run_and_graph():
+    store = FrostStore(":memory:")
+    pipeline, _ = build_pipeline_and_index(CONFIG)
+    run = pipeline.run(Dataset(records(), name="people"))
+    graph = build_graph_from_run(store, "g", run)
+    return run, graph
+
+
+# p06 shares p01's name but not its zip: the mean similarity lands
+# below the threshold, so ("p01", "p06") is a guaranteed false negative
+GOLD = GoldStandard.from_pairs(
+    [("p01", "p02"), ("p01", "p06"), ("p02", "p06"), ("p03", "p04"),
+     ("p03", "p09"), ("p04", "p09"), ("p05", "p07")],
+    name="people-gold",
+)
+
+
+class TestErrorAnalysisEquivalence:
+    def test_correct_duplicate_pairs_identical(self):
+        run, graph = run_and_graph()
+        direct = ErrorAnalysis(run.dataset)
+        graphed = ErrorAnalysis(run.dataset, graph=graph)
+        assert graphed.correct_duplicate_pairs(
+            run.experiment, GOLD
+        ) == direct.correct_duplicate_pairs(run.experiment, GOLD)
+
+    def test_explanations_identical_over_both_candidate_sets(self):
+        run, graph = run_and_graph()
+        direct = ErrorAnalysis(run.dataset)
+        graphed = ErrorAnalysis(run.dataset, graph=graph)
+        gold_pairs = GOLD.pairs()
+        missed = sorted(gold_pairs - run.experiment.pairs())
+        assert missed, "fixture should leave at least one false negative"
+        from_direct = direct.explain_all(
+            missed, sorted(direct.correct_duplicate_pairs(run.experiment, GOLD))
+        )
+        from_graph = graphed.explain_all(
+            missed, sorted(graphed.correct_duplicate_pairs(run.experiment, GOLD))
+        )
+        assert from_direct == from_graph
+
+
+class TestDynamicIntersectionEquivalence:
+    def test_from_graph_equals_replayed_merges(self):
+        run, graph = run_and_graph()
+        dataset = run.dataset
+        truth_of = []
+        cluster_index = {}
+        for native in (record.record_id for record in dataset):
+            cluster = next(
+                (i for i, members in enumerate(GOLD.clustering.clusters)
+                 if native in members),
+                None,
+            )
+            if cluster is None:
+                cluster_index[native] = len(cluster_index) + 10_000
+            truth_of.append(
+                cluster if cluster is not None else cluster_index[native]
+            )
+
+        # the replayed path: feed the experiment's accepted pairs
+        # through a tracked union-find, batch by batch
+        replayed = DynamicIntersection(truth_of)
+        unionfind = PairCountingUnionFind(len(dataset))
+        accepted = [
+            (dataset.numeric_id(pair[0]), dataset.numeric_id(pair[1]))
+            for pair in sorted(run.experiment.original_pairs())
+        ]
+        for left, right in accepted:
+            replayed.update(unionfind.tracked_union([(left, right)]))
+
+        seeded = DynamicIntersection.from_graph(graph, truth_of)
+        assert seeded.pair_count == replayed.pair_count
+        normalize = lambda clusters: sorted(
+            tuple(sorted(members)) for members in clusters.values()
+            if len(members) > 1
+        )
+        assert normalize(seeded.clusters()) == normalize(replayed.clusters())
+
+    def test_from_graph_rejects_size_mismatch(self):
+        import pytest
+
+        _, graph = run_and_graph()
+        with pytest.raises(ValueError, match="truth_of"):
+            DynamicIntersection.from_graph(graph, [0, 1])

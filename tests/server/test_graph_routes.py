@@ -1,0 +1,157 @@
+"""``/graph`` route coverage: happy paths + parametrized error paths.
+
+Follows the error-path suite style (test_error_paths.py): every wrong
+name is a 404, every malformed parameter a 400, every wrong method a
+405 — as structured JSON errors, never tracebacks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import FrostPlatform
+from repro.core.records import Record
+from repro.server.api import ApiError, FrostApi
+from repro.storage.database import FrostStore
+from repro.streaming import build_session
+
+CONFIG = {
+    "key": {"kind": "first_token", "attribute": "name"},
+    "similarities": {"name": "jaro_winkler", "zip": "exact"},
+    "threshold": 0.6,
+    "graph": True,
+}
+
+ROWS = [
+    ("g1", "anna smith", "11111"),
+    ("g2", "anna smyth", "11111"),
+    ("g3", "bob jones", "22222"),
+    ("g4", "bob jones", "22222"),
+    ("g5", "carol white", "33333"),
+]
+
+
+@pytest.fixture
+def api():
+    store = FrostStore(":memory:")
+    session = build_session(CONFIG, store=store, name="people")
+    session.ingest(
+        Record(native, {"name": name, "zip": zipcode})
+        for native, name, zipcode in ROWS
+    )
+    return FrostApi(FrostPlatform(), store=store)
+
+
+NOT_FOUND_CASES = [
+    ("GET", "/graph/ghost", {}, None),
+    ("GET", "/graph/ghost/neighbors", {"record": "g1"}, None),
+    ("GET", "/graph/people/neighbors", {"record": "ghost"}, None),
+    ("GET", "/graph/people/component", {"record": "ghost"}, None),
+    ("GET", "/graph/people/path", {"from": "ghost", "to": "g1"}, None),
+    ("GET", "/graph/people/explain", {"from": "g1", "to": "ghost"}, None),
+    ("GET", "/graph/people/unknown-query", {}, None),
+    ("GET", "/graph/people/neighbors/extra", {}, None),
+]
+
+BAD_REQUEST_CASES = [
+    ("GET", "/graph/people/neighbors", {}, None),  # record missing
+    ("GET", "/graph/people/neighbors", {"record": "g1", "k": "nope"}, None),
+    ("GET", "/graph/people/neighbors", {"record": "g1", "k": "-1"}, None),
+    (
+        "GET",
+        "/graph/people/neighbors",
+        {"record": "g1", "threshold": "high"},
+        None,
+    ),
+    ("GET", "/graph/people/path", {"from": "g1"}, None),  # to missing
+    ("GET", "/graph/people/path", {"to": "g1"}, None),  # from missing
+    (
+        "GET",
+        "/graph/people/path",
+        {"from": "g1", "to": "g2", "threshold": "x"},
+        None,
+    ),
+    ("GET", "/graph/people/components", {"limit": "many"}, None),
+    ("GET", "/graph/people/components", {"limit": "-3"}, None),
+    ("GET", "/graph/people/component", {}, None),  # record missing
+    ("GET", "/graph/people/explain", {"from": "g1"}, None),
+]
+
+WRONG_METHOD_CASES = [
+    ("PUT", "/graph", {}, None),
+    ("DELETE", "/graph", {}, None),
+    ("POST", "/graph/people", {}, None),
+    ("PUT", "/graph/people/neighbors", {"record": "g1"}, None),
+    ("DELETE", "/graph/people/explain", {"from": "g1", "to": "g2"}, None),
+]
+
+
+def _expect_status(api, method, path, query, body, status):
+    with pytest.raises(ApiError) as excinfo:
+        api.handle(path, query, method=method, body=body)
+    assert excinfo.value.status == status
+    assert excinfo.value.message
+
+
+class TestGraphErrorStatuses:
+    @pytest.mark.parametrize("method,path,query,body", NOT_FOUND_CASES)
+    def test_unknown_names_and_routes_are_404(
+        self, api, method, path, query, body
+    ):
+        _expect_status(api, method, path, query, body, 404)
+
+    @pytest.mark.parametrize("method,path,query,body", BAD_REQUEST_CASES)
+    def test_malformed_requests_are_400(self, api, method, path, query, body):
+        _expect_status(api, method, path, query, body, 400)
+
+    @pytest.mark.parametrize("method,path,query,body", WRONG_METHOD_CASES)
+    def test_wrong_methods_are_405(self, api, method, path, query, body):
+        _expect_status(api, method, path, query, body, 405)
+
+    def test_graph_listing_without_store_is_empty_not_error(self):
+        api = FrostApi(FrostPlatform())
+        assert api.handle("/graph") == {"graphs": []}
+
+    def test_named_graph_without_store_is_404(self):
+        api = FrostApi(FrostPlatform())
+        _expect_status(api, "GET", "/graph/people", {}, None, 404)
+
+
+class TestGraphHappyPaths:
+    def test_listing_and_summary(self, api):
+        assert api.handle("/graph") == {"graphs": ["people"]}
+        summary = api.handle("/graph/people")
+        assert summary["node_count"] == len(ROWS)
+        assert summary["threshold"] == CONFIG["threshold"]
+
+    def test_neighbors_defaults_to_one_hop(self, api):
+        result = api.handle("/graph/people/neighbors", {"record": "g1"})
+        assert result["k"] == 1
+        assert {row["record"] for row in result["neighbors"]} == {"g1", "g2"}
+
+    def test_cross_component_path_is_found_false_not_404(self, api):
+        result = api.handle(
+            "/graph/people/path", {"from": "g1", "to": "g5"}
+        )
+        assert result == {
+            "from": "g1",
+            "to": "g5",
+            "threshold": None,
+            "found": False,
+            "path": [],
+            "edges": [],
+        }
+
+    def test_components_and_drilldown(self, api):
+        listed = api.handle("/graph/people/components", {"limit": "2"})
+        assert [c["size"] for c in listed["components"]] == [2, 2]
+        drill = api.handle("/graph/people/component", {"record": "g3"})
+        assert drill["records"] == ["g3", "g4"]
+        assert drill["min_score"] == 1.0
+
+    def test_explain_returns_evidence(self, api):
+        result = api.handle(
+            "/graph/people/explain", {"from": "g3", "to": "g4"}
+        )
+        assert result["found"]
+        assert result["edges"][0]["evidence"] == {"name": 1.0, "zip": 1.0}

@@ -23,6 +23,7 @@ FAST_EXAMPLES = [
     "lsh_blocking.py",
     "serving_load.py",
     "tracing_pipeline.py",
+    "graph_explore.py",
 ]
 
 
