@@ -314,6 +314,12 @@ def build_parser() -> argparse.ArgumentParser:
              "--workers 0 when given alone)",
     )
     stream_init.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="score deltas with the scalar per-pair loop instead of the "
+             "columnar batch kernels (output is identical either way)",
+    )
+    stream_init.add_argument(
         "--graph",
         action="store_true",
         help="maintain a persisted match graph, updated per batch "
@@ -340,6 +346,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="override the stream's comparison shard count for this ingest",
+    )
+    stream_ingest.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="disable columnar batch-kernel scoring for this ingest",
     )
 
     stream_snapshot = stream_commands.add_parser(
@@ -514,6 +525,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="comparison shard count (default: 4 x workers)",
+    )
+    trace.add_argument(
+        "--no-columnar",
+        action="store_true",
+        help="trace the scalar comparison loop instead of the columnar "
+             "batch kernels",
     )
     trace.add_argument(
         "--repeat",
@@ -893,6 +910,8 @@ def _stream_config_from_args(args: argparse.Namespace) -> dict:
         parallelism["shards"] = args.shards
     if parallelism:
         config["parallelism"] = parallelism
+    if getattr(args, "no_columnar", False):
+        config["columnar"] = False
     if getattr(args, "graph", False):
         config["graph"] = True
     return config
@@ -923,6 +942,8 @@ def _command_stream_ingest(args: argparse.Namespace, fmt: CsvFormat) -> int:
             session.pipeline = session.pipeline.with_parallelism(
                 workers=args.workers, shards=args.shards
             )
+        if args.no_columnar:
+            session.pipeline = session.pipeline.with_columnar(False)
         batch = _load_dataset(args.dataset, args.id_column, fmt)
         snapshot = session.ingest(batch)
         print(
@@ -1092,6 +1113,8 @@ def _command_trace(args: argparse.Namespace, fmt: CsvFormat) -> int:
             pipeline = pipeline.with_parallelism(
                 workers=args.workers, shards=args.shards, min_pairs=0
             )
+        if args.no_columnar:
+            pipeline = pipeline.with_columnar(False)
 
         engine = ExperimentEngine(platform, max_workers=2)
         with tracer.span(

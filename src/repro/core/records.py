@@ -168,3 +168,20 @@ class Dataset:
             name=subset_name,
             attributes=self.attributes,
         )
+
+    def columnar_store(self):
+        """This dataset as a :class:`repro.columnar.ColumnarStore`.
+
+        Rows are aligned with the dense numeric ids, so ``store.row_of``
+        equals :meth:`numeric_id` for every record.  Built once and
+        cached — records are immutable after construction, and the
+        comparison stage may ask for the store repeatedly.
+        """
+        store = getattr(self, "_columnar_store", None)
+        if store is None:
+            from repro.columnar import ColumnarStore, count_store_build
+
+            store = ColumnarStore.from_dataset(self)
+            count_store_build()
+            self._columnar_store = store
+        return store

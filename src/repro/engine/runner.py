@@ -682,8 +682,17 @@ class ExperimentEngine:
 
     @classmethod
     def _configured_pipeline(cls, params: Mapping[str, object]):
-        """The job's pipeline with ``blocker``/``workers``/``shards`` applied."""
+        """The job's pipeline with execution params applied.
+
+        ``blocker``/``workers``/``shards``/``columnar`` are execution
+        knobs: like the pipeline attributes they override, none of them
+        participates in the job's cache key (the output cannot depend
+        on them).
+        """
         pipeline = cls._selected_pipeline(params)
+        columnar = params.get("columnar")
+        if columnar is not None:
+            pipeline = pipeline.with_columnar(bool(columnar))
         workers = params.get("workers")
         shards = params.get("shards")
         if workers is None and shards is None:

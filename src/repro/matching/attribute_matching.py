@@ -77,6 +77,15 @@ class AttributeComparator:
         """The attribute names this comparator is configured for."""
         return list(self._config)
 
+    @property
+    def functions(self) -> Mapping[str, Similarity]:
+        """Attribute → similarity function, in configuration order.
+
+        The public view :func:`repro.columnar.plan_for` inspects to
+        decide whether every configured measure has a batch kernel.
+        """
+        return dict(self._config)
+
     def compare(self, first: Record, second: Record) -> SimilarityVector:
         """Similarity vector of one record pair."""
         values: dict[str, float | None] = {}

@@ -35,6 +35,13 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 from heapq import merge
 
+from repro.columnar import (
+    ColumnarStore,
+    compare_block,
+    count_fallback,
+    count_store_build,
+    plan_for,
+)
 from repro.core.pairs import Pair
 from repro.core.records import Record
 from repro.matching.attribute_matching import (
@@ -52,6 +59,7 @@ _PAIRS_COMPARED = _telemetry_metrics.get_metrics().counter(
 
 __all__ = [
     "ParallelConfig",
+    "COLUMNAR_MIN_PAIRS",
     "shard_of",
     "partition_pairs",
     "resolve_candidates",
@@ -61,6 +69,9 @@ __all__ = [
 # Below this many pairs a fork + pickle round-trip costs more than the
 # comparisons it saves; the pipeline falls back to the serial loop.
 DEFAULT_MIN_PAIRS = 2048
+# Below this many pairs building a columnar store costs more than the
+# per-pair function calls it batches away; the scalar loop wins.
+COLUMNAR_MIN_PAIRS = 32
 # Shards per worker: more shards than workers smooths skew (a shard
 # that happens to hold long values does not straggle the whole batch).
 SHARDS_PER_WORKER = 4
@@ -197,24 +208,22 @@ def resolve_candidates(
     blocking and scoring are dropped instead of raising ``KeyError`` —
     the caller decides how loudly to report the returned missing ids.
     """
+    ordered = sorted(candidates)
     resolved: dict[str, Record] = {}
     missing: set[str] = set()
-    ordered: list[Pair] = []
-    for pair in sorted(candidates):
-        usable = True
-        for record_id in pair:
-            if record_id in resolved:
-                continue
-            if record_id in missing:
-                usable = False
-                continue
-            try:
-                resolved[record_id] = records[record_id]
-            except KeyError:
-                missing.add(record_id)
-                usable = False
-        if usable:
-            ordered.append(pair)
+    # dict, not set: first-appearance order keeps downstream interning
+    # (and therefore store pickles) identical across hash seeds
+    for record_id in {rid: None for pair in ordered for rid in pair}:
+        try:
+            resolved[record_id] = records[record_id]
+        except KeyError:
+            missing.add(record_id)
+    if missing:
+        ordered = [
+            pair
+            for pair in ordered
+            if pair[0] not in missing and pair[1] not in missing
+        ]
     return ordered, resolved, sorted(missing)
 
 
@@ -306,12 +315,65 @@ def _shard_tasks(
     return tasks
 
 
+# Columnar shard of work: (pairs, the column *slice* those pairs touch).
+# Slices re-intern down to the values the shard references, so the wire
+# payload is two int arrays + a compact string pool per attribute
+# instead of one dict per record.
+_ColumnarShardTask = tuple[Sequence[Pair], ColumnarStore]
+
+
+def _columnar_shard_tasks(
+    shards: Sequence[Sequence[Pair]],
+    store: ColumnarStore,
+) -> list[_ColumnarShardTask]:
+    """Per-shard tasks shipping column slices instead of record dicts."""
+    tasks: list[_ColumnarShardTask] = []
+    for shard in shards:
+        if not shard:
+            continue
+        touched: dict[str, None] = {}
+        for first, second in shard:
+            touched.setdefault(first)
+            touched.setdefault(second)
+        tasks.append((shard, store.slice(touched)))
+    return tasks
+
+
+def _compare_shard_columnar_packed(task: _ColumnarShardTask):
+    """Columnar worker entry point: kernel-score one shard's block.
+
+    The comparator still travels once per worker as shared state; the
+    kernel plan is re-derived from it per shard (a few dict lookups).
+    The parent only dispatches columnar tasks when planning succeeded
+    on the identical comparator, so the plan is never ``None`` here.
+    """
+    from repro.engine.executors import shared_state
+
+    pairs, store = task
+    plan = plan_for(shared_state())
+    vectors = compare_block(store, pairs, plan)
+    return (
+        "packed",
+        plan.attributes,
+        [(v.pair, tuple(v.values.values())) for v in vectors],
+    )
+
+
+def _compare_shard_columnar_timed(task: _ColumnarShardTask):
+    """Like :func:`_compare_shard_columnar_packed`, with its wall time."""
+    started = time.perf_counter()
+    payload = _compare_shard_columnar_packed(task)
+    return (time.perf_counter() - started, payload)
+
+
 def compare_pairs_sharded(
     records,
     candidates: Iterable[Pair],
     comparator: AttributeComparator,
     config: ParallelConfig | None = None,
     executor=None,
+    columnar: bool = True,
+    store: ColumnarStore | None = None,
 ) -> tuple[list[SimilarityVector], list[str]]:
     """Similarity vectors of ``candidates``, sharded across processes.
 
@@ -323,12 +385,43 @@ def compare_pairs_sharded(
     ``executor`` overrides the executor derived from ``config`` —
     tests inject a :class:`~repro.engine.executors.SerialExecutor` to
     exercise the sharded code path without forking.
+
+    ``columnar`` routes comparison through the batch kernels of
+    :mod:`repro.columnar` when every configured measure has one
+    (:func:`repro.columnar.plan_for`) and the block is big enough to
+    amortize building the store; the kernels are byte-identical to the
+    scalar measures, so — like parallelism — the knob can never change
+    the output, only the speed.
+
+    ``store`` optionally supplies a prebuilt :class:`ColumnarStore`
+    covering the candidate records (e.g. the layout cached on the
+    prepared dataset) so the comparison pass skips re-interning; it is
+    used only if every resolved record is present, and never changes
+    scores — kernels read interned *values*, not row positions.
     """
     config = config or ParallelConfig()
     tracer = _tracing.get_tracer()
     ordered, resolved, missing = resolve_candidates(records, candidates)
     _PAIRS_COMPARED.inc(len(ordered))
+    plan = None
+    if columnar and len(ordered) >= COLUMNAR_MIN_PAIRS:
+        plan = plan_for(comparator)
+        if plan is None:
+            count_fallback(len(ordered))
+    if store is not None and (
+        plan is None
+        or any(a not in store.attributes for a in comparator.attributes)
+        or any(record_id not in store for record_id in resolved)
+    ):
+        store = None
     if executor is None and not config.engaged(len(ordered)):
+        if plan is not None:
+            if store is None:
+                store = ColumnarStore.from_records(
+                    resolved, comparator.attributes
+                )
+                count_store_build()
+            return compare_block(store, ordered, plan), missing
         with tracer.span("comparison.serial", pairs=len(ordered)):
             return compare_pairs(resolved, ordered, comparator), missing
     if executor is None:
@@ -340,9 +433,23 @@ def compare_pairs_sharded(
         pairs=len(ordered),
         workers=getattr(executor, "workers", None),
         shards=config.resolved_shards(),
+        columnar=plan is not None,
     ):
         shards = partition_pairs(ordered, config.resolved_shards())
-        tasks = _shard_tasks(shards, resolved)
+        if plan is not None:
+            if store is None:
+                store = ColumnarStore.from_records(
+                    resolved, comparator.attributes
+                )
+                count_store_build()
+            tasks: Sequence = _columnar_shard_tasks(shards, store)
+            worker, worker_timed = (
+                _compare_shard_columnar_packed,
+                _compare_shard_columnar_timed,
+            )
+        else:
+            tasks = _shard_tasks(shards, resolved)
+            worker, worker_timed = _compare_shard_packed, _compare_shard_timed
         if tracer.enabled:
             # Workers time themselves (a pool child cannot reach this
             # span tree); each measurement becomes one completed child
@@ -350,16 +457,14 @@ def compare_pairs_sharded(
             payloads = []
             for task, (seconds, payload) in zip(
                 tasks,
-                executor.map(_compare_shard_timed, tasks, shared=comparator),
+                executor.map(worker_timed, tasks, shared=comparator),
             ):
                 tracer.record(
                     "comparison.shard", seconds, pairs=len(task[0])
                 )
                 payloads.append(payload)
         else:
-            payloads = executor.map(
-                _compare_shard_packed, tasks, shared=comparator
-            )
+            payloads = executor.map(worker, tasks, shared=comparator)
         shard_vectors = [_unpack_shard(payload) for payload in payloads]
         # Each shard is sorted by pair (partitioning preserved the global
         # sorted order), so a k-way merge reproduces the serial order.

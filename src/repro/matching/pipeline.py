@@ -134,6 +134,12 @@ class MatchingPipeline:
         knob is deliberately absent from :meth:`config_fingerprint` —
         the engine's result cache must not distinguish runs that
         cannot differ.
+    columnar:
+        Route the comparison stage through the batch kernels of
+        :mod:`repro.columnar` when every configured measure has one
+        (default on).  Kernel scores are byte-identical to the scalar
+        measures, so — exactly like ``parallelism`` — this is an
+        execution knob, absent from :meth:`config_fingerprint`.
     """
 
     def __init__(
@@ -149,6 +155,7 @@ class MatchingPipeline:
         name: str = "pipeline-run",
         solution: str = "pipeline",
         parallelism: ParallelConfig | Mapping[str, object] | int | None = None,
+        columnar: bool = True,
     ) -> None:
         self.candidate_generator = candidate_generator
         self.comparator = comparator
@@ -169,11 +176,19 @@ class MatchingPipeline:
         self.name = name
         self.solution = solution
         self.parallelism = _coerce_parallelism(parallelism)
+        self.columnar = bool(columnar)
 
     # -- stages (each one is a node of the job graph) ---------------------------
 
     def prepare(self, dataset: Dataset) -> Dataset:
-        """Step 1 — apply the record-level preparers in order."""
+        """Step 1 — apply the record-level preparers in order.
+
+        When the columnar path is on and every configured measure has a
+        batch kernel, the prepared dataset's columnar layout (interned
+        columns plus the kernels' derived arrays) is built here too —
+        column stores pay layout cost at load time, so the comparison
+        stage is pure scoring.
+        """
         with _tracing.span("pipeline.prepare", records=len(dataset)):
             prepared_records = []
             for record in dataset:
@@ -181,10 +196,17 @@ class MatchingPipeline:
                     record = preparer(record)
                 prepared_records.append(record)
             _RECORDS_PREPARED.inc(len(prepared_records))
-            return Dataset(
+            prepared = Dataset(
                 prepared_records, name=f"{dataset.name}-prepared",
                 attributes=dataset.attributes,
             )
+            if self.columnar:
+                from repro.columnar import plan_for
+
+                plan = plan_for(self.comparator)
+                if plan is not None:
+                    plan.warm(prepared.columnar_store())
+            return prepared
 
     def generate_candidates(self, prepared: Dataset) -> set[Pair]:
         """Step 2 — candidate pairs of the prepared dataset."""
@@ -215,7 +237,15 @@ class MatchingPipeline:
         """
         with _tracing.span("pipeline.similarity") as span:
             vectors, missing = compare_pairs_sharded(
-                prepared, candidates, self.comparator, config=self.parallelism
+                prepared,
+                candidates,
+                self.comparator,
+                config=self.parallelism,
+                columnar=self.columnar,
+                # reuse the layout prepare() built; never built here —
+                # streaming registries and ad-hoc mappings pass None and
+                # the comparison stage interns just the touched records
+                store=getattr(prepared, "_columnar_store", None),
             )
             span.annotate(vectors=len(vectors), missing=len(missing))
         if missing:
@@ -353,6 +383,19 @@ class MatchingPipeline:
         )
         return clone
 
+    def with_columnar(self, columnar: bool) -> "MatchingPipeline":
+        """A shallow copy with kernelized comparison switched on/off.
+
+        Like :meth:`with_parallelism` this only changes *how* the
+        comparison stage executes, never its output — the batch
+        kernels are byte-identical to the scalar measures (and the
+        stage falls back to the scalar loop whenever a configured
+        measure has no kernel).
+        """
+        clone = copy.copy(self)
+        clone.columnar = bool(columnar)
+        return clone
+
     def with_blocker(self, candidate_generator: CandidateGenerator) -> "MatchingPipeline":
         """A shallow copy running a different candidate generator.
 
@@ -375,10 +418,11 @@ class MatchingPipeline:
         Used by :mod:`repro.engine` to content-address pipeline job
         results.  Callables are tokenized by qualified name, so custom
         steps should be module-level functions (not lambdas closing
-        over differing constants).  :attr:`parallelism` is deliberately
-        excluded: sharded execution is byte-identical to serial, and a
-        fingerprint that varied with it would split the cache across
-        entries that hold the same result.
+        over differing constants).  :attr:`parallelism` and
+        :attr:`columnar` are deliberately excluded: sharded and
+        kernelized execution are byte-identical to the serial scalar
+        loop, and a fingerprint that varied with them would split the
+        cache across entries that hold the same result.
         """
         from repro.engine.jobs import content_fingerprint
 

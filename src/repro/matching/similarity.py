@@ -31,6 +31,7 @@ __all__ = [
     "ngram_jaccard",
     "monge_elkan",
     "soundex",
+    "SOUNDEX_SENTINEL",
     "soundex_similarity",
     "numeric_similarity",
     "TfIdfCosine",
@@ -47,28 +48,69 @@ def exact(first: str, second: str) -> float:
     return 1.0 if first == second else 0.0
 
 
-def levenshtein_distance(first: str, second: str) -> int:
+def levenshtein_distance(first: str, second: str, bound: int | None = None) -> int:
     """Edit distance with substitutions, insertions, and deletions.
 
-    Two-row dynamic program, ``O(len(first) · len(second))`` time and
-    ``O(min(len))`` space.
+    Banded two-row dynamic program (Ukkonen's cutoff): only cells with
+    ``|i - j| <= bound`` are computed, and the scan exits early once
+    every entry of a row exceeds ``bound`` — row minima are
+    non-decreasing, so later rows cannot come back under it.  The
+    returned value is the exact distance whenever it is ``<= bound``;
+    otherwise ``bound + 1`` is returned, meaning "greater than bound".
+
+    With the default ``bound=None`` the band spans ``max(len)`` — an
+    upper bound on any edit distance — so the result is always exact,
+    in ``O(len(first) · len(second))`` time and ``O(min(len))`` space.
     """
     if first == second:
         return 0
     if len(first) < len(second):
         first, second = second, first
+    len_a, len_b = len(first), len(second)
+    if bound is None:
+        bound = len_a  # distance never exceeds the longer length
+    elif bound < 0:
+        raise ValueError(f"bound must be >= 0, got {bound}")
+    if len_a - len_b > bound:  # length gap alone exceeds the band
+        return bound + 1
     if not second:
-        return len(first)
-    previous = list(range(len(second) + 1))
+        return len_a
+    if bound >= len_a:
+        # Full band: the classic tight two-row scan (no cell can fall
+        # outside it, and no row minimum can exceed max(len)).
+        previous = list(range(len_b + 1))
+        for i, char_a in enumerate(first, start=1):
+            current = [i]
+            for j, char_b in enumerate(second, start=1):
+                cost = 0 if char_a == char_b else 1
+                current.append(
+                    min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+                )
+            previous = current
+        return previous[-1]
+    overshoot = bound + 1
+    previous = list(range(len_b + 1))
+    lo, hi = 0, len_b  # the previous row's in-band column span
     for i, char_a in enumerate(first, start=1):
-        current = [i]
-        for j, char_b in enumerate(second, start=1):
-            cost = 0 if char_a == char_b else 1
-            current.append(
-                min(previous[j] + 1, current[j - 1] + 1, previous[j - 1] + cost)
+        row_lo = max(0, i - bound)
+        row_hi = min(len_b, i + bound)
+        current = []
+        if row_lo == 0:
+            current.append(i)  # first column: i deletions
+        for j in range(max(row_lo, 1), row_hi + 1):
+            cost = 0 if char_a == second[j - 1] else 1
+            above = previous[j - lo] + 1 if lo <= j <= hi else overshoot
+            left = current[j - row_lo - 1] + 1 if j > row_lo else overshoot
+            diagonal = (
+                previous[j - 1 - lo] + cost if lo <= j - 1 <= hi else overshoot
             )
+            current.append(min(above, left, diagonal))
+        if min(current) > bound:
+            return overshoot  # row minima never decrease: no way back
         previous = current
-    return previous[-1]
+        lo, hi = row_lo, row_hi
+    distance = previous[-1]
+    return distance if distance <= bound else overshoot
 
 
 def levenshtein(first: str, second: str) -> float:
@@ -117,7 +159,12 @@ def jaro(first: str, second: str) -> float:
 
 
 def jaro_winkler(first: str, second: str, prefix_weight: float = 0.1) -> float:
-    """Jaro–Winkler: Jaro boosted for common prefixes up to length 4."""
+    """Jaro–Winkler: Jaro boosted for common prefixes up to length 4.
+
+    Per Winkler's published definition the prefix boost applies only
+    when the Jaro similarity *exceeds* the boost threshold of 0.7 — a
+    pair sitting exactly on the threshold is returned unboosted.
+    """
     base = jaro(first, second)
     if base <= 0.7:
         return base
@@ -232,11 +279,25 @@ _SOUNDEX_CODES = {
 }
 
 
+SOUNDEX_SENTINEL = "0000"
+
+
 def soundex(value: str) -> str:
-    """American Soundex code (letter + three digits) of the first word."""
+    """American Soundex code (letter + three digits) of the first word.
+
+    Follows the published NARA rules for alphabetic names: the first
+    letter is retained; ``h``/``w`` are transparent (same-coded letters
+    separated by them collapse, as in ``Ashcraft -> A261``); vowels and
+    ``y`` separate (``Tymczak -> T522``); and a second letter coded like
+    the first is skipped (``Pfister -> P236``).  Deliberate deviation:
+    Soundex is undefined for words that do not start with a letter, so
+    those (and empty values) map to the :data:`SOUNDEX_SENTINEL` code —
+    :func:`soundex_similarity` treats the sentinel as "not encodable"
+    rather than as a real phonetic class.
+    """
     word = next(iter(_token_tuple(value)), "")
     if not word or not word[0].isalpha():
-        return "0000"
+        return SOUNDEX_SENTINEL
     head = word[0].upper()
     digits = []
     previous = _SOUNDEX_CODES.get(word[0], "")
@@ -252,19 +313,37 @@ def soundex(value: str) -> str:
 
 
 def soundex_similarity(first: str, second: str) -> float:
-    """1.0 iff the Soundex codes agree — a cheap phonetic similarity."""
-    return 1.0 if soundex(first) == soundex(second) else 0.0
+    """1.0 iff the Soundex codes agree — a cheap phonetic similarity.
+
+    Values Soundex cannot encode (empty, or not starting with a
+    letter) fall back to exact string equality: two *different*
+    non-encodable values (``"42"`` vs ``"99"``) must not count as
+    phonetically identical just because both map to the sentinel code.
+    """
+    code_a = soundex(first)
+    code_b = soundex(second)
+    if code_a == SOUNDEX_SENTINEL or code_b == SOUNDEX_SENTINEL:
+        return exact(first, second)
+    return 1.0 if code_a == code_b else 0.0
 
 
 def numeric_similarity(first: str, second: str, tolerance: float = 0.2) -> float:
     """Proximity of two numeric strings, linear within a relative tolerance.
 
-    Non-numeric input falls back to exact string equality.
+    Non-numeric input falls back to exact string equality — and so do
+    non-finite parses (``"nan"``, ``"inf"``, ``"-infinity"``): the
+    relative-distance formula is meaningless there, and evaluating it
+    would produce NaN scores that survive the tolerance guard and
+    poison thresholding, fusion weights, and graph edge scores
+    downstream.  The result is therefore always finite and in
+    ``[0, 1]``.
     """
     try:
         value_a = float(first)
         value_b = float(second)
     except ValueError:
+        return exact(first, second)
+    if not (math.isfinite(value_a) and math.isfinite(value_b)):
         return exact(first, second)
     if value_a == value_b:
         return 1.0
@@ -362,7 +441,11 @@ class TfIdfCosine:
         dot = sum(
             weight * vector_b.get(token, 0.0) for token, weight in vector_a.items()
         )
-        return dot / (norm_a * norm_b)
+        # Clamp the last-ulp overshoot of fl(sqrt(s))² < s: for some
+        # norms the rounded product of the two square roots lands just
+        # below the exact dot product of identical vectors, and the
+        # ratio exceeds 1.0 by one ulp — a score outside [0, 1].
+        return min(1.0, dot / (norm_a * norm_b))
 
 
 SIMILARITY_FUNCTIONS: dict[str, Similarity] = {

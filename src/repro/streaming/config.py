@@ -26,6 +26,9 @@ store when a durable session is resumed.  Schema::
         "shards": 16,                 # default: 4 x workers
         "min_pairs": 2048             # serial below this delta size
       },
+      "columnar": true,               # optional: batch-kernel delta
+                                      # scoring (default on; output is
+                                      # byte-identical either way)
       "graph": true                   # optional: maintain a persisted
     }                                 # match graph (durable streams)
 
@@ -167,6 +170,11 @@ def validate_config(config: Mapping[str, object]) -> dict[str, object]:
     }
     if config.get("parallelism") is not None:
         normalized["parallelism"] = parallelism.as_dict()
+    columnar = config.get("columnar", True)
+    if not isinstance(columnar, bool):
+        raise ValueError("config.columnar must be a boolean")
+    if "columnar" in config:
+        normalized["columnar"] = columnar
     graph = config.get("graph", False)
     if not isinstance(graph, bool):
         raise ValueError("config.graph must be a boolean")
@@ -277,6 +285,7 @@ def _build_pipeline_and_index(
         name="streaming-config",
         solution="streaming",
         parallelism=ParallelConfig.from_dict(config.get("parallelism")),
+        columnar=bool(config.get("columnar", True)),
     )
     return pipeline, _delta_index(key)
 

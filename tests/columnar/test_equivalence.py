@@ -1,0 +1,232 @@
+"""Columnar/scalar equivalence: serial, sharded, fallback, and wiring."""
+
+import random
+import struct
+
+import pytest
+
+from repro.core.records import Dataset, Record
+from repro.engine.executors import SerialExecutor
+from repro.matching.attribute_matching import AttributeComparator
+from repro.matching.parallel import (
+    COLUMNAR_MIN_PAIRS,
+    ParallelConfig,
+    compare_pairs_sharded,
+)
+from repro.matching.blocking import first_token_key, standard_blocking
+from repro.matching.pipeline import MatchingPipeline
+from repro.telemetry.metrics import get_metrics
+
+FIRST = ["alice", "alicia", "bob", "robert", "carol", "karol", "dave"]
+LAST = ["smith", "smyth", "jones", "johnson", "miller", "muller"]
+CITY = ["berlin", "potsdam", "hamburg", "munich", ""]
+ZIP = ["10115", "10117", "14467", "nan", "inf", None, "80331"]
+
+
+def person_dataset(count, seed=7):
+    rng = random.Random(seed)
+    records = [
+        Record(
+            record_id=f"p{i:04d}",
+            values={
+                "first_name": rng.choice(FIRST),
+                "last_name": rng.choice(LAST),
+                "city": rng.choice(CITY),
+                "zip": rng.choice(ZIP),
+            },
+        )
+        for i in range(count)
+    ]
+    return Dataset(records, name="people")
+
+
+def comparator():
+    return AttributeComparator({
+        "first_name": "jaro_winkler",
+        "last_name": "monge_elkan",
+        "city": "ngram_jaccard",
+        "zip": "numeric",
+    })
+
+
+def bits(value):
+    return None if value is None else struct.pack("<d", value)
+
+
+def assert_identical(vectors_a, vectors_b):
+    assert len(vectors_a) == len(vectors_b)
+    for left, right in zip(vectors_a, vectors_b):
+        assert left.pair == right.pair
+        assert list(left.values) == list(right.values)
+        for attribute in left.values:
+            assert bits(left.values[attribute]) == bits(
+                right.values[attribute]
+            ), (attribute, left.pair)
+
+
+@pytest.fixture
+def dataset():
+    return person_dataset(120)
+
+
+@pytest.fixture
+def candidates(dataset):
+    return standard_blocking(dataset, first_token_key("last_name"))
+
+
+class TestSerialEquivalence:
+    def test_columnar_serial_matches_scalar_serial(self, dataset, candidates):
+        scalar, missing_a = compare_pairs_sharded(
+            dataset, candidates, comparator(), columnar=False
+        )
+        fast, missing_b = compare_pairs_sharded(
+            dataset, candidates, comparator(), columnar=True
+        )
+        assert missing_a == missing_b == []
+        assert len(fast) >= COLUMNAR_MIN_PAIRS
+        assert_identical(scalar, fast)
+
+    def test_small_blocks_fall_back_to_scalar_loop(self, dataset):
+        # below the gate the scalar loop runs; output identical anyway
+        pairs = sorted(
+            standard_blocking(dataset, first_token_key("last_name"))
+        )[: COLUMNAR_MIN_PAIRS - 1]
+        scalar, _ = compare_pairs_sharded(
+            dataset, pairs, comparator(), columnar=False
+        )
+        fast, _ = compare_pairs_sharded(
+            dataset, pairs, comparator(), columnar=True
+        )
+        assert_identical(scalar, fast)
+
+
+class TestShardedEquivalence:
+    def test_columnar_shards_match_scalar_serial(self, dataset, candidates):
+        scalar, _ = compare_pairs_sharded(
+            dataset, candidates, comparator(), columnar=False
+        )
+        sharded, _ = compare_pairs_sharded(
+            dataset,
+            candidates,
+            comparator(),
+            config=ParallelConfig(workers=4, shards=7, min_pairs=0),
+            executor=SerialExecutor(),
+            columnar=True,
+        )
+        assert_identical(scalar, sharded)
+
+    def test_columnar_shards_match_scalar_shards(self, dataset, candidates):
+        config = ParallelConfig(workers=2, shards=5, min_pairs=0)
+        scalar, _ = compare_pairs_sharded(
+            dataset,
+            candidates,
+            comparator(),
+            config=config,
+            executor=SerialExecutor(),
+            columnar=False,
+        )
+        fast, _ = compare_pairs_sharded(
+            dataset,
+            candidates,
+            comparator(),
+            config=config,
+            executor=SerialExecutor(),
+            columnar=True,
+        )
+        assert_identical(scalar, fast)
+
+
+class TestFallback:
+    def test_unkernelizable_measure_falls_back(self, dataset, candidates):
+        def custom(a, b):
+            return 0.25
+
+        mixed = AttributeComparator(
+            {"first_name": "jaro_winkler", "last_name": custom}
+        )
+        fallback = get_metrics().counter("frost_kernel_fallback_pairs_total")
+        before = fallback.value
+        vectors, _ = compare_pairs_sharded(
+            dataset, candidates, mixed, columnar=True
+        )
+        assert fallback.value > before
+        assert all(
+            vector.values["last_name"] in (0.25, None) for vector in vectors
+        )
+
+    def test_missing_records_reported_same_as_scalar(self, dataset):
+        pairs = sorted(
+            standard_blocking(dataset, first_token_key("last_name"))
+        )
+        pairs.append(("p0000", "zz-gone"))
+        scalar, missing_a = compare_pairs_sharded(
+            dataset, pairs, comparator(), columnar=False
+        )
+        fast, missing_b = compare_pairs_sharded(
+            dataset, pairs, comparator(), columnar=True
+        )
+        assert missing_a == missing_b == ["zz-gone"]
+        assert_identical(scalar, fast)
+
+
+class TestPipelineKnob:
+    def test_with_columnar_off_is_byte_identical(self, dataset):
+        def build(columnar):
+            return MatchingPipeline(
+                candidate_generator=lambda d: standard_blocking(
+                    d, first_token_key("last_name")
+                ),
+                comparator=comparator(),
+                decision_model=lambda v: v.mean(),
+                threshold=0.8,
+                columnar=columnar,
+            )
+
+        fast = build(True).run(dataset)
+        slow = build(False).run(dataset)
+        assert_identical(fast.vectors, slow.vectors)
+        assert [
+            (sp.pair, bits(sp.score)) for sp in fast.scored_pairs
+        ] == [(sp.pair, bits(sp.score)) for sp in slow.scored_pairs]
+        assert fast.experiment.matches == slow.experiment.matches
+
+    def test_with_columnar_returns_clone(self, dataset):
+        pipeline = MatchingPipeline(
+            candidate_generator=lambda d: set(),
+            comparator=comparator(),
+            decision_model=lambda v: v.mean(),
+        )
+        assert pipeline.columnar is True
+        clone = pipeline.with_columnar(False)
+        assert clone is not pipeline
+        assert clone.columnar is False
+        assert pipeline.columnar is True
+        assert clone.comparator is pipeline.comparator
+
+    def test_fingerprint_ignores_columnar(self):
+        pipeline = MatchingPipeline(
+            candidate_generator=standard_blocking,
+            comparator=comparator(),
+            decision_model=lambda v: v.mean(),
+        )
+        assert (
+            pipeline.config_fingerprint()
+            == pipeline.with_columnar(False).config_fingerprint()
+        )
+
+
+class TestTelemetry:
+    def test_kernel_counters_advance(self, dataset, candidates):
+        metrics = get_metrics()
+        pairs_counter = metrics.counter("frost_kernel_pairs_total")
+        distinct_counter = metrics.counter("frost_kernel_distinct_pairs_total")
+        builds_counter = metrics.counter("frost_kernel_store_builds_total")
+        before = (
+            pairs_counter.value,
+            distinct_counter.value,
+            builds_counter.value,
+        )
+        compare_pairs_sharded(dataset, candidates, comparator(), columnar=True)
+        assert pairs_counter.value > before[0]
+        assert distinct_counter.value > before[1]
+        assert builds_counter.value > before[2]

@@ -191,3 +191,152 @@ class TestRegistry:
     def test_exact(self):
         assert sim.exact("a", "a") == 1.0
         assert sim.exact("a", "A") == 0.0
+
+
+class TestNumericNonFinite:
+    """Regression: non-finite parses must not produce NaN (ISSUE 8)."""
+
+    @pytest.mark.parametrize(
+        ("first", "second", "expected"),
+        [
+            ("nan", "nan", 1.0),        # same spelling: exact fallback
+            ("nan", "NaN", 0.0),        # different spellings differ
+            ("inf", "inf", 1.0),
+            ("inf", "-inf", 0.0),
+            ("Infinity", "inf", 0.0),   # both non-finite, unequal strings
+            ("nan", "1.0", 0.0),        # non-finite vs finite
+            ("1e400", "1e400", 1.0),    # overflow-to-inf parses
+            ("1e400", "2e400", 0.0),
+        ],
+    )
+    def test_non_finite_parses_fall_back_to_exact(self, first, second, expected):
+        assert sim.numeric_similarity(first, second) == expected
+
+    def test_never_nan_on_classic_poison_inputs(self):
+        import math
+
+        for first in ("nan", "inf", "-inf", "1e999", "3.5", "x"):
+            for second in ("nan", "inf", "-inf", "1e999", "3.5", "x"):
+                score = sim.numeric_similarity(first, second)
+                assert not math.isnan(score), (first, second)
+                assert 0.0 <= score <= 1.0
+
+
+class TestLevenshteinBand:
+    """The banded early exit the docstring promises (ISSUE 8)."""
+
+    def test_exact_within_bound(self):
+        assert sim.levenshtein_distance("kitten", "sitting", bound=3) == 3
+        assert sim.levenshtein_distance("kitten", "sitting", bound=5) == 3
+
+    def test_overshoot_is_bound_plus_one(self):
+        assert sim.levenshtein_distance("kitten", "sitting", bound=2) == 3
+        assert sim.levenshtein_distance("abcdef", "uvwxyz", bound=1) == 2
+
+    def test_length_gap_early_exit(self):
+        assert sim.levenshtein_distance("a", "abcdefgh", bound=3) == 4
+
+    def test_zero_bound(self):
+        assert sim.levenshtein_distance("same", "same", bound=0) == 0
+        assert sim.levenshtein_distance("same", "sane", bound=0) == 1
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError, match="bound"):
+            sim.levenshtein_distance("a", "b", bound=-1)
+
+    def test_randomized_band_equals_full_dp(self):
+        import random
+
+        rng = random.Random(99)
+        alphabet = "abcdefg"
+        for _ in range(300):
+            first = "".join(
+                rng.choice(alphabet) for _ in range(rng.randint(0, 12))
+            )
+            second = "".join(
+                rng.choice(alphabet) for _ in range(rng.randint(0, 12))
+            )
+            exact_distance = sim.levenshtein_distance(first, second)
+            for bound in range(0, 14):
+                banded = sim.levenshtein_distance(first, second, bound=bound)
+                if exact_distance <= bound:
+                    assert banded == exact_distance, (first, second, bound)
+                else:
+                    assert banded == bound + 1, (first, second, bound)
+
+
+class TestJaroWinklerBoundary:
+    """Winkler's boost applies only strictly above 0.7 (ISSUE 8 audit)."""
+
+    def test_boost_applies_above_threshold(self):
+        base = sim.jaro("dixon", "dicksonx")
+        assert base > 0.7
+        assert sim.jaro_winkler("dixon", "dicksonx") > base
+
+    def test_no_boost_at_exactly_threshold(self, monkeypatch):
+        # No short string pair lands on the exact double 0.7, so pin the
+        # base measure to the boundary and check the comparison is strict.
+        monkeypatch.setattr(sim, "jaro", lambda a, b: 0.7)
+        assert sim.jaro_winkler("prefix-a", "prefix-b") == 0.7
+
+    def test_boost_just_above_threshold(self, monkeypatch):
+        import math
+
+        above = math.nextafter(0.7, 1.0)
+        monkeypatch.setattr(sim, "jaro", lambda a, b: above)
+        assert sim.jaro_winkler("prefix-a", "prefix-b") > above
+
+    def test_no_boost_without_common_prefix(self):
+        base = sim.jaro("martha", "marhta")
+        assert base > 0.7
+        boosted = sim.jaro_winkler("martha", "marhta")
+        assert boosted == base + 3 * 0.1 * (1.0 - base)
+
+
+class TestSoundexPublishedTable:
+    """NARA's published examples, table-driven (ISSUE 8 audit)."""
+
+    @pytest.mark.parametrize(
+        ("word", "code"),
+        [
+            ("Robert", "R163"),
+            ("Rupert", "R163"),
+            ("Ashcraft", "A261"),   # h is transparent: s/c collapse
+            ("Ashcroft", "A261"),
+            ("Tymczak", "T522"),    # vowels separate: z and k both kept
+            ("Pfister", "P236"),    # second letter coded like the first
+            ("Jackson", "J250"),
+            ("Honeyman", "H555"),
+            ("Washington", "W252"), # w transparent within the word
+            ("Lee", "L000"),
+            ("Gutierrez", "G362"),
+            ("VanDeusen", "V532"),
+        ],
+    )
+    def test_published_codes(self, word, code):
+        assert sim.soundex(word) == code
+
+    @pytest.mark.parametrize("value", ["123", "", "   ", "42nd", "#$%"])
+    def test_non_alphabetic_leading_values_get_the_sentinel(self, value):
+        assert sim.soundex(value) == sim.SOUNDEX_SENTINEL
+
+    def test_punctuation_prefix_codes_the_first_word_token(self):
+        # tokenization strips punctuation first: "#tag" encodes "tag"
+        assert sim.soundex("#tag") == sim.soundex("tag")
+
+    def test_sentinel_similarity_falls_back_to_exact(self):
+        # two different non-encodable values are NOT phonetically equal
+        assert sim.soundex_similarity("123", "999") == 0.0
+        assert sim.soundex_similarity("123", "123") == 1.0
+        assert sim.soundex_similarity("123", "Robert") == 0.0
+
+
+class TestTfIdfClamp:
+    def test_self_similarity_never_exceeds_one(self):
+        # fl(sqrt(s))^2 < s can push the raw ratio one ulp above 1.0;
+        # sweep many corpora to hit the rounding in both directions
+        for seed in range(40):
+            tokens = [f"t{seed}", f"u{seed}", "shared"]
+            measure = sim.TfIdfCosine([" ".join(tokens), "shared other"])
+            value = " ".join(tokens * (seed % 3 + 1))
+            assert measure(value, value) <= 1.0

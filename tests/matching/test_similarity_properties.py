@@ -1,0 +1,179 @@
+"""Property suite: scalar measures and batch kernels (ISSUE 8).
+
+Every similarity score — scalar or kernel — must be finite and in
+``[0, 1]``; symmetric measures must be bitwise symmetric; and the batch
+kernels must reproduce the scalar measures bit for bit on arbitrary
+inputs, not just the curated tables of the unit tests.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.columnar import ColumnarStore, compare_block, kernel_for, plan_for
+from repro.core.records import Record
+from repro.matching.attribute_matching import AttributeComparator
+from repro.matching.similarity import (
+    SIMILARITY_FUNCTIONS,
+    TfIdfCosine,
+    levenshtein_distance,
+    numeric_similarity,
+)
+
+# Text mixing word characters, whitespace, punctuation, and the numeric
+# edge-case spellings float() accepts ("nan", "inf", "-Infinity", ...).
+plain_text = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd", "Po", "Zs"), max_codepoint=383
+    ),
+    max_size=24,
+)
+numericish = st.sampled_from([
+    "nan", "NaN", "inf", "-inf", "Infinity", "-Infinity", "1e400", "-1e400",
+    "0", "-0", "0.0", "12.5", "1_000", "  7  ",
+])
+values = plain_text | numericish
+
+
+@pytest.mark.parametrize("name", sorted(SIMILARITY_FUNCTIONS))
+@given(first=values, second=values)
+@settings(max_examples=60, deadline=None)
+def test_scores_finite_and_bounded(name, first, second):
+    score = SIMILARITY_FUNCTIONS[name](first, second)
+    assert math.isfinite(score)
+    assert 0.0 <= score <= 1.0
+
+
+@pytest.mark.parametrize("name", sorted(SIMILARITY_FUNCTIONS))
+@given(first=values, second=values)
+@settings(max_examples=60, deadline=None)
+def test_scores_bitwise_symmetric(name, first, second):
+    """All built-in measures are symmetric — to the bit, not approx."""
+    function = SIMILARITY_FUNCTIONS[name]
+    forward = function(first, second)
+    backward = function(second, first)
+    assert repr(forward) == repr(backward)
+
+
+@given(first=values, second=values)
+@settings(max_examples=60, deadline=None)
+def test_tfidf_cosine_bounded_and_approximately_symmetric(first, second):
+    measure = TfIdfCosine([first, second, "shared corpus tokens"])
+    forward = measure(first, second)
+    backward = measure(second, first)
+    assert math.isfinite(forward)
+    assert 0.0 <= forward <= 1.0
+    # the dot product iterates the left vector, so the summation order
+    # differs between directions — equality holds only to the last ulp
+    assert forward == pytest.approx(backward, abs=1e-12)
+
+
+@given(first=values, second=values)
+@settings(max_examples=120, deadline=None)
+def test_numeric_similarity_never_nan(first, second):
+    """The acceptance property: numeric_similarity is provably NaN-free."""
+    score = numeric_similarity(first, second)
+    assert not math.isnan(score)
+    assert math.isfinite(score)
+    assert 0.0 <= score <= 1.0
+
+
+def _reference_distance(first, second):
+    """Textbook full-matrix Levenshtein, the banded DP's oracle."""
+    rows = len(first) + 1
+    cols = len(second) + 1
+    table = [[0] * cols for _ in range(rows)]
+    for i in range(rows):
+        table[i][0] = i
+    for j in range(cols):
+        table[0][j] = j
+    for i in range(1, rows):
+        for j in range(1, cols):
+            cost = 0 if first[i - 1] == second[j - 1] else 1
+            table[i][j] = min(
+                table[i - 1][j] + 1,
+                table[i][j - 1] + 1,
+                table[i - 1][j - 1] + cost,
+            )
+    return table[-1][-1]
+
+
+@given(
+    first=st.text(alphabet="abcde", max_size=14),
+    second=st.text(alphabet="abcde", max_size=14),
+    bound=st.integers(min_value=0, max_value=16) | st.none(),
+)
+@settings(max_examples=200, deadline=None)
+def test_banded_levenshtein_equals_unbanded(first, second, bound):
+    exact_distance = _reference_distance(first, second)
+    banded = levenshtein_distance(first, second, bound=bound)
+    if bound is None or exact_distance <= bound:
+        assert banded == exact_distance
+    else:
+        assert banded == bound + 1
+
+
+@pytest.mark.parametrize("name", sorted(SIMILARITY_FUNCTIONS))
+@given(pool=st.lists(values, min_size=2, max_size=8, unique=True))
+@settings(max_examples=40, deadline=None)
+def test_kernels_equal_scalar_on_arbitrary_values(name, pool):
+    """Kernel scores == scalar scores, bit for bit, on random pools."""
+    function = SIMILARITY_FUNCTIONS[name]
+    kernel = kernel_for(function)
+    records = {
+        f"r{i}": Record(record_id=f"r{i}", values={"a": value})
+        for i, value in enumerate(pool)
+    }
+    store = ColumnarStore.from_records(records, ["a"])
+    vids = np.arange(1, store.distinct_values + 1, dtype=np.int64)
+    grid_a, grid_b = np.meshgrid(vids, vids, indexing="ij")
+    scores = kernel.unique_scores(store, grid_a.ravel(), grid_b.ravel())
+    for vid_a, vid_b, score in zip(
+        grid_a.ravel().tolist(), grid_b.ravel().tolist(), scores.tolist()
+    ):
+        expected = function(store.value_of(vid_a), store.value_of(vid_b))
+        assert repr(score) == repr(expected), (
+            name,
+            store.value_of(vid_a),
+            store.value_of(vid_b),
+        )
+
+
+@given(pool=st.lists(values, min_size=3, max_size=10, unique=True))
+@settings(max_examples=30, deadline=None)
+def test_compare_block_equals_scalar_compare(pool):
+    """End-to-end block engine == AttributeComparator.compare, bitwise."""
+    comparator = AttributeComparator({
+        "a": "jaro_winkler",
+        "b": "token_jaccard",
+        "c": "numeric",
+    })
+    records = {
+        f"r{i:02d}": Record(
+            record_id=f"r{i:02d}",
+            values={
+                "a": pool[i % len(pool)],
+                "b": pool[(i + 1) % len(pool)],
+                "c": pool[(i * 2) % len(pool)],
+            },
+        )
+        for i in range(len(pool))
+    }
+    store = ColumnarStore.from_records(records, comparator.attributes)
+    ids = sorted(records)
+    pairs = [
+        (ids[i], ids[j])
+        for i in range(len(ids))
+        for j in range(i + 1, len(ids))
+    ]
+    block = compare_block(store, pairs, plan_for(comparator))
+    for vector, pair in zip(block, pairs):
+        expected = comparator.compare(records[pair[0]], records[pair[1]])
+        assert vector.pair == expected.pair
+        for attribute in expected.values:
+            left = expected.values[attribute]
+            right = vector.values[attribute]
+            assert repr(left) == repr(right), (attribute, pair)

@@ -221,3 +221,20 @@ class TestConfigValidation:
         session = build_session(config)
         snapshot = session.ingest(BATCH_ONE)
         assert snapshot.record_count == 3
+
+    def test_columnar_must_be_boolean(self):
+        with pytest.raises(ValueError, match="columnar"):
+            validate_config({**CONFIG, "columnar": "yes"})
+
+    def test_columnar_defaults_on_and_round_trips_when_set(self):
+        assert "columnar" not in validate_config(CONFIG)
+        normalized = validate_config({**CONFIG, "columnar": False})
+        assert normalized["columnar"] is False
+        pipeline, _ = build_pipeline_and_index({**CONFIG, "columnar": False})
+        assert pipeline.columnar is False
+        pipeline, _ = build_pipeline_and_index(CONFIG)
+        assert pipeline.columnar is True
+
+    def test_status_reports_columnar(self):
+        session = build_session({**CONFIG, "columnar": False})
+        assert session.status()["columnar"] is False

@@ -24,6 +24,7 @@ FAST_EXAMPLES = [
     "serving_load.py",
     "tracing_pipeline.py",
     "graph_explore.py",
+    "columnar_kernels.py",
 ]
 
 
