@@ -320,6 +320,14 @@ def build_parser() -> argparse.ArgumentParser:
              "columnar batch kernels (output is identical either way)",
     )
     stream_init.add_argument(
+        "--blocking-storage",
+        choices=("memory", "disk"),
+        default=None,
+        help="where block membership lives: 'disk' spills blocking keys "
+             "into SQLite and joins candidates there (identical output, "
+             "bounded Python memory; default memory)",
+    )
+    stream_init.add_argument(
         "--graph",
         action="store_true",
         help="maintain a persisted match graph, updated per batch "
@@ -531,6 +539,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="trace the scalar comparison loop instead of the columnar "
              "batch kernels",
+    )
+    trace.add_argument(
+        "--blocking-storage",
+        choices=("memory", "disk"),
+        default=None,
+        help="run candidate generation through the SQL-pushdown disk "
+             "path (identical candidates; default memory)",
     )
     trace.add_argument(
         "--repeat",
@@ -912,6 +927,8 @@ def _stream_config_from_args(args: argparse.Namespace) -> dict:
         config["parallelism"] = parallelism
     if getattr(args, "no_columnar", False):
         config["columnar"] = False
+    if getattr(args, "blocking_storage", None):
+        config["blocking_storage"] = args.blocking_storage
     if getattr(args, "graph", False):
         config["graph"] = True
     return config
@@ -1102,11 +1119,14 @@ def _command_trace(args: argparse.Namespace, fmt: CsvFormat) -> int:
                 "last_name": "jaro_winkler",
                 "city": "jaro_winkler",
             }
-        pipeline, _ = build_pipeline_and_index({
+        trace_config: dict[str, object] = {
             "key": {"kind": args.key_kind, "attribute": args.key_attribute},
             "similarities": similarities,
             "threshold": args.threshold,
-        })
+        }
+        if args.blocking_storage:
+            trace_config["blocking_storage"] = args.blocking_storage
+        pipeline, _ = build_pipeline_and_index(trace_config)
         if args.workers is not None or args.shards is not None:
             # min_pairs=0: tracing runs exist to show the parallel path,
             # so the small-batch serial fast path must not swallow it.

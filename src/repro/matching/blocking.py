@@ -19,12 +19,14 @@ pipeline scores candidates in sorted order
 
 from __future__ import annotations
 
+import logging
 from collections.abc import Callable, Iterable
 from itertools import combinations
 
 from repro.core.pairs import Pair, make_pair
 from repro.core.records import Dataset, Record
 from repro.matching.similarity import tokenize
+from repro.telemetry.metrics import get_metrics
 
 __all__ = [
     "full_pairs",
@@ -34,9 +36,45 @@ __all__ = [
     "first_token_key",
     "prefix_key",
     "soundex_key",
+    "note_purged_blocks",
 ]
 
+_LOGGER = logging.getLogger(__name__)
+
+# Recall loss from the max_block_size purge must be observable: purged
+# blocks silently shrink the candidate set, which reads as "fast" until
+# pairs completeness is measured.  One counter pair is shared by every
+# purge site — token blocking, LSH bucket purging, and the disk-backed
+# SQL path (:mod:`repro.blocking_disk`).
+_PURGED_BLOCKS = get_metrics().counter(
+    "frost_blocking_purged_blocks_total",
+    "Oversized blocks dropped by the max_block_size purge",
+)
+_PURGED_RECORDS = get_metrics().counter(
+    "frost_blocking_purged_records_total",
+    "Record memberships lost inside purged oversized blocks",
+)
+
 BlockingKey = Callable[[Record], str | None]
+
+
+def note_purged_blocks(
+    scheme: str, purged_blocks: int, purged_records: int
+) -> None:
+    """Record one run's block purge in telemetry (no-op when nothing
+    was purged) and warn once per run so the recall loss is visible."""
+    if not purged_blocks:
+        return
+    _PURGED_BLOCKS.inc(purged_blocks)
+    _PURGED_RECORDS.inc(purged_records)
+    _LOGGER.warning(
+        "%s purged %d oversized block(s) spanning %d record memberships "
+        "(max_block_size); recall may drop — see "
+        "frost_blocking_purged_blocks_total",
+        scheme,
+        purged_blocks,
+        purged_records,
+    )
 
 
 def full_pairs(dataset: Dataset) -> set[Pair]:
@@ -69,14 +107,20 @@ def sorted_neighborhood(
 ) -> set[Pair]:
     """Sorted-neighborhood method: sort by key, pair within a window.
 
-    Records with ``None`` keys sort last under an empty key (they still
-    participate, as the original method prescribes a total order).
+    Records with ``None`` keys sort *first* under an empty key (they
+    still participate, as the original method prescribes a total
+    order).  Equal keys are tie-broken by record id — sorting by key
+    alone would leave ties in dataset insertion order, making the
+    window (and therefore the candidate set) depend on ingestion order.
+    The total ``(key, record_id)`` order also matches what SQL's
+    ``ORDER BY block_key, record_id`` produces, which keeps the
+    disk-backed window join (:mod:`repro.blocking_disk`) set-identical.
     """
     if window < 2:
         raise ValueError(f"window must be at least 2, got {window}")
     ordered = sorted(
         (record.record_id for record in dataset),
-        key=lambda record_id: key(dataset[record_id]) or "",
+        key=lambda record_id: (key(dataset[record_id]) or "", record_id),
     )
     candidates: set[Pair] = set()
     for index, record_id in enumerate(ordered):
@@ -113,23 +157,41 @@ def token_blocking(
         for token in sorted(seen):
             blocks.setdefault(token, []).append(record.record_id)
     candidates: set[Pair] = set()
+    purged_blocks = purged_records = 0
     for token in sorted(blocks):
         members = blocks[token]
         if max_block_size is not None and len(members) > max_block_size:
+            purged_blocks += 1
+            purged_records += len(members)
             continue
         candidates.update(make_pair(a, b) for a, b in combinations(members, 2))
+    note_purged_blocks("token_blocking", purged_blocks, purged_records)
     return candidates
 
 
 # -- common key functions -----------------------------------------------------------
 
 
+def _keyable_value(record: Record, attribute: str) -> str | None:
+    """The attribute value iff it carries any non-whitespace content.
+
+    ``None``, empty, and whitespace-only values are all "missing" for
+    blocking purposes: a key derived from ``"   "`` would otherwise
+    group every whitespace-padded record into one junk block (and a
+    whitespace *prefix* key is indistinguishable from real data).
+    """
+    value = record.value(attribute)
+    if value is None or not value.strip():
+        return None
+    return value
+
+
 def first_token_key(attribute: str) -> BlockingKey:
     """Key: the first token of ``attribute`` (lowercased)."""
 
     def key(record: Record) -> str | None:
-        value = record.value(attribute)
-        if not value:
+        value = _keyable_value(record, attribute)
+        if value is None:
             return None
         tokens = tokenize(value)
         return tokens[0] if tokens else None
@@ -141,8 +203,8 @@ def prefix_key(attribute: str, length: int = 3) -> BlockingKey:
     """Key: the first ``length`` characters of ``attribute``."""
 
     def key(record: Record) -> str | None:
-        value = record.value(attribute)
-        if not value:
+        value = _keyable_value(record, attribute)
+        if value is None:
             return None
         return value.lower()[:length]
 
@@ -154,8 +216,8 @@ def soundex_key(attribute: str) -> BlockingKey:
     from repro.matching.similarity import soundex
 
     def key(record: Record) -> str | None:
-        value = record.value(attribute)
-        if not value:
+        value = _keyable_value(record, attribute)
+        if value is None:
             return None
         return soundex(value)
 

@@ -41,6 +41,7 @@ from random import Random
 
 from repro.core.pairs import Pair, make_pair
 from repro.core.records import Dataset, Record
+from repro.matching.blocking import note_purged_blocks
 from repro.matching.similarity import tokenize
 
 __all__ = [
@@ -303,6 +304,17 @@ class MinHasher:
         signature = self.signature(tokens)
         if signature is None:
             return []
+        return self.band_keys_from_signature(signature)
+
+    def band_keys_from_signature(
+        self, signature: Sequence[int]
+    ) -> list[str]:
+        """The banded bucket keys of an already-computed signature.
+
+        Split out of :meth:`band_keys` so callers that also persist the
+        signature (the disk-backed blocking store spills the packed
+        blob next to the bucket rows) hash each record exactly once.
+        """
         rows = self.config.rows
         keys = []
         for band in range(self.config.bands):
@@ -342,14 +354,18 @@ def lsh_blocking(dataset: Dataset, config: LshConfig | None = None) -> set[Pair]
         for key in hasher.keys_for(record):
             buckets.setdefault(key, []).append(record.record_id)
     candidates: set[Pair] = set()
+    purged_buckets = purged_records = 0
     for key in sorted(buckets):
         members = buckets[key]
         if (
             config.max_block_size is not None
             and len(members) > config.max_block_size
         ):
+            purged_buckets += 1
+            purged_records += len(members)
             continue
         candidates.update(make_pair(a, b) for a, b in combinations(members, 2))
+    note_purged_blocks("lsh_blocking", purged_buckets, purged_records)
     return candidates
 
 
@@ -372,3 +388,16 @@ class LshBlocking:
     def config_fingerprint(self) -> dict[str, object]:
         """Content token for the engine's cache keys."""
         return {"lsh_blocking": self.config.as_dict()}
+
+    def disk_blocking_plan(self):
+        """The SQL-pushdown execution plan of this blocker.
+
+        Lets ``blocking_storage="disk"`` pipelines spill signatures and
+        band-bucket rows into SQLite and self-join there instead of
+        building Python bucket lists (see :mod:`repro.blocking_disk`).
+        The candidate set is identical either way, so this — like the
+        plan hook itself — never affects :meth:`config_fingerprint`.
+        """
+        from repro.blocking_disk.blockers import lsh_plan
+
+        return lsh_plan(self.config)

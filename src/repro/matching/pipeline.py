@@ -43,6 +43,23 @@ _MATCHES_ACCEPTED = _telemetry_metrics.get_metrics().counter(
     "frost_clustering_matches_total",
     "Matches emitted by the clustering stage (direct + transitive)",
 )
+_DISK_FALLBACKS = _telemetry_metrics.get_metrics().counter(
+    "frost_blocking_disk_fallback_total",
+    "blocking_storage='disk' requests served by the in-memory path "
+    "(no SQL pushdown plan for the configured generator)",
+)
+
+_BLOCKING_STORAGES = ("memory", "disk")
+
+
+def _coerce_blocking_storage(blocking_storage: str) -> str:
+    storage = str(blocking_storage)
+    if storage not in _BLOCKING_STORAGES:
+        raise ValueError(
+            f"blocking_storage must be one of {_BLOCKING_STORAGES}, "
+            f"got {blocking_storage!r}"
+        )
+    return storage
 
 __all__ = ["PipelineRun", "MatchingPipeline", "normalize_whitespace", "lowercase_values"]
 
@@ -140,6 +157,16 @@ class MatchingPipeline:
         (default on).  Kernel scores are byte-identical to the scalar
         measures, so — exactly like ``parallelism`` — this is an
         execution knob, absent from :meth:`config_fingerprint`.
+    blocking_storage:
+        ``"memory"`` (default) runs the candidate generator as-is;
+        ``"disk"`` pushes blocking into SQLite via
+        :mod:`repro.blocking_disk` — keys and signatures spill to
+        indexed tables and the pair join runs as a SQL self-join
+        streamed in bounded chunks, so blocking memory stays O(chunk)
+        instead of O(corpus).  Candidate sets are identical either
+        way (generators without a pushdown plan fall back in-memory
+        with a warning), so this too is an execution knob, absent
+        from :meth:`config_fingerprint`.
     """
 
     def __init__(
@@ -156,6 +183,7 @@ class MatchingPipeline:
         solution: str = "pipeline",
         parallelism: ParallelConfig | Mapping[str, object] | int | None = None,
         columnar: bool = True,
+        blocking_storage: str = "memory",
     ) -> None:
         self.candidate_generator = candidate_generator
         self.comparator = comparator
@@ -177,6 +205,7 @@ class MatchingPipeline:
         self.solution = solution
         self.parallelism = _coerce_parallelism(parallelism)
         self.columnar = bool(columnar)
+        self.blocking_storage = _coerce_blocking_storage(blocking_storage)
 
     # -- stages (each one is a node of the job graph) ---------------------------
 
@@ -209,9 +238,31 @@ class MatchingPipeline:
             return prepared
 
     def generate_candidates(self, prepared: Dataset) -> set[Pair]:
-        """Step 2 — candidate pairs of the prepared dataset."""
+        """Step 2 — candidate pairs of the prepared dataset.
+
+        With ``blocking_storage="disk"`` the generator's SQL-pushdown
+        plan (see :func:`repro.blocking_disk.plan_for_generator`) runs
+        inside a scratch SQLite database instead; generators without a
+        plan fall back to the in-memory call — same candidates, so the
+        fallback is an observability event (warning + counter), not an
+        error.
+        """
         with _tracing.span("pipeline.candidates", records=len(prepared)) as span:
-            candidates = self.candidate_generator(prepared)
+            candidates: set[Pair] | None = None
+            if self.blocking_storage == "disk":
+                from repro.blocking_disk import disk_candidates
+
+                candidates = disk_candidates(self.candidate_generator, prepared)
+                if candidates is None:
+                    _DISK_FALLBACKS.inc()
+                    _LOGGER.warning(
+                        "blocking_storage='disk' has no SQL pushdown plan "
+                        "for %r; falling back to the in-memory path "
+                        "(output is identical)",
+                        self.candidate_generator,
+                    )
+            if candidates is None:
+                candidates = self.candidate_generator(prepared)
             span.annotate(pairs=len(candidates))
             _CANDIDATES_GENERATED.inc(len(candidates))
             return candidates
@@ -396,6 +447,19 @@ class MatchingPipeline:
         clone.columnar = bool(columnar)
         return clone
 
+    def with_blocking_storage(self, blocking_storage: str) -> "MatchingPipeline":
+        """A shallow copy with blocking routed to memory or disk.
+
+        Like :meth:`with_parallelism` and :meth:`with_columnar` this
+        only changes *how* candidate generation executes, never its
+        output — the SQL-pushdown plans produce candidate sets
+        identical to the in-memory blockers (and generators without a
+        plan fall back to the in-memory call).
+        """
+        clone = copy.copy(self)
+        clone.blocking_storage = _coerce_blocking_storage(blocking_storage)
+        return clone
+
     def with_blocker(self, candidate_generator: CandidateGenerator) -> "MatchingPipeline":
         """A shallow copy running a different candidate generator.
 
@@ -418,11 +482,12 @@ class MatchingPipeline:
         Used by :mod:`repro.engine` to content-address pipeline job
         results.  Callables are tokenized by qualified name, so custom
         steps should be module-level functions (not lambdas closing
-        over differing constants).  :attr:`parallelism` and
-        :attr:`columnar` are deliberately excluded: sharded and
-        kernelized execution are byte-identical to the serial scalar
-        loop, and a fingerprint that varied with them would split the
-        cache across entries that hold the same result.
+        over differing constants).  :attr:`parallelism`,
+        :attr:`columnar`, and :attr:`blocking_storage` are deliberately
+        excluded: sharded, kernelized, and disk-backed execution are
+        byte-identical to the serial in-memory path, and a fingerprint
+        that varied with them would split the cache across entries that
+        hold the same result.
         """
         from repro.engine.jobs import content_fingerprint
 

@@ -17,6 +17,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.blocking_disk.store import BLOCKING_SCHEMA, DiskBlockingStore
 from repro.core.clustering import Clustering
 from repro.core.experiment import Experiment, GoldStandard, Match
 from repro.core.notify import ListenerSet
@@ -34,7 +35,9 @@ __all__ = ["FrostStore", "StorageError", "SCHEMA_VERSION"]
 #   1: seed .. PR 5 (datasets/experiments/golds/result_cache/streams)
 #   2: PR 7 match-graph adjacency tables (graphs/graph_nodes/
 #      graph_edges/graph_components)
-SCHEMA_VERSION = 2
+#   3: PR 9 disk-backed blocking tables (blocking_runs/blocking_keys/
+#      blocking_signatures — see repro.blocking_disk)
+SCHEMA_VERSION = 3
 
 # Process-wide connection-pool traffic, feeding GET /metrics.
 _CONNECTIONS_OPENED = get_metrics().counter(
@@ -181,7 +184,7 @@ CREATE TABLE IF NOT EXISTS graph_components (
 );
 CREATE INDEX IF NOT EXISTS idx_graph_components_component
     ON graph_components(graph_id, component);
-"""
+""" + BLOCKING_SCHEMA
 
 
 class FrostStore:
@@ -800,6 +803,16 @@ class FrostStore:
     def schema_version(self) -> int:
         """The schema version stamped into this store file."""
         return self._connection.execute("PRAGMA user_version").fetchone()[0]
+
+    def blocking_store(self) -> DiskBlockingStore:
+        """A disk-blocking view over this store's blocking tables.
+
+        Blocking runs spilled through it live next to the datasets
+        (schema version 3), so a platform store file carries its own
+        reproducible blocking state.  The view borrows the calling
+        thread's connection — closing it never closes the store.
+        """
+        return DiskBlockingStore(connection=self._connection)
 
     def subscribe_graph(self, listener) -> None:
         """Call ``listener(graph_name)`` after every graph write.

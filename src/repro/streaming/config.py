@@ -29,6 +29,10 @@ store when a durable session is resumed.  Schema::
       "columnar": true,               # optional: batch-kernel delta
                                       # scoring (default on; output is
                                       # byte-identical either way)
+      "blocking_storage": "disk",     # optional: "memory" (default) or
+                                      # "disk" — SQLite-backed blocking
+                                      # (identical candidates, bounded
+                                      # Python memory)
       "graph": true                   # optional: maintain a persisted
     }                                 # match graph (durable streams)
 
@@ -175,6 +179,14 @@ def validate_config(config: Mapping[str, object]) -> dict[str, object]:
         raise ValueError("config.columnar must be a boolean")
     if "columnar" in config:
         normalized["columnar"] = columnar
+    blocking_storage = config.get("blocking_storage", "memory")
+    if blocking_storage not in ("memory", "disk"):
+        raise ValueError(
+            "config.blocking_storage must be 'memory' or 'disk', "
+            f"got {blocking_storage!r}"
+        )
+    if "blocking_storage" in config:
+        normalized["blocking_storage"] = blocking_storage
     graph = config.get("graph", False)
     if not isinstance(graph, bool):
         raise ValueError("config.graph must be a boolean")
@@ -222,6 +234,23 @@ class _BatchBlocking:
         """Content token for the engine's cache keys."""
         return {"batch_blocking": self._config}
 
+    def disk_blocking_plan(self):
+        """The SQL-pushdown plan for ``blocking_storage="disk"``.
+
+        Reuses the exact same key emitters as :meth:`__call__`'s
+        blockers, so the disk path's candidate set is identical.
+        """
+        from repro.blocking_disk.blockers import standard_plan, token_plan
+
+        config = self._config
+        if config["kind"] == "token":
+            return token_plan(
+                attributes=config.get("attributes"),
+                min_token_length=int(config.get("min_token_length", 3)),
+                max_block_size=config.get("max_block_size"),
+            )
+        return standard_plan(_blocking_key(config), config)
+
 
 def candidate_generator_from_key(key: object):
     """The *batch* candidate generator described by a key config.
@@ -242,14 +271,33 @@ def _candidate_generator(key: Mapping[str, object]):
     return _BatchBlocking(key)
 
 
-def delta_index_from_key(key: object) -> IncrementalBlockingIndex:
-    """A fresh incremental delta index for a key config."""
-    return _delta_index(validate_key_config(key))
+def delta_index_from_key(
+    key: object, storage: str = "memory"
+) -> IncrementalBlockingIndex:
+    """A fresh incremental delta index for a key config.
+
+    ``storage="disk"`` returns a
+    :class:`~repro.blocking_disk.incremental.DiskBlockingIndex` whose
+    block membership lives in a scratch SQLite database — identical
+    ingest/retract/restore semantics, bounded Python memory.
+    """
+    return _delta_index(validate_key_config(key), storage)
 
 
-def _delta_index(key: Mapping[str, object]) -> IncrementalBlockingIndex:
+def _delta_index(
+    key: Mapping[str, object], storage: str = "memory"
+) -> IncrementalBlockingIndex:
     """:func:`delta_index_from_key` for pre-validated keys."""
     if key["kind"] == "lsh":
+        if storage == "disk":
+            from repro.blocking_disk.incremental import DiskBlockingIndex
+            from repro.matching.lsh import MinHasher
+
+            config = _lsh_config(key)
+            return DiskBlockingIndex(
+                MinHasher(config).keys_for,
+                max_block_size=config.max_block_size,
+            )
         return IncrementalLshIndex(_lsh_config(key))
     if key["kind"] == "token":
         emitter = token_keys(
@@ -258,6 +306,12 @@ def _delta_index(key: Mapping[str, object]) -> IncrementalBlockingIndex:
         )
     else:
         emitter = single_key(_blocking_key(key))
+    if storage == "disk":
+        from repro.blocking_disk.incremental import DiskBlockingIndex
+
+        return DiskBlockingIndex(
+            emitter, max_block_size=key.get("max_block_size")
+        )
     return IncrementalBlockingIndex(
         emitter, max_block_size=key.get("max_block_size")
     )
@@ -275,6 +329,7 @@ def _build_pipeline_and_index(
 ) -> tuple[MatchingPipeline, IncrementalBlockingIndex]:
     """:func:`build_pipeline_and_index` for pre-validated configs."""
     key = config["key"]
+    storage = str(config.get("blocking_storage", "memory"))
     pipeline = MatchingPipeline(
         candidate_generator=_candidate_generator(key),
         comparator=AttributeComparator(config["similarities"]),
@@ -286,8 +341,9 @@ def _build_pipeline_and_index(
         solution="streaming",
         parallelism=ParallelConfig.from_dict(config.get("parallelism")),
         columnar=bool(config.get("columnar", True)),
+        blocking_storage=storage,
     )
-    return pipeline, _delta_index(key)
+    return pipeline, _delta_index(key, storage)
 
 
 def build_session(

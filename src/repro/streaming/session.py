@@ -250,6 +250,7 @@ class StreamingMatcher:
                 ),
                 "parallelism": self.pipeline.parallelism.as_dict(),
                 "columnar": self.pipeline.columnar,
+                "blocking_storage": self.pipeline.blocking_storage,
                 "latest": latest,
                 "snapshots": [s.as_dict() for s in self._snapshots],
             }

@@ -1,0 +1,192 @@
+"""DiskBlockingIndex: drop-in equivalence with the in-memory delta index."""
+
+import pytest
+
+from repro.blocking_disk import DiskBlockingIndex, DiskBlockingStore
+from repro.core.records import Record
+from repro.datagen import make_person_benchmark
+from repro.storage.database import FrostStore
+from repro.streaming.config import build_session, delta_index_from_key, open_session
+from repro.streaming.delta_blocking import (
+    IncrementalBlockingIndex,
+    single_key,
+    token_keys,
+)
+from repro.matching.blocking import first_token_key
+
+
+def person(record_id, last):
+    return Record(record_id, {"last": last})
+
+
+def make_pair_of_indexes(max_block_size=None):
+    emitter = single_key(first_token_key("last"))
+    return (
+        IncrementalBlockingIndex(emitter, max_block_size=max_block_size),
+        DiskBlockingIndex(emitter, max_block_size=max_block_size),
+    )
+
+
+@pytest.fixture(scope="module")
+def people():
+    return list(make_person_benchmark(240, seed=3).dataset)
+
+
+class TestEquivalence:
+    def test_delta_pairs_match_memory_index(self, people):
+        emitter = token_keys(min_token_length=3)
+        memory = IncrementalBlockingIndex(emitter)
+        disk = DiskBlockingIndex(emitter)
+        for start in range(0, len(people), 60):
+            batch = people[start : start + 60]
+            assert disk.ingest_delta(batch).pairs == (
+                memory.ingest_delta(batch).pairs
+            )
+        assert disk.block_count == memory.block_count
+        assert disk.block_items() == memory.block_items()
+        assert len(disk) == len(memory)
+        disk.close()
+
+    def test_emission_cap_is_order_dependent_like_memory(self):
+        memory, disk = make_pair_of_indexes(max_block_size=2)
+        batches = [
+            [person("a", "smith"), person("b", "smith")],
+            [person("c", "smith")],  # block full: joins silently
+            [person("d", "smith")],
+        ]
+        for batch in batches:
+            assert disk.ingest_delta(batch).pairs == (
+                memory.ingest_delta(batch).pairs
+            )
+        # membership is kept even when emission stopped
+        assert disk.block_items() == memory.block_items()
+        disk.close()
+
+    def test_duplicate_record_rejected(self):
+        _, disk = make_pair_of_indexes()
+        disk.ingest_delta([person("a", "smith")])
+        with pytest.raises(ValueError, match="already indexed"):
+            disk.ingest_delta([person("a", "smith")])
+        disk.close()
+
+    def test_contains_and_len(self):
+        _, disk = make_pair_of_indexes()
+        disk.ingest_delta([person("a", "smith"), person("b", "jones")])
+        assert "a" in disk and "b" in disk and "z" not in disk
+        assert len(disk) == 2
+        disk.close()
+
+
+class TestRetractRestore:
+    def test_retract_undoes_the_latest_ingest(self):
+        memory, disk = make_pair_of_indexes()
+        first = [person("a", "smith"), person("b", "smith")]
+        second = [person("c", "smith"), person("d", "jones")]
+        for index in (memory, disk):
+            index.ingest_delta(first)
+        memory_delta = memory.ingest_delta(second)
+        disk_delta = disk.ingest_delta(second)
+        memory.retract(memory_delta)
+        disk.retract(disk_delta)
+        assert disk.block_items() == memory.block_items()
+        assert "c" not in disk and "d" not in disk
+        # re-ingesting after the retract emits the same delta again
+        assert disk.ingest_delta(second).pairs == disk_delta.pairs
+        disk.close()
+
+    def test_restore_rebuilds_without_emitting(self):
+        memory, disk = make_pair_of_indexes()
+        rows = [("smith", "a"), ("smith", "b"), ("jones", "c")]
+        memory.restore(rows)
+        disk.restore(rows)
+        assert disk.block_items() == memory.block_items()
+        # the next ingest emits against the restored membership
+        assert disk.ingest_delta([person("d", "smith")]).pairs == [
+            ("a", "d"), ("b", "d"),
+        ]
+        disk.close()
+
+    def test_restore_requires_empty_index(self):
+        _, disk = make_pair_of_indexes()
+        disk.ingest_delta([person("a", "smith")])
+        with pytest.raises(ValueError, match="empty"):
+            disk.restore([("smith", "b")])
+        disk.close()
+
+
+class TestSharedStore:
+    def test_borrowed_store_not_closed(self):
+        with DiskBlockingStore() as store:
+            index = DiskBlockingIndex(
+                single_key(first_token_key("last")), store=store
+            )
+            index.ingest_delta([person("a", "smith"), person("b", "smith")])
+            index.close()  # no-op: the store is borrowed
+            assert store.key_count(1) == 2
+
+
+class TestDurableSessions:
+    CONFIG = {
+        "key": {"kind": "first_token", "attribute": "first_name"},
+        "similarities": {
+            "first_name": "jaro_winkler",
+            "last_name": "jaro_winkler",
+        },
+        "threshold": 0.85,
+        "blocking_storage": "disk",
+    }
+
+    def test_disk_session_matches_memory_session(self, people, tmp_path):
+        memory_config = {
+            k: v for k, v in self.CONFIG.items() if k != "blocking_storage"
+        }
+        with FrostStore(str(tmp_path / "disk.db")) as store:
+            disk_session = build_session(self.CONFIG, store=store, name="d")
+            disk_snapshots = [
+                disk_session.ingest(people[:150]),
+                disk_session.ingest(people[150:]),
+            ]
+        with FrostStore(str(tmp_path / "memory.db")) as store:
+            memory_session = build_session(memory_config, store=store, name="m")
+            memory_snapshots = [
+                memory_session.ingest(people[:150]),
+                memory_session.ingest(people[150:]),
+            ]
+        for disk_snap, memory_snap in zip(disk_snapshots, memory_snapshots):
+            assert disk_snap.delta_candidates == memory_snap.delta_candidates
+            assert disk_snap.cluster_count == memory_snap.cluster_count
+
+    def test_resume_rebuilds_a_disk_index(self, people, tmp_path):
+        path = str(tmp_path / "resume.db")
+        with FrostStore(path) as store:
+            session = build_session(self.CONFIG, store=store, name="s")
+            session.ingest(people[:150])
+        with FrostStore(path) as store:
+            resumed = open_session(store, "s")
+            assert isinstance(resumed.index, DiskBlockingIndex)
+            assert resumed.status()["blocking_storage"] == "disk"
+            snapshot = resumed.ingest(people[150:])
+            assert snapshot.record_count == len(people)
+
+
+class TestFactory:
+    def test_delta_index_from_key_storage_knob(self):
+        key = {"kind": "first_token", "attribute": "last"}
+        assert isinstance(
+            delta_index_from_key(key), IncrementalBlockingIndex
+        )
+        disk = delta_index_from_key(key, storage="disk")
+        assert isinstance(disk, DiskBlockingIndex)
+        disk.close()
+
+    def test_lsh_disk_index_matches_memory(self, people):
+        key = {"kind": "lsh", "num_perm": 16, "bands": 4, "max_block_size": 25}
+        memory = delta_index_from_key(key)
+        disk = delta_index_from_key(key, storage="disk")
+        emitted_memory, emitted_disk = set(), set()
+        for start in range(0, len(people), 80):
+            batch = people[start : start + 80]
+            emitted_memory.update(memory.ingest_delta(batch).pairs)
+            emitted_disk.update(disk.ingest_delta(batch).pairs)
+        assert emitted_disk == emitted_memory
+        disk.close()

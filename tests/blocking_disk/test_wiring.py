@@ -1,0 +1,216 @@
+"""The blocking_storage knob through pipeline, engine, config, and CLI."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.platform import FrostPlatform
+from repro.datagen import make_person_benchmark
+from repro.engine import ExperimentEngine
+from repro.engine.jobs import JobSpec, JobState
+from repro.matching.attribute_matching import AttributeComparator
+from repro.matching.blocking import token_blocking
+from repro.matching.pipeline import MatchingPipeline
+from repro.streaming.config import build_pipeline_and_index, validate_config
+from repro.telemetry.metrics import get_metrics
+
+
+def _mean(vector):
+    values = [value for value in vector.values.values() if value is not None]
+    return sum(values) / len(values) if values else 0.0
+
+
+@pytest.fixture(scope="module")
+def people():
+    return make_person_benchmark(200, seed=13).dataset
+
+
+@pytest.fixture
+def pipeline():
+    return MatchingPipeline(
+        candidate_generator=token_blocking,
+        comparator=AttributeComparator(
+            {"first_name": "jaro_winkler", "last_name": "jaro_winkler"}
+        ),
+        decision_model=_mean,
+        threshold=0.85,
+        name="disk-wiring",
+    )
+
+
+class TestPipelineKnob:
+    def test_validation(self, pipeline):
+        with pytest.raises(ValueError, match="memory.*disk"):
+            pipeline.with_blocking_storage("papyrus")
+        with pytest.raises(ValueError, match="blocking_storage"):
+            MatchingPipeline(
+                candidate_generator=token_blocking,
+                comparator=pipeline.comparator,
+                decision_model=_mean,
+                blocking_storage="cloud",
+            )
+
+    def test_with_blocking_storage_is_a_shallow_copy(self, pipeline):
+        disk = pipeline.with_blocking_storage("disk")
+        assert disk is not pipeline
+        assert disk.blocking_storage == "disk"
+        assert pipeline.blocking_storage == "memory"
+        assert disk.comparator is pipeline.comparator
+
+    def test_identical_run_results(self, pipeline, people):
+        disk = pipeline.with_blocking_storage("disk")
+        memory_run = pipeline.run(people)
+        disk_run = disk.run(people)
+        assert disk_run.candidates == memory_run.candidates
+        assert disk_run.experiment.pairs() == memory_run.experiment.pairs()
+
+    def test_fingerprint_excludes_the_knob(self, pipeline):
+        assert pipeline.config_fingerprint() == (
+            pipeline.with_blocking_storage("disk").config_fingerprint()
+        )
+
+    def test_fallback_counts_and_warns(self, people, pipeline, caplog):
+        def custom(dataset):
+            return {("x", "y")}
+
+        fallback = get_metrics().counter("frost_blocking_disk_fallback_total", "")
+        unplannable = pipeline.with_blocker(custom).with_blocking_storage("disk")
+        before = fallback.value
+        prepared = unplannable.prepare(people)
+        assert unplannable.generate_candidates(prepared) == {("x", "y")}
+        assert fallback.value == before + 1
+
+
+class TestEngineParam:
+    @pytest.fixture
+    def engine(self, people):
+        platform = FrostPlatform()
+        platform.add_dataset(people)
+        return ExperimentEngine(platform, max_workers=2)
+
+    def test_disk_jobs_share_the_memory_cache_entry(
+        self, engine, pipeline, people
+    ):
+        memory = engine.run(
+            [JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": people.name,
+                 "register": False},
+                job_id="mem",
+            )]
+        )["mem"]
+        disk = engine.run(
+            [JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": people.name,
+                 "blocking_storage": "disk", "register": False},
+                job_id="dsk",
+            )]
+        )["dsk"]
+        assert memory.state is JobState.SUCCEEDED, memory.error
+        assert disk.state is JobState.SUCCEEDED, disk.error
+        # execution knob: identical output, identical cache key — the
+        # second job is a cache hit
+        assert disk.cache_key == memory.cache_key
+        assert disk.cached is True
+
+    def test_disk_job_output_matches_direct_run(self, engine, pipeline, people):
+        result = engine.run(
+            [JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": people.name,
+                 "blocking_storage": "disk", "register": False,
+                 "cacheable": False},
+                job_id="out",
+            )]
+        )["out"]
+        assert result.state is JobState.SUCCEEDED, result.error
+        direct = pipeline.run(people).experiment
+        assert sorted(
+            (first, second) for first, second, _, _ in result.value["matches"]
+        ) == sorted(tuple(match.pair) for match in direct)
+
+
+class TestStreamConfig:
+    BASE = {
+        "key": {"kind": "first_token", "attribute": "first_name"},
+        "similarities": {"first_name": "jaro_winkler"},
+    }
+
+    def test_normalization_keeps_explicit_values_only(self):
+        assert "blocking_storage" not in validate_config(self.BASE)
+        normalized = validate_config({**self.BASE, "blocking_storage": "disk"})
+        assert normalized["blocking_storage"] == "disk"
+        normalized = validate_config({**self.BASE, "blocking_storage": "memory"})
+        assert normalized["blocking_storage"] == "memory"
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ValueError, match="blocking_storage"):
+            validate_config({**self.BASE, "blocking_storage": "tape"})
+        with pytest.raises(ValueError, match="blocking_storage"):
+            validate_config({**self.BASE, "blocking_storage": True})
+
+    def test_build_pipeline_applies_the_knob(self):
+        memory_pipeline, _ = build_pipeline_and_index(self.BASE)
+        disk_pipeline, _ = build_pipeline_and_index(
+            {**self.BASE, "blocking_storage": "disk"}
+        )
+        assert memory_pipeline.blocking_storage == "memory"
+        assert disk_pipeline.blocking_storage == "disk"
+        assert memory_pipeline.config_fingerprint() == (
+            disk_pipeline.config_fingerprint()
+        )
+
+
+DATASET_CSV = """id,first_name,last_name
+r1,john,smith
+r2,jon,smith
+r3,mary,jones
+r4,mary,jones
+"""
+
+
+class TestCli:
+    def test_parser_accepts_the_flag(self):
+        args = build_parser().parse_args(
+            ["stream", "init", "--store", "s.db", "--name", "s",
+             "--key-attribute", "first_name", "--similarity",
+             "first_name=jaro_winkler", "--blocking-storage", "disk"]
+        )
+        assert args.blocking_storage == "disk"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["stream", "init", "--store", "s.db", "--name", "s",
+                 "--key-attribute", "first_name",
+                 "--blocking-storage", "floppy"]
+            )
+
+    def test_stream_init_persists_the_knob(self, tmp_path, capsys):
+        from repro.storage.database import FrostStore
+        from repro.streaming import open_session
+
+        dataset = tmp_path / "d.csv"
+        dataset.write_text(DATASET_CSV)
+        store = tmp_path / "s.db"
+        code = main([
+            "stream", "init", "--store", str(store), "--name", "cli-disk",
+            "--key-attribute", "first_name",
+            "--similarity", "first_name=jaro_winkler",
+            "--similarity", "last_name=jaro_winkler",
+            "--blocking-storage", "disk",
+        ])
+        assert code == 0
+        code = main([
+            "stream", "ingest", "--store", str(store), "--name", "cli-disk",
+            "--dataset", str(dataset),
+        ])
+        capsys.readouterr()
+        assert code == 0
+        with FrostStore(str(store)) as frost:
+            session = open_session(frost, "cli-disk")
+            assert session.status()["blocking_storage"] == "disk"
+
+    def test_trace_parser_accepts_the_flag(self):
+        args = build_parser().parse_args(
+            ["trace", "--blocking-storage", "disk"]
+        )
+        assert args.blocking_storage == "disk"

@@ -1,5 +1,8 @@
 """Tests for candidate generation / blocking."""
 
+import logging
+import random
+
 import pytest
 
 from repro.core import Dataset, Record
@@ -85,6 +88,32 @@ class TestSortedNeighborhood:
         )
         assert any("r5" in pair for pair in pairs)
 
+    def test_insertion_order_invariant(self):
+        """Equal keys tie-break on record id, not insertion order.
+
+        Regression: the sort used to order records with equal (or all-
+        None) keys by their dataset position, so shuffling the input
+        changed the window contents and thus the candidate set.
+        """
+        records = [
+            Record(f"r{i:02d}", {"last": last})
+            for i, last in enumerate(
+                ["smith", "smith", "smith", None, None, "jones", "jones", "adams"]
+            )
+        ]
+        key = blocking.first_token_key("last")
+        reference = blocking.sorted_neighborhood(
+            Dataset(records, name="ordered"), key, window=3
+        )
+        rng = random.Random(1234)
+        for trial in range(5):
+            shuffled = list(records)
+            rng.shuffle(shuffled)
+            permuted = blocking.sorted_neighborhood(
+                Dataset(shuffled, name=f"shuffled-{trial}"), key, window=3
+            )
+            assert permuted == reference
+
 
 class TestTokenBlocking:
     def test_shared_tokens_pair(self, dataset):
@@ -114,3 +143,110 @@ class TestTokenBlocking:
             blocking.token_blocking(dataset),
         ):
             assert pairs <= full
+
+    def test_purge_emits_metrics_and_warning(self, caplog):
+        from repro.telemetry.metrics import get_metrics
+
+        blocks = get_metrics().counter("frost_blocking_purged_blocks_total", "")
+        records = get_metrics().counter("frost_blocking_purged_records_total", "")
+        dataset = Dataset(
+            [Record(f"r{i}", {"t": "shared other"}) for i in range(12)]
+        )
+        before = (blocks.value, records.value)
+        with caplog.at_level(logging.WARNING, logger="repro.matching.blocking"):
+            blocking.token_blocking(dataset, max_block_size=5)
+        # both token blocks ('shared', 'other') exceed the cap of 5
+        assert blocks.value == before[0] + 2
+        assert records.value == before[1] + 24
+        warnings = [
+            r for r in caplog.records if "purged" in r.getMessage()
+        ]
+        assert len(warnings) == 1  # one warning per run, not per block
+        assert "token_blocking" in warnings[0].getMessage()
+
+    def test_no_purge_no_warning(self, dataset, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.matching.blocking"):
+            blocking.token_blocking(dataset, max_block_size=None)
+            blocking.token_blocking(dataset, max_block_size=100)
+        assert not [r for r in caplog.records if "purged" in r.getMessage()]
+
+
+class TestWhitespaceKeys:
+    """Whitespace-only values must behave exactly like ``None`` values.
+
+    Regression: ``first_token_key`` returned ``None`` for ``"   "`` (no
+    tokens) but ``prefix_key`` returned ``"   "`` and ``soundex_key``
+    crashed ahead — records with blank values silently formed a shared
+    junk block instead of being excluded.
+    """
+
+    @pytest.fixture
+    def blank_dataset(self):
+        return Dataset(
+            [
+                Record("b1", {"last": "   "}),
+                Record("b2", {"last": "\t\n"}),
+                Record("b3", {"last": ""}),
+                Record("b4", {"last": None}),
+                Record("b5", {"last": "smith"}),
+            ]
+        )
+
+    @pytest.mark.parametrize(
+        "make_key",
+        [
+            lambda: blocking.first_token_key("last"),
+            lambda: blocking.prefix_key("last", 3),
+            lambda: blocking.soundex_key("last"),
+        ],
+        ids=["first_token", "prefix", "soundex"],
+    )
+    def test_blank_values_yield_none(self, blank_dataset, make_key):
+        key = make_key()
+        for record in blank_dataset:
+            if record.record_id == "b5":
+                assert key(record) is not None
+            else:
+                assert key(record) is None
+
+    def test_blank_records_never_pair(self, blank_dataset):
+        for make_key in (
+            blocking.first_token_key,
+            lambda a: blocking.prefix_key(a, 2),
+            blocking.soundex_key,
+        ):
+            pairs = blocking.standard_blocking(blank_dataset, make_key("last"))
+            assert pairs == set()
+
+
+class TestBlockingEdgeCases:
+    def test_empty_dataset(self):
+        empty = Dataset([])
+        key = blocking.first_token_key("last")
+        assert blocking.standard_blocking(empty, key) == set()
+        assert blocking.sorted_neighborhood(empty, key, window=3) == set()
+        assert blocking.token_blocking(empty) == set()
+        assert blocking.full_pairs(empty) == set()
+
+    def test_all_none_keys(self):
+        dataset = Dataset([Record(f"r{i}", {"last": None}) for i in range(4)])
+        key = blocking.first_token_key("last")
+        assert blocking.standard_blocking(dataset, key) == set()
+        # sorted neighborhood keeps None-key records (they sort first
+        # under ""), so the window still pairs them
+        assert blocking.sorted_neighborhood(
+            dataset, key, window=4
+        ) == blocking.full_pairs(dataset)
+
+    def test_window_larger_than_dataset(self):
+        dataset = Dataset([Record(f"r{i}", {"last": "x"}) for i in range(3)])
+        pairs = blocking.sorted_neighborhood(
+            dataset, blocking.first_token_key("last"), window=50
+        )
+        assert pairs == blocking.full_pairs(dataset)
+
+    def test_max_block_size_none_keeps_everything(self):
+        records = [Record(f"r{i}", {"t": "shared"}) for i in range(30)]
+        dataset = Dataset(records)
+        uncapped = blocking.token_blocking(dataset, max_block_size=None)
+        assert uncapped == blocking.full_pairs(dataset)

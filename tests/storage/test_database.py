@@ -131,3 +131,50 @@ class TestPersistence:
             assert reopened.dataset_names() == ["people"]
             loaded = reopened.load_experiment("people", "people-run")
             assert loaded.pairs() == people_experiment.pairs()
+
+
+class TestBlockingSchemaMigration:
+    def _seed_pre_blocking_store(self, path, people_dataset) -> None:
+        """A store file as a PR-7-era process left it: datasets saved,
+        no blocking tables, user_version 2."""
+        import sqlite3
+
+        with FrostStore(path) as store:
+            store.save_dataset(people_dataset)
+        connection = sqlite3.connect(path)
+        with connection:
+            for table in (
+                "blocking_signatures", "blocking_keys", "blocking_runs"
+            ):
+                connection.execute(f"DROP TABLE {table}")
+            connection.execute("PRAGMA user_version = 2")
+        connection.close()
+
+    def test_v2_store_migrates_to_v3_in_place(self, tmp_path, people_dataset):
+        from repro.storage.database import SCHEMA_VERSION
+
+        path = str(tmp_path / "old.db")
+        self._seed_pre_blocking_store(path, people_dataset)
+        with FrostStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION == 3
+            # existing rows survive and the new tables work
+            assert store.dataset_names() == ["people"]
+            blocking = store.blocking_store()
+            run_id = blocking.begin_run("standard_blocking", {})
+            blocking.spill_keys(run_id, [("k", "p1"), ("k", "p2")])
+            assert blocking.candidates(run_id) == {("p1", "p2")}
+        # the stamp survives the reopen
+        with FrostStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+
+    def test_newer_schema_version_refused(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "future.db")
+        FrostStore(path).close()
+        connection = sqlite3.connect(path)
+        with connection:
+            connection.execute("PRAGMA user_version = 99")
+        connection.close()
+        with pytest.raises(StorageError, match="newer"):
+            FrostStore(path)

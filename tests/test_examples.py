@@ -25,6 +25,7 @@ FAST_EXAMPLES = [
     "tracing_pipeline.py",
     "graph_explore.py",
     "columnar_kernels.py",
+    "disk_blocking.py",
 ]
 
 
