@@ -25,6 +25,10 @@ Environment knobs:
     Directory holding the JSON files (default: the repository root).
 ``REPRO_TRAJECTORY_ENFORCE``
     ``1`` turns >tolerance regressions into failures.
+``REPRO_TELEMETRY_STORE``
+    When set, every emitted point is also ingested into this telemetry
+    warehouse database (see :mod:`repro.telemetry.store`), giving the
+    trajectory a queryable history beyond the latest committed point.
 """
 
 from __future__ import annotations
@@ -86,6 +90,26 @@ def percentile(values, fraction: float) -> float:
     return ordered[low] * (1 - weight) + ordered[high] * weight
 
 
+def _context_mismatch(previous: object, current: object) -> str:
+    """Name exactly which context fields differ between two points.
+
+    The comparability gate rejects cross-context comparisons; this spells
+    out *why* ("smoke: True -> False", "records: absent -> 5000") so a
+    skipped baseline is a diagnosis, not a mystery.
+    """
+    if not isinstance(previous, dict) or not isinstance(current, dict):
+        return f"{previous!r} -> {current!r}"
+    differences = []
+    for key in sorted(set(previous) | set(current)):
+        if key not in previous:
+            differences.append(f"{key}: absent -> {current[key]!r}")
+        elif key not in current:
+            differences.append(f"{key}: {previous[key]!r} -> absent")
+        elif previous[key] != current[key]:
+            differences.append(f"{key}: {previous[key]!r} -> {current[key]!r}")
+    return ", ".join(differences) or "contexts differ"
+
+
 def compare_trajectories(
     previous: dict, current: dict, tolerance: float = REGRESSION_TOLERANCE
 ) -> list[str]:
@@ -99,7 +123,7 @@ def compare_trajectories(
     if previous.get("context") != current.get("context"):
         return [
             f"{current.get('area', '?')}: context changed "
-            f"({previous.get('context')} -> {current.get('context')}); "
+            f"({_context_mismatch(previous.get('context'), current.get('context'))}); "
             "not comparable"
         ]
     findings: list[str] = []
@@ -197,12 +221,31 @@ def emit_trajectory(
     for finding in findings:
         print(f"trajectory: {finding}")
     path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    _ingest_into_warehouse(document)
     regressions = [f for f in findings if "not comparable" not in f]
     if regressions and _enforcing():
         raise AssertionError(
             "performance trajectory regressions:\n  " + "\n  ".join(regressions)
         )
     return path
+
+
+def _ingest_into_warehouse(document: dict) -> None:
+    """Mirror one trajectory point into the telemetry warehouse, if asked.
+
+    Best-effort: the benchmark's own numbers land in ``BENCH_*.json``
+    regardless; a missing package or unwritable store only prints.
+    """
+    target = os.environ.get("REPRO_TELEMETRY_STORE")
+    if not target:
+        return
+    try:
+        from repro.telemetry.store import TelemetryStore
+
+        with TelemetryStore(target) as warehouse:
+            warehouse.ingest_trajectory(document)
+    except Exception as error:  # noqa: BLE001 - telemetry must not fail a bench
+        print(f"trajectory: warehouse ingest into {target!r} failed: {error}")
 
 
 def _committed_version(path: Path) -> dict | None:

@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""The telemetry warehouse: persist, query, and diff traced runs.
+
+Span trees and metric snapshots are ephemeral — they die with the
+process.  The warehouse (:mod:`repro.telemetry.store`) persists them
+into indexed SQLite tables so performance questions become SQL
+queries.  This example:
+
+1. runs a traced + sampled matching pipeline twice (the second run is
+   faster: the comparison work is already cached) and records each run
+   into a warehouse file, profiler samples included;
+2. lists the stored runs and asks the warehouse for the slowest spans —
+   the sort happens in SQLite over a ``(run_id, seconds DESC)`` index;
+3. diffs the two runs per stage, the answer to "which stage regressed
+   between yesterday's run and today's?";
+4. round-trips one run's span tree back out of the warehouse and
+   renders it.
+
+Run with::
+
+    python examples/telemetry_warehouse.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.core.platform import FrostPlatform
+from repro.datagen import make_person_benchmark
+from repro.engine import ExperimentEngine, JobSpec
+from repro.streaming import build_pipeline_and_index
+from repro.telemetry import (
+    SamplingProfiler,
+    TelemetryStore,
+    get_metrics,
+    get_tracer,
+    render_span_tree,
+)
+
+CONFIG = {
+    "key": {"kind": "first_token", "attribute": "last_name"},
+    "similarities": {
+        "first_name": "jaro_winkler",
+        "last_name": "jaro_winkler",
+        "city": "jaro_winkler",
+    },
+    "threshold": 0.8,
+}
+
+
+def traced_run(platform: FrostPlatform, dataset_name: str, tag: str) -> None:
+    pipeline, _ = build_pipeline_and_index(CONFIG)
+    engine = ExperimentEngine(platform, max_workers=2)
+    tracer = get_tracer()
+    with tracer.span("warehouse.example", run=tag):
+        engine.submit(
+            JobSpec(
+                "pipeline",
+                {"pipeline": pipeline, "dataset": dataset_name},
+                job_id=f"warehouse:{tag}",
+            )
+        )
+        engine.run()
+
+
+def main() -> None:
+    benchmark = make_person_benchmark(300, seed=7)
+    platform = FrostPlatform()
+    platform.add_dataset(benchmark.dataset)
+
+    tracer = get_tracer()
+    registry = get_metrics()
+    tracer.reset()
+    registry.reset()
+    tracer.enable()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        warehouse_path = Path(tmp) / "telemetry.db"
+        with TelemetryStore(warehouse_path, max_runs=10) as warehouse:
+            run_ids = []
+            for tag in ("baseline", "candidate"):
+                tracer.reset()
+                profiler = SamplingProfiler(interval=0.002)
+                try:
+                    with profiler:
+                        traced_run(platform, benchmark.dataset.name, tag)
+                finally:
+                    profiler.stop()
+                run_ids.append(
+                    warehouse.record_run(
+                        tag,
+                        tracer.roots(),
+                        registry,
+                        profile_samples=profiler.samples() or None,
+                        context={"records": len(benchmark.dataset)},
+                    )
+                )
+            tracer.disable()
+
+            print("stored runs:")
+            for run in warehouse.list_runs():
+                print(
+                    f"  run {run['run_id']}: {run['name']}, "
+                    f"{run['spans']} spans, "
+                    f"{run['profile_samples']} profile samples"
+                )
+
+            print()
+            print("slowest spans (SQL pushdown):")
+            for row in warehouse.slowest_spans(limit=5):
+                print(
+                    f"  run {row['run_id']}: {row['name']}  "
+                    f"{row['seconds'] * 1000:.2f} ms"
+                )
+
+            print()
+            print("per-stage diff (baseline -> candidate):")
+            for row in warehouse.diff_runs(run_ids[0], run_ids[1]):
+                if row["delta_seconds"] is None:
+                    continue
+                print(
+                    f"  {row['stage']}: {row['seconds_a'] * 1000:.2f} -> "
+                    f"{row['seconds_b'] * 1000:.2f} ms"
+                )
+
+            print()
+            print("round-tripped baseline trace:")
+            for root in warehouse.run_spans(run_ids[0]):
+                print(render_span_tree(root))
+
+
+if __name__ == "__main__":
+    main()

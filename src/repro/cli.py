@@ -99,6 +99,13 @@ def build_parser() -> argparse.ArgumentParser:
         default="info",
         help="logging verbosity on stderr (default info)",
     )
+    parser.add_argument(
+        "--log-format",
+        choices=("text", "json"),
+        default="text",
+        help="log line format on stderr: human-readable text (default) "
+        "or structured JSON with request ids",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     def add_io_arguments(sub: argparse.ArgumentParser, experiments: str) -> None:
@@ -559,6 +566,87 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="also write spans.jsonl and metrics.json to this directory",
+    )
+    trace.add_argument(
+        "--profile",
+        action="store_true",
+        help="sample wall-clock stacks during the run and print the "
+        "hottest collapsed stacks",
+    )
+    trace.add_argument(
+        "--profile-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="sampling interval for --profile (default 0.005)",
+    )
+    trace.add_argument(
+        "--store",
+        default=None,
+        metavar="DB",
+        help="persist the run (spans, metrics, profile) into this "
+        "telemetry warehouse database",
+    )
+    trace.add_argument(
+        "--run-name",
+        default="trace",
+        help="run name recorded in the warehouse (default 'trace')",
+    )
+
+    telemetry = commands.add_parser(
+        "telemetry",
+        help="query and curate a persisted telemetry warehouse",
+    )
+    telemetry_commands = telemetry.add_subparsers(
+        dest="telemetry_command", required=True
+    )
+
+    def add_store_argument(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--store",
+            required=True,
+            metavar="DB",
+            help="telemetry warehouse database path",
+        )
+
+    telemetry_list = telemetry_commands.add_parser(
+        "list", help="stored runs, newest first"
+    )
+    add_store_argument(telemetry_list)
+    telemetry_show = telemetry_commands.add_parser(
+        "show", help="one run's span tree, metrics, and profile"
+    )
+    add_store_argument(telemetry_show)
+    telemetry_show.add_argument("run", help="run id or run name (latest)")
+    telemetry_slowest = telemetry_commands.add_parser(
+        "slowest", help="slowest spans, warehouse-wide or per run"
+    )
+    add_store_argument(telemetry_slowest)
+    telemetry_slowest.add_argument(
+        "--run", default=None, help="restrict to one run id or name"
+    )
+    telemetry_slowest.add_argument(
+        "--limit", type=int, default=10, help="rows to print (default 10)"
+    )
+    telemetry_diff = telemetry_commands.add_parser(
+        "diff", help="per-stage wall-time deltas between two runs"
+    )
+    add_store_argument(telemetry_diff)
+    telemetry_diff.add_argument("run_a", help="baseline run id or name")
+    telemetry_diff.add_argument("run_b", help="candidate run id or name")
+    telemetry_prune = telemetry_commands.add_parser(
+        "prune", help="delete old runs by count and/or age"
+    )
+    add_store_argument(telemetry_prune)
+    telemetry_prune.add_argument(
+        "--keep", type=int, default=None, help="retain only the newest N runs"
+    )
+    telemetry_prune.add_argument(
+        "--older-than",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="delete runs recorded more than SECONDS ago",
     )
     return parser
 
@@ -1072,11 +1160,13 @@ def _command_trace(args: argparse.Namespace, fmt: CsvFormat) -> int:
     from repro.telemetry import (
         get_metrics,
         get_tracer,
+        maybe_profile,
         render_prometheus,
         render_span_tree,
         write_metrics_json,
         write_spans_jsonl,
     )
+    from repro.telemetry.profile import DEFAULT_INTERVAL_SECONDS
 
     if (args.generate is None) == (args.dataset is None):
         raise ValueError("trace needs exactly one of --generate N or --dataset")
@@ -1086,6 +1176,10 @@ def _command_trace(args: argparse.Namespace, fmt: CsvFormat) -> int:
     tracer.reset()
     registry.reset()
     tracer.enable()
+    profiler = maybe_profile(
+        args.profile,
+        interval=args.profile_interval or DEFAULT_INTERVAL_SECONDS,
+    )
     try:
         platform = FrostPlatform()
         if args.generate is not None:
@@ -1139,7 +1233,7 @@ def _command_trace(args: argparse.Namespace, fmt: CsvFormat) -> int:
         engine = ExperimentEngine(platform, max_workers=2)
         with tracer.span(
             "trace.run", dataset=dataset.name, records=len(dataset)
-        ):
+        ), profiler:
             # Chained, not fanned out: each re-run starts after the
             # previous one finished, so it is a genuine cache hit
             # instead of a concurrent duplicate computation.
@@ -1179,6 +1273,36 @@ def _command_trace(args: argparse.Namespace, fmt: CsvFormat) -> int:
         print(render_span_tree(root))
     print()
     print(render_prometheus(registry), end="")
+    if args.profile:
+        samples = profiler.samples()
+        print()
+        print(
+            f"profile: {sum(samples.values())} samples across "
+            f"{len(samples)} distinct stacks"
+        )
+        for stack, count in list(samples.items())[:10]:
+            leaf = stack.rsplit(";", 1)[-1]
+            print(f"  {count:6d}  {leaf}  ({stack.count(';') + 1} frames)")
+    if args.store:
+        from repro.telemetry.store import TelemetryStore
+
+        with TelemetryStore(args.store) as warehouse:
+            run_id = warehouse.record_run(
+                args.run_name,
+                tracer.roots(),
+                registry,
+                profile_samples=profiler.samples() or None,
+                context={
+                    "dataset": dataset.name,
+                    "records": len(dataset),
+                    "workers": args.workers,
+                    "shards": args.shards,
+                    "columnar": not args.no_columnar,
+                    "repeat": args.repeat,
+                },
+            )
+        print()
+        print(f"run {run_id} recorded in {args.store}")
     if args.output:
         output = Path(args.output)
         output.mkdir(parents=True, exist_ok=True)
@@ -1325,6 +1449,122 @@ def _command_graph(args: argparse.Namespace, fmt: CsvFormat) -> int:
     return handlers[args.graph_command](args, fmt)
 
 
+def _format_ms(seconds: float | None) -> str:
+    return "?" if seconds is None else f"{seconds * 1000:.2f}ms"
+
+
+def _command_telemetry_list(args: argparse.Namespace, warehouse) -> int:
+    runs = warehouse.list_runs()
+    if not runs:
+        print("no runs recorded")
+        return 0
+    for run in runs:
+        profiled = (
+            f", {run['profile_samples']} profile samples"
+            if run["profile_samples"]
+            else ""
+        )
+        print(
+            f"run {run['run_id']}: {run['name']}, {run['spans']} spans, "
+            f"{_format_ms(run['wall_seconds'])}{profiled}"
+        )
+    return 0
+
+
+def _command_telemetry_show(args: argparse.Namespace, warehouse) -> int:
+    from repro.telemetry import render_span_tree
+
+    run_id = warehouse.resolve_run(args.run)
+    print(f"run {run_id}")
+    for root in warehouse.run_spans(run_id):
+        print(render_span_tree(root))
+    metrics = warehouse.run_metrics(run_id)
+    if metrics:
+        print()
+        for name, snapshot in metrics.items():
+            print(f"{name}: {snapshot}")
+    profile = warehouse.run_profile(run_id)
+    if profile:
+        print()
+        print(
+            f"profile: {sum(profile.values())} samples across "
+            f"{len(profile)} distinct stacks"
+        )
+        for stack, count in list(profile.items())[:10]:
+            print(f"  {count:6d}  {stack.rsplit(';', 1)[-1]}")
+    return 0
+
+
+def _command_telemetry_slowest(args: argparse.Namespace, warehouse) -> int:
+    rows = warehouse.slowest_spans(run=args.run, limit=args.limit)
+    if not rows:
+        print("no spans recorded")
+        return 0
+    for row in rows:
+        print(
+            f"run {row['run_id']} ({row['run_name']}): {row['name']}  "
+            f"{_format_ms(row['seconds'])}"
+        )
+    return 0
+
+
+def _command_telemetry_diff(args: argparse.Namespace, warehouse) -> int:
+    run_a = warehouse.resolve_run(args.run_a)
+    run_b = warehouse.resolve_run(args.run_b)
+    print(f"run {run_a} -> run {run_b} (per-stage wall time)")
+    for row in warehouse.diff_runs(run_a, run_b):
+        if row["delta_seconds"] is None:
+            side = "only in A" if row["seconds_a"] is not None else "only in B"
+            seconds = (
+                row["seconds_a"]
+                if row["seconds_a"] is not None
+                else row["seconds_b"]
+            )
+            print(f"  {row['stage']}: {side} ({_format_ms(seconds)})")
+            continue
+        sign = "+" if row["delta_seconds"] >= 0 else "-"
+        ratio = (
+            f" ({row['ratio']:.2f}x)" if row["ratio"] is not None else ""
+        )
+        print(
+            f"  {row['stage']}: {_format_ms(row['seconds_a'])} -> "
+            f"{_format_ms(row['seconds_b'])}  "
+            f"{sign}{_format_ms(abs(row['delta_seconds']))}{ratio}"
+        )
+    return 0
+
+
+def _command_telemetry_prune(args: argparse.Namespace, warehouse) -> int:
+    if args.keep is None and args.older_than is None:
+        raise ValueError("prune needs --keep and/or --older-than")
+    deleted = warehouse.prune(
+        keep=args.keep, older_than_seconds=args.older_than
+    )
+    print(f"pruned {deleted} run(s), {len(warehouse.list_runs())} kept")
+    return 0
+
+
+def _command_telemetry(args: argparse.Namespace, fmt: CsvFormat) -> int:
+    from repro.telemetry.store import TelemetryError, TelemetryStore
+
+    handlers = {
+        "list": _command_telemetry_list,
+        "show": _command_telemetry_show,
+        "slowest": _command_telemetry_slowest,
+        "diff": _command_telemetry_diff,
+        "prune": _command_telemetry_prune,
+    }
+    # A warehouse query against a mistyped path must not silently
+    # create and inspect a brand-new empty database.
+    if not Path(args.store).exists():
+        raise ValueError(f"telemetry store {args.store!r} does not exist")
+    try:
+        with TelemetryStore(args.store) as warehouse:
+            return handlers[args.telemetry_command](args, warehouse)
+    except TelemetryError as error:
+        raise ValueError(str(error)) from None
+
+
 _COMMANDS = {
     "metrics": _command_metrics,
     "diagram": _command_diagram,
@@ -1336,6 +1576,7 @@ _COMMANDS = {
     "graph": _command_graph,
     "serve": _command_serve,
     "trace": _command_trace,
+    "telemetry": _command_telemetry,
 }
 
 
@@ -1349,12 +1590,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     # force=True: each CLI invocation (tests call main() repeatedly in
     # one process) re-binds the handler to the *current* stderr.
-    logging.basicConfig(
-        level=getattr(logging, args.log_level.upper()),
-        stream=sys.stderr,
-        format="%(levelname)s %(name)s: %(message)s",
-        force=True,
-    )
+    if args.log_format == "json":
+        from repro.telemetry.logging import configure_structured_logging
+
+        configure_structured_logging(
+            level=getattr(logging, args.log_level.upper()), stream=sys.stderr
+        )
+    else:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            stream=sys.stderr,
+            format="%(levelname)s %(name)s: %(message)s",
+            force=True,
+        )
     fmt = CsvFormat(separator=args.separator)
     try:
         return _COMMANDS[args.command](args, fmt)

@@ -57,6 +57,7 @@ Built-in job kinds:
 from __future__ import annotations
 
 import concurrent.futures
+import logging
 import math
 import threading
 import time
@@ -81,6 +82,8 @@ from repro.telemetry.spans import get_tracer
 __all__ = ["ExperimentEngine", "EngineError", "serialize_experiment"]
 
 # Process-wide mirrors of the per-engine counters, feeding GET /metrics.
+_LOG = logging.getLogger("repro.engine")
+
 _JOBS_COMPUTED = get_metrics().counter(
     "frost_engine_jobs_computed_total", "Engine jobs executed by a handler"
 )
@@ -557,6 +560,12 @@ class ExperimentEngine:
                 if handler.after is not None:
                     handler.after(spec.params, value, entry.result.cached)
                 entry.result.value = value
+                _LOG.debug(
+                    "job %s (%s) %s",
+                    spec.job_id,
+                    spec.kind,
+                    "served from cache" if entry.result.cached else "computed",
+                )
         finally:
             entry.result.seconds = time.perf_counter() - started
 

@@ -29,6 +29,7 @@ engine's result cache serves a result computed with ``workers=4`` to a
 
 from __future__ import annotations
 
+import logging
 import time
 import zlib
 from collections.abc import Iterable, Sequence
@@ -51,6 +52,8 @@ from repro.matching.attribute_matching import (
 )
 from repro.telemetry import metrics as _telemetry_metrics
 from repro.telemetry import spans as _tracing
+
+_LOG = logging.getLogger("repro.matching.parallel")
 
 _PAIRS_COMPARED = _telemetry_metrics.get_metrics().counter(
     "frost_comparison_pairs_total",
@@ -436,6 +439,12 @@ def compare_pairs_sharded(
         columnar=plan is not None,
     ):
         shards = partition_pairs(ordered, config.resolved_shards())
+        _LOG.debug(
+            "dispatching %d pairs across %d shards (columnar=%s)",
+            len(ordered),
+            len(shards),
+            plan is not None,
+        )
         if plan is not None:
             if store is None:
                 store = ColumnarStore.from_records(

@@ -81,7 +81,7 @@ from collections.abc import Mapping
 
 from repro.core.platform import FrostPlatform
 from repro.serving.service import ServingLayer
-from repro.telemetry import get_metrics, render_prometheus
+from repro.telemetry import current_request_id, get_metrics, render_prometheus
 
 __all__ = ["ApiError", "FrostApi"]
 
@@ -197,6 +197,18 @@ class FrostApi:
             raise ApiError(405, f"{method} not allowed on /{'/'.join(parts)}")
         if parts == ["stats"]:
             return self._stats()
+        if parts == ["healthz"]:
+            return self.health()
+        if parts == ["readyz"]:
+            ready, payload = self.readiness()
+            if not ready:
+                failing = sorted(
+                    name
+                    for name, check in payload["checks"].items()
+                    if not check.get("ok")
+                )
+                raise ApiError(503, f"not ready: {', '.join(failing)}")
+            return payload
         if parts and parts[0] == "graph":
             return self._graph_routes(parts[1:], query)
         if parts == ["datasets"]:
@@ -374,6 +386,58 @@ class FrostApi:
             "datasets": len(self.platform.dataset_names()),
             "durable": self._store is not None,
             "metrics": get_metrics().values(),
+            "request_id": current_request_id(),
+        }
+
+    # -- liveness / readiness ----------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness: the process is up and dispatching (``GET /healthz``)."""
+        return {"status": "ok"}
+
+    def readiness(self) -> tuple[bool, dict]:
+        """Readiness: dependencies answer (``GET /readyz``).
+
+        Returns ``(ready, payload)``; the HTTP layer maps ``ready`` to
+        200 vs 503.  Checks the attached store (a trivial pragma read
+        proves the SQLite file is reachable and not torn down) and the
+        platform registry (dataset enumeration proves the serving
+        layer's substrate answers), and reports the serving cache's
+        warm-entry count.
+        """
+        checks: dict[str, dict] = {}
+        if self._store is not None:
+            try:
+                checks["store"] = {
+                    "ok": True,
+                    "schema_version": self._store.schema_version,
+                }
+            except Exception as error:  # noqa: BLE001 - readiness boundary
+                checks["store"] = {
+                    "ok": False,
+                    "error": f"{type(error).__name__}: {error}",
+                }
+        else:
+            checks["store"] = {"ok": True, "durable": False}
+        try:
+            checks["platform"] = {
+                "ok": True,
+                "datasets": len(self.platform.dataset_names()),
+            }
+        except Exception as error:  # noqa: BLE001 - readiness boundary
+            checks["platform"] = {
+                "ok": False,
+                "error": f"{type(error).__name__}: {error}",
+            }
+        stats = self.serving.stats()
+        checks["serving_cache"] = {
+            "ok": True,
+            "entries": stats.get("cache", {}).get("entries", 0),
+        }
+        ready = all(check["ok"] for check in checks.values())
+        return ready, {
+            "status": "ready" if ready else "unavailable",
+            "checks": checks,
         }
 
     def metrics_text(self) -> str:

@@ -20,14 +20,68 @@ from __future__ import annotations
 
 import contextlib
 import json
+import logging
 import signal
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from urllib.parse import parse_qsl, urlparse
 
 from repro.server.api import ApiError, FrostApi
+from repro.telemetry.logging import bind_request_id, new_request_id
+from repro.telemetry.metrics import get_metrics
+from repro.telemetry.spans import get_tracer
 
 __all__ = ["serve", "FrostHttpServer"]
+
+# One structured line per served request, at DEBUG so the default log
+# level keeps test and benchmark output quiet.
+_ACCESS_LOG = logging.getLogger("repro.server.access")
+
+# Metric names are derived from the first path segment, restricted to
+# the known route families so an arbitrary request path cannot mint
+# unbounded (or malformed) metric names.
+_ENDPOINT_FAMILIES = frozenset(
+    {"datasets", "graph", "jobs", "streams", "stats", "metrics",
+     "healthz", "readyz"}
+)
+
+# Per-endpoint latency SLOs (milliseconds).  Responses slower than the
+# family's threshold burn the family's error budget, counted in
+# ``frost_http_{family}_slo_burn_total``.
+_SLO_MS = {
+    "metrics": 50.0,
+    "healthz": 50.0,
+    "readyz": 50.0,
+    "stats": 100.0,
+}
+_DEFAULT_SLO_MS = 500.0
+
+
+def _endpoint_family(path: str) -> str:
+    segment = next((part for part in path.split("/") if part), "")
+    return segment if segment in _ENDPOINT_FAMILIES else "other"
+
+
+def _observe_request(path: str, duration_seconds: float) -> None:
+    """Feed one served request into the per-endpoint-family metrics."""
+    family = _endpoint_family(path)
+    registry = get_metrics()
+    registry.counter(
+        f"frost_http_{family}_requests_total",
+        f"HTTP requests served under /{family}",
+    ).inc()
+    registry.histogram(
+        f"frost_http_{family}_request_seconds",
+        f"HTTP request latency under /{family}",
+    ).observe(duration_seconds)
+    slo_ms = _SLO_MS.get(family, _DEFAULT_SLO_MS)
+    if duration_seconds * 1000.0 > slo_ms:
+        registry.counter(
+            f"frost_http_{family}_slo_burn_total",
+            f"HTTP requests under /{family} slower than the "
+            f"{slo_ms:g}ms latency SLO",
+        ).inc()
 
 
 class _FrontendServer(ThreadingHTTPServer):
@@ -88,36 +142,82 @@ def _make_handler(api: FrostApi) -> type[BaseHTTPRequestHandler]:
             self._serve("POST", body)
 
         def _serve(self, method: str, body: object) -> None:
+            started = time.perf_counter()
             parsed = urlparse(self.path)
             query = dict(parse_qsl(parsed.query))
-            if method == "GET" and parsed.path.rstrip("/") == "/metrics":
-                # Prometheus exposition is text, not JSON — the one
-                # route served outside the JSON dispatcher.
-                self._respond_text(200, api.metrics_text())
-                return
-            try:
-                payload = api.handle(parsed.path, query, method=method, body=body)
-                status = 200
-            except ApiError as error:
-                payload = {"error": error.message, "status": error.status}
-                status = error.status
-            except Exception as error:  # noqa: BLE001 - wire boundary
-                # Anything unexpected (storage contention, a bug) must
-                # still answer: an unanswered keep-alive request kills
-                # the connection and every request queued behind it.
-                payload = {
-                    "error": f"{type(error).__name__}: {error}",
-                    "status": 500,
-                }
-                status = 500
-            self._respond(status, payload)
+            # Honor the client's correlation id, mint one otherwise;
+            # echoed back as X-Request-Id and bound to this handler
+            # thread (plus the request span) so every log line and span
+            # the request produces — here, in the serving layer, on
+            # engine workers, in folded process-pool shards — shares it.
+            request_id = (
+                (self.headers.get("X-Request-Id") or "").strip()
+                or new_request_id()
+            )
+            self._request_id = request_id
+            tracer = get_tracer()
+            route = parsed.path.rstrip("/") or "/"
+            with bind_request_id(request_id), tracer.span(
+                "http.request",
+                method=method,
+                path=parsed.path,
+                request_id=request_id,
+            ) as http_span:
+                if method == "GET" and route == "/metrics":
+                    # Prometheus exposition is text, not JSON — the one
+                    # route served outside the JSON dispatcher.
+                    status = 200
+                    self._respond_text(status, api.metrics_text())
+                elif method == "GET" and route == "/healthz":
+                    status = 200
+                    self._respond(status, api.health())
+                elif method == "GET" and route == "/readyz":
+                    ready, payload = api.readiness()
+                    status = 200 if ready else 503
+                    self._respond(status, payload)
+                else:
+                    try:
+                        payload = api.handle(
+                            parsed.path, query, method=method, body=body
+                        )
+                        status = 200
+                    except ApiError as error:
+                        payload = {"error": error.message, "status": error.status}
+                        status = error.status
+                    except Exception as error:  # noqa: BLE001 - wire boundary
+                        # Anything unexpected (storage contention, a
+                        # bug) must still answer: an unanswered
+                        # keep-alive request kills the connection and
+                        # every request queued behind it.
+                        payload = {
+                            "error": f"{type(error).__name__}: {error}",
+                            "status": 500,
+                        }
+                        status = 500
+                    self._respond(status, payload)
+                http_span.annotate(status=status)
+            duration_ms = (time.perf_counter() - started) * 1000.0
+            _observe_request(parsed.path, duration_ms / 1000.0)
+            _ACCESS_LOG.debug(
+                "%s %s -> %d in %.2fms [%s]",
+                method,
+                self.path,
+                status,
+                duration_ms,
+                request_id,
+                extra={
+                    "request_id": request_id,
+                    "method": method,
+                    "status": status,
+                    "duration_ms": round(duration_ms, 3),
+                },
+            )
 
         def _respond(self, status: int, payload: object) -> None:
             body = json.dumps(payload).encode("utf-8")
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
+            self._send_common_headers(len(body))
             self.wfile.write(body)
 
         def _respond_text(self, status: int, text: str) -> None:
@@ -126,13 +226,28 @@ def _make_handler(api: FrostApi) -> type[BaseHTTPRequestHandler]:
             self.send_header(
                 "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
             )
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
+            self._send_common_headers(len(body))
             self.wfile.write(body)
 
+        def _send_common_headers(self, content_length: int) -> None:
+            request_id = getattr(self, "_request_id", None)
+            if request_id is not None:
+                self.send_header("X-Request-Id", request_id)
+            self.send_header("Content-Length", str(content_length))
+            self.end_headers()
+
+        def log_request(self, code: object = "-", size: object = "-") -> None:
+            """No-op: _serve emits the structured access line itself."""
+
         def log_message(self, format: str, *args: object) -> None:
-            """Silence per-request logging (tests run many requests)."""
-            pass  # evaluations should not spam stdout
+            """Route stdlib handler messages (errors) through logging.
+
+            ``BaseHTTPRequestHandler`` writes these to stderr by
+            default; sending them to the access logger at DEBUG keeps
+            test output quiet under the default log level while still
+            making them available to a structured config.
+            """
+            _ACCESS_LOG.debug(format, *args)
 
     return Handler
 

@@ -27,6 +27,7 @@ bytes.
 
 from __future__ import annotations
 
+import logging
 import math
 import threading
 import time
@@ -39,6 +40,8 @@ from repro.serving.coalesce import RequestCoalescer
 from repro.telemetry.metrics import get_metrics
 
 __all__ = ["ServingLayer"]
+
+_LOG = logging.getLogger("repro.serving")
 
 # Process-wide mirrors of the instance counters, feeding GET /metrics.
 _SERVING_REQUESTS = get_metrics().counter(
@@ -141,6 +144,7 @@ class ServingLayer:
             with self._counter_lock:
                 self.computations += 1
             _SERVING_COMPUTATIONS.inc()
+            _LOG.debug("computing %s payload for dataset %s", kind, dataset_name)
             payload = compute()
             self.cache.put(key, payload, tag=dataset_name)
             return payload

@@ -24,6 +24,7 @@ from repro.core.notify import ListenerSet
 from repro.core.pairs import make_pair
 from repro.core.records import Dataset, Record
 from repro.telemetry.metrics import get_metrics
+from repro.telemetry.store import TELEMETRY_SCHEMA, TelemetryStore
 
 __all__ = ["FrostStore", "StorageError", "SCHEMA_VERSION"]
 
@@ -37,7 +38,10 @@ __all__ = ["FrostStore", "StorageError", "SCHEMA_VERSION"]
 #      graph_edges/graph_components)
 #   3: PR 9 disk-backed blocking tables (blocking_runs/blocking_keys/
 #      blocking_signatures — see repro.blocking_disk)
-SCHEMA_VERSION = 3
+#   4: PR 10 telemetry warehouse tables (telemetry_runs/telemetry_spans/
+#      telemetry_metrics/telemetry_profiles/telemetry_trajectories —
+#      see repro.telemetry.store)
+SCHEMA_VERSION = 4
 
 # Process-wide connection-pool traffic, feeding GET /metrics.
 _CONNECTIONS_OPENED = get_metrics().counter(
@@ -184,7 +188,7 @@ CREATE TABLE IF NOT EXISTS graph_components (
 );
 CREATE INDEX IF NOT EXISTS idx_graph_components_component
     ON graph_components(graph_id, component);
-""" + BLOCKING_SCHEMA
+""" + BLOCKING_SCHEMA + TELEMETRY_SCHEMA
 
 
 class FrostStore:
@@ -813,6 +817,16 @@ class FrostStore:
         thread's connection — closing it never closes the store.
         """
         return DiskBlockingStore(connection=self._connection)
+
+    def telemetry_store(self, max_runs: int | None = None) -> TelemetryStore:
+        """A telemetry-warehouse view over this store's telemetry tables.
+
+        Traces recorded through it live next to the data they measured
+        (schema version 4), so a platform store file carries its own
+        performance history.  The view borrows the calling thread's
+        connection — closing it never closes the store.
+        """
+        return TelemetryStore(connection=self._connection, max_runs=max_runs)
 
     def subscribe_graph(self, listener) -> None:
         """Call ``listener(graph_name)`` after every graph write.

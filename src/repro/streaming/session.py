@@ -23,6 +23,7 @@ tables.
 
 from __future__ import annotations
 
+import logging
 import threading
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass
@@ -46,6 +47,8 @@ __all__ = [
     "coerce_records",
 ]
 
+
+_LOG = logging.getLogger("repro.streaming")
 
 # Process-wide streaming-ingest traffic, feeding GET /metrics.
 _STREAM_BATCHES = get_metrics().counter(
@@ -334,6 +337,13 @@ class StreamingMatcher:
             ingest_span.annotate(
                 delta_candidates=snapshot.delta_candidates,
                 accepted=snapshot.accepted_matches,
+            )
+            _LOG.debug(
+                "stream %s ingested %d records (version %d, %d accepted)",
+                self.name,
+                len(batch),
+                snapshot.version,
+                snapshot.accepted_matches,
             )
         _STREAM_BATCHES.inc()
         _STREAM_RECORDS.inc(len(batch))

@@ -23,9 +23,18 @@ breakdowns, and this package gives the reproduction the same substrate):
 from repro.telemetry.export import (
     render_prometheus,
     render_span_tree,
+    rows_to_trees,
     spans_to_rows,
     write_metrics_json,
     write_spans_jsonl,
+)
+from repro.telemetry.logging import (
+    JsonFormatter,
+    RequestIdFilter,
+    bind_request_id,
+    configure_structured_logging,
+    current_request_id,
+    new_request_id,
 )
 from repro.telemetry.metrics import (
     Counter,
@@ -33,6 +42,11 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
     get_metrics,
+)
+from repro.telemetry.profile import (
+    NullProfiler,
+    SamplingProfiler,
+    maybe_profile,
 )
 from repro.telemetry.spans import (
     Span,
@@ -43,6 +57,7 @@ from repro.telemetry.spans import (
     span,
     trace,
 )
+from repro.telemetry.store import TELEMETRY_SCHEMA, TelemetryError, TelemetryStore
 
 __all__ = [
     "Span",
@@ -59,7 +74,20 @@ __all__ = [
     "get_metrics",
     "render_prometheus",
     "render_span_tree",
+    "rows_to_trees",
     "spans_to_rows",
     "write_metrics_json",
     "write_spans_jsonl",
+    "JsonFormatter",
+    "RequestIdFilter",
+    "bind_request_id",
+    "configure_structured_logging",
+    "current_request_id",
+    "new_request_id",
+    "NullProfiler",
+    "SamplingProfiler",
+    "maybe_profile",
+    "TELEMETRY_SCHEMA",
+    "TelemetryError",
+    "TelemetryStore",
 ]

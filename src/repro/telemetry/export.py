@@ -22,6 +22,7 @@ from repro.telemetry.spans import Span
 
 __all__ = [
     "spans_to_rows",
+    "rows_to_trees",
     "write_spans_jsonl",
     "write_metrics_json",
     "render_prometheus",
@@ -36,6 +37,35 @@ def spans_to_rows(roots: list[Span]) -> list[dict[str, object]]:
         for span in root.walk():
             rows.append(span.as_dict())
     return rows
+
+
+def rows_to_trees(rows: list[dict]) -> list[Span]:
+    """Rebuild :class:`Span` trees from flat rows (inverse of
+    :func:`spans_to_rows`).
+
+    Rows whose ``parent_id`` was never recorded — a crashed run, a
+    partial export — are *orphans* and are promoted to roots rather
+    than dropped, so a damaged trace still renders.
+    """
+    spans: dict[int, Span] = {}
+    for row in rows:
+        span = Span(str(row["name"]), None, dict(row.get("annotations") or {}))
+        span.span_id = int(row["span_id"])
+        span.started_at = float(row["started_at"])
+        seconds = row.get("seconds")
+        span.seconds = None if seconds is None else float(seconds)
+        spans[span.span_id] = span
+    roots: list[Span] = []
+    for row in rows:
+        span = spans[int(row["span_id"])]
+        parent_id = row.get("parent_id")
+        parent = spans.get(int(parent_id)) if parent_id is not None else None
+        if parent is not None and parent is not span:
+            span.parent_id = parent.span_id
+            parent.children.append(span)
+        else:
+            roots.append(span)
+    return roots
 
 
 def write_spans_jsonl(path: str | Path, roots: list[Span]) -> Path:
@@ -79,8 +109,12 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     lines: list[str] = []
     for instrument in registry.instruments():
         name = instrument.name
-        if instrument.help:
-            lines.append(f"# HELP {name} {_escape_help(instrument.help)}")
+        # Every metric gets a HELP line (falling back to its own name)
+        # so exposition parsers that require the full comment preamble
+        # accept the endpoint.
+        lines.append(
+            f"# HELP {name} {_escape_help(instrument.help or name)}"
+        )
         lines.append(f"# TYPE {name} {instrument.kind}")
         if isinstance(instrument, Histogram):
             for bound, cumulative in instrument.cumulative_counts():

@@ -237,6 +237,10 @@ class Tracer:
         span.seconds = seconds
         span.started_at = time.time() - seconds
         parent = self.current()
+        if parent is not None and "request_id" not in span.annotations:
+            inherited = parent.annotations.get("request_id")
+            if inherited is not None:
+                span.annotations["request_id"] = inherited
         with self._lock:
             if parent is not None:
                 span.parent_id = parent.span_id
@@ -295,6 +299,14 @@ class Tracer:
     def _open(self, name: str, annotations: dict) -> Span:
         stack = self._stack()
         parent = stack[-1] if stack else None
+        # Correlation ids flow down the tree: a child span inherits the
+        # parent's request_id unless it carries its own, so every span
+        # of one served request — including spans opened on engine
+        # workers under an activated context — shares the id.
+        if parent is not None and "request_id" not in annotations:
+            inherited = parent.annotations.get("request_id")
+            if inherited is not None:
+                annotations["request_id"] = inherited
         span = Span(name, parent.span_id if parent else None, annotations)
         stack.append(span)
         return span

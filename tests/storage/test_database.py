@@ -133,10 +133,16 @@ class TestPersistence:
             assert loaded.pairs() == people_experiment.pairs()
 
 
+_TELEMETRY_TABLES = (
+    "telemetry_trajectories", "telemetry_profiles", "telemetry_metrics",
+    "telemetry_spans", "telemetry_runs",
+)
+
+
 class TestBlockingSchemaMigration:
     def _seed_pre_blocking_store(self, path, people_dataset) -> None:
         """A store file as a PR-7-era process left it: datasets saved,
-        no blocking tables, user_version 2."""
+        no blocking or telemetry tables, user_version 2."""
         import sqlite3
 
         with FrostStore(path) as store:
@@ -144,19 +150,20 @@ class TestBlockingSchemaMigration:
         connection = sqlite3.connect(path)
         with connection:
             for table in (
-                "blocking_signatures", "blocking_keys", "blocking_runs"
+                "blocking_signatures", "blocking_keys", "blocking_runs",
+                *_TELEMETRY_TABLES,
             ):
                 connection.execute(f"DROP TABLE {table}")
             connection.execute("PRAGMA user_version = 2")
         connection.close()
 
-    def test_v2_store_migrates_to_v3_in_place(self, tmp_path, people_dataset):
+    def test_v2_store_migrates_in_place(self, tmp_path, people_dataset):
         from repro.storage.database import SCHEMA_VERSION
 
         path = str(tmp_path / "old.db")
         self._seed_pre_blocking_store(path, people_dataset)
         with FrostStore(path) as store:
-            assert store.schema_version == SCHEMA_VERSION == 3
+            assert store.schema_version == SCHEMA_VERSION == 4
             # existing rows survive and the new tables work
             assert store.dataset_names() == ["people"]
             blocking = store.blocking_store()
@@ -164,6 +171,42 @@ class TestBlockingSchemaMigration:
             blocking.spill_keys(run_id, [("k", "p1"), ("k", "p2")])
             assert blocking.candidates(run_id) == {("p1", "p2")}
         # the stamp survives the reopen
+        with FrostStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION
+
+
+class TestTelemetrySchemaMigration:
+    def _seed_v3_store(self, path, people_dataset) -> None:
+        """A store file as a PR-9-era process left it: datasets and
+        blocking tables present, no telemetry tables, user_version 3."""
+        import sqlite3
+
+        with FrostStore(path) as store:
+            store.save_dataset(people_dataset)
+        connection = sqlite3.connect(path)
+        with connection:
+            for table in _TELEMETRY_TABLES:
+                connection.execute(f"DROP TABLE {table}")
+            connection.execute("PRAGMA user_version = 3")
+        connection.close()
+
+    def test_v3_store_migrates_to_v4_in_place(self, tmp_path, people_dataset):
+        from repro.storage.database import SCHEMA_VERSION
+        from repro.telemetry.spans import Tracer
+
+        path = str(tmp_path / "pr9.db")
+        self._seed_v3_store(path, people_dataset)
+        with FrostStore(path) as store:
+            assert store.schema_version == SCHEMA_VERSION == 4
+            assert store.dataset_names() == ["people"]
+            # the migrated telemetry tables round-trip a trace
+            tracer = Tracer(enabled=True)
+            with tracer.span("migration.check"):
+                pass
+            warehouse = store.telemetry_store()
+            run_id = warehouse.record_run("migrated", tracer.roots())
+            spans = warehouse.run_spans(run_id)
+            assert [span.name for span in spans] == ["migration.check"]
         with FrostStore(path) as store:
             assert store.schema_version == SCHEMA_VERSION
 

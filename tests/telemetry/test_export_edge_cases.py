@@ -1,0 +1,110 @@
+"""Exporter edge cases: empty traces, orphans, single spans, full HELP."""
+
+from __future__ import annotations
+
+import re
+
+from repro.telemetry.export import (
+    render_prometheus,
+    render_span_tree,
+    rows_to_trees,
+    spans_to_rows,
+)
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.spans import Tracer
+
+
+class TestEmptyTrace:
+    def test_no_roots_yields_no_rows(self):
+        assert spans_to_rows([]) == []
+
+    def test_rows_to_trees_of_nothing(self):
+        assert rows_to_trees([]) == []
+
+    def test_empty_registry_renders_bare_newline(self):
+        assert render_prometheus(MetricsRegistry()) == "\n"
+
+
+class TestOrphanedSpans:
+    def _row(self, span_id, parent_id, name):
+        return {
+            "span_id": span_id,
+            "parent_id": parent_id,
+            "name": name,
+            "started_at": 1.0,
+            "seconds": 0.5,
+            "annotations": {},
+        }
+
+    def test_orphan_is_promoted_to_root(self):
+        """A span whose parent was never recorded still renders."""
+        rows = [
+            self._row(1, None, "root"),
+            self._row(2, 1, "child"),
+            self._row(3, 99, "orphan"),  # parent 99 was never recorded
+        ]
+        trees = rows_to_trees(rows)
+        assert [tree.name for tree in trees] == ["root", "orphan"]
+        assert [child.name for child in trees[0].children] == ["child"]
+        # rendering a damaged trace does not crash
+        assert "orphan" in render_span_tree(trees[1])
+
+    def test_self_parenting_row_does_not_recurse(self):
+        trees = rows_to_trees([self._row(7, 7, "loop")])
+        assert [tree.name for tree in trees] == ["loop"]
+        assert trees[0].children == []
+
+
+class TestSingleSpanTree:
+    def test_render_span_tree_of_one_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("lonely", items=3):
+            pass
+        (root,) = tracer.roots()
+        rendered = render_span_tree(root)
+        assert rendered.splitlines()[0].startswith("lonely")
+        assert "items=3" in rendered
+        assert "ms" in rendered
+
+    def test_unfinished_span_renders_a_question_mark(self):
+        from repro.telemetry.spans import Span
+
+        never_closed = Span("still.open", None, {})
+        assert never_closed.seconds is None
+        rendered = render_span_tree(never_closed)
+        assert rendered.startswith("still.open")
+        assert "?" in rendered
+
+
+class TestPrometheusHelp:
+    def test_every_metric_gets_help_and_type(self):
+        registry = MetricsRegistry()
+        registry.counter("with_help_total", "documented")
+        registry.counter("without_help_total")  # no help text
+        registry.histogram("latency_seconds")
+        text = render_prometheus(registry)
+        for name in ("with_help_total", "without_help_total", "latency_seconds"):
+            assert f"# HELP {name} " in text
+            assert f"# TYPE {name} " in text
+        # empty help falls back to the metric's own name
+        assert "# HELP without_help_total without_help_total" in text
+
+    def test_full_exposition_parses(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total", "first").inc(2)
+        registry.gauge("b_current").set(1.5)
+        registry.histogram("c_seconds", "third").observe(0.2)
+        text = render_prometheus(registry)
+        sample = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$")
+        comment = re.compile(
+            r"^# (HELP [a-zA-Z_:][a-zA-Z0-9_:]* .+"
+            r"|TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram))$"
+        )
+        lines = text.strip().splitlines()
+        assert lines
+        for line in lines:
+            assert sample.match(line) or comment.match(line), line
+        # the comment preamble is complete: HELP then TYPE per metric
+        helps = [line for line in lines if line.startswith("# HELP")]
+        types = [line for line in lines if line.startswith("# TYPE")]
+        assert len(helps) == len(types) == 3

@@ -381,3 +381,106 @@ class TestTrace:
         code, _, err = run(capsys, "trace")
         assert code == 1
         assert "error:" in err
+
+
+class TestTelemetryWarehouse:
+    @pytest.fixture
+    def warehouse_db(self, tmp_path, capsys):
+        """A warehouse holding two traced, profiled runs."""
+        db = tmp_path / "warehouse.db"
+        for name in ("baseline", "candidate"):
+            code, out, _ = run(
+                capsys,
+                "trace", "--generate", "80", "--repeat", "1",
+                "--profile", "--store", db, "--run-name", name,
+            )
+            assert code == 0
+            assert f"recorded in {db}" in out
+        return db
+
+    def test_trace_store_records_and_list_shows_runs(
+        self, warehouse_db, capsys
+    ):
+        code, out, _ = run(capsys, "telemetry", "list", "--store", warehouse_db)
+        assert code == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 2
+        # newest first, with span counts and profiler attribution
+        assert "candidate" in lines[0]
+        assert "baseline" in lines[1]
+        assert "spans" in lines[0]
+
+    def test_show_renders_tree_metrics_and_profile(self, warehouse_db, capsys):
+        code, out, _ = run(
+            capsys, "telemetry", "show", "--store", warehouse_db, "baseline"
+        )
+        assert code == 0
+        assert "trace.run" in out
+        assert "pipeline.run" in out
+        assert "frost_blocking_candidates_total" in out
+
+    def test_slowest_spans_globally_and_scoped(self, warehouse_db, capsys):
+        code, out, _ = run(
+            capsys, "telemetry", "slowest", "--store", warehouse_db,
+            "--limit", "3",
+        )
+        assert code == 0
+        assert len(out.strip().splitlines()) == 3
+        assert "ms" in out
+        code, out, _ = run(
+            capsys, "telemetry", "slowest", "--store", warehouse_db,
+            "--run", "candidate", "--limit", "2",
+        )
+        assert code == 0
+        assert all("(candidate)" in line for line in out.strip().splitlines())
+
+    def test_diff_reports_per_stage_deltas(self, warehouse_db, capsys):
+        code, out, _ = run(
+            capsys, "telemetry", "diff", "--store", warehouse_db,
+            "baseline", "candidate",
+        )
+        assert code == 0
+        assert "per-stage wall time" in out
+        assert "pipeline.similarity" in out
+        assert "->" in out
+
+    def test_diff_against_itself_is_clean(self, warehouse_db, capsys):
+        code, out, _ = run(
+            capsys, "telemetry", "diff", "--store", warehouse_db,
+            "baseline", "baseline",
+        )
+        assert code == 0
+        assert "only in" not in out
+
+    def test_prune_keeps_newest(self, warehouse_db, capsys):
+        code, out, _ = run(
+            capsys, "telemetry", "prune", "--store", warehouse_db,
+            "--keep", "1",
+        )
+        assert code == 0
+        assert "pruned 1 run(s), 1 kept" in out
+        code, out, _ = run(capsys, "telemetry", "list", "--store", warehouse_db)
+        assert code == 0
+        assert "candidate" in out
+        assert "baseline" not in out
+
+    def test_prune_requires_a_policy(self, warehouse_db, capsys):
+        code, _, err = run(
+            capsys, "telemetry", "prune", "--store", warehouse_db
+        )
+        assert code == 1
+        assert "--keep and/or --older-than" in err
+
+    def test_missing_store_fails_cleanly(self, tmp_path, capsys):
+        code, _, err = run(
+            capsys, "telemetry", "list", "--store", tmp_path / "ghost.db"
+        )
+        assert code == 1
+        assert "does not exist" in err
+
+    def test_unknown_run_fails_cleanly(self, warehouse_db, capsys):
+        code, _, err = run(
+            capsys, "telemetry", "show", "--store", warehouse_db, "ghost"
+        )
+        assert code == 1
+        assert "no telemetry run" in err

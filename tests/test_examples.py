@@ -26,6 +26,7 @@ FAST_EXAMPLES = [
     "graph_explore.py",
     "columnar_kernels.py",
     "disk_blocking.py",
+    "telemetry_warehouse.py",
 ]
 
 

@@ -89,6 +89,54 @@ class TestEmit:
         emit_trajectory("ctx", seconds={"total": 50.0}, context={"smoke": False})
         assert "not comparable" in capsys.readouterr().out
 
+    def test_context_mismatch_names_the_differing_field(
+        self, trajectory_dir, capsys
+    ):
+        emit_trajectory(
+            "ctx", seconds={"total": 1.0}, context={"smoke": True, "workers": 2}
+        )
+        capsys.readouterr()
+        emit_trajectory(
+            "ctx", seconds={"total": 1.0}, context={"smoke": False, "rows": 9}
+        )
+        out = capsys.readouterr().out
+        assert "not comparable" in out
+        assert "smoke: True -> False" in out
+        assert "workers: 2 -> absent" in out
+        assert "rows: absent -> 9" in out
+
+    def test_context_mismatch_message_for_non_dict_contexts(self):
+        from benchmarks.trajectory import _context_mismatch
+
+        assert _context_mismatch({"a": 1}, {"a": 1}) == "contexts differ"
+        assert _context_mismatch("old", "new") == "'old' -> 'new'"
+
+    def test_points_flow_into_the_warehouse_when_configured(
+        self, trajectory_dir, tmp_path, monkeypatch
+    ):
+        from repro.telemetry.store import TelemetryStore
+
+        db = tmp_path / "warehouse.db"
+        monkeypatch.setenv("REPRO_TELEMETRY_STORE", str(db))
+        emit_trajectory("ingest", seconds={"total": 1.0}, context={"smoke": True})
+        with TelemetryStore(db) as warehouse:
+            points = warehouse.trajectory_history("ingest")
+        assert len(points) == 1
+        assert points[0]["document"]["seconds"]["total"] == 1.0
+
+    def test_warehouse_ingest_failure_is_not_fatal(
+        self, trajectory_dir, tmp_path, monkeypatch, capsys
+    ):
+        # point the knob at a path that cannot be a database
+        monkeypatch.setenv(
+            "REPRO_TELEMETRY_STORE", str(tmp_path / "no" / "such" / "dir.db")
+        )
+        path = emit_trajectory(
+            "survives", seconds={"total": 1.0}, context={}
+        )
+        assert path.exists()  # the JSON point still landed
+        assert "warehouse ingest" in capsys.readouterr().out
+
 
 class TestCompare:
     def test_flags_throughput_drops_and_duration_growth(self):
